@@ -1,0 +1,146 @@
+// Command gentables regenerates the study's tables and figures.
+//
+// Usage:
+//
+//	gentables -exp table1,table2,table3,table4,table5,figure2,figure3 \
+//	          -scale bench -threads 4 -timeout 60s -reps 1 [-csv dir] [-full]
+//
+// Every experiment prints an aligned text table to stdout; -csv also writes
+// one CSV per experiment into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"graphstudy/internal/bench"
+	"graphstudy/internal/gen"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "table1,table2,table3,table4,table5,figure2,figure3", "comma-separated experiments to run")
+		scale    = flag.String("scale", "bench", "input scale: test or bench")
+		threads  = flag.Int("threads", 4, "worker threads for timed runs")
+		timeout  = flag.Duration("timeout", 120*time.Second, "per-run timeout (study analog: 2h)")
+		reps     = flag.Int("reps", 1, "repetitions averaged per timing (study: 3)")
+		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
+		full     = flag.Bool("full", false, "figure 2: all four largest graphs and threads up to 56")
+		progress = flag.Bool("progress", true, "print progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Threads = *threads
+	cfg.Timeout = *timeout
+	cfg.Reps = *reps
+	switch *scale {
+	case "test":
+		cfg.Scale = gen.ScaleTest
+	case "bench":
+		cfg.Scale = gen.ScaleBench
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	note := func(msg string) {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "\r%-60s", msg)
+		}
+	}
+	emit := func(name string, t *bench.Table) {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.RenderCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+
+	var grid *bench.GridResult
+	ensureGrid := func() *bench.GridResult {
+		if grid == nil {
+			grid = bench.RunGrid(cfg, note)
+		}
+		return grid
+	}
+
+	if wanted["table1"] {
+		emit("table1", bench.Table1(cfg))
+	}
+	if wanted["table2"] {
+		emit("table2", bench.Table2(ensureGrid()))
+	}
+	if wanted["table3"] {
+		emit("table3", bench.Table3(ensureGrid()))
+	}
+	if wanted["table4"] {
+		t, err := bench.Table4(counterConfig(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		emit("table4", t)
+	}
+	if wanted["table5"] {
+		t, err := bench.Table5(counterConfig(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		emit("table5", t)
+	}
+	if wanted["figure2"] {
+		graphs := bench.Figure2Graphs(!*full)
+		maxT := 16
+		if *full {
+			maxT = 56
+		}
+		threadsList := bench.Figure2Threads(maxT)
+		points := bench.Figure2(cfg, graphs, threadsList, note)
+		emit("figure2", bench.Figure2Table(points, threadsList))
+	}
+	if wanted["figure3"] {
+		for _, vs := range bench.Figure3Specs() {
+			t := bench.Figure3(cfg, vs, note)
+			emit("figure3-"+t.Rows[len(t.Rows)-1][0]+"-"+fmt.Sprint(vs.App), t)
+		}
+	}
+}
+
+// counterConfig scales the traced runs down: the cache simulator slows
+// execution by orders of magnitude, matching how the study collected
+// counters in separate profiled runs.
+func counterConfig(cfg bench.Config) bench.Config {
+	out := cfg
+	out.Scale = gen.ScaleTest
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gentables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command graphstudy runs one (workload, system, input) measurement, the
+// equivalent of invoking one Lonestar binary or one LAGraph demo in the
+// original study.
+//
+// Usage:
+//
+//	graphstudy -app sssp -sys ls -graph road-USA -threads 4
+//	graphstudy -app tc -sys gb -variant gb-ll -graph uk07 -scale bench
+//	graphstudy -app pr -sys gb -counters        # software perf counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/perfmodel"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "bfs", "workload: bfs, cc, ktruss, pr, sssp, tc")
+		sysName  = flag.String("sys", "ls", "system: SS, GB, or LS")
+		variant  = flag.String("variant", "", "variant: ls-sv, ls-soa, ls-notile, gb-res, gb-sort, gb-ll")
+		gname    = flag.String("graph", "rmat22", "input graph (see graphgen for the list)")
+		scale    = flag.String("scale", "bench", "input scale: test or bench")
+		threads  = flag.Int("threads", 4, "worker threads")
+		timeout  = flag.Duration("timeout", 0, "per-run timeout (0 = none)")
+		counters = flag.Bool("counters", false, "collect software performance counters (forces 1 thread)")
+		verifyIt = flag.Bool("verify", false, "check the answer against the serial reference")
+	)
+	flag.Parse()
+
+	app, err := core.ParseApp(*appName)
+	exitOn(err)
+	sys, err := core.ParseSystem(*sysName)
+	exitOn(err)
+	in, err := gen.ByName(*gname)
+	exitOn(err)
+	sc := gen.ScaleBench
+	if *scale == "test" {
+		sc = gen.ScaleTest
+	}
+
+	spec := core.RunSpec{
+		App: app, System: sys, Variant: core.Variant(*variant),
+		Input: in, Scale: sc, Threads: *threads, Timeout: *timeout,
+	}
+
+	fmt.Fprintf(os.Stderr, "preparing %s at %s scale...\n", in.Name, sc)
+	var res core.Result
+	if *counters {
+		spec.Threads = 1
+		var cnt perfmodel.Counters
+		cnt = perfmodel.Collect(func() { res = core.Run(spec) })
+		report(res)
+		fmt.Printf("instructions: %d\n", cnt.Instructions)
+		fmt.Printf("loads: %d stores: %d\n", cnt.Loads, cnt.Stores)
+		for i, a := range cnt.LevelAccesses {
+			fmt.Printf("L%d accesses: %d\n", i+1, a)
+		}
+		fmt.Printf("DRAM accesses: %d\n", cnt.DRAM)
+		fmt.Printf("modeled energy: %.3g J\n", cnt.EnergyJoules())
+		return
+	}
+	if *verifyIt {
+		var err error
+		res, err = core.RunVerified(spec)
+		report(res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verification FAILED:", err)
+			os.Exit(1)
+		}
+		if _, ok := core.ReferenceCheck(spec); ok {
+			fmt.Println("verified against serial reference")
+		} else {
+			fmt.Println("no digest-exact reference for this spec; skipped")
+		}
+		return
+	}
+	res = core.Run(spec)
+	report(res)
+	if res.Outcome != core.OK {
+		os.Exit(1)
+	}
+}
+
+func report(res core.Result) {
+	fmt.Printf("%s %s%s on %s: %s\n", res.Spec.App, res.Spec.System,
+		variantSuffix(res.Spec.Variant), res.Spec.Input.Name, res.Outcome)
+	if res.Err != nil {
+		fmt.Printf("error: %v\n", res.Err)
+		return
+	}
+	if res.Outcome == core.OK {
+		fmt.Printf("time: %s s\n", core.Elapsed(res.Elapsed))
+		fmt.Printf("answer: %s (digest %x)\n", res.Value, res.Check)
+		fmt.Printf("allocated: %.1f MB", float64(res.AllocBytes)/1e6)
+		if res.Rounds > 0 {
+			fmt.Printf("  rounds: %d", res.Rounds)
+		}
+		fmt.Println()
+	}
+}
+
+func variantSuffix(v core.Variant) string {
+	if v == core.VDefault {
+		return ""
+	}
+	return fmt.Sprintf(" (%s)", v)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphstudy:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module graphstudy
+
+go 1.22

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+)
+
+func testConfig() Config {
+	return Config{Scale: gen.ScaleTest, Threads: 2, Timeout: 60 * time.Second, Reps: 1}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "a", "bb")
+	tab.AddRow("1", "2")
+	tab.AddRow("333") // short row padded
+	tab.AddNote("n=%d", 7)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Title", "a    bb", "333", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	tab.AddRow(`va"l`, "pla,in")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n\"va\"\"l\",\"pla,in\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1(testConfig())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Table1 has %d rows, want 9", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "road-USA-W") {
+		t.Fatal("missing graph row")
+	}
+}
+
+func TestRunGridAndTables2And3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run is slow")
+	}
+	grid := RunGrid(testConfig(), nil)
+	for _, app := range core.Apps() {
+		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+			for _, name := range gen.Names() {
+				r, ok := grid.Cells[app][sys][name]
+				if !ok {
+					t.Fatalf("missing cell %v/%v/%s", app, sys, name)
+				}
+				if r.Outcome != core.OK {
+					t.Fatalf("%v/%v/%s: %v (%v)", app, sys, name, r.Outcome, r.Err)
+				}
+			}
+		}
+	}
+	// Cross-system agreement for deterministic answers, grid-wide.
+	for _, app := range core.Apps() {
+		if app == core.PR {
+			continue // LS pagerank is residual-based (different formulation)
+		}
+		for _, name := range gen.Names() {
+			ss := grid.Cells[app][core.SS][name]
+			gb := grid.Cells[app][core.GB][name]
+			ls := grid.Cells[app][core.LS][name]
+			if ss.Check != gb.Check || gb.Check != ls.Check {
+				t.Fatalf("%v/%s: answers disagree: SS=%q GB=%q LS=%q", app, name, ss.Value, gb.Value, ls.Value)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := Table2(grid).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "geomean speedups") {
+		t.Fatal("Table2 missing speedup summary")
+	}
+	buf.Reset()
+	if err := Table3(grid).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(Table3(grid).Rows) != 18 {
+		t.Fatal("Table3 should have 18 rows")
+	}
+}
+
+func TestTables4And5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced runs are slow")
+	}
+	cfg := testConfig()
+	t4, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 6 {
+		t.Fatalf("Table4 rows = %d, want 6", len(t4.Rows))
+	}
+	t5, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 5 {
+		t.Fatalf("Table5 rows = %d, want 5", len(t5.Rows))
+	}
+	// The bfs row of Table IV must show GB doing more instructions and
+	// memory accesses than LS (the study's core claim).
+	var buf bytes.Buffer
+	if err := t4.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bfsRow := t4.Rows[0]
+	if !strings.HasPrefix(bfsRow[0], "bfs") {
+		t.Fatalf("first Table4 row is %q", bfsRow[0])
+	}
+	var instr, mem float64
+	if _, err := fmtSscan(bfsRow[1], &instr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(bfsRow[2], &mem); err != nil {
+		t.Fatal(err)
+	}
+	if instr <= 1.0 || mem <= 1.0 {
+		t.Fatalf("bfs GB/LS ratios should exceed 1: instr=%v mem=%v", instr, mem)
+	}
+}
+
+func TestFigure2SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	cfg := testConfig()
+	threads := []int{1, 2}
+	points := Figure2(cfg, []string{"rmat22"}, threads, nil)
+	want := len(Figure2Apps()) * 1 * 2 * len(threads)
+	if len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Outcome != core.OK {
+			t.Fatalf("%v/%v t=%d: %v", p.App, p.System, p.Threads, p.Outcome)
+		}
+		if p.ModeledTime <= 0 || p.Regions <= 0 {
+			t.Fatalf("missing model stats: %+v", p)
+		}
+	}
+	tab := Figure2Table(points, threads)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "model") {
+		t.Fatal("Figure2 table missing modeled series")
+	}
+}
+
+func TestFigure2ModelScalesDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	// For the bulk-synchronous GB bfs, the modeled time at 4 threads must
+	// be below the modeled time at 1 thread (span shrinks).
+	cfg := testConfig()
+	points := Figure2(cfg, []string{"rmat22"}, []int{1, 4}, nil)
+	var t1, t4 int64
+	for _, p := range points {
+		if p.App == core.BFS && p.System == core.GB {
+			if p.Threads == 1 {
+				t1 = p.ModeledTime
+			} else if p.Threads == 4 {
+				t4 = p.ModeledTime
+			}
+		}
+	}
+	if t1 == 0 || t4 == 0 || t4 >= t1 {
+		t.Fatalf("modeled time did not scale: t1=%d t4=%d", t1, t4)
+	}
+}
+
+func TestFigure3Specs(t *testing.T) {
+	specs := Figure3Specs()
+	if len(specs) != 4 {
+		t.Fatalf("%d variant specs, want 4", len(specs))
+	}
+	for _, vs := range specs {
+		if len(vs.Variants) < 3 {
+			t.Fatalf("%v has %d variants", vs.App, len(vs.Variants))
+		}
+		if vs.Variants[0].Sys != core.GB || vs.Variants[0].V != core.VDefault {
+			t.Fatalf("%v baseline is not gb", vs.App)
+		}
+	}
+}
+
+func TestFigure3CC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant run is slow")
+	}
+	cfg := testConfig()
+	tab := Figure3(cfg, Figure3Specs()[0], nil)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("cc figure rows = %d, want 3", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "gb" || tab.Rows[2][0] != "ls" {
+		t.Fatalf("row labels: %v", [2]string{tab.Rows[0][0], tab.Rows[2][0]})
+	}
+}
+
+func TestGeomeanAndRatio(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("geomean = %f", g)
+	}
+	if geomean(nil) != 1 {
+		t.Fatal("empty geomean should be 1")
+	}
+	if ratio(0, 0) != 1 || ratio(4, 2) != 2 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+// fmtSscan parses a float cell.
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}

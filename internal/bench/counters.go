@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/perfmodel"
+)
+
+// tracedRun executes one spec single-threaded under the performance-model
+// collector (the software substitute for the study's CapeScripts counter
+// collection, which also used dedicated profiled runs).
+func tracedRun(spec core.RunSpec) (core.Result, perfmodel.Counters) {
+	spec.Threads = 1 // the cache simulator is single-threaded by design
+	var res core.Result
+	counters := perfmodel.Collect(func() {
+		res = core.Run(spec)
+	})
+	return res, counters
+}
+
+// counterComparison runs two (system, variant) configurations of one app on
+// one graph and reports the ratio of every counter.
+type counterComparison struct {
+	App    core.App
+	Graph  string
+	NumSys core.System
+	NumVar core.Variant
+	DenSys core.System
+	DenVar core.Variant
+}
+
+func (cc counterComparison) label() string {
+	return fmt.Sprintf("%s (%s vs %s on %s)", cc.App,
+		core.Label(cc.NumSys, cc.NumVar), core.Label(cc.DenSys, cc.DenVar), cc.Graph)
+}
+
+func runComparison(cfg Config, cc counterComparison, t *Table) error {
+	in, err := gen.ByName(cc.Graph)
+	if err != nil {
+		return err
+	}
+	mk := func(sys core.System, v core.Variant) core.RunSpec {
+		return core.RunSpec{App: cc.App, System: sys, Variant: v, Input: in,
+			Scale: cfg.Scale, Timeout: cfg.Timeout}
+	}
+	rNum, cNum := tracedRun(mk(cc.NumSys, cc.NumVar))
+	rDen, cDen := tracedRun(mk(cc.DenSys, cc.DenVar))
+	if rNum.Outcome != core.OK || rDen.Outcome != core.OK {
+		t.AddRow(cc.label(), rNum.Outcome.String(), rDen.Outcome.String())
+		return nil
+	}
+	cells := []string{
+		cc.label(),
+		fmt.Sprintf("%.2f", ratio(float64(cNum.Instructions), float64(cDen.Instructions))),
+		fmt.Sprintf("%.2f", ratio(float64(cNum.MemAccesses()), float64(cDen.MemAccesses()))),
+	}
+	for lvl := 0; lvl < 3; lvl++ {
+		var a, b float64
+		if lvl < len(cNum.LevelAccesses) {
+			a = float64(cNum.LevelAccesses[lvl])
+		}
+		if lvl < len(cDen.LevelAccesses) {
+			b = float64(cDen.LevelAccesses[lvl])
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", ratio(a, b)))
+	}
+	cells = append(cells, fmt.Sprintf("%.2f", ratio(float64(cNum.DRAM), float64(cDen.DRAM))))
+	cells = append(cells, fmt.Sprintf("%.2f", ratio(cNum.EnergyJoules(), cDen.EnergyJoules())))
+	t.AddRow(cells...)
+	return nil
+}
+
+var counterHeader = []string{"comparison", "instr", "mem", "L1", "L2", "L3", "DRAM", "energy"}
+
+// Table4 reproduces the paper's Table IV: GB/LS counter ratios for the six
+// default workloads, each on the graph the paper's discussion highlights.
+func Table4(cfg Config) (*Table, error) {
+	t := NewTable("Table IV: GB/LS performance-counter ratios (software model)", counterHeader...)
+	comps := []counterComparison{
+		{App: core.BFS, Graph: "road-USA", NumSys: core.GB, DenSys: core.LS},
+		{App: core.CC, Graph: "road-USA", NumSys: core.GB, DenSys: core.LS},
+		{App: core.KTruss, Graph: "rmat22", NumSys: core.GB, DenSys: core.LS},
+		{App: core.PR, Graph: "rmat22", NumSys: core.GB, DenSys: core.LS},
+		{App: core.SSSP, Graph: "road-USA", NumSys: core.GB, DenSys: core.LS},
+		{App: core.TC, Graph: "uk07", NumSys: core.GB, DenSys: core.LS},
+	}
+	for _, cc := range comps {
+		if err := runComparison(cfg, cc, t); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("ratios > 1 mean the matrix API does more of that event than the graph API")
+	t.AddNote("counters are abstract work ops and a simulated L1/L2/L3 LRU hierarchy (see internal/perfmodel)")
+	return t, nil
+}
+
+// Table5 reproduces the paper's Table V: counter ratios for the
+// differential-analysis variant pairs.
+func Table5(cfg Config) (*Table, error) {
+	t := NewTable("Table V: variant performance-counter ratios (software model)", counterHeader...)
+	comps := []counterComparison{
+		{App: core.CC, Graph: "road-USA", NumSys: core.GB, DenSys: core.LS, DenVar: core.VLSSV},
+		{App: core.KTruss, Graph: "rmat22", NumSys: core.GB, DenSys: core.LS},
+		{App: core.PR, Graph: "rmat22", NumSys: core.GB, NumVar: core.VGBRes, DenSys: core.LS, DenVar: core.VLSSoA},
+		{App: core.SSSP, Graph: "road-USA-W", NumSys: core.GB, DenSys: core.LS, DenVar: core.VLSNoTile},
+		{App: core.TC, Graph: "uk07", NumSys: core.GB, NumVar: core.VGBLL, DenSys: core.LS},
+	}
+	for _, cc := range comps {
+		if err := runComparison(cfg, cc, t); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("pairs follow the study's differential analysis (section V-B)")
+	return t, nil
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+)
+
+// Config controls a reproduction run.
+type Config struct {
+	// Scale selects the input suite size.
+	Scale gen.Scale
+	// Threads is the worker count for timed runs (the study used 56).
+	Threads int
+	// Timeout bounds each individual run (the study used 2 hours; the
+	// scaled-down default is 60s).
+	Timeout time.Duration
+	// Reps repeats each timed run, reporting the average like the study
+	// (which averaged 3 runs).
+	Reps int
+}
+
+// DefaultConfig returns the scaled-down defaults.
+func DefaultConfig() Config {
+	return Config{Scale: gen.ScaleBench, Threads: 4, Timeout: 60 * time.Second, Reps: 1}
+}
+
+func (c Config) reps() int {
+	if c.Reps < 1 {
+		return 1
+	}
+	return c.Reps
+}
+
+// Table1 reports the generated input suite's properties, the analog of the
+// paper's Table I.
+func Table1(cfg Config) *Table {
+	t := NewTable("Table I: input graphs and their properties",
+		"graph", "|V|", "|E|", "|E|/|V|", "Dout max", "Din max", "approx diam", "CSR size (MB)")
+	for _, in := range gen.Suite() {
+		g := in.Build(cfg.Scale)
+		st := graph.ComputeStats(in.Name, g)
+		t.AddRow(in.Name,
+			fmt.Sprintf("%d", st.NumNodes),
+			fmt.Sprintf("%d", st.NumEdges),
+			fmt.Sprintf("%.1f", st.AvgDegree),
+			fmt.Sprintf("%d", st.MaxOutDegree),
+			fmt.Sprintf("%d", st.MaxInDegree),
+			fmt.Sprintf("%d", st.ApproxDiam),
+			fmt.Sprintf("%.1f", float64(st.CSRSizeBytes)/1e6))
+	}
+	t.AddNote("synthetic analogs of the study's nine inputs at %s scale (see DESIGN.md)", cfg.Scale)
+	return t
+}
+
+// GridResult holds the Table II/III measurement grid:
+// results[app][system][graph].
+type GridResult struct {
+	Config Config
+	Cells  map[core.App]map[core.System]map[string]core.Result
+}
+
+// RunGrid executes all 6 apps x 3 systems x 9 graphs once (with Reps
+// averaging of elapsed time), feeding Tables II and III.
+func RunGrid(cfg Config, progress func(msg string)) *GridResult {
+	out := &GridResult{Config: cfg, Cells: map[core.App]map[core.System]map[string]core.Result{}}
+	for _, app := range core.Apps() {
+		out.Cells[app] = map[core.System]map[string]core.Result{}
+		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+			out.Cells[app][sys] = map[string]core.Result{}
+			for _, in := range gen.Suite() {
+				if progress != nil {
+					progress(fmt.Sprintf("%v/%v/%s", app, sys, in.Name))
+				}
+				spec := core.RunSpec{
+					App: app, System: sys, Input: in,
+					Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout,
+				}
+				r := core.Run(spec)
+				// Average elapsed over repetitions (first run kept for
+				// outcome/value; warmed caches make later runs comparable).
+				if r.Outcome == core.OK && cfg.reps() > 1 {
+					total := r.Elapsed
+					for rep := 1; rep < cfg.reps(); rep++ {
+						total += core.Run(spec).Elapsed
+					}
+					r.Elapsed = total / time.Duration(cfg.reps())
+				}
+				out.Cells[app][sys][in.Name] = r
+			}
+		}
+	}
+	return out
+}
+
+// Table2 renders the runtime grid (the paper's headline table). The fastest
+// system per (app, graph) is starred.
+func Table2(grid *GridResult) *Table {
+	header := append([]string{"app", "sys"}, gen.Names()...)
+	t := NewTable("Table II: execution time in seconds (fastest per column starred)", header...)
+	for _, app := range core.Apps() {
+		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+			row := []string{app.String(), sys.String()}
+			for _, name := range gen.Names() {
+				r := grid.Cells[app][sys][name]
+				cell := formatResultCell(r)
+				if r.Outcome == core.OK && fastestSystem(grid, app, name) == sys {
+					cell += "*"
+				}
+				row = append(row, cell)
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("threads=%d timeout=%v reps=%d scale=%s", grid.Config.Threads, grid.Config.Timeout, grid.Config.reps(), grid.Config.Scale)
+	t.AddNote("geomean speedups: %s", speedupSummary(grid))
+	return t
+}
+
+func formatResultCell(r core.Result) string {
+	switch r.Outcome {
+	case core.TO:
+		return "TO"
+	case core.ERR:
+		return "ERR"
+	}
+	return core.Elapsed(r.Elapsed)
+}
+
+func fastestSystem(grid *GridResult, app core.App, graphName string) core.System {
+	best := core.SS
+	bestT := time.Duration(-1)
+	for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+		r := grid.Cells[app][sys][graphName]
+		if r.Outcome != core.OK {
+			continue
+		}
+		if bestT < 0 || r.Elapsed < bestT {
+			best, bestT = sys, r.Elapsed
+		}
+	}
+	return best
+}
+
+// speedupSummary computes the study's headline numbers: geometric-mean
+// speedup of LS over SS, LS over GB, and GB over SS across all cells where
+// both completed.
+func speedupSummary(grid *GridResult) string {
+	pairs := []struct {
+		name string
+		a, b core.System
+	}{
+		{"LS/SS", core.LS, core.SS},
+		{"LS/GB", core.LS, core.GB},
+		{"GB/SS", core.GB, core.SS},
+	}
+	parts := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		logSum, n := 0.0, 0
+		for _, app := range core.Apps() {
+			for _, name := range gen.Names() {
+				ra := grid.Cells[app][p.a][name]
+				rb := grid.Cells[app][p.b][name]
+				if ra.Outcome != core.OK || rb.Outcome != core.OK || ra.Elapsed <= 0 {
+					continue
+				}
+				logSum += ln(float64(rb.Elapsed) / float64(ra.Elapsed))
+				n++
+			}
+		}
+		if n == 0 {
+			parts = append(parts, p.name+"=n/a")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%.2fx (n=%d)", p.name, exp(logSum/float64(n)), n))
+	}
+	return join(parts, ", ")
+}
+
+// Table3 renders the allocation grid, the substitute for the paper's
+// max-resident-set-size Table III: bytes allocated during the timed region
+// plus the resident input size.
+func Table3(grid *GridResult) *Table {
+	header := append([]string{"app", "sys"}, gen.Names()...)
+	t := NewTable("Table III: memory (GB allocated during computation; input CSR resident separately)", header...)
+	for _, app := range core.Apps() {
+		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+			row := []string{app.String(), sys.String()}
+			for _, name := range gen.Names() {
+				r := grid.Cells[app][sys][name]
+				if r.Outcome != core.OK {
+					row = append(row, r.Outcome.String())
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.3f", float64(r.AllocBytes)/1e9))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("MRSS is not portable; allocation volume during the timed region captures the materialization differences the study attributes memory growth to")
+	return t
+}

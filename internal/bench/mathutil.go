@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"math"
+	"strings"
+)
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }
+
+func join(parts []string, sep string) string { return strings.Join(parts, sep) }
+
+// geomean returns the geometric mean of positive values (1 if empty).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// ratio guards division by zero.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/galois"
+	"graphstudy/internal/gen"
+)
+
+// barrierCost is the modeled per-parallel-region overhead in work units
+// (roughly: edges' worth of time one barrier costs). The absolute value only
+// shifts curves; the GB-vs-LS gap comes from GB executing many more regions.
+const barrierCost = 4000
+
+// ScalingPoint is one measurement of the strong-scaling sweep.
+type ScalingPoint struct {
+	App     core.App
+	System  core.System
+	Graph   string
+	Threads int
+	// Elapsed is wall-clock time (meaningful only up to the physical core
+	// count of the host).
+	Elapsed time.Duration
+	// ModeledTime is the work/span model: sum over parallel regions of the
+	// max per-thread work, plus a barrier cost per region. It scales with
+	// the thread count even on hosts with fewer cores (see DESIGN.md).
+	ModeledTime int64
+	Regions     int64
+	Outcome     core.Outcome
+}
+
+// Figure2Apps are the four workloads the paper's scaling figure shows.
+func Figure2Apps() []core.App {
+	return []core.App{core.BFS, core.CC, core.PR, core.SSSP}
+}
+
+// Figure2Graphs returns the paper's "four largest graphs"; trim selects a
+// cheaper subset for quick runs.
+func Figure2Graphs(trim bool) []string {
+	if trim {
+		return []string{"rmat26", "twitter40"}
+	}
+	return []string{"rmat26", "twitter40", "friendster", "uk07"}
+}
+
+// Figure2Threads is the sweep; the modeled series remains meaningful past
+// the host's core count.
+func Figure2Threads(max int) []int {
+	out := []int{}
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Figure2 runs the strong-scaling sweep of GB vs LS.
+func Figure2(cfg Config, graphs []string, threads []int, progress func(string)) []ScalingPoint {
+	var points []ScalingPoint
+	for _, app := range Figure2Apps() {
+		for _, name := range graphs {
+			in, err := gen.ByName(name)
+			if err != nil {
+				continue
+			}
+			for _, sys := range []core.System{core.GB, core.LS} {
+				for _, t := range threads {
+					if progress != nil {
+						progress(fmt.Sprintf("fig2 %v/%v/%s t=%d", app, sys, name, t))
+					}
+					spec := core.RunSpec{App: app, System: sys, Input: in,
+						Scale: cfg.Scale, Threads: t, Timeout: cfg.Timeout}
+					var res core.Result
+					stats := galois.CollectStats(func() { res = core.Run(spec) })
+					points = append(points, ScalingPoint{
+						App: app, System: sys, Graph: name, Threads: t,
+						Elapsed:     res.Elapsed,
+						ModeledTime: stats.ModeledTime(barrierCost),
+						Regions:     stats.Regions,
+						Outcome:     res.Outcome,
+					})
+				}
+			}
+		}
+	}
+	return points
+}
+
+// Figure2Table renders the sweep, one row per (app, graph, system), columns
+// per thread count, wall-clock and modeled.
+func Figure2Table(points []ScalingPoint, threads []int) *Table {
+	header := []string{"app", "graph", "sys", "series"}
+	for _, t := range threads {
+		header = append(header, fmt.Sprintf("t=%d", t))
+	}
+	tab := NewTable("Figure 2: strong scaling of GB and LS (wall seconds; modeled Mwork)", header...)
+	type key struct {
+		app   core.App
+		graph string
+		sys   core.System
+	}
+	wall := map[key]map[int]string{}
+	model := map[key]map[int]string{}
+	var order []key
+	for _, p := range points {
+		k := key{p.App, p.Graph, p.System}
+		if wall[k] == nil {
+			wall[k] = map[int]string{}
+			model[k] = map[int]string{}
+			order = append(order, k)
+		}
+		if p.Outcome != core.OK {
+			wall[k][p.Threads] = p.Outcome.String()
+			model[k][p.Threads] = p.Outcome.String()
+			continue
+		}
+		wall[k][p.Threads] = core.Elapsed(p.Elapsed)
+		model[k][p.Threads] = fmt.Sprintf("%.1f", float64(p.ModeledTime)/1e6)
+	}
+	for _, k := range order {
+		row := []string{k.app.String(), k.graph, k.sys.String(), "wall"}
+		for _, t := range threads {
+			row = append(row, wall[k][t])
+		}
+		tab.AddRow(row...)
+		row = []string{"", "", "", "model"}
+		for _, t := range threads {
+			row = append(row, model[k][t])
+		}
+		tab.AddRow(row...)
+	}
+	tab.AddNote("wall-clock scaling is bounded by this host's physical cores; the modeled series (span + %d work-units per barrier) is the portable signal", barrierCost)
+	return tab
+}

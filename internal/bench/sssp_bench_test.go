@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+)
+
+func benchSSSPLS(b *testing.B, graphName string) {
+	in, _ := gen.ByName(graphName)
+	spec := core.RunSpec{App: core.SSSP, System: core.LS, Input: in, Scale: gen.ScaleBench, Threads: 4, Timeout: 10 * time.Minute}
+	core.Prepare(in, gen.ScaleBench)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := core.Run(spec); r.Outcome != core.OK {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+func BenchmarkSSSPLSrmat26(b *testing.B)  { benchSSSPLS(b, "rmat26") }
+func BenchmarkSSSPLSroadUSA(b *testing.B) { benchSSSPLS(b, "road-USA") }

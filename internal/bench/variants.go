@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+)
+
+// variantSpec is one bar group of Figure 3: the variants of one app,
+// with "gb" as the baseline (speedup 1.0, the green line in the paper).
+type variantSpec struct {
+	App      core.App
+	Variants []struct {
+		Sys core.System
+		V   core.Variant
+	}
+}
+
+// Figure3Specs lists the study's four variant analyses.
+func Figure3Specs() []variantSpec {
+	mk := func(app core.App, pairs ...[2]any) variantSpec {
+		vs := variantSpec{App: app}
+		for _, p := range pairs {
+			vs.Variants = append(vs.Variants, struct {
+				Sys core.System
+				V   core.Variant
+			}{p[0].(core.System), p[1].(core.Variant)})
+		}
+		return vs
+	}
+	return []variantSpec{
+		mk(core.CC, [2]any{core.GB, core.VDefault}, [2]any{core.LS, core.VLSSV}, [2]any{core.LS, core.VDefault}),
+		mk(core.SSSP, [2]any{core.GB, core.VDefault}, [2]any{core.LS, core.VLSNoTile}, [2]any{core.LS, core.VDefault}),
+		mk(core.PR, [2]any{core.GB, core.VDefault}, [2]any{core.GB, core.VGBRes}, [2]any{core.LS, core.VLSSoA}, [2]any{core.LS, core.VDefault}),
+		mk(core.TC, [2]any{core.GB, core.VDefault}, [2]any{core.GB, core.VGBSort}, [2]any{core.GB, core.VGBLL}, [2]any{core.LS, core.VDefault}),
+	}
+}
+
+// Figure3 runs one app's variant comparison over the whole suite and
+// renders speedups relative to the gb baseline.
+func Figure3(cfg Config, vs variantSpec, progress func(string)) *Table {
+	header := []string{"variant"}
+	header = append(header, gen.Names()...)
+	header = append(header, "geomean")
+	t := NewTable(fmt.Sprintf("Figure 3 (%s): speedup over gb baseline", vs.App), header...)
+
+	baseline := map[string]time.Duration{}
+	for vi, v := range vs.Variants {
+		label := core.Label(v.Sys, v.V)
+		row := []string{label}
+		var speeds []float64
+		for _, in := range gen.Suite() {
+			if progress != nil {
+				progress(fmt.Sprintf("fig3 %v/%s/%s", vs.App, label, in.Name))
+			}
+			r := core.Run(core.RunSpec{App: vs.App, System: v.Sys, Variant: v.V,
+				Input: in, Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout})
+			if r.Outcome != core.OK {
+				row = append(row, r.Outcome.String())
+				continue
+			}
+			if vi == 0 {
+				baseline[in.Name] = r.Elapsed
+				row = append(row, "1.00")
+				speeds = append(speeds, 1)
+				continue
+			}
+			base, ok := baseline[in.Name]
+			if !ok {
+				row = append(row, core.Elapsed(r.Elapsed)+"s")
+				continue
+			}
+			s := float64(base) / float64(r.Elapsed)
+			speeds = append(speeds, s)
+			row = append(row, fmt.Sprintf("%.2f", s))
+		}
+		row = append(row, fmt.Sprintf("%.2f", geomean(speeds)))
+		t.AddRow(row...)
+	}
+	t.AddNote("values are t(gb)/t(variant); higher is faster than the matrix baseline")
+	return t
+}

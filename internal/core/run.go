@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/grb"
+	"graphstudy/internal/lagraph"
+	"graphstudy/internal/lonestar"
+)
+
+// RunSpec describes one measurement: a workload on a system on an input.
+type RunSpec struct {
+	App     App
+	System  System
+	Variant Variant
+	Input   *gen.Input
+	Scale   gen.Scale
+	// Threads is the worker count (<= 0 uses the configured default).
+	Threads int
+	// Timeout bounds the run; zero means unbounded. The study used 2 hours
+	// at full scale; the harness defaults to a scaled-down bound.
+	Timeout time.Duration
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec    RunSpec
+	Outcome Outcome
+	Err     error
+	// Elapsed is the timed region only (preprocessing excluded).
+	Elapsed time.Duration
+	// Value summarizes the answer for cross-system comparison (e.g. the
+	// triangle count, component count, distance checksum).
+	Value string
+	// Check is a numeric digest of the answer; equal answers have equal
+	// digests (used by the cross-system consistency tests).
+	Check uint64
+	// AllocBytes is the heap allocated during the timed region — the
+	// harness's stand-in for Table III's max resident set size, and a
+	// direct measure of the materialization the study discusses.
+	AllocBytes uint64
+	// Rounds reports algorithm rounds where meaningful (bfs levels, cc
+	// hook/shortcut rounds, ktruss peels, sssp light-relax rounds).
+	Rounds int
+}
+
+// Run executes one measurement. Preparation (generation, symmetrization,
+// matrix building) happens before the clock starts.
+func Run(spec RunSpec) Result {
+	p := Prepare(spec.Input, spec.Scale)
+
+	var stop atomic.Bool
+	var timer *time.Timer
+	if spec.Timeout > 0 {
+		timer = time.AfterFunc(spec.Timeout, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	value, check, rounds, err := dispatch(p, spec, &stop)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	res := Result{
+		Spec:       spec,
+		Elapsed:    elapsed,
+		Value:      value,
+		Check:      check,
+		Rounds:     rounds,
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+	}
+	switch {
+	case err == lagraph.ErrTimeout || err == lonestar.ErrTimeout:
+		res.Outcome = TO
+	case err != nil:
+		res.Outcome = ERR
+		res.Err = err
+	default:
+		res.Outcome = OK
+	}
+	return res
+}
+
+// grbContext builds the LAGraph-side context for a system.
+func grbContext(sys System, threads int, stop *atomic.Bool) (*grb.Context, error) {
+	var ctx *grb.Context
+	switch sys {
+	case SS:
+		ctx = grb.NewSuiteSparseContext(threads)
+	case GB:
+		ctx = grb.NewGaloisBLASContext(threads)
+	default:
+		return nil, fmt.Errorf("core: system %v has no GraphBLAS context", sys)
+	}
+	ctx.Stop = stop
+	return ctx, nil
+}
+
+// dispatch routes to the right algorithm implementation.
+func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check uint64, rounds int, err error) {
+	lsOpt := lonestar.Options{Threads: spec.Threads, Stop: stop}
+	switch spec.App {
+	case BFS:
+		if spec.System == LS {
+			dist, r, err := lonestar.BFS(p.G, p.Src, lsOpt)
+			if err != nil {
+				return "", 0, r, err
+			}
+			return summarizeLevels(dist), checksum32(dist), r, nil
+		}
+		ctx, err := grbContext(spec.System, spec.Threads, stop)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		dist, r, err := lagraph.BFS(ctx, p.ABool, int(p.Src))
+		if err != nil {
+			return "", 0, r, err
+		}
+		levels := lagraph.BFSLevels(dist)
+		return summarizeLevels(levels), checksum32(levels), r, nil
+
+	case CC:
+		switch {
+		case spec.System == LS && spec.Variant == VLSSV:
+			labels, r, err := lonestar.CCShiloachVishkin(p.Sym, lsOpt)
+			if err != nil {
+				return "", 0, r, err
+			}
+			return summarizeComponents(labels), componentCheck(labels), r, nil
+		case spec.System == LS:
+			labels, err := lonestar.CCAfforest(p.Sym, lsOpt)
+			if err != nil {
+				return "", 0, 0, err
+			}
+			return summarizeComponents(labels), componentCheck(labels), 0, nil
+		default:
+			ctx, err := grbContext(spec.System, spec.Threads, stop)
+			if err != nil {
+				return "", 0, 0, err
+			}
+			f, r, err := lagraph.CCFastSV(ctx, p.ASymU32)
+			if err != nil {
+				return "", 0, r, err
+			}
+			labels := lagraph.Labels(f)
+			return summarizeComponents(labels), componentCheck(labels), r, nil
+		}
+
+	case KTruss:
+		k := p.In.KTrussK()
+		if spec.System == LS {
+			res, err := lonestar.KTruss(p.Sym, k, lsOpt)
+			if err != nil {
+				return "", 0, res.Rounds, err
+			}
+			return fmt.Sprintf("edges=%d", res.Edges), uint64(res.Edges), res.Rounds, nil
+		}
+		ctx, err := grbContext(spec.System, spec.Threads, stop)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		res, err := lagraph.KTruss(ctx, p.ASymInt, k)
+		if err != nil {
+			return "", 0, res.Rounds, err
+		}
+		return fmt.Sprintf("edges=%d", res.Edges), uint64(res.Edges), res.Rounds, nil
+
+	case PR:
+		if spec.System == LS {
+			o := lonestar.DefaultPageRankOptions()
+			o.Options = lsOpt
+			ranks, err := lonestar.PageRankResidual(p.G, o, spec.Variant == VLSSoA)
+			if err != nil {
+				return "", 0, 0, err
+			}
+			return summarizeRanks(ranks), rankCheck(ranks), o.Iterations, nil
+		}
+		ctx, err := grbContext(spec.System, spec.Threads, stop)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		opt := lagraph.DefaultPageRankOptions()
+		var r *grb.Vector[float64]
+		if spec.Variant == VGBRes {
+			r, err = lagraph.PageRankResidual(ctx, p.AFloat, opt)
+		} else {
+			r, err = lagraph.PageRank(ctx, p.AFloat, opt)
+		}
+		if err != nil {
+			return "", 0, 0, err
+		}
+		ranks := lagraph.Ranks(r)
+		return summarizeRanks(ranks), rankCheck(ranks), opt.Iterations, nil
+
+	case SSSP:
+		delta := p.In.Delta()
+		if spec.System == LS {
+			o := lonestar.DefaultSSSPOptions()
+			o.Options = lsOpt
+			o.Delta = delta
+			o.EdgeTiling = spec.Variant != VLSNoTile
+			dist, applied, err := lonestar.SSSP(p.G, p.Src, o)
+			if err != nil {
+				return "", 0, int(applied), err
+			}
+			return summarizeDists(dist), checksum64(dist), int(applied), nil
+		}
+		ctx, err := grbContext(spec.System, spec.Threads, stop)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		// The study switches to 64-bit distances for eukarya only.
+		if p.In.BigDelta {
+			res, err := lagraph.SSSP(ctx, p.AW64, int(p.Src), uint64(delta))
+			if err != nil {
+				return "", 0, res.Rounds, err
+			}
+			d := lagraph.Distances(res.Dist)
+			return summarizeDists(d), checksum64(d), res.Rounds, nil
+		}
+		res, err := lagraph.SSSP(ctx, p.AW32, int(p.Src), delta)
+		if err != nil {
+			return "", 0, res.Rounds, err
+		}
+		d := lagraph.Distances(res.Dist)
+		return summarizeDists(d), checksum64(d), res.Rounds, nil
+
+	case TC:
+		if spec.System == LS {
+			count, err := lonestar.TriangleCount(p.SymSorted, lsOpt)
+			if err != nil {
+				return "", 0, 0, err
+			}
+			return fmt.Sprintf("triangles=%d", count), uint64(count), 0, nil
+		}
+		ctx, err := grbContext(spec.System, spec.Threads, stop)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		variant := lagraph.TCSandiaDot
+		m := p.ASymInt
+		switch spec.Variant {
+		case VGBSort:
+			variant, m = lagraph.TCSorted, p.ASrtInt
+		case VGBLL:
+			variant, m = lagraph.TCListing, p.ASrtInt
+		}
+		count, err := lagraph.TriangleCount(ctx, m, variant)
+		if err != nil {
+			return "", 0, 0, err
+		}
+		return fmt.Sprintf("triangles=%d", count), uint64(count), 0, nil
+	}
+	return "", 0, 0, fmt.Errorf("core: unknown app %v", spec.App)
+}
+
+// summarizeLevels reports reachable count and max level.
+func summarizeLevels(dist []uint32) string {
+	reached, maxL := 0, uint32(0)
+	for _, d := range dist {
+		if d != ^uint32(0) {
+			reached++
+			if d > maxL {
+				maxL = d
+			}
+		}
+	}
+	return fmt.Sprintf("reached=%d maxlevel=%d", reached, maxL)
+}
+
+func summarizeDists(dist []uint64) string {
+	reached := 0
+	for _, d := range dist {
+		if d != ^uint64(0) {
+			reached++
+		}
+	}
+	return fmt.Sprintf("reached=%d", reached)
+}
+
+func summarizeComponents(labels []uint32) string {
+	seen := map[uint32]struct{}{}
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return fmt.Sprintf("components=%d", len(seen))
+}
+
+func summarizeRanks(r []float64) string {
+	var sum, max float64
+	for _, v := range r {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return fmt.Sprintf("sum=%.6f max=%.6f", sum, max)
+}
+
+// checksum32 hashes a level array (FNV-style) so equal answers compare equal.
+func checksum32(a []uint32) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range a {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func checksum64(a []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range a {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+// componentCheck digests a partition canonically (label = min member).
+func componentCheck(labels []uint32) uint64 {
+	canon := map[uint32]uint32{}
+	for i, l := range labels {
+		if m, ok := canon[l]; !ok || uint32(i) < m {
+			canon[l] = uint32(i)
+		}
+	}
+	out := make([]uint32, len(labels))
+	for i, l := range labels {
+		out[i] = canon[l]
+	}
+	return checksum32(out)
+}
+
+// rankCheck digests ranks at reduced precision so schedule-dependent float
+// rounding does not break cross-system equality.
+func rankCheck(r []float64) uint64 {
+	out := make([]uint64, len(r))
+	for i, v := range r {
+		out[i] = uint64(v * 1e7)
+	}
+	return checksum64(out)
+}

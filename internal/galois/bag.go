@@ -1,0 +1,68 @@
+package galois
+
+// Bag is an insert-only unordered parallel container, the analog of
+// galois::InsertBag. Each thread appends to its own chunk list without
+// synchronization; the contents can then be iterated in parallel in a later
+// phase. The round-based worklists of the Lonestar algorithms ("curr"/"next")
+// are Bags.
+type Bag[T any] struct {
+	shards []bagShard[T]
+}
+
+type bagShard[T any] struct {
+	items []T
+	_     [40]byte
+}
+
+// NewBag returns an empty bag with one shard per possible thread.
+func NewBag[T any]() *Bag[T] {
+	return &Bag[T]{shards: make([]bagShard[T], MaxThreads)}
+}
+
+// Push appends v on behalf of thread tid. Concurrent pushes with distinct
+// tids are safe; pushes with the same tid must be externally ordered (as
+// they are inside a parallel loop body).
+func (b *Bag[T]) Push(tid int, v T) {
+	b.shards[tid].items = append(b.shards[tid].items, v)
+}
+
+// Len returns the total number of items. It must not race with pushes.
+func (b *Bag[T]) Len() int {
+	n := 0
+	for i := range b.shards {
+		n += len(b.shards[i].items)
+	}
+	return n
+}
+
+// Empty reports whether the bag has no items.
+func (b *Bag[T]) Empty() bool { return b.Len() == 0 }
+
+// Clear removes all items, retaining capacity.
+func (b *Bag[T]) Clear() {
+	for i := range b.shards {
+		b.shards[i].items = b.shards[i].items[:0]
+	}
+}
+
+// Slice gathers all items into one slice (allocating); the order is
+// unspecified. Used to seed parallel loops over the bag's contents.
+func (b *Bag[T]) Slice() []T {
+	out := make([]T, 0, b.Len())
+	for i := range b.shards {
+		out = append(out, b.shards[i].items...)
+	}
+	return out
+}
+
+// ForAll runs fn over every item using the executor. Items are processed in
+// chunks; fn receives the loop context for work accounting and pushes into
+// other bags.
+func (b *Bag[T]) ForAll(ex Executor, fn func(v T, ctx *Ctx)) {
+	items := b.Slice()
+	ex.ForRange(len(items), 0, func(lo, hi int, ctx *Ctx) {
+		for i := lo; i < hi; i++ {
+			fn(items[i], ctx)
+		}
+	})
+}

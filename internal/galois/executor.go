@@ -1,0 +1,185 @@
+package galois
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RangeBody is the body of a blocked parallel loop: it processes iterations
+// [lo, hi) on the worker identified by ctx.TID.
+type RangeBody func(lo, hi int, ctx *Ctx)
+
+// Executor schedules parallel loops over index ranges. Two implementations
+// model the two runtimes of the study:
+//
+//   - Static partitions the range into one contiguous block per thread,
+//     like OpenMP's static schedule used by SuiteSparse.
+//   - WorkStealing hands out chunks dynamically from a shared counter,
+//     like the Galois runtime's chunked self-scheduling with stealing.
+//
+// An Executor instance must not be used for overlapping ForRange calls
+// (nested parallelism is not supported, matching the study's usage).
+type Executor interface {
+	// ForRange executes body over [0, n) in chunks of about grain
+	// iterations. grain <= 0 selects a default.
+	ForRange(n int, grain int, body RangeBody)
+	// Threads returns the worker count of this executor.
+	Threads() int
+	// Name identifies the scheduling policy ("static" or "steal").
+	Name() string
+}
+
+// regionHook, when non-nil, observes per-thread work tallies of every
+// parallel region. Set by the stats collector in stats.go.
+var regionHook atomic.Pointer[regionObserver]
+
+type regionObserver struct {
+	fn func(perThread []int64)
+}
+
+func observeRegion(slots []padCounter, t int) {
+	h := regionHook.Load()
+	if h == nil {
+		return
+	}
+	per := make([]int64, t)
+	for i := 0; i < t; i++ {
+		per[i] = slots[i].v
+	}
+	h.fn(per)
+}
+
+// Static is the OpenMP-static-like executor: thread i processes the i-th
+// contiguous block of the range regardless of per-iteration cost.
+type Static struct {
+	t     int
+	slots []padCounter
+}
+
+// NewStatic returns a Static executor with t workers (t<=0 means the
+// configured default).
+func NewStatic(t int) *Static {
+	if t <= 0 {
+		t = Threads()
+	}
+	return &Static{t: t, slots: make([]padCounter, t)}
+}
+
+func (e *Static) Threads() int { return e.t }
+func (e *Static) Name() string { return "static" }
+
+// ForRange splits [0, n) into t contiguous blocks. grain is ignored except
+// that each thread also counts its iterations as work.
+func (e *Static) ForRange(n int, grain int, body RangeBody) {
+	if n <= 0 {
+		return
+	}
+	t := e.t
+	if t > n {
+		t = n
+	}
+	for i := range e.slots {
+		e.slots[i].v = 0
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for tid := 0; tid < t; tid++ {
+		lo := tid * n / t
+		hi := (tid + 1) * n / t
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			ctx := &Ctx{TID: tid, work: &e.slots[tid].v}
+			ctx.Work(int64(hi - lo))
+			body(lo, hi, ctx)
+		}(tid, lo, hi)
+	}
+	wg.Wait()
+	observeRegion(e.slots, e.t)
+}
+
+// WorkStealing is the Galois-like executor: workers repeatedly claim the
+// next chunk of grain iterations from a shared counter, so cost imbalance
+// between iterations is smoothed dynamically.
+type WorkStealing struct {
+	t     int
+	slots []padCounter
+}
+
+// NewWorkStealing returns a WorkStealing executor with t workers (t<=0
+// means the configured default).
+func NewWorkStealing(t int) *WorkStealing {
+	if t <= 0 {
+		t = Threads()
+	}
+	return &WorkStealing{t: t, slots: make([]padCounter, t)}
+}
+
+func (e *WorkStealing) Threads() int { return e.t }
+func (e *WorkStealing) Name() string { return "steal" }
+
+// ForRange hands out chunks of grain iterations from an atomic cursor.
+func (e *WorkStealing) ForRange(n int, grain int, body RangeBody) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain(n, e.t)
+	}
+	t := e.t
+	if (n+grain-1)/grain < t {
+		t = (n + grain - 1) / grain
+	}
+	for i := range e.slots {
+		e.slots[i].v = 0
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for tid := 0; tid < t; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			ctx := &Ctx{TID: tid, work: &e.slots[tid].v}
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				ctx.Work(int64(hi - lo))
+				body(lo, hi, ctx)
+				// Yield between chunks so workers interleave even when the
+				// host has fewer cores than workers; this keeps the dynamic
+				// chunk distribution (and thus the work/span model feeding
+				// the scaling figure) faithful to a true multicore run.
+				runtime.Gosched()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	observeRegion(e.slots, e.t)
+}
+
+// Serial runs the body inline on the calling goroutine; useful for tests
+// and as a baseline.
+type Serial struct{ slot [1]padCounter }
+
+// NewSerial returns a single-threaded executor.
+func NewSerial() *Serial { return &Serial{} }
+
+func (e *Serial) Threads() int { return 1 }
+func (e *Serial) Name() string { return "serial" }
+
+func (e *Serial) ForRange(n int, grain int, body RangeBody) {
+	if n <= 0 {
+		return
+	}
+	e.slot[0].v = 0
+	ctx := &Ctx{TID: 0, work: &e.slot[0].v}
+	ctx.Work(int64(n))
+	body(0, n, ctx)
+	observeRegion(e.slot[:], 1)
+}

@@ -1,0 +1,145 @@
+package galois
+
+import (
+	"runtime"
+	"sync"
+)
+
+// foreachChunk is the unit of scheduling in the data-driven loops.
+const foreachChunk = 64
+
+// ForEachCtx is the loop context of a data-driven (asynchronous) loop. New
+// work discovered by the operator is pushed here; it may be processed by any
+// worker, in the same "round" — there are no rounds. This is the capability
+// the matrix API cannot express (study section II-D, observation 4).
+type ForEachCtx[T any] struct {
+	TID   int
+	work  *int64
+	local []T
+	wl    *sharedWorklist[T]
+}
+
+// Work adds n work units to the calling thread's tally.
+func (c *ForEachCtx[T]) Work(n int64) { *c.work += n }
+
+// Push schedules v for processing. The pushing worker keeps a bounded local
+// LIFO (Galois's chunked-LIFO behavior); overflow is donated to the shared
+// worklist for other workers to steal.
+func (c *ForEachCtx[T]) Push(v T) {
+	c.local = append(c.local, v)
+	if len(c.local) >= 4*foreachChunk {
+		// Donate the oldest half, keep the hot newest half local.
+		donate := make([]T, 2*foreachChunk)
+		copy(donate, c.local[:2*foreachChunk])
+		n := copy(c.local, c.local[2*foreachChunk:])
+		c.local = c.local[:n]
+		c.wl.pushChunk(donate)
+	}
+}
+
+// sharedWorklist is a mutex-protected chunk queue with idle-worker
+// termination detection.
+type sharedWorklist[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks [][]T
+	busy   int
+	done   bool
+}
+
+func newSharedWorklist[T any]() *sharedWorklist[T] {
+	wl := &sharedWorklist[T]{}
+	wl.cond = sync.NewCond(&wl.mu)
+	return wl
+}
+
+func (wl *sharedWorklist[T]) pushChunk(c []T) {
+	if len(c) == 0 {
+		return
+	}
+	wl.mu.Lock()
+	wl.chunks = append(wl.chunks, c)
+	wl.mu.Unlock()
+	wl.cond.Signal()
+}
+
+// popChunk blocks until a chunk is available or the loop has terminated.
+// enter reports whether the caller currently holds "busy" status.
+func (wl *sharedWorklist[T]) popChunk(wasBusy bool) ([]T, bool) {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	if wasBusy {
+		wl.busy--
+	}
+	for {
+		if len(wl.chunks) > 0 {
+			c := wl.chunks[len(wl.chunks)-1]
+			wl.chunks = wl.chunks[:len(wl.chunks)-1]
+			wl.busy++
+			return c, true
+		}
+		if wl.busy == 0 {
+			if !wl.done {
+				wl.done = true
+				wl.cond.Broadcast()
+			}
+			return nil, false
+		}
+		wl.cond.Wait()
+		if wl.done {
+			return nil, false
+		}
+	}
+}
+
+// ForEach is the asynchronous data-driven loop, the analog of
+// galois::for_each with a chunked worklist: body may push new items that are
+// processed by any worker as soon as one is free, with no round barrier.
+// t <= 0 selects the configured thread count.
+func ForEach[T any](t int, initial []T, body func(item T, ctx *ForEachCtx[T])) {
+	if t <= 0 {
+		t = Threads()
+	}
+	wl := newSharedWorklist[T]()
+	for lo := 0; lo < len(initial); lo += foreachChunk {
+		hi := min(lo+foreachChunk, len(initial))
+		chunk := make([]T, hi-lo)
+		copy(chunk, initial[lo:hi])
+		wl.chunks = append(wl.chunks, chunk)
+	}
+	if t > len(wl.chunks) && len(wl.chunks) > 0 {
+		t = max(1, len(wl.chunks))
+	}
+
+	slots := make([]padCounter, t)
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for tid := 0; tid < t; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			ctx := &ForEachCtx[T]{TID: tid, work: &slots[tid].v, wl: wl}
+			wasBusy := false
+			for {
+				// Drain local work first (chunked LIFO).
+				for len(ctx.local) > 0 {
+					item := ctx.local[len(ctx.local)-1]
+					ctx.local = ctx.local[:len(ctx.local)-1]
+					ctx.Work(1)
+					body(item, ctx)
+				}
+				chunk, ok := wl.popChunk(wasBusy)
+				if !ok {
+					return
+				}
+				wasBusy = true
+				for _, item := range chunk {
+					ctx.Work(1)
+					body(item, ctx)
+				}
+				runtime.Gosched() // interleave workers on few-core hosts
+			}
+		}(tid)
+	}
+	wg.Wait()
+	observeRegion(slots, t)
+}

@@ -1,0 +1,114 @@
+// Package galois is a Galois-style shared-memory parallel runtime: parallel
+// loops over ranges (do_all), unordered data-driven loops over worklists
+// (for_each), priority-ordered loops (OBIM-style for_each), insert-only
+// parallel bags, and reduction accumulators.
+//
+// It plays the role the Galois C++ runtime plays in the original study:
+// the Lonestar algorithm suite (internal/lonestar) and the GaloisBLAS
+// configuration of the GraphBLAS library (internal/grb with the
+// work-stealing executor) both run on it.
+//
+// Every parallel region tracks per-thread work units so the study's
+// scaling figures can be regenerated from a work/span model even on
+// machines with few cores (see internal/perfmodel and DESIGN.md).
+package galois
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// MaxThreads bounds the thread count accepted by SetThreads. It exists so
+// per-thread arrays can be allocated up front.
+const MaxThreads = 256
+
+var numThreads atomic.Int64
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	numThreads.Store(int64(n))
+}
+
+// SetThreads sets the number of worker goroutines used by subsequently
+// created executors and loops. It mirrors Galois's setActiveThreads and is
+// the knob the strong-scaling experiment sweeps. Values are clamped to
+// [1, MaxThreads].
+func SetThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxThreads {
+		n = MaxThreads
+	}
+	numThreads.Store(int64(n))
+}
+
+// Threads returns the currently configured thread count.
+func Threads() int { return int(numThreads.Load()) }
+
+// Ctx is the per-thread loop context handed to every parallel body. TID is
+// the worker index in [0, Threads()). Work records abstract work units
+// (typically edges traversed) against the current parallel region; the
+// work/span statistics feed the scaling model.
+type Ctx struct {
+	TID  int
+	work *int64
+}
+
+// Work adds n work units to the calling thread's tally for the enclosing
+// parallel region.
+func (c *Ctx) Work(n int64) { *c.work += n }
+
+// padCounter is an int64 padded to a cache line to avoid false sharing
+// between per-thread slots.
+type padCounter struct {
+	v int64
+	_ [56]byte
+}
+
+// DefaultGrain picks a chunk size for a loop of n iterations across t
+// threads: large enough to amortize scheduling, small enough to balance.
+func DefaultGrain(n, t int) int {
+	if t < 1 {
+		t = 1
+	}
+	g := n / (t * 8)
+	if g < 64 {
+		g = 64
+	}
+	if g > 4096 {
+		g = 4096
+	}
+	return g
+}
+
+// DoAll runs fn(i) for every i in [0, n) using the package default
+// (work-stealing) executor with an automatic grain. It mirrors
+// galois::do_all(galois::iterate(0, n), fn).
+func DoAll(n int, fn func(i int, ctx *Ctx)) {
+	ex := NewWorkStealing(Threads())
+	ex.ForRange(n, DefaultGrain(n, ex.Threads()), func(lo, hi int, ctx *Ctx) {
+		for i := lo; i < hi; i++ {
+			fn(i, ctx)
+		}
+	})
+}
+
+// OnEach runs fn once per worker thread, like galois::on_each. It is used
+// for per-thread initialization.
+func OnEach(fn func(tid, total int)) {
+	t := Threads()
+	done := make(chan struct{})
+	for i := 0; i < t; i++ {
+		go func(tid int) {
+			fn(tid, t)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < t; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,325 @@
+package galois
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetThreadsClamp(t *testing.T) {
+	old := Threads()
+	defer SetThreads(old)
+	SetThreads(0)
+	if Threads() != 1 {
+		t.Fatalf("Threads()=%d, want 1", Threads())
+	}
+	SetThreads(MaxThreads + 10)
+	if Threads() != MaxThreads {
+		t.Fatalf("Threads()=%d, want %d", Threads(), MaxThreads)
+	}
+	SetThreads(4)
+	if Threads() != 4 {
+		t.Fatalf("Threads()=%d, want 4", Threads())
+	}
+}
+
+func TestDoAllCoversRange(t *testing.T) {
+	const n = 10007
+	var hits [n]atomic.Int32
+	DoAll(n, func(i int, ctx *Ctx) {
+		hits[i].Add(1)
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func executorsUnderTest() []Executor {
+	return []Executor{NewSerial(), NewStatic(4), NewWorkStealing(4)}
+}
+
+func TestExecutorsCoverRangeExactlyOnce(t *testing.T) {
+	for _, ex := range executorsUnderTest() {
+		for _, n := range []int{0, 1, 7, 64, 1000, 4097} {
+			var visited sync32
+			visited.init(n)
+			ex.ForRange(n, 13, func(lo, hi int, ctx *Ctx) {
+				for i := lo; i < hi; i++ {
+					visited.inc(i)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if visited.get(i) != 1 {
+					t.Fatalf("%s n=%d: index %d visited %d times", ex.Name(), n, i, visited.get(i))
+				}
+			}
+		}
+	}
+}
+
+type sync32 struct{ v []atomic.Int32 }
+
+func (s *sync32) init(n int)    { s.v = make([]atomic.Int32, n) }
+func (s *sync32) inc(i int)     { s.v[i].Add(1) }
+func (s *sync32) get(i int) int { return int(s.v[i].Load()) }
+
+func TestExecutorTIDsInRange(t *testing.T) {
+	for _, ex := range executorsUnderTest() {
+		bad := atomic.Int32{}
+		ex.ForRange(1000, 7, func(lo, hi int, ctx *Ctx) {
+			if ctx.TID < 0 || ctx.TID >= ex.Threads() {
+				bad.Store(1)
+			}
+		})
+		if bad.Load() != 0 {
+			t.Fatalf("%s produced out-of-range TID", ex.Name())
+		}
+	}
+}
+
+func TestOnEach(t *testing.T) {
+	old := Threads()
+	defer SetThreads(old)
+	SetThreads(3)
+	var seen [3]atomic.Int32
+	OnEach(func(tid, total int) {
+		if total != 3 {
+			t.Errorf("total=%d", total)
+		}
+		seen[tid].Add(1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("tid %d ran %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestAccumulatorSum(t *testing.T) {
+	acc := NewSum()
+	ex := NewWorkStealing(4)
+	ex.ForRange(1000, 16, func(lo, hi int, ctx *Ctx) {
+		for i := lo; i < hi; i++ {
+			acc.Update(ctx.TID, int64(i))
+		}
+	})
+	want := int64(1000 * 999 / 2)
+	if got := acc.Reduce(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	acc.Reset()
+	if acc.Reduce() != 0 {
+		t.Fatal("Reset did not clear accumulator")
+	}
+}
+
+func TestAccumulatorMax(t *testing.T) {
+	acc := NewMaxU32()
+	ex := NewStatic(4)
+	ex.ForRange(513, 0, func(lo, hi int, ctx *Ctx) {
+		for i := lo; i < hi; i++ {
+			acc.Update(ctx.TID, uint32(i*7%997))
+		}
+	})
+	want := uint32(0)
+	for i := 0; i < 513; i++ {
+		if v := uint32(i * 7 % 997); v > want {
+			want = v
+		}
+	}
+	if got := acc.Reduce(); got != want {
+		t.Fatalf("max = %d, want %d", got, want)
+	}
+}
+
+func TestBagPushCollect(t *testing.T) {
+	bag := NewBag[int]()
+	ex := NewWorkStealing(4)
+	ex.ForRange(500, 8, func(lo, hi int, ctx *Ctx) {
+		for i := lo; i < hi; i++ {
+			bag.Push(ctx.TID, i)
+		}
+	})
+	if bag.Len() != 500 {
+		t.Fatalf("bag.Len() = %d", bag.Len())
+	}
+	got := bag.Slice()
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("bag contents wrong at %d: %d", i, v)
+		}
+	}
+	bag.Clear()
+	if !bag.Empty() {
+		t.Fatal("Clear did not empty bag")
+	}
+}
+
+func TestBagForAll(t *testing.T) {
+	bag := NewBag[int]()
+	for i := 0; i < 300; i++ {
+		bag.Push(i%4, i)
+	}
+	var sum atomic.Int64
+	bag.ForAll(NewWorkStealing(4), func(v int, ctx *Ctx) {
+		sum.Add(int64(v))
+	})
+	if want := int64(300 * 299 / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForEachProcessesAllPushes(t *testing.T) {
+	// Each seed i pushes i-1 down to 0: total processed = sum(seeds+1).
+	seeds := []int{5, 3, 0, 7}
+	var processed atomic.Int64
+	ForEach(4, seeds, func(item int, ctx *ForEachCtx[int]) {
+		processed.Add(1)
+		if item > 0 {
+			ctx.Push(item - 1)
+		}
+	})
+	want := int64(0)
+	for _, s := range seeds {
+		want += int64(s + 1)
+	}
+	if processed.Load() != want {
+		t.Fatalf("processed %d items, want %d", processed.Load(), want)
+	}
+}
+
+func TestForEachEmptyInitial(t *testing.T) {
+	ran := atomic.Int32{}
+	ForEach(4, nil, func(item int, ctx *ForEachCtx[int]) { ran.Add(1) })
+	if ran.Load() != 0 {
+		t.Fatal("body ran with empty initial worklist")
+	}
+}
+
+func TestForEachLargeFanout(t *testing.T) {
+	// One seed fans out into a tree of 2^12 leaves; every node processed once.
+	var processed atomic.Int64
+	ForEach(8, []int{12}, func(depth int, ctx *ForEachCtx[int]) {
+		processed.Add(1)
+		if depth > 0 {
+			ctx.Push(depth - 1)
+			ctx.Push(depth - 1)
+		}
+	})
+	if want := int64(1<<13 - 1); processed.Load() != want {
+		t.Fatalf("processed %d, want %d", processed.Load(), want)
+	}
+}
+
+func TestForEachPriorityOrderTendency(t *testing.T) {
+	// With a single thread, strictly lower buckets must run before higher.
+	var order []int
+	ForEachPriority(1, []int{30, 10, 20}, func(v int) int { return v },
+		func(item int, ctx *PriorityCtx[int]) {
+			order = append(order, item)
+			if item == 10 {
+				ctx.Push(15, 15)
+			}
+		})
+	want := []int{10, 15, 20, 30}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestForEachPriorityProcessesEverything(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		items := make([]int, len(seeds))
+		for i, s := range seeds {
+			items[i] = int(s % 50)
+		}
+		var processed atomic.Int64
+		ForEachPriority(4, items, func(v int) int { return v },
+			func(item int, ctx *PriorityCtx[int]) {
+				processed.Add(1)
+				if item > 0 {
+					ctx.Push(item-1, item-1)
+				}
+			})
+		want := int64(0)
+		for _, s := range items {
+			want += int64(s + 1)
+		}
+		return processed.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectStatsCountsRegionsAndSpan(t *testing.T) {
+	st := CollectStats(func() {
+		ex := NewStatic(4)
+		ex.ForRange(400, 0, func(lo, hi int, ctx *Ctx) {})
+		ex.ForRange(400, 0, func(lo, hi int, ctx *Ctx) {})
+	})
+	if st.Regions != 2 {
+		t.Fatalf("Regions = %d, want 2", st.Regions)
+	}
+	if st.TotalWork != 800 {
+		t.Fatalf("TotalWork = %d, want 800", st.TotalWork)
+	}
+	// Static split of 400 over 4 threads: span = 100 per region.
+	if st.SpanWork != 200 {
+		t.Fatalf("SpanWork = %d, want 200", st.SpanWork)
+	}
+	if st.ModeledTime(10) != 200+20 {
+		t.Fatalf("ModeledTime = %d", st.ModeledTime(10))
+	}
+}
+
+func TestCollectStatsExtraWork(t *testing.T) {
+	st := CollectStats(func() {
+		ex := NewSerial()
+		ex.ForRange(10, 0, func(lo, hi int, ctx *Ctx) {
+			ctx.Work(90) // kernels add edge work on top of iteration count
+		})
+	})
+	if st.TotalWork != 100 {
+		t.Fatalf("TotalWork = %d, want 100", st.TotalWork)
+	}
+}
+
+func TestStaticImbalanceVisibleInSpan(t *testing.T) {
+	// A skewed cost loop: iteration 0 costs 1000, the rest cost 1. Static
+	// scheduling puts the heavy iteration plus its block on one thread, so
+	// span(static) should exceed span(stealing) which smooths it out.
+	work := func(i int) int64 {
+		if i == 0 {
+			return 1000
+		}
+		return 1
+	}
+	run := func(ex Executor) int64 {
+		st := CollectStats(func() {
+			ex.ForRange(4000, 50, func(lo, hi int, ctx *Ctx) {
+				for i := lo; i < hi; i++ {
+					ctx.Work(work(i))
+				}
+			})
+		})
+		return st.SpanWork
+	}
+	spanStatic := run(NewStatic(4))
+	spanSteal := run(NewWorkStealing(4))
+	if spanStatic <= spanSteal {
+		t.Logf("note: spanStatic=%d spanSteal=%d (stealing nondeterminism)", spanStatic, spanSteal)
+	}
+	if spanStatic < 1000+1000 { // heavy iter + its 1000-iteration block share a thread
+		t.Fatalf("static span %d implausibly low", spanStatic)
+	}
+}

@@ -1,0 +1,174 @@
+package galois
+
+import (
+	"runtime"
+	"sync"
+)
+
+// obimChunk is the scheduling unit of the priority loop. Larger chunks
+// amortize the shared-worklist synchronization; smaller chunks reduce
+// priority inversion (wasted relaxations). 256 balances the two at this
+// harness's graph sizes (see BenchmarkSSSPLS* in internal/bench).
+const obimChunk = 256
+
+// PriorityCtx is the loop context of a priority-scheduled data-driven loop
+// (the analog of Galois's OBIM worklist used by asynchronous delta-stepping).
+// Pushes carry an integer priority; workers always draw from the globally
+// minimal non-empty priority bucket, but priorities are soft — no global
+// order is enforced, so operators must tolerate out-of-order execution.
+type PriorityCtx[T any] struct {
+	TID  int
+	work *int64
+	q    *priorityWorklist[T]
+	// local buffers pushes per priority to amortize locking.
+	local map[int][]T
+	n     int
+}
+
+// Work adds n work units to the calling thread's tally.
+func (c *PriorityCtx[T]) Work(n int64) { *c.work += n }
+
+// Push schedules v at the given priority (lower runs earlier).
+func (c *PriorityCtx[T]) Push(prio int, v T) {
+	c.local[prio] = append(c.local[prio], v)
+	c.n++
+	if len(c.local[prio]) >= obimChunk {
+		c.q.push(prio, c.local[prio])
+		c.n -= len(c.local[prio])
+		delete(c.local, prio)
+	}
+}
+
+func (c *PriorityCtx[T]) flush() {
+	for p, items := range c.local {
+		c.q.push(p, items)
+		delete(c.local, p)
+	}
+	c.n = 0
+}
+
+// priorityWorklist holds chunk lists per priority bucket.
+type priorityWorklist[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[int][][]T
+	minPrio int
+	busy    int
+	done    bool
+}
+
+func newPriorityWorklist[T any]() *priorityWorklist[T] {
+	q := &priorityWorklist[T]{buckets: make(map[int][][]T), minPrio: int(^uint(0) >> 1)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *priorityWorklist[T]) push(prio int, items []T) {
+	if len(items) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.buckets[prio] = append(q.buckets[prio], items)
+	if prio < q.minPrio {
+		q.minPrio = prio
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop returns a chunk from the minimal non-empty bucket, blocking until work
+// exists or the loop terminates.
+func (q *priorityWorklist[T]) pop(wasBusy bool) ([]T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if wasBusy {
+		q.busy--
+	}
+	for {
+		if len(q.buckets) > 0 {
+			// Re-find the minimum if the cached one emptied.
+			if _, ok := q.buckets[q.minPrio]; !ok {
+				q.minPrio = int(^uint(0) >> 1)
+				for p := range q.buckets {
+					if p < q.minPrio {
+						q.minPrio = p
+					}
+				}
+			}
+			chunks := q.buckets[q.minPrio]
+			c := chunks[len(chunks)-1]
+			if len(chunks) == 1 {
+				delete(q.buckets, q.minPrio)
+			} else {
+				q.buckets[q.minPrio] = chunks[:len(chunks)-1]
+			}
+			q.busy++
+			return c, true
+		}
+		if q.busy == 0 {
+			if !q.done {
+				q.done = true
+				q.cond.Broadcast()
+			}
+			return nil, false
+		}
+		q.cond.Wait()
+		if q.done {
+			return nil, false
+		}
+	}
+}
+
+// ForEachPriority runs body over the initial items and everything it pushes,
+// preferring lower priorities. prio gives the initial priority of the seed
+// items. t <= 0 selects the configured thread count.
+func ForEachPriority[T any](t int, initial []T, prio func(T) int, body func(item T, ctx *PriorityCtx[T])) {
+	if t <= 0 {
+		t = Threads()
+	}
+	q := newPriorityWorklist[T]()
+	for _, v := range initial {
+		q.buckets[prio(v)] = appendChunked(q.buckets[prio(v)], v)
+		if p := prio(v); p < q.minPrio {
+			q.minPrio = p
+		}
+	}
+
+	slots := make([]padCounter, t)
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for tid := 0; tid < t; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			ctx := &PriorityCtx[T]{TID: tid, work: &slots[tid].v, q: q, local: make(map[int][]T)}
+			wasBusy := false
+			for {
+				chunk, ok := q.pop(wasBusy)
+				if !ok {
+					return
+				}
+				wasBusy = true
+				for _, item := range chunk {
+					ctx.Work(1)
+					body(item, ctx)
+				}
+				ctx.flush()
+				runtime.Gosched() // interleave workers on few-core hosts
+			}
+		}(tid)
+	}
+	wg.Wait()
+	observeRegion(slots, t)
+}
+
+// appendChunked appends v to the last chunk of chunks, starting a new chunk
+// when the last is full.
+func appendChunked[T any](chunks [][]T, v T) [][]T {
+	if n := len(chunks); n > 0 && len(chunks[n-1]) < obimChunk {
+		chunks[n-1] = append(chunks[n-1], v)
+		return chunks
+	}
+	c := make([]T, 1, obimChunk)
+	c[0] = v
+	return append(chunks, c)
+}

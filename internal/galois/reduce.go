@@ -1,0 +1,68 @@
+package galois
+
+// Accumulator is a per-thread reduction variable, the analog of
+// galois::GAccumulator. Each worker updates its own padded slot; Reduce
+// combines them. The zero value is not usable; construct with NewAccumulator.
+type Accumulator[T any] struct {
+	slots    []padSlot[T]
+	combine  func(T, T) T
+	identity T
+}
+
+type padSlot[T any] struct {
+	v T
+	_ [48]byte
+}
+
+// NewAccumulator returns an accumulator over the monoid (combine, identity)
+// with one slot per possible thread of the current configuration.
+func NewAccumulator[T any](identity T, combine func(T, T) T) *Accumulator[T] {
+	a := &Accumulator[T]{
+		slots:    make([]padSlot[T], MaxThreads),
+		combine:  combine,
+		identity: identity,
+	}
+	a.Reset()
+	return a
+}
+
+// Reset restores every slot to the identity.
+func (a *Accumulator[T]) Reset() {
+	for i := range a.slots {
+		a.slots[i].v = a.identity
+	}
+}
+
+// Update folds v into the slot of thread tid.
+func (a *Accumulator[T]) Update(tid int, v T) {
+	a.slots[tid].v = a.combine(a.slots[tid].v, v)
+}
+
+// Reduce combines all slots and returns the result.
+func (a *Accumulator[T]) Reduce() T {
+	out := a.identity
+	for i := range a.slots {
+		out = a.combine(out, a.slots[i].v)
+	}
+	return out
+}
+
+// NewSum returns an accumulator computing a sum of int64.
+func NewSum() *Accumulator[int64] {
+	return NewAccumulator[int64](0, func(a, b int64) int64 { return a + b })
+}
+
+// NewMaxU32 returns an accumulator computing a max of uint32.
+func NewMaxU32() *Accumulator[uint32] {
+	return NewAccumulator[uint32](0, func(a, b uint32) uint32 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// NewSumF64 returns an accumulator computing a sum of float64.
+func NewSumF64() *Accumulator[float64] {
+	return NewAccumulator[float64](0, func(a, b float64) float64 { return a + b })
+}

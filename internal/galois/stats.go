@@ -1,0 +1,54 @@
+package galois
+
+import "sync"
+
+// RunStats aggregates the work/span statistics of all parallel regions
+// executed while a collector was installed.
+//
+//   - Regions counts parallel loops (each is a barrier in BSP terms).
+//   - TotalWork sums work units across all threads and regions.
+//   - SpanWork sums, per region, the maximum per-thread work: the modeled
+//     critical path. SpanWork + Regions*barrier-cost is the modeled parallel
+//     makespan used by the strong-scaling figure on machines whose physical
+//     core count cannot match the study's.
+type RunStats struct {
+	Regions   int64
+	TotalWork int64
+	SpanWork  int64
+}
+
+// ModeledTime converts the stats to abstract time units given a per-region
+// barrier overhead.
+func (s RunStats) ModeledTime(barrierCost int64) int64 {
+	return s.SpanWork + s.Regions*barrierCost
+}
+
+var statsMu sync.Mutex
+
+// CollectStats runs fn with region observation enabled and returns the
+// aggregated statistics. Collections are serialized: concurrent calls block.
+func CollectStats(fn func()) RunStats {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+
+	var mu sync.Mutex
+	var st RunStats
+	obs := &regionObserver{fn: func(perThread []int64) {
+		var sum, max int64
+		for _, w := range perThread {
+			sum += w
+			if w > max {
+				max = w
+			}
+		}
+		mu.Lock()
+		st.Regions++
+		st.TotalWork += sum
+		st.SpanWork += max
+		mu.Unlock()
+	}}
+	regionHook.Store(obs)
+	defer regionHook.Store(nil)
+	fn()
+	return st
+}

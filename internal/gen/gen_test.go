@@ -1,0 +1,256 @@
+package gen
+
+import (
+	"testing"
+
+	"graphstudy/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	c := newRNG(43)
+	if newRNG(42).next() == c.next() {
+		t.Fatal("different seeds gave same first value")
+	}
+}
+
+func TestRNGWeightRange(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 1000; i++ {
+		w := r.weight(255)
+		if w < 1 || w > 255 {
+			t.Fatalf("weight %d out of [1,255]", w)
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(5, 7, 3, true, 100, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// nodes = 35 intersections + (5*6 + 7*4) grid edges * 2 interior each
+	wantNodes := uint32(35 + 58*2)
+	if g.NumNodes != wantNodes {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes, wantNodes)
+	}
+	// Every edge must be bidirectional with equal weight.
+	for u := uint32(0); u < g.NumNodes; u++ {
+		adj := g.OutEdges(u)
+		for i, v := range adj {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("grid edge (%d,%d) not mirrored", u, v)
+			}
+			_ = i
+		}
+	}
+	// Road archetype: avg degree between 2 and 4, diameter large.
+	avg := float64(g.NumEdges()) / float64(g.NumNodes)
+	if avg < 2 || avg > 4.2 {
+		t.Fatalf("grid avg degree %.2f out of road range", avg)
+	}
+	if d := g.ApproxDiameter(); d < 15 {
+		t.Fatalf("grid diameter %d too small", d)
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, true, 255, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 1024 {
+		t.Fatalf("NumNodes = %d", g.NumNodes)
+	}
+	// Power-law: max degree far above average.
+	avg := float64(g.NumEdges()) / float64(g.NumNodes)
+	if maxd := float64(g.MaxOutDegree()); maxd < 5*avg {
+		t.Fatalf("rmat max degree %.0f not heavy-tailed vs avg %.1f", maxd, avg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 4, 0.57, 0.19, 0.19, false, 0, 99)
+	b := RMAT(8, 4, 0.57, 0.19, 0.19, false, 0, 99)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("rmat not deterministic")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("rmat edge mismatch")
+		}
+	}
+}
+
+func TestWebCrawlConnectivityAndHubs(t *testing.T) {
+	g := WebCrawl(800, 16, 12, false, false, 0, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Hub pages attract inter-host links: max in-degree well above average.
+	avg := float64(g.NumEdges()) / float64(g.NumNodes)
+	if maxd := float64(g.MaxInDegree()); maxd < 3*avg {
+		t.Fatalf("webcrawl max in-degree %.0f vs avg %.1f: no hubs", maxd, avg)
+	}
+}
+
+func TestWebCrawlChainLocalityRaisesDiameter(t *testing.T) {
+	global := WebCrawl(1500, 60, 10, false, false, 0, 5)
+	local := WebCrawl(1500, 60, 10, true, false, 0, 5)
+	dg, dl := global.ApproxDiameter(), local.ApproxDiameter()
+	if dl <= dg {
+		t.Fatalf("chain-local crawl diameter %d <= global crawl diameter %d", dl, dg)
+	}
+	if dl < 10 {
+		t.Fatalf("chain-local diameter %d too small for uk07 archetype", dl)
+	}
+}
+
+func TestPrefAttachSymmetric(t *testing.T) {
+	g := PrefAttach(500, 3, true, true, 255, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < g.NumNodes; u++ {
+		for _, v := range g.OutEdges(u) {
+			if !g.HasEdge(v, u) {
+				t.Fatalf("symmetric prefattach missing reverse edge (%d,%d)", v, u)
+			}
+		}
+	}
+}
+
+func TestPrefAttachHeavyTail(t *testing.T) {
+	g := PrefAttach(2000, 5, false, false, 0, 17)
+	avg := float64(g.NumEdges()) / float64(g.NumNodes)
+	if maxd := float64(g.MaxInDegree()); maxd < 8*avg {
+		t.Fatalf("prefattach max in-degree %.0f vs avg %.1f: tail too light", maxd, avg)
+	}
+}
+
+func TestProteinClustersWeighted(t *testing.T) {
+	g := ProteinClusters(8, 10, true, 1<<20, 23)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("protein graph must be weighted")
+	}
+	// Dense clusters: average degree should be near cluster size.
+	avg := float64(g.NumEdges()) / float64(g.NumNodes)
+	if avg < 3 {
+		t.Fatalf("protein avg degree %.1f too sparse", avg)
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g := Random(100, 500, true, 10, 31)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 500 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestSuiteNamesAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("suite has %d graphs, want 9", len(names))
+	}
+	for _, name := range names {
+		in, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, in.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown graph")
+	}
+}
+
+func TestSuiteTestScaleProperties(t *testing.T) {
+	for _, in := range Suite() {
+		g := in.Build(ScaleTest)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if !g.Weighted() {
+			t.Fatalf("%s: suite graphs must be weighted for sssp", in.Name)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", in.Name)
+		}
+		// Memoization returns the same object.
+		if in.Build(ScaleTest) != g {
+			t.Fatalf("%s: Build not memoized", in.Name)
+		}
+	}
+}
+
+func TestSuiteStudyParameters(t *testing.T) {
+	road, _ := ByName("road-USA")
+	if road.KTrussK() != 4 || !road.RoadNetwork {
+		t.Fatal("road-USA should use ktruss k=4")
+	}
+	g := road.Build(ScaleTest)
+	if road.Source(g) != 0 {
+		t.Fatal("road networks use source vertex 0")
+	}
+	euk, _ := ByName("eukarya")
+	if euk.Delta() != 1<<20 {
+		t.Fatal("eukarya delta should be 2^20")
+	}
+	tw, _ := ByName("twitter40")
+	if tw.Delta() != 1<<13 || tw.KTrussK() != 7 {
+		t.Fatal("default delta/k wrong")
+	}
+	gtw := tw.Build(ScaleTest)
+	if tw.Source(gtw) != gtw.MaxOutDegreeVertex() {
+		t.Fatal("non-road source should be max out-degree vertex")
+	}
+}
+
+func TestRoadDiameterOrdering(t *testing.T) {
+	// road-USA (bigger grid) must have a larger diameter than road-USA-W,
+	// mirroring Table I (6261 vs 3137).
+	w, _ := ByName("road-USA-W")
+	u, _ := ByName("road-USA")
+	dw := w.Build(ScaleTest).ApproxDiameter()
+	du := u.Build(ScaleTest).ApproxDiameter()
+	if du <= dw {
+		t.Fatalf("diameters: road-USA %d <= road-USA-W %d", du, dw)
+	}
+}
+
+func TestSuiteGraphsAreSortedAndHaveCSC(t *testing.T) {
+	in, _ := ByName("rmat22")
+	g := in.Build(ScaleTest)
+	if !g.HasIn() {
+		t.Fatal("suite graphs should have CSC built")
+	}
+	for u := uint32(0); u < g.NumNodes; u++ {
+		adj := g.OutEdges(u)
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] >= adj[i] {
+				t.Fatal("suite adjacency not sorted/deduped")
+			}
+		}
+	}
+}
+
+var sinkGraph *graph.Graph
+
+func BenchmarkGenerateRMATTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkGraph = RMAT(10, 8, 0.57, 0.19, 0.19, true, 255, uint64(i))
+	}
+}

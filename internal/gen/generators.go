@@ -1,0 +1,312 @@
+package gen
+
+import (
+	"fmt"
+
+	"graphstudy/internal/graph"
+)
+
+// Grid generates a road-network analog: a rows x cols grid of intersections
+// whose edges are subdivided into subdiv chain segments, yielding the
+// low-degree, huge-diameter structure of road graphs (Table I: road-USA has
+// |E|/|V| = 2.4 and diameter in the thousands). Edges run in both directions.
+// If weighted, each undirected segment gets a random weight in [1, maxW],
+// identical in both directions.
+func Grid(rows, cols, subdiv int, weighted bool, maxW uint32, seed uint64) *graph.Graph {
+	if subdiv < 1 {
+		subdiv = 1
+	}
+	r := newRNG(seed)
+	intersections := rows * cols
+	gridEdges := rows*(cols-1) + cols*(rows-1)
+	n := intersections + gridEdges*(subdiv-1)
+	b := graph.NewBuilder(uint32(n), weighted)
+	b.Reserve(2 * gridEdges * subdiv)
+
+	next := uint32(intersections) // next chain-interior vertex ID
+	addChain := func(u, v uint32) {
+		prev := u
+		for s := 1; s < subdiv; s++ {
+			mid := next
+			next++
+			w := uint32(0)
+			if weighted {
+				w = r.weight(maxW)
+			}
+			b.AddEdge(prev, mid, w)
+			b.AddEdge(mid, prev, w)
+			prev = mid
+		}
+		w := uint32(0)
+		if weighted {
+			w = r.weight(maxW)
+		}
+		b.AddEdge(prev, v, w)
+		b.AddEdge(v, prev, w)
+	}
+	id := func(i, j int) uint32 { return uint32(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				addChain(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				addChain(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.BuildDedup(graph.MinWeight)
+}
+
+// RMAT generates a recursive-matrix power-law graph (Chakrabarti et al.),
+// the generator behind the study's rmat22/rmat26 inputs. scale is log2 of
+// the vertex count; avgDeg directed edges are drawn per vertex with the
+// standard Graph500 probabilities unless overridden.
+func RMAT(scale int, avgDeg int, a, b, c float64, weighted bool, maxW uint32, seed uint64) *graph.Graph {
+	n := uint32(1) << scale
+	m := int(n) * avgDeg
+	r := newRNG(seed)
+	bl := graph.NewBuilder(n, weighted)
+	bl.Reserve(m)
+	for e := 0; e < m; e++ {
+		src, dst := uint32(0), uint32(0)
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float64v()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+b:
+				dst |= 1 << bit
+			case p < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		w := uint32(0)
+		if weighted {
+			w = r.weight(maxW)
+		}
+		bl.AddEdge(src, dst, w)
+	}
+	return bl.BuildDedup(graph.MinWeight)
+}
+
+// WebCrawl generates a web-graph analog (indochina04/uk07 archetype):
+// vertices are pages grouped into hosts with power-law host sizes; pages
+// link densely within their host (locality, near-cliques), and hosts link to
+// "hub" pages of other hosts (huge max in-degree, Table I's Din up to 2M).
+//
+// chainLocal controls the inter-host topology: false gives global hub links
+// and a tiny diameter (indochina04's approximate diameter is 2), true makes
+// most inter-host links chain-local so the crawl has a long spine (uk07's
+// approximate diameter is 115).
+func WebCrawl(pages int, hosts int, avgDeg int, chainLocal bool, weighted bool, maxW uint32, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	// Power-law host sizes: host h gets a share ~ 1/(h+1), normalized.
+	sizes := make([]int, hosts)
+	total := 0.0
+	weightsf := make([]float64, hosts)
+	for h := 0; h < hosts; h++ {
+		weightsf[h] = 1.0 / float64(h+1)
+		total += weightsf[h]
+	}
+	assigned := 0
+	for h := 0; h < hosts; h++ {
+		sizes[h] = int(float64(pages) * weightsf[h] / total)
+		if sizes[h] < 2 {
+			sizes[h] = 2
+		}
+		assigned += sizes[h]
+	}
+	// Adjust the first host to hit the requested page count.
+	if d := pages - assigned; d > 0 {
+		sizes[0] += d
+	}
+	start := make([]uint32, hosts+1)
+	for h := 0; h < hosts; h++ {
+		start[h+1] = start[h] + uint32(sizes[h])
+	}
+	n := start[hosts]
+
+	b := graph.NewBuilder(n, weighted)
+	m := int(n) * avgDeg
+	b.Reserve(m)
+	wt := func() uint32 {
+		if weighted {
+			return r.weight(maxW)
+		}
+		return 0
+	}
+	// Host hub = first page of the host.
+	for h := 0; h < hosts; h++ {
+		lo, hi := start[h], start[h+1]
+		size := hi - lo
+		for p := lo; p < hi; p++ {
+			// ~85% of links intra-host (locality), rest to other hosts' hubs
+			// with preferential bias toward low-numbered (big) hosts.
+			deg := avgDeg/2 + r.intn(avgDeg)
+			for k := 0; k < deg; k++ {
+				switch {
+				case r.float64v() < 0.85:
+					b.AddEdge(p, lo+r.uint32n(size), wt())
+				case chainLocal:
+					// Chain-local inter-host link: a nearby host's hub. Any
+					// global link would collapse the undirected diameter, so
+					// the uk07 archetype has none.
+					off := 1 + r.intn(3)
+					dst := h + off
+					if r.float64v() < 0.5 {
+						dst = h - off
+					}
+					if dst >= 0 && dst < hosts {
+						b.AddEdge(p, start[dst], wt())
+					}
+				default:
+					// Global hub link, Zipf-ish toward big (low-index) hosts.
+					t := r.float64v()
+					dst := int(t * t * t * float64(hosts))
+					if dst >= hosts {
+						dst = hosts - 1
+					}
+					b.AddEdge(p, start[dst], wt())
+				}
+			}
+		}
+		// Adjacent hosts are always linked so the crawl is weakly connected.
+		if h+1 < hosts {
+			b.AddEdge(hi-1, start[h+1], wt())
+			b.AddEdge(start[h+1], hi-1, wt())
+		}
+	}
+	return b.BuildDedup(graph.MinWeight)
+}
+
+// PrefAttach generates a preferential-attachment social-network analog
+// (twitter40/friendster archetype): each new vertex draws m targets
+// proportionally to current in-degree (plus one), producing a heavy-tailed
+// in-degree distribution and tiny diameter. If symmetric, every edge is
+// mirrored (friendster is undirected).
+func PrefAttach(n int, m int, symmetric bool, weighted bool, maxW uint32, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	b := graph.NewBuilder(uint32(n), weighted)
+	b.Reserve(n * m * 2)
+	// targets holds one entry per edge endpoint, so sampling uniformly from
+	// it is sampling proportional to degree (the standard BA trick).
+	targets := make([]uint32, 0, n*m*2)
+	targets = append(targets, 0)
+	wt := func() uint32 {
+		if weighted {
+			return r.weight(maxW)
+		}
+		return 0
+	}
+	for v := 1; v < n; v++ {
+		deg := 1 + r.intn(2*m) // vary out-degree for a heavier tail
+		for k := 0; k < deg; k++ {
+			var dst uint32
+			if r.float64v() < 0.9 {
+				dst = targets[r.intn(len(targets))]
+			} else {
+				dst = r.uint32n(uint32(v))
+			}
+			if dst == uint32(v) {
+				continue
+			}
+			w := wt()
+			b.AddEdge(uint32(v), dst, w)
+			if symmetric {
+				b.AddEdge(dst, uint32(v), w)
+			}
+			targets = append(targets, dst)
+		}
+		targets = append(targets, uint32(v))
+	}
+	return b.BuildDedup(graph.MinWeight)
+}
+
+// ProteinClusters generates a protein-similarity-network analog (eukarya
+// archetype): dense clusters (families of similar proteins) connected by a
+// sparse weighted backbone. The paper's eukarya graph has average degree 110,
+// moderate diameter (48), and large edge weights that make delta-stepping's
+// bucket choice matter (the study had to raise delta to 2^20 for it).
+func ProteinClusters(clusters int, meanSize int, weighted bool, maxW uint32, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	sizes := make([]int, clusters)
+	n := 0
+	for c := range sizes {
+		sizes[c] = meanSize/2 + r.intn(meanSize)
+		n += sizes[c]
+	}
+	start := make([]uint32, clusters+1)
+	for c := 0; c < clusters; c++ {
+		start[c+1] = start[c] + uint32(sizes[c])
+	}
+	b := graph.NewBuilder(uint32(n), weighted)
+	wt := func(intra bool) uint32 {
+		if !weighted {
+			return 0
+		}
+		if intra {
+			return r.weight(maxW / 64) // cheap edges inside a family
+		}
+		return maxW/2 + r.weight(maxW/2) // expensive backbone edges
+	}
+	for c := 0; c < clusters; c++ {
+		lo, hi := start[c], start[c+1]
+		size := int(hi - lo)
+		// Dense intra-cluster connectivity: ~70% of pairs, both directions.
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if r.float64v() < 0.7 {
+					w := wt(true)
+					b.AddEdge(lo+uint32(i), lo+uint32(j), w)
+					b.AddEdge(lo+uint32(j), lo+uint32(i), w)
+				}
+			}
+		}
+		// Backbone: chain plus a few window-local links. Keeping the links
+		// local preserves the moderate diameter of the real protein network
+		// (Table I: 48); global links would collapse it.
+		if c+1 < clusters {
+			w := wt(false)
+			b.AddEdge(lo, start[c+1], w)
+			b.AddEdge(start[c+1], lo, w)
+		}
+		for k := 0; k < 2; k++ {
+			other := c - 8 + r.intn(17)
+			if other == c || other < 0 || other >= clusters {
+				continue
+			}
+			w := wt(false)
+			b.AddEdge(lo, start[other], w)
+			b.AddEdge(start[other], lo, w)
+		}
+	}
+	return b.BuildDedup(graph.MinWeight)
+}
+
+// Random generates a uniform Erdős–Rényi-style directed multigraph with n
+// vertices and m edges, used by tests and fuzzing.
+func Random(n uint32, m int, weighted bool, maxW uint32, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	b := graph.NewBuilder(n, weighted)
+	b.Reserve(m)
+	for e := 0; e < m; e++ {
+		w := uint32(0)
+		if weighted {
+			w = r.weight(maxW)
+		}
+		b.AddEdge(r.uint32n(n), r.uint32n(n), w)
+	}
+	return b.BuildDedup(graph.MinWeight)
+}
+
+// Validate wraps graph.Validate with generator context for error messages.
+func validate(name string, g *graph.Graph) *graph.Graph {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: generator %q produced invalid graph: %v", name, err))
+	}
+	return g
+}

@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphstudy/internal/graph"
+)
+
+// Scale selects the size of the generated suite. The study's real inputs
+// range to billions of edges; these scales keep the same structural
+// relationships at laptop size.
+type Scale int
+
+const (
+	// ScaleTest is for unit tests: thousands of edges.
+	ScaleTest Scale = iota
+	// ScaleBench is for the reproduction runs: hundreds of thousands to
+	// about a million edges per graph.
+	ScaleBench
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleBench:
+		return "bench"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Input describes one named graph of the suite.
+type Input struct {
+	// Name matches the paper's graph name (e.g. "road-USA", "rmat22").
+	Name string
+	// Archetype describes the generator family used.
+	Archetype string
+	// Weighted reports whether edges carry weights.
+	Weighted bool
+	// RoadNetwork marks the two road graphs, which use source vertex 0 and
+	// ktruss k=4 in the study instead of the defaults.
+	RoadNetwork bool
+	// BigDelta marks eukarya, for which the study uses delta 2^20.
+	BigDelta bool
+	build    func(s Scale) *graph.Graph
+}
+
+// Build generates the graph at the given scale. Results are memoized; the
+// returned graph is shared and must be treated as read-only.
+func (in *Input) Build(s Scale) *graph.Graph {
+	key := cacheKey{in.Name, s}
+	cacheMu.Lock()
+	entry, ok := cache[key]
+	if !ok {
+		entry = &cacheEntry{}
+		cache[key] = entry
+	}
+	cacheMu.Unlock()
+	entry.once.Do(func() {
+		g := validate(in.Name, in.build(s))
+		g.SortAdjacency()
+		g.BuildIn()
+		entry.g = g
+	})
+	return entry.g
+}
+
+type cacheKey struct {
+	name string
+	s    Scale
+}
+
+type cacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*cacheEntry{}
+)
+
+// pick returns a or b depending on scale.
+func pick[T any](s Scale, test, bench T) T {
+	if s == ScaleTest {
+		return test
+	}
+	return bench
+}
+
+// inputs lists the nine graphs of Table I, ordered as in the paper
+// (by CSR size, ascending).
+var inputs = []*Input{
+	{
+		Name: "road-USA-W", Archetype: "grid road network", Weighted: true, RoadNetwork: true,
+		build: func(s Scale) *graph.Graph {
+			return Grid(pick(s, 8, 52), pick(s, 8, 52), pick(s, 2, 4), true, 1000, 0xA11CE)
+		},
+	},
+	{
+		Name: "road-USA", Archetype: "grid road network", Weighted: true, RoadNetwork: true,
+		build: func(s Scale) *graph.Graph {
+			return Grid(pick(s, 12, 104), pick(s, 12, 104), pick(s, 2, 4), true, 1000, 0xB0B)
+		},
+	},
+	{
+		Name: "rmat22", Archetype: "RMAT power law", Weighted: true,
+		build: func(s Scale) *graph.Graph {
+			return RMAT(pick(s, 9, 15), 16, 0.57, 0.19, 0.19, true, 255, 0xC0FFEE)
+		},
+	},
+	{
+		Name: "indochina04", Archetype: "web crawl", Weighted: true,
+		build: func(s Scale) *graph.Graph {
+			return WebCrawl(pick(s, 600, 26000), pick(s, 12, 260), 26, false, true, 255, 0xD0C)
+		},
+	},
+	{
+		Name: "eukarya", Archetype: "protein clusters", Weighted: true, BigDelta: true,
+		build: func(s Scale) *graph.Graph {
+			return ProteinClusters(pick(s, 12, 280), pick(s, 12, 36), true, 1<<20, 0xE0E)
+		},
+	},
+	{
+		Name: "rmat26", Archetype: "RMAT power law", Weighted: true,
+		build: func(s Scale) *graph.Graph {
+			return RMAT(pick(s, 10, 16), 16, 0.57, 0.19, 0.19, true, 255, 0xFEED)
+		},
+	},
+	{
+		Name: "twitter40", Archetype: "preferential attachment", Weighted: true,
+		build: func(s Scale) *graph.Graph {
+			return PrefAttach(pick(s, 700, 34000), pick(s, 4, 16), false, true, 255, 0x7117)
+		},
+	},
+	{
+		Name: "friendster", Archetype: "preferential attachment (undirected)", Weighted: true,
+		build: func(s Scale) *graph.Graph {
+			return PrefAttach(pick(s, 700, 38000), pick(s, 4, 13), true, true, 255, 0xF12E)
+		},
+	},
+	{
+		Name: "uk07", Archetype: "web crawl (dense)", Weighted: true,
+		build: func(s Scale) *graph.Graph {
+			return WebCrawl(pick(s, 500, 10000), pick(s, 25, 220), pick(s, 30, 100), true, true, 255, 0x1107)
+		},
+	},
+}
+
+// Suite returns the nine inputs in paper order.
+func Suite() []*Input {
+	out := make([]*Input, len(inputs))
+	copy(out, inputs)
+	return out
+}
+
+// ByName looks up an input by its paper name.
+func ByName(name string) (*Input, error) {
+	for _, in := range inputs {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	names := make([]string, len(inputs))
+	for i, in := range inputs {
+		names[i] = in.Name
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("gen: unknown graph %q (have %v)", name, names)
+}
+
+// Names returns the suite's graph names in paper order.
+func Names() []string {
+	out := make([]string, len(inputs))
+	for i, in := range inputs {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// Source returns the bfs/sssp source vertex the study uses for this input:
+// the maximum out-degree vertex, except vertex 0 for road networks.
+func (in *Input) Source(g *graph.Graph) uint32 {
+	if in.RoadNetwork {
+		return 0
+	}
+	return g.MaxOutDegreeVertex()
+}
+
+// KTrussK returns the k used for ktruss on this input (4 for road networks,
+// 7 otherwise), matching the study's setup.
+func (in *Input) KTrussK() uint32 {
+	if in.RoadNetwork {
+		return 4
+	}
+	return 7
+}
+
+// Delta returns the delta-stepping bucket width for this input: 2^13 by
+// default, 2^20 for eukarya, matching the study's setup.
+func (in *Input) Delta() uint32 {
+	if in.BigDelta {
+		return 1 << 20
+	}
+	return 1 << 13
+}

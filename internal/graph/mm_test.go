@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := FromWeightedEdges(4, [][3]uint32{{0, 1, 7}, {1, 2, 3}, {3, 0, 1}})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.SortedEdgeList(), g2.SortedEdgeList()) {
+		t.Fatal("edge lists differ after round trip")
+	}
+	if !reflect.DeepEqual(g.Wt, g2.Wt) {
+		t.Fatalf("weights differ: %v vs %v", g.Wt, g2.Wt)
+	}
+}
+
+func TestMatrixMarketRoundTripProperty(t *testing.T) {
+	f := func(edges [][2]uint32) bool {
+		g := clampEdges(12, edges)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g.SortedEdgeList(), g2.SortedEdgeList())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 2
+1 2
+3 1
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("pattern input should be unweighted")
+	}
+	want := [][2]uint32{{0, 1}, {2, 0}}
+	if !reflect.DeepEqual(g.SortedEdgeList(), want) {
+		t.Fatalf("edges = %v", g.SortedEdgeList())
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer symmetric
+3 3 2
+2 1 5
+3 3 9
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal (2,1) mirrors; the (3,3) diagonal does not duplicate.
+	want := [][2]uint32{{0, 1}, {1, 0}, {2, 2}}
+	if !reflect.DeepEqual(g.SortedEdgeList(), want) {
+		t.Fatalf("edges = %v", g.SortedEdgeList())
+	}
+	if !g.HasEdge(0, 1) || g.OutWeights(0)[0] != 5 {
+		t.Fatal("mirrored weight wrong")
+	}
+}
+
+func TestMatrixMarketRealWeights(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 1
+1 2 3.75e2
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutWeights(0)[0] != 375 {
+		t.Fatalf("real weight truncation: %d", g.OutWeights(0)[0])
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%NotMM matrix coordinate pattern general\n1 1 0\n",
+		"array format": "%%MatrixMarket matrix array real general\n1 1\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate pattern hermitian\n1 1 0\n",
+		"non-square":   "%%MatrixMarket matrix coordinate pattern general\n2 3 0\n",
+		"out of range": "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n",
+		"short entry":  "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2\n",
+		"nnz mismatch": "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n",
+		"neg weight":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 -4\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

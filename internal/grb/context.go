@@ -1,0 +1,75 @@
+package grb
+
+import (
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+)
+
+// MxMKernel selects the sparse matrix-matrix multiply algorithm.
+type MxMKernel int
+
+const (
+	// KernelAuto picks per input like SuiteSparse does: the dot-product
+	// kernel when a mask bounds the output, Gustavson for wide accumulators
+	// that fit, the hash kernel otherwise.
+	KernelAuto MxMKernel = iota
+	// KernelGustavson is SAXPY-based SpGEMM with a dense accumulator per
+	// worker (Gustavson's method).
+	KernelGustavson
+	// KernelHash is SAXPY-based SpGEMM with a hash-table accumulator.
+	KernelHash
+	// KernelDot is the SDOT (dot-product) SpGEMM over B's CSC.
+	KernelDot
+)
+
+func (k MxMKernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelGustavson:
+		return "gustavson"
+	case KernelHash:
+		return "hash"
+	case KernelDot:
+		return "dot"
+	}
+	return "unknown"
+}
+
+// Context carries the runtime configuration of the GraphBLAS kernels: which
+// executor schedules parallel loops (the SS-vs-GB control of the study) and
+// which SpGEMM kernel to prefer.
+type Context struct {
+	// Ex schedules all parallel loops.
+	Ex galois.Executor
+	// Kernel chooses the MxM algorithm; KernelAuto selects per input.
+	Kernel MxMKernel
+	// Stop, when non-nil and set, asks round-based algorithm loops to
+	// abandon work: the bench harness's stand-in for the study's 2-hour
+	// timeout. Kernels do not check it; algorithms poll between rounds.
+	Stop *atomic.Bool
+}
+
+// Stopped reports whether a timeout/cancel was requested.
+func (c *Context) Stopped() bool { return c.Stop != nil && c.Stop.Load() }
+
+// NewSuiteSparseContext mimics SuiteSparse:GraphBLAS's runtime: OpenMP-style
+// static scheduling. t <= 0 uses the configured thread count.
+func NewSuiteSparseContext(t int) *Context {
+	return &Context{Ex: galois.NewStatic(t)}
+}
+
+// NewGaloisBLASContext mimics GaloisBLAS: the Galois runtime's dynamic
+// chunked scheduling with work stealing.
+func NewGaloisBLASContext(t int) *Context {
+	return &Context{Ex: galois.NewWorkStealing(t)}
+}
+
+// NewSerialContext runs every kernel inline; used by tests and traced runs.
+func NewSerialContext() *Context {
+	return &Context{Ex: galois.NewSerial()}
+}
+
+// threads returns the executor's worker count.
+func (c *Context) threads() int { return c.Ex.Threads() }

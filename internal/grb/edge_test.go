@@ -1,0 +1,156 @@
+package grb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin down corner semantics of the op layer: terminal
+// short-circuits, masked MxV, accumulate-into-sorted merges, and the
+// replace/no-replace distinction on every output representation.
+
+func TestPullShortCircuitsOnTerminal(t *testing.T) {
+	// lor_land has terminal true: a pull dot product may stop at the first
+	// hit. Build a row with many in-neighbors, all present in u; the result
+	// must still be exactly true (semantics unchanged by the shortcut).
+	n := 64
+	rows := make([]int, n-1)
+	cols := make([]int, n-1)
+	vals := make([]bool, n-1)
+	for i := 0; i < n-1; i++ {
+		rows[i], cols[i], vals[i] = i, n-1, true
+	}
+	A, err := BuildMatrix(n, n, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A.EnsureCSC()
+	u := NewVector[bool](n, Dense)
+	for i := 0; i < n-1; i++ {
+		u.SetElement(i, true)
+	}
+	w := NewVector[bool](n, Sorted)
+	if err := VxM(NewSerialContext(), w, nil, nil, LorLand(), u, A, Desc{Replace: true}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := w.ExtractElement(n - 1); !ok || !v {
+		t.Fatal("terminal short-circuit changed the result")
+	}
+	if w.NVals() != 1 {
+		t.Fatalf("nvals = %d", w.NVals())
+	}
+}
+
+func TestMxVMasked(t *testing.T) {
+	A := pathMatrix()
+	ctx := NewSerialContext()
+	u := NewVector[uint32](5, Dense)
+	for i := 0; i < 5; i++ {
+		u.SetElement(i, uint32(10*i))
+	}
+	// Only allow output position 2 (A(2,3) edge: w(2) = A(2,3)+u(3)).
+	sel := NewVector[bool](5, List)
+	sel.SetElement(2, true)
+	w := NewVector[uint32](5, Sorted)
+	if err := MxV(ctx, w, StructMask(sel), nil, MinPlus[uint32](), A, u, Desc{Replace: true}); err != nil {
+		t.Fatal(err)
+	}
+	is, vs := w.Entries()
+	if !reflect.DeepEqual(is, []int{2}) || vs[0] != 10+30 {
+		t.Fatalf("masked mxv = %v %v", is, vs)
+	}
+}
+
+func TestMergeAccumIntoSortedVector(t *testing.T) {
+	// Non-replace merge into a sorted vector with an accumulator must fold
+	// into existing entries and insert new ones in order.
+	w := NewVector[uint32](10, Sorted)
+	w.SetElement(2, 5)
+	w.SetElement(7, 9)
+	min := func(a, b uint32) uint32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	mergeIntoVector(w, entryList[uint32]{
+		idx:  []int32{7, 4, 2},
+		vals: []uint32{100, 4, 3},
+	}, min, false)
+	is, vs := w.Entries()
+	if !reflect.DeepEqual(is, []int{2, 4, 7}) {
+		t.Fatalf("indices = %v", is)
+	}
+	if !reflect.DeepEqual(vs, []uint32{3, 4, 9}) {
+		t.Fatalf("values = %v (accum-min should keep 9 at index 7)", vs)
+	}
+}
+
+func TestReplaceSemanticsAcrossReps(t *testing.T) {
+	for _, rep := range repsUnderTest() {
+		w := NewVector[int64](6, rep)
+		w.SetElement(0, 111) // stale entry
+		mergeIntoVector(w, entryList[int64]{idx: []int32{3}, vals: []int64{7}}, nil, true)
+		if _, ok := w.ExtractElement(0); ok {
+			t.Fatalf("%v: replace kept stale entry", rep)
+		}
+		if v, ok := w.ExtractElement(3); !ok || v != 7 {
+			t.Fatalf("%v: replace lost computed entry", rep)
+		}
+		// No-replace keeps other entries.
+		mergeIntoVector(w, entryList[int64]{idx: []int32{5}, vals: []int64{9}}, nil, false)
+		if w.NVals() != 2 {
+			t.Fatalf("%v: no-replace nvals = %d", rep, w.NVals())
+		}
+	}
+}
+
+func TestReduceRows(t *testing.T) {
+	m := build4(t)
+	deg := ReduceRows(PlusMonoid[int64](), m)
+	wantVals := map[int]int64{0: 3, 1: 3, 2: 9}
+	deg.ForEach(func(i int, v int64) {
+		if wantVals[i] != v {
+			t.Fatalf("rowsum[%d] = %d, want %d", i, v, wantVals[i])
+		}
+		delete(wantVals, i)
+	})
+	if len(wantVals) != 0 {
+		t.Fatalf("missing rows: %v", wantVals)
+	}
+	if _, ok := deg.ExtractElement(3); ok {
+		t.Fatal("empty row should have no explicit sum")
+	}
+}
+
+func TestAssignConstantReplaceClearsOutside(t *testing.T) {
+	ctx := NewSerialContext()
+	w := NewVector[int32](6, Dense)
+	w.SetElement(0, 1)
+	w.SetElement(5, 1)
+	sel := NewVector[bool](6, List)
+	sel.SetElement(2, true)
+	if err := AssignConstant(ctx, w, StructMask(sel), nil, 9, Desc{Replace: true}); err != nil {
+		t.Fatal(err)
+	}
+	if w.NVals() != 1 {
+		t.Fatalf("replace left %d entries", w.NVals())
+	}
+	if v, _ := w.ExtractElement(2); v != 9 {
+		t.Fatal("assigned entry missing")
+	}
+}
+
+func TestCastMatrix(t *testing.T) {
+	m := build4(t)
+	f := CastMatrix(m, func(v int64) float64 { return float64(v) * 0.5 })
+	if f.NVals() != m.NVals() {
+		t.Fatal("cast changed pattern")
+	}
+	if v, _ := f.ExtractElement(2, 3); v != 2.5 {
+		t.Fatalf("cast value = %v", v)
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package grb
+
+import "graphstudy/internal/graph"
+
+// MatrixFromGraph builds the adjacency matrix of g with values derived from
+// edge weights by conv (which receives 1 for unweighted graphs). The graph's
+// adjacency lists must be sorted and duplicate-free (gen.Input.Build
+// guarantees this for suite graphs).
+func MatrixFromGraph[T any](g *graph.Graph, conv func(w uint32) T) *Matrix[T] {
+	n := int(g.NumNodes)
+	m := int(g.NumEdges())
+	rowPtr := make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		rowPtr[i] = int64(g.RowPtr[i])
+	}
+	colIdx := make([]int32, m)
+	for e := 0; e < m; e++ {
+		colIdx[e] = int32(g.ColIdx[e])
+	}
+	vals := make([]T, m)
+	for e := 0; e < m; e++ {
+		w := uint32(1)
+		if g.Wt != nil {
+			w = g.Wt[e]
+		}
+		vals[e] = conv(w)
+	}
+	return NewMatrixFromCSR(n, n, rowPtr, colIdx, vals)
+}
+
+// BoolMatrixFromGraph builds the pattern-only adjacency matrix (every
+// explicit entry true), the form bfs and cc consume.
+func BoolMatrixFromGraph(g *graph.Graph) *Matrix[bool] {
+	return MatrixFromGraph(g, func(uint32) bool { return true })
+}
+
+// WeightMatrixFromGraph builds the weighted adjacency matrix for sssp.
+func WeightMatrixFromGraph(g *graph.Graph) *Matrix[uint32] {
+	return MatrixFromGraph(g, func(w uint32) uint32 { return w })
+}
+
+// FloatMatrixFromGraph builds a float64 adjacency matrix (pagerank).
+func FloatMatrixFromGraph(g *graph.Graph) *Matrix[float64] {
+	return MatrixFromGraph(g, func(w uint32) float64 { return 1 })
+}
+
+// CastMatrix rebuilds a's pattern with values converted by conv, copying the
+// structure arrays directly (no tuple extraction or re-sort).
+func CastMatrix[T, U any](a *Matrix[T], conv func(T) U) *Matrix[U] {
+	vals := make([]U, len(a.vals))
+	for i, v := range a.vals {
+		vals[i] = conv(v)
+	}
+	return NewMatrixFromCSR(a.nrows, a.ncols,
+		append([]int64(nil), a.rowPtr...),
+		append([]int32(nil), a.colIdx...),
+		vals)
+}

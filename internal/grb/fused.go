@@ -1,0 +1,78 @@
+package grb
+
+import (
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/perfmodel"
+)
+
+// FusedBFSStep is an implementation of the study's future-work proposal:
+// a composite operation fusing one bfs round's three API calls (masked
+// assign, nvals check, masked vxm) into a single pass over the frontier.
+// The level is written at *discovery time*, the way Lonestar's Algorithm 1
+// does inside its fused loop: expanding a frontier vertex claims each
+// unvisited neighbor with a compare-and-swap that both sets its level and
+// enrolls it in the next frontier.
+//
+// The paper's conclusion argues restructuring-compiler technology could
+// generate such kernels automatically; writing one by hand, as here, is
+// what breaks the separation of concerns between system programmers and
+// algorithm developers (every composite an application needs becomes one
+// more architecture-tuned kernel in the library). BenchmarkAblationFusedBFS
+// quantifies how much of the LS-GB bfs gap this one kernel recovers.
+//
+// dist must be dense, zero meaning unvisited, with the source already
+// stamped (the bfs convention: source holds 1). nextLevel is the level for
+// vertices discovered by this step. The returned vector is the next
+// frontier.
+func FusedBFSStep(ctx *Context, dist *Vector[int32], frontier *Vector[bool], A *Matrix[bool], nextLevel int32) (*Vector[bool], error) {
+	if dist.n != A.NRows() || frontier.n != A.NRows() {
+		return nil, errDim("FusedBFSStep", dist.n, A.NRows())
+	}
+	if dist.rep != Dense {
+		dist.Convert(Dense)
+	}
+	fIdx, _ := frontier.Entries()
+	c := perfmodel.Get()
+
+	t := ctx.threads()
+	parts := make([][]int32, t)
+	ctx.Ex.ForRange(len(fIdx), 0, func(lo, hi int, gctx *galois.Ctx) {
+		local := parts[gctx.TID]
+		var work int64
+		for k := lo; k < hi; k++ {
+			i := fIdx[k]
+			cols, _ := A.Row(i)
+			work += int64(len(cols))
+			if c != nil {
+				c.LoadRange(A.slot, perfmodel.KColIdx, int(A.rowPtr[i]), len(cols), 4)
+				c.Instr(len(cols))
+			}
+			for _, j := range cols {
+				if c != nil {
+					c.Load(dist.slot, perfmodel.KVecVals, int(j), 4)
+				}
+				if atomic.LoadInt32(&dist.dense[j]) == 0 {
+					if atomic.CompareAndSwapInt32(&dist.dense[j], 0, nextLevel) {
+						local = append(local, j)
+						if c != nil {
+							c.Store(dist.slot, perfmodel.KVecVals, int(j), 4)
+							c.Instr(1)
+						}
+					}
+				}
+			}
+		}
+		parts[gctx.TID] = local
+		gctx.Work(work)
+	})
+	next := NewVector[bool](frontier.n, List)
+	for _, part := range parts {
+		for _, j := range part {
+			next.idx = append(next.idx, j)
+			next.vals = append(next.vals, true)
+		}
+	}
+	return next, nil
+}

@@ -1,0 +1,71 @@
+package grb
+
+// Mask filters which output positions an operation may write, the analog of
+// the GraphBLAS mask parameter. Complement inverts the filter; Structural
+// masks consider any explicit entry as true, while value masks were built
+// from entries with a non-"zero" value (see ValueMask).
+//
+// The Replace semantics of GrB_DESC_R are a property of the operation call
+// (see Desc), not of the mask itself.
+type Mask struct {
+	n       int
+	pattern bitmap
+	// Complement makes the mask allow positions *not* in the pattern.
+	Complement bool
+}
+
+// allows reports whether writes to position i pass the mask. A nil mask
+// allows everything.
+func (m *Mask) allows(i int) bool {
+	if m == nil {
+		return true
+	}
+	return m.pattern.get(i) != m.Complement
+}
+
+// Count returns how many positions the mask allows.
+func (m *Mask) Count() int {
+	if m == nil {
+		return -1
+	}
+	c := m.pattern.count()
+	if m.Complement {
+		return m.n - c
+	}
+	return c
+}
+
+// Comp returns a complemented copy of the mask (GrB_DESC_C / GrB_DESC_SC).
+func (m *Mask) Comp() *Mask {
+	return &Mask{n: m.n, pattern: m.pattern, Complement: !m.Complement}
+}
+
+// StructMask builds a structural mask from the explicit entries of v
+// (GrB_DESC_S: entry present means position allowed).
+func StructMask[T any](v *Vector[T]) *Mask {
+	m := &Mask{n: v.Size(), pattern: newBitmap(v.Size())}
+	v.ForEach(func(i int, _ T) { m.pattern.set(i) })
+	return m
+}
+
+// ValueMask builds a value mask from v: positions whose explicit value is
+// non-zero (in Go terms, != the zero value of T) are allowed. This matches
+// how LAGraph bfs masks with its dist vector, whose explicit zeros mean
+// "unvisited".
+func ValueMask[T comparable](v *Vector[T]) *Mask {
+	var zero T
+	m := &Mask{n: v.Size(), pattern: newBitmap(v.Size())}
+	v.ForEach(func(i int, val T) {
+		if val != zero {
+			m.pattern.set(i)
+		}
+	})
+	return m
+}
+
+// Desc collects the descriptor flags of an operation call (GrB_Descriptor).
+type Desc struct {
+	// Replace clears the output's previous entries outside the mask
+	// (GrB_DESC_R). Without it, unwritten positions keep their old values.
+	Replace bool
+}

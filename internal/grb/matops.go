@@ -1,0 +1,181 @@
+package grb
+
+import (
+	"fmt"
+	"sort"
+
+	"graphstudy/internal/galois"
+)
+
+// MatrixApply returns op applied to every explicit entry of a
+// (GrB_apply for matrices).
+func MatrixApply[T any](ctx *Context, op UnaryOp[T], a *Matrix[T]) *Matrix[T] {
+	out := a.Dup()
+	ctx.Ex.ForRange(len(out.vals), 0, func(lo, hi int, gctx *galois.Ctx) {
+		for e := lo; e < hi; e++ {
+			out.vals[e] = op(out.vals[e])
+		}
+	})
+	return out
+}
+
+// EWiseAddMatrix returns the pattern-union combination of a and b
+// (GrB_eWiseAdd for matrices): positions in both get op(a, b), positions in
+// exactly one keep that operand's value.
+func EWiseAddMatrix[T any](ctx *Context, op BinaryOp[T], a, b *Matrix[T]) (*Matrix[T], error) {
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		return nil, fmt.Errorf("grb: EWiseAddMatrix dimensions %dx%d vs %dx%d", a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	return ewiseMatrix(ctx, op, a, b, true), nil
+}
+
+// EWiseMultMatrix returns the pattern-intersection combination of a and b
+// (GrB_eWiseMult for matrices).
+func EWiseMultMatrix[T any](ctx *Context, op BinaryOp[T], a, b *Matrix[T]) (*Matrix[T], error) {
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		return nil, fmt.Errorf("grb: EWiseMultMatrix dimensions %dx%d vs %dx%d", a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	return ewiseMatrix(ctx, op, a, b, false), nil
+}
+
+// ewiseMatrix merges rows of two CSR matrices (both sorted by column).
+func ewiseMatrix[T any](ctx *Context, op BinaryOp[T], a, b *Matrix[T], union bool) *Matrix[T] {
+	rows := make([]rowResult[T], a.nrows)
+	ctx.Ex.ForRange(a.nrows, 0, func(lo, hi int, gctx *galois.Ctx) {
+		var work int64
+		for i := lo; i < hi; i++ {
+			aCols, aVals := a.Row(i)
+			bCols, bVals := b.Row(i)
+			work += int64(len(aCols) + len(bCols))
+			if len(aCols) == 0 && len(bCols) == 0 {
+				continue
+			}
+			var cols []int32
+			var vals []T
+			x, y := 0, 0
+			for x < len(aCols) && y < len(bCols) {
+				switch {
+				case aCols[x] < bCols[y]:
+					if union {
+						cols = append(cols, aCols[x])
+						vals = append(vals, aVals[x])
+					}
+					x++
+				case aCols[x] > bCols[y]:
+					if union {
+						cols = append(cols, bCols[y])
+						vals = append(vals, bVals[y])
+					}
+					y++
+				default:
+					cols = append(cols, aCols[x])
+					vals = append(vals, op(aVals[x], bVals[y]))
+					x++
+					y++
+				}
+			}
+			if union {
+				for ; x < len(aCols); x++ {
+					cols = append(cols, aCols[x])
+					vals = append(vals, aVals[x])
+				}
+				for ; y < len(bCols); y++ {
+					cols = append(cols, bCols[y])
+					vals = append(vals, bVals[y])
+				}
+			}
+			rows[i] = rowResult[T]{cols: cols, vals: vals}
+		}
+		gctx.Work(work)
+	})
+	return assemble(a.nrows, a.ncols, rows)
+}
+
+// ExtractSubvector returns w = u(indices): w has dimension len(indices) and
+// w(k) = u(indices[k]) for explicit entries (GrB_extract for vectors).
+func ExtractSubvector[T any](ctx *Context, u *Vector[T], indices []int) (*Vector[T], error) {
+	for _, ix := range indices {
+		if ix < 0 || ix >= u.n {
+			return nil, fmt.Errorf("grb: ExtractSubvector index %d out of range [0,%d)", ix, u.n)
+		}
+	}
+	w := NewVector[T](len(indices), Sorted)
+	for k, ix := range indices {
+		if val, ok := u.ExtractElement(ix); ok {
+			w.SetElement(k, val)
+		}
+	}
+	return w, nil
+}
+
+// ExtractSubmatrix returns a(rows, cols) (GrB_extract for matrices): the
+// submatrix selecting the given rows and columns, renumbered densely.
+func ExtractSubmatrix[T any](ctx *Context, a *Matrix[T], rowIdx, colIdx []int) (*Matrix[T], error) {
+	for _, r := range rowIdx {
+		if r < 0 || r >= a.nrows {
+			return nil, fmt.Errorf("grb: ExtractSubmatrix row %d out of range", r)
+		}
+	}
+	colMap := make(map[int32]int32, len(colIdx))
+	for k, c := range colIdx {
+		if c < 0 || c >= a.ncols {
+			return nil, fmt.Errorf("grb: ExtractSubmatrix col %d out of range", c)
+		}
+		colMap[int32(c)] = int32(k)
+	}
+	rows := make([]rowResult[T], len(rowIdx))
+	for k, r := range rowIdx {
+		cols, vals := a.Row(r)
+		var outCols []int32
+		var outVals []T
+		for e, c := range cols {
+			if nc, ok := colMap[c]; ok {
+				outCols = append(outCols, nc)
+				outVals = append(outVals, vals[e])
+			}
+		}
+		sortEntries(outCols, outVals)
+		rows[k] = rowResult[T]{cols: outCols, vals: outVals}
+	}
+	return assemble(len(rowIdx), len(colIdx), rows), nil
+}
+
+// Kronecker returns the Kronecker product a ⊗ b under the semiring's
+// multiply (GrB_kronecker) — the GraphBLAS generator behind RMAT-style
+// graphs, included to round out the API.
+func Kronecker[T any](ctx *Context, s Semiring[T], a, b *Matrix[T]) *Matrix[T] {
+	nrows := a.nrows * b.nrows
+	ncols := a.ncols * b.ncols
+	rows := make([]rowResult[T], nrows)
+	ctx.Ex.ForRange(a.nrows, 0, func(lo, hi int, gctx *galois.Ctx) {
+		var work int64
+		for i := lo; i < hi; i++ {
+			aCols, aVals := a.Row(i)
+			if len(aCols) == 0 {
+				continue
+			}
+			for bi := 0; bi < b.nrows; bi++ {
+				bCols, bVals := b.Row(bi)
+				if len(bCols) == 0 {
+					continue
+				}
+				work += int64(len(aCols) * len(bCols))
+				outRow := i*b.nrows + bi
+				cols := make([]int32, 0, len(aCols)*len(bCols))
+				vals := make([]T, 0, len(aCols)*len(bCols))
+				for e, ac := range aCols {
+					for e2, bc := range bCols {
+						cols = append(cols, ac*int32(b.ncols)+bc)
+						vals = append(vals, s.Mul(aVals[e], bVals[e2]))
+					}
+				}
+				if !sort.SliceIsSorted(cols, func(x, y int) bool { return cols[x] < cols[y] }) {
+					sortEntries(cols, vals)
+				}
+				rows[outRow] = rowResult[T]{cols: cols, vals: vals}
+			}
+		}
+		gctx.Work(work)
+	})
+	return assemble(nrows, ncols, rows)
+}

@@ -1,0 +1,183 @@
+package grb
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// build4 returns the matrix
+//
+//	[ .  1  2  . ]
+//	[ .  .  3  . ]
+//	[ 4  .  .  5 ]
+//	[ .  .  .  . ]
+func build4(t *testing.T) *Matrix[int64] {
+	t.Helper()
+	m, err := BuildMatrix(4, 4,
+		[]int{0, 0, 1, 2, 2},
+		[]int{1, 2, 2, 0, 3},
+		[]int64{1, 2, 3, 4, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildMatrixBasic(t *testing.T) {
+	m := build4(t)
+	if m.NRows() != 4 || m.NCols() != 4 || m.NVals() != 5 {
+		t.Fatalf("dims/nvals wrong: %dx%d %d", m.NRows(), m.NCols(), m.NVals())
+	}
+	if v, ok := m.ExtractElement(2, 3); !ok || v != 5 {
+		t.Fatalf("ExtractElement(2,3) = %d,%v", v, ok)
+	}
+	if _, ok := m.ExtractElement(3, 0); ok {
+		t.Fatal("row 3 should be empty")
+	}
+	if m.RowDegree(0) != 2 || m.RowDegree(3) != 0 {
+		t.Fatal("row degrees wrong")
+	}
+}
+
+func TestBuildMatrixDup(t *testing.T) {
+	m, err := BuildMatrix(2, 2,
+		[]int{0, 0, 0},
+		[]int{1, 1, 1},
+		[]int64{5, 6, 7},
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ExtractElement(0, 1); v != 18 {
+		t.Fatalf("dup-summed value = %d, want 18", v)
+	}
+	// nil dup keeps the last value.
+	m2, _ := BuildMatrix(2, 2, []int{0, 0}, []int{1, 1}, []int64{5, 9}, nil)
+	if v, _ := m2.ExtractElement(0, 1); v != 9 {
+		t.Fatalf("last-wins value = %d, want 9", v)
+	}
+}
+
+func TestBuildMatrixErrors(t *testing.T) {
+	if _, err := BuildMatrix(2, 2, []int{0}, []int{0, 1}, []int64{1, 2}, nil); err == nil {
+		t.Fatal("mismatched tuples accepted")
+	}
+	if _, err := BuildMatrix(2, 2, []int{5}, []int{0}, []int64{1}, nil); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	m := build4(t)
+	tt := m.Transpose().Transpose()
+	r1, c1, v1 := m.Tuples()
+	r2, c2, v2 := tt.Tuples()
+	if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(v1, v2) {
+		t.Fatal("transpose round trip mismatch")
+	}
+}
+
+func TestCSCMirrorsCSR(t *testing.T) {
+	m := build4(t)
+	m.EnsureCSC()
+	rows, vals := m.Col(2)
+	if !reflect.DeepEqual(rows, []int32{0, 1}) || !reflect.DeepEqual(vals, []int64{2, 3}) {
+		t.Fatalf("Col(2) = %v %v", rows, vals)
+	}
+	if !m.HasCSC() {
+		t.Fatal("HasCSC false after EnsureCSC")
+	}
+}
+
+func TestTrilTriu(t *testing.T) {
+	m := build4(t)
+	lo, up := m.Tril(), m.Triu()
+	if lo.NVals()+up.NVals() != m.NVals() {
+		t.Fatal("tril+triu lost entries (no diagonal present)")
+	}
+	rows, cols, _ := lo.Tuples()
+	for k := range rows {
+		if cols[k] >= rows[k] {
+			t.Fatalf("tril entry (%d,%d)", rows[k], cols[k])
+		}
+	}
+	rows, cols, _ = up.Tuples()
+	for k := range rows {
+		if cols[k] <= rows[k] {
+			t.Fatalf("triu entry (%d,%d)", rows[k], cols[k])
+		}
+	}
+}
+
+func TestSelectMatrix(t *testing.T) {
+	m := build4(t)
+	sel := SelectMatrix(m, func(v int64, _, _ int) bool { return v >= 3 })
+	if sel.NVals() != 3 {
+		t.Fatalf("select kept %d entries, want 3", sel.NVals())
+	}
+	if err := sel.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceMatrix(t *testing.T) {
+	m := build4(t)
+	if got := ReduceMatrix(PlusMonoid[int64](), m); got != 15 {
+		t.Fatalf("reduce = %d, want 15", got)
+	}
+	if got := ReduceMatrix(MaxMonoid[int64](), m); got != 5 {
+		t.Fatalf("max reduce = %d", got)
+	}
+}
+
+func TestDiagAndIsDiagonal(t *testing.T) {
+	v := NewVector[int64](3, Sorted)
+	v.SetElement(0, 2)
+	v.SetElement(2, 4)
+	d := Diag(v)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsDiagonal() {
+		t.Fatal("Diag result not diagonal")
+	}
+	if val, ok := d.ExtractElement(2, 2); !ok || val != 4 {
+		t.Fatal("diag entry wrong")
+	}
+	if build4(t).IsDiagonal() {
+		t.Fatal("non-diagonal matrix reported diagonal")
+	}
+}
+
+func TestMatrixDupIndependent(t *testing.T) {
+	m := build4(t)
+	d := m.Dup()
+	d.vals[0] = 99
+	if m.vals[0] == 99 {
+		t.Fatal("Dup aliases vals")
+	}
+}
+
+func TestBuildMatrixSortedProperty(t *testing.T) {
+	f := func(rows, cols []uint8, seed int64) bool {
+		n := min(len(rows), len(cols))
+		r := make([]int, n)
+		c := make([]int, n)
+		v := make([]int64, n)
+		for i := 0; i < n; i++ {
+			r[i], c[i], v[i] = int(rows[i]%16), int(cols[i]%16), int64(i)
+		}
+		m, err := BuildMatrix(16, 16, r, c, v, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return false
+		}
+		return m.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package grb
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphstudy/internal/gen"
+)
+
+// denseRef computes A*B by the definition, for cross-checking kernels.
+func denseRef(s Semiring[int64], A, B *Matrix[int64]) map[[2]int]int64 {
+	out := map[[2]int]int64{}
+	for i := 0; i < A.NRows(); i++ {
+		aCols, aVals := A.Row(i)
+		for e, k := range aCols {
+			bCols, bVals := B.Row(int(k))
+			for e2, j := range bCols {
+				p := s.Mul(aVals[e], bVals[e2])
+				key := [2]int{i, int(j)}
+				if old, ok := out[key]; ok {
+					out[key] = s.Add.Op(old, p)
+				} else {
+					out[key] = p
+				}
+			}
+		}
+	}
+	return out
+}
+
+func matrixToMap(m *Matrix[int64]) map[[2]int]int64 {
+	out := map[[2]int]int64{}
+	rows, cols, vals := m.Tuples()
+	for k := range rows {
+		out[[2]int{rows[k], cols[k]}] = vals[k]
+	}
+	return out
+}
+
+func randomMatrix(n int, edges int, seed uint64) *Matrix[int64] {
+	g := gen.Random(uint32(n), edges, true, 20, seed)
+	return MatrixFromGraph(g, func(w uint32) int64 { return int64(w) })
+}
+
+func TestMxMKernelsAgreeWithReference(t *testing.T) {
+	s := PlusTimes[int64]()
+	A := randomMatrix(30, 150, 1)
+	B := randomMatrix(30, 180, 2)
+	want := denseRef(s, A, B)
+	for _, kernel := range []MxMKernel{KernelGustavson, KernelHash} {
+		for name, ctx := range contextsUnderTest() {
+			ctx.Kernel = kernel
+			C, err := MxM(ctx, nil, s, A, B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := C.Check(); err != nil {
+				t.Fatalf("%s/%v: %v", name, kernel, err)
+			}
+			if got := matrixToMap(C); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%v: product mismatch (%d vs %d entries)", name, kernel, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestMxMMaskedKernelsAgree(t *testing.T) {
+	s := PlusPair[int64]()
+	A := randomMatrix(25, 120, 3)
+	B := A.Transpose()
+	mask := A.Pattern()
+	ref := denseRef(s, A, B)
+	want := map[[2]int]int64{}
+	// Reference filtered by mask.
+	for i := 0; i < A.NRows(); i++ {
+		cols, _ := A.Row(i)
+		for _, j := range cols {
+			key := [2]int{i, int(j)}
+			if v, ok := ref[key]; ok {
+				want[key] = v
+			}
+		}
+	}
+	for _, kernel := range []MxMKernel{KernelDot, KernelGustavson, KernelHash} {
+		ctx := NewGaloisBLASContext(4)
+		ctx.Kernel = kernel
+		C, err := MxM(ctx, mask, s, A, B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := matrixToMap(C); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: masked product mismatch (%d vs %d)", kernel, len(got), len(want))
+		}
+	}
+}
+
+func TestMxMAutoUsesDiagonalFastPath(t *testing.T) {
+	v := NewVector[int64](8, Dense)
+	for i := 0; i < 8; i++ {
+		v.SetElement(i, int64(i+1))
+	}
+	D := Diag(v)
+	B := randomMatrix(8, 30, 4)
+	ctx := NewSerialContext()
+	C, err := MxM(ctx, nil, PlusTimes[int64](), D, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseRef(PlusTimes[int64](), D, B)
+	if got := matrixToMap(C); !reflect.DeepEqual(got, want) {
+		t.Fatal("diagonal fast path wrong")
+	}
+}
+
+func TestMxMDimensionErrors(t *testing.T) {
+	ctx := NewSerialContext()
+	A := randomMatrix(5, 10, 5)
+	B := randomMatrix(6, 10, 6)
+	if _, err := MxM(ctx, nil, PlusTimes[int64](), A, B); err == nil {
+		t.Fatal("inner dimension mismatch accepted")
+	}
+	ctx.Kernel = KernelDot
+	if _, err := MxM(ctx, nil, PlusTimes[int64](), A, A); err == nil {
+		t.Fatal("dot kernel without mask accepted")
+	}
+}
+
+func TestMxMProperty(t *testing.T) {
+	// Gustavson, hash, and reference agree on arbitrary small matrices.
+	f := func(seedA, seedB uint16) bool {
+		A := randomMatrix(16, 60, uint64(seedA)+10)
+		B := randomMatrix(16, 60, uint64(seedB)+20)
+		s := PlusTimes[int64]()
+		want := denseRef(s, A, B)
+		for _, kernel := range []MxMKernel{KernelGustavson, KernelHash} {
+			ctx := NewSerialContext()
+			ctx.Kernel = kernel
+			C, err := MxM(ctx, nil, s, A, B)
+			if err != nil || C.Check() != nil {
+				return false
+			}
+			if !reflect.DeepEqual(matrixToMap(C), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMxMTriangleCountIdentity(t *testing.T) {
+	// On the undirected triangle 0-1-2, C<L> = L*U' with plus_pair and
+	// reduce gives exactly 1 triangle.
+	A, err := BuildMatrix(3, 3,
+		[]int{0, 0, 1, 1, 2, 2},
+		[]int{1, 2, 0, 2, 0, 1},
+		[]int64{1, 1, 1, 1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := A.Tril()
+	U := A.Triu()
+	ctx := NewSerialContext()
+	C, err := MxM(ctx, L.Pattern(), PlusPair[int64](), L, U.Transpose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ReduceMatrix(PlusMonoid[int64](), C); got != 1 {
+		t.Fatalf("triangle count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,239 @@
+package grb
+
+import (
+	"graphstudy/internal/galois"
+	"graphstudy/internal/perfmodel"
+)
+
+// VxM computes w<mask> = u' * A under the semiring (GrB_vxm):
+// w(j) = ⊕_i mul(u(i), A(i,j)) over u's explicit entries.
+//
+// Two kernels implement it, mirroring the push/pull duality of section II-C:
+//
+//   - push (SAXPY): iterate u's entries, scattering each row of A into
+//     per-worker dense accumulators that are merged afterwards. Chosen for
+//     sparse u (a small frontier).
+//   - pull (SDOT): iterate output positions, taking a dot product of u with
+//     A's column via the CSC mirror. Chosen when u is dense or the mask
+//     bounds the output tightly.
+func VxM[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Semiring[T], u *Vector[T], A *Matrix[T], desc Desc) error {
+	if u.n != A.nrows {
+		return errDim("VxM u", u.n, A.nrows)
+	}
+	if w.n != A.ncols {
+		return errDim("VxM w", w.n, A.ncols)
+	}
+	if mask != nil && mask.n != w.n {
+		return errDim("VxM mask", mask.n, w.n)
+	}
+	usePull := A.HasCSC() && (u.rep == Dense && u.NVals() > A.nrows/16 ||
+		mask != nil && !mask.Complement && mask.Count() < u.NVals())
+	var e entryList[T]
+	if usePull {
+		e = spmvPull(ctx, mask, s, u, A, true)
+	} else {
+		e = spmvPush(ctx, mask, s, u, A, true)
+	}
+	mergeIntoVector(w, e, accum, desc.Replace)
+	return nil
+}
+
+// MxV computes w<mask> = A * u under the semiring (GrB_mxv):
+// w(i) = ⊕_j mul(A(i,j), u(j)).
+//
+// The natural kernel iterates rows of A (a pull over CSR); a push kernel
+// over u's entries via the CSC mirror is used for very sparse u.
+func MxV[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Semiring[T], A *Matrix[T], u *Vector[T], desc Desc) error {
+	if u.n != A.ncols {
+		return errDim("MxV u", u.n, A.ncols)
+	}
+	if w.n != A.nrows {
+		return errDim("MxV w", w.n, A.nrows)
+	}
+	if mask != nil && mask.n != w.n {
+		return errDim("MxV mask", mask.n, w.n)
+	}
+	usePush := A.HasCSC() && u.rep != Dense && u.NVals() < A.nrows/16
+	var e entryList[T]
+	if usePush {
+		e = spmvPush(ctx, mask, s, u, A, false)
+	} else {
+		e = spmvPull(ctx, mask, s, u, A, false)
+	}
+	mergeIntoVector(w, e, accum, desc.Replace)
+	return nil
+}
+
+// spmvPush is the SAXPY kernel. For VxM (alongRows=true) it expands row
+// A(i,:) for every u(i); for MxV (alongRows=false) it expands column A(:,j)
+// for every u(j) via CSC. Each worker accumulates into a private dense
+// buffer; buffers merge under the add monoid afterwards.
+func spmvPush[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *Matrix[T], alongRows bool) entryList[T] {
+	n := A.ncols
+	if !alongRows {
+		n = A.nrows
+		A.EnsureCSC()
+	}
+	uIdx, uVals := u.Entries()
+	t := ctx.threads()
+	type acc struct {
+		vals  []T
+		mark  []int32
+		touch []int32
+	}
+	accs := make([]*acc, t)
+	c := perfmodel.Get()
+	ctx.Ex.ForRange(len(uIdx), 0, func(lo, hi int, gctx *galois.Ctx) {
+		a := accs[gctx.TID]
+		if a == nil {
+			// mark uses 0 = empty so the fresh zeroed allocation needs no
+			// initialization pass.
+			a = &acc{vals: make([]T, n), mark: make([]int32, n)}
+			accs[gctx.TID] = a
+		}
+		var work int64
+		for k := lo; k < hi; k++ {
+			i := uIdx[k]
+			x := uVals[k]
+			var cols []int32
+			var vals []T
+			if alongRows {
+				cols, vals = A.Row(i)
+			} else {
+				cols, vals = A.Col(i)
+			}
+			work += int64(len(cols))
+			if c != nil {
+				c.Load(A.slot, perfmodel.KRowPtr, i, 8)
+				c.LoadRange(A.slot, perfmodel.KColIdx, 0, len(cols), 4)
+				c.LoadRange(A.slot, perfmodel.KVals, 0, len(vals), 8)
+				c.Load(u.slot, perfmodel.KVecVals, i, 8)
+				c.Instr(2 * len(cols))
+			}
+			for e2, j := range cols {
+				if !mask.allows(int(j)) {
+					continue
+				}
+				p := s.Mul(x, vals[e2])
+				if a.mark[j] == 0 {
+					a.mark[j] = 1
+					a.vals[j] = p
+					a.touch = append(a.touch, j)
+				} else {
+					a.vals[j] = s.Add.Op(a.vals[j], p)
+				}
+				if c != nil {
+					c.Store(0, perfmodel.KAux, int(j), 8)
+				}
+			}
+		}
+		gctx.Work(work)
+	})
+	// Merge worker accumulators (serial: the touched sets are small relative
+	// to the expansion work, and merging needs the add monoid anyway).
+	var out entryList[T]
+	var first *acc
+	for _, a := range accs {
+		if a == nil {
+			continue
+		}
+		if first == nil {
+			first = a
+			continue
+		}
+		for _, j := range a.touch {
+			if first.mark[j] == 0 {
+				first.mark[j] = 1
+				first.vals[j] = a.vals[j]
+				first.touch = append(first.touch, j)
+			} else {
+				first.vals[j] = s.Add.Op(first.vals[j], a.vals[j])
+			}
+		}
+	}
+	if first != nil {
+		for _, j := range first.touch {
+			out.idx = append(out.idx, j)
+			out.vals = append(out.vals, first.vals[j])
+		}
+	}
+	return out
+}
+
+// spmvPull is the SDOT kernel. For VxM (alongCols=true) it walks column
+// A(:,j) for each output j via CSC; for MxV it walks row A(i,:) for each
+// output i. u is densified once so probes are O(1).
+func spmvPull[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *Matrix[T], alongCols bool) entryList[T] {
+	n := A.ncols
+	if !alongCols {
+		n = A.nrows
+	} else {
+		A.EnsureCSC()
+	}
+	ud := u
+	if ud.rep != Dense {
+		ud = u.Dup()
+		ud.Convert(Dense)
+	}
+	c := perfmodel.Get()
+	t := ctx.threads()
+	parts := make([]entryList[T], t)
+	ctx.Ex.ForRange(n, 0, func(lo, hi int, gctx *galois.Ctx) {
+		part := &parts[gctx.TID]
+		var work int64
+		for j := lo; j < hi; j++ {
+			if !mask.allows(j) {
+				continue
+			}
+			var rows []int32
+			var vals []T
+			if alongCols {
+				rows, vals = A.Col(j)
+			} else {
+				rows, vals = A.Row(j)
+			}
+			work += int64(len(rows))
+			if c != nil {
+				c.Load(A.slot, perfmodel.KRowPtr, j, 8)
+				c.LoadRange(A.slot, perfmodel.KColIdx, 0, len(rows), 4)
+				c.LoadRange(A.slot, perfmodel.KVals, 0, len(vals), 8)
+				c.Instr(2 * len(rows))
+			}
+			acc := s.Add.Identity
+			hit := false
+			for e2, i := range rows {
+				if !ud.present.get(int(i)) {
+					continue
+				}
+				var p T
+				if alongCols {
+					p = s.Mul(ud.dense[i], vals[e2])
+				} else {
+					p = s.Mul(vals[e2], ud.dense[i])
+				}
+				if c != nil {
+					c.Load(ud.slot, perfmodel.KVecVals, int(i), 8)
+				}
+				if !hit {
+					acc, hit = p, true
+				} else {
+					acc = s.Add.Op(acc, p)
+				}
+				if s.Add.Terminal != nil && any(acc) == any(*s.Add.Terminal) {
+					break
+				}
+			}
+			if hit {
+				part.idx = append(part.idx, int32(j))
+				part.vals = append(part.vals, acc)
+			}
+		}
+		gctx.Work(work)
+	})
+	var out entryList[T]
+	for i := range parts {
+		out.idx = append(out.idx, parts[i].idx...)
+		out.vals = append(out.vals, parts[i].vals...)
+	}
+	return out
+}

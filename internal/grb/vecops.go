@@ -1,0 +1,305 @@
+package grb
+
+import (
+	"fmt"
+
+	"graphstudy/internal/perfmodel"
+)
+
+// errDim builds a dimension-mismatch error.
+func errDim(op string, got, want int) error {
+	return fmt.Errorf("grb: %s: dimension %d, want %d", op, got, want)
+}
+
+// entryList is the raw result of a kernel before mask/accum/replace
+// application: parallel (index, value) slices, unordered, duplicate-free.
+type entryList[T any] struct {
+	idx  []int32
+	vals []T
+}
+
+// mergeIntoVector commits computed entries into w under GraphBLAS
+// mask/accumulate/replace semantics. Entries must already be mask-filtered.
+//
+//   - Replace: w's previous entries are discarded; the computed entries
+//     become the whole vector.
+//   - No replace, accum == nil: computed entries overwrite (or create) their
+//     positions; others are untouched.
+//   - No replace, accum != nil: computed entries fold into existing values
+//     with accum (or create their position).
+func mergeIntoVector[T any](w *Vector[T], e entryList[T], accum BinaryOp[T], replace bool) {
+	c := perfmodel.Get()
+	if replace {
+		w.Clear()
+	}
+	if w.rep == Dense {
+		for k, ix := range e.idx {
+			i := int(ix)
+			if accum != nil && w.present.get(i) {
+				w.dense[i] = accum(w.dense[i], e.vals[k])
+			} else {
+				if !w.present.get(i) {
+					w.present.set(i)
+					w.ndense++
+				}
+				w.dense[i] = e.vals[k]
+			}
+		}
+		if c != nil {
+			c.StoreRange(w.slot, perfmodel.KVecVals, 0, len(e.idx), 8)
+			c.Instr(len(e.idx))
+		}
+		return
+	}
+	if replace || w.NVals() == 0 {
+		// Fast path: w is exactly the computed entries.
+		w.idx = append(w.idx[:0], e.idx...)
+		w.vals = append(w.vals[:0], e.vals...)
+		if w.rep == Sorted {
+			sortEntries(w.idx, w.vals)
+		}
+		if c != nil {
+			c.StoreRange(w.slot, perfmodel.KVecIdx, 0, len(e.idx), 4)
+			c.StoreRange(w.slot, perfmodel.KVecVals, 0, len(e.idx), 8)
+			c.Instr(len(e.idx))
+		}
+		return
+	}
+	for k, ix := range e.idx {
+		i := int(ix)
+		if old, ok := w.ExtractElement(i); ok && accum != nil {
+			w.SetElement(i, accum(old, e.vals[k]))
+		} else {
+			w.SetElement(i, e.vals[k])
+		}
+	}
+	if c != nil {
+		c.StoreRange(w.slot, perfmodel.KVecVals, 0, len(e.idx), 8)
+		c.Instr(2 * len(e.idx))
+	}
+}
+
+// AssignConstant implements GrB_assign of a scalar to all positions the mask
+// allows: w<mask>(i) = value. LAGraph bfs uses it both to densify dist and
+// to write the level into the frontier's positions each round.
+func AssignConstant[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], value T, desc Desc) error {
+	if mask != nil && mask.n != w.n {
+		return errDim("AssignConstant mask", mask.n, w.n)
+	}
+	c := perfmodel.Get()
+	if mask == nil && !desc.Replace && accum == nil {
+		if c != nil {
+			c.StoreRange(w.slot, perfmodel.KVecVals, 0, w.n, 8)
+			c.Instr(w.n)
+		}
+		w.DenseFill(value)
+		return nil
+	}
+	// General path computes the assigned positions as an entry list.
+	var e entryList[T]
+	if mask != nil && !mask.Complement {
+		mask.pattern.forEach(func(i int) {
+			e.idx = append(e.idx, int32(i))
+			e.vals = append(e.vals, value)
+		})
+		if c != nil {
+			c.LoadRange(0, perfmodel.KAux, 0, len(e.idx), 8)
+		}
+	} else {
+		for i := 0; i < w.n; i++ {
+			if mask.allows(i) {
+				e.idx = append(e.idx, int32(i))
+				e.vals = append(e.vals, value)
+			}
+		}
+		if c != nil {
+			c.LoadRange(0, perfmodel.KAux, 0, w.n, 8)
+		}
+	}
+	mergeIntoVector(w, e, accum, desc.Replace)
+	return nil
+}
+
+// Apply implements GrB_apply: w<mask> = op(u) over u's explicit entries.
+func Apply[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], op UnaryOp[T], u *Vector[T], desc Desc) error {
+	if u.n != w.n {
+		return errDim("Apply", u.n, w.n)
+	}
+	if mask != nil && mask.n != w.n {
+		return errDim("Apply mask", mask.n, w.n)
+	}
+	var e entryList[T]
+	u.ForEach(func(i int, val T) {
+		if mask.allows(i) {
+			e.idx = append(e.idx, int32(i))
+			e.vals = append(e.vals, op(val))
+		}
+	})
+	if c := perfmodel.Get(); c != nil {
+		c.LoadRange(u.slot, perfmodel.KVecVals, 0, u.NVals(), 8)
+		c.Instr(u.NVals())
+	}
+	mergeIntoVector(w, e, accum, desc.Replace)
+	return nil
+}
+
+// EWiseAdd implements GrB_eWiseAdd: the pattern union of u and v; positions
+// in both get op(u, v), positions in one keep that operand's value.
+func EWiseAdd[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], op BinaryOp[T], u, v *Vector[T], desc Desc) error {
+	if u.n != w.n || v.n != w.n {
+		return errDim("EWiseAdd", u.n, w.n)
+	}
+	ud, vd := u.Dup(), v.Dup()
+	ud.Convert(Dense)
+	vd.Convert(Dense)
+	var e entryList[T]
+	for i := 0; i < w.n; i++ {
+		up, vp := ud.present.get(i), vd.present.get(i)
+		if !up && !vp || !mask.allows(i) {
+			continue
+		}
+		var val T
+		switch {
+		case up && vp:
+			val = op(ud.dense[i], vd.dense[i])
+		case up:
+			val = ud.dense[i]
+		default:
+			val = vd.dense[i]
+		}
+		e.idx = append(e.idx, int32(i))
+		e.vals = append(e.vals, val)
+	}
+	if c := perfmodel.Get(); c != nil {
+		c.LoadRange(u.slot, perfmodel.KVecVals, 0, w.n, 8)
+		c.LoadRange(v.slot, perfmodel.KVecVals, 0, w.n, 8)
+		c.Instr(w.n)
+	}
+	mergeIntoVector(w, e, accum, desc.Replace)
+	return nil
+}
+
+// EWiseMult implements GrB_eWiseMult: the pattern intersection of u and v.
+func EWiseMult[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], op BinaryOp[T], u, v *Vector[T], desc Desc) error {
+	if u.n != w.n || v.n != w.n {
+		return errDim("EWiseMult", u.n, w.n)
+	}
+	// Iterate the sparser operand, probing the other.
+	a, b := u, v
+	if b.NVals() < a.NVals() {
+		a, b = b, a
+	}
+	swapped := a != u
+	var e entryList[T]
+	a.ForEach(func(i int, av T) {
+		bv, ok := b.ExtractElement(i)
+		if !ok || !mask.allows(i) {
+			return
+		}
+		var val T
+		if swapped {
+			val = op(bv, av)
+		} else {
+			val = op(av, bv)
+		}
+		e.idx = append(e.idx, int32(i))
+		e.vals = append(e.vals, val)
+	})
+	if c := perfmodel.Get(); c != nil {
+		c.LoadRange(a.slot, perfmodel.KVecVals, 0, a.NVals(), 8)
+		c.LoadRange(b.slot, perfmodel.KVecVals, 0, a.NVals(), 8)
+		c.Instr(a.NVals())
+	}
+	mergeIntoVector(w, e, accum, desc.Replace)
+	return nil
+}
+
+// SelectVector implements GrB_select on vectors: w<mask> = entries of u
+// where pred holds.
+func SelectVector[T any](ctx *Context, w *Vector[T], mask *Mask, pred IndexedPredicate[T], u *Vector[T], desc Desc) error {
+	if u.n != w.n {
+		return errDim("SelectVector", u.n, w.n)
+	}
+	var e entryList[T]
+	u.ForEach(func(i int, val T) {
+		if pred(val, i, 0) && mask.allows(i) {
+			e.idx = append(e.idx, int32(i))
+			e.vals = append(e.vals, val)
+		}
+	})
+	if c := perfmodel.Get(); c != nil {
+		c.LoadRange(u.slot, perfmodel.KVecVals, 0, u.NVals(), 8)
+		c.Instr(u.NVals())
+	}
+	mergeIntoVector(w, e, accum0[T](), desc.Replace)
+	return nil
+}
+
+// accum0 returns a nil accumulator with the right type.
+func accum0[T any]() BinaryOp[T] { return nil }
+
+// ReduceVector folds all explicit entries of u under the monoid
+// (GrB_reduce to scalar).
+func ReduceVector[T any](m Monoid[T], u *Vector[T]) T {
+	acc := m.Identity
+	u.ForEach(func(_ int, val T) { acc = m.Op(acc, val) })
+	if c := perfmodel.Get(); c != nil {
+		c.LoadRange(u.slot, perfmodel.KVecVals, 0, u.NVals(), 8)
+		c.Instr(u.NVals())
+	}
+	return acc
+}
+
+// Gather implements w = u[indices]: for each explicit entry (k, p) of
+// indices, w(k) = u(p) if u(p) is explicit. FastSV's grandparent step
+// (gp = f[f]) is a Gather.
+func Gather[T any](ctx *Context, w *Vector[T], u *Vector[T], indices *Vector[uint32], desc Desc) error {
+	if indices.n != w.n {
+		return errDim("Gather", indices.n, w.n)
+	}
+	var e entryList[T]
+	indices.ForEach(func(k int, p uint32) {
+		if val, ok := u.ExtractElement(int(p)); ok {
+			e.idx = append(e.idx, int32(k))
+			e.vals = append(e.vals, val)
+		}
+	})
+	if c := perfmodel.Get(); c != nil {
+		c.LoadRange(indices.slot, perfmodel.KVecVals, 0, indices.NVals(), 4)
+		for _, ix := range e.idx {
+			c.Load(u.slot, perfmodel.KVecVals, int(ix), 8)
+		}
+		c.Instr(indices.NVals())
+	}
+	mergeIntoVector(w, e, nil, desc.Replace)
+	return nil
+}
+
+// ScatterAccum implements w[indices(k)] = accum(w[indices(k)], u(k)) for the
+// explicit entries of indices/u, the GrB_assign-with-index-vector idiom
+// FastSV uses for stochastic hooking (f[f[i]] = min(f[f[i]], mngp[i])).
+// Duplicate target positions are folded with accum, serially (the scatter is
+// a tiny fraction of FastSV's work).
+func ScatterAccum[T any](ctx *Context, w *Vector[T], accum BinaryOp[T], indices *Vector[uint32], u *Vector[T], desc Desc) error {
+	if indices.n != u.n {
+		return errDim("ScatterAccum", indices.n, u.n)
+	}
+	c := perfmodel.Get()
+	indices.ForEach(func(k int, target uint32) {
+		val, ok := u.ExtractElement(k)
+		if !ok {
+			return
+		}
+		if old, exists := w.ExtractElement(int(target)); exists && accum != nil {
+			w.SetElement(int(target), accum(old, val))
+		} else {
+			w.SetElement(int(target), val)
+		}
+		if c != nil {
+			c.Load(u.slot, perfmodel.KVecVals, k, 8)
+			c.Store(w.slot, perfmodel.KVecVals, int(target), 8)
+			c.Instr(2)
+		}
+	})
+	return nil
+}

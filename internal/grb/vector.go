@@ -1,0 +1,310 @@
+package grb
+
+import (
+	"fmt"
+	"sort"
+
+	"graphstudy/internal/perfmodel"
+)
+
+// Rep selects a sparse-vector representation. GaloisBLAS (study section
+// III-B) keeps three and picks per application/input/operation; this port
+// does the same.
+type Rep int
+
+const (
+	// Dense stores a value slot for every index plus a presence bitmap.
+	// (GaloisBLAS's "dense array" representation; it used a sentinel value
+	// where this port uses a bitmap.)
+	Dense Rep = iota
+	// Sorted stores explicit entries as parallel (index, value) slices in
+	// ascending index order (GaloisBLAS's "ordered map").
+	Sorted
+	// List stores explicit entries unordered (GaloisBLAS's "unordered
+	// list"), the cheapest representation to append to.
+	List
+)
+
+func (r Rep) String() string {
+	switch r {
+	case Dense:
+		return "dense"
+	case Sorted:
+		return "sorted"
+	case List:
+		return "list"
+	}
+	return fmt.Sprintf("Rep(%d)", int(r))
+}
+
+// Vector is a sparse vector of dimension n with explicit entries in one of
+// three representations. Entries absent from the structure are "no value"
+// (not zero). Vectors are not safe for concurrent mutation.
+type Vector[T any] struct {
+	n   int
+	rep Rep
+
+	// Dense representation.
+	dense   []T
+	present bitmap
+	ndense  int
+
+	// Sorted / List representations.
+	idx  []int32
+	vals []T
+
+	slot uint32
+}
+
+// NewVector returns an empty vector of dimension n in the given
+// representation.
+func NewVector[T any](n int, rep Rep) *Vector[T] {
+	v := &Vector[T]{n: n, rep: rep, slot: perfmodel.NewSlot()}
+	if rep == Dense {
+		v.dense = make([]T, n)
+		v.present = newBitmap(n)
+	}
+	return v
+}
+
+// Size returns the vector dimension.
+func (v *Vector[T]) Size() int { return v.n }
+
+// Rep returns the current representation.
+func (v *Vector[T]) Rep() Rep { return v.rep }
+
+// Slot identifies the vector in the performance model's address space.
+func (v *Vector[T]) Slot() uint32 { return v.slot }
+
+// NVals returns the number of explicit entries, the analog of
+// GrB_Vector_nvals.
+func (v *Vector[T]) NVals() int {
+	if v.rep == Dense {
+		return v.ndense
+	}
+	return len(v.idx)
+}
+
+// Clear removes all explicit entries, keeping dimension and representation.
+func (v *Vector[T]) Clear() {
+	if v.rep == Dense {
+		if v.ndense > 0 {
+			v.present.reset()
+			var zero T
+			for i := range v.dense {
+				v.dense[i] = zero
+			}
+		}
+		v.ndense = 0
+		return
+	}
+	v.idx = v.idx[:0]
+	v.vals = v.vals[:0]
+}
+
+// SetElement stores value at index i, the analog of GrB_Vector_setElement.
+func (v *Vector[T]) SetElement(i int, value T) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("grb: SetElement index %d out of range [0,%d)", i, v.n))
+	}
+	switch v.rep {
+	case Dense:
+		if !v.present.get(i) {
+			v.present.set(i)
+			v.ndense++
+		}
+		v.dense[i] = value
+	case Sorted:
+		p := sort.Search(len(v.idx), func(k int) bool { return v.idx[k] >= int32(i) })
+		if p < len(v.idx) && v.idx[p] == int32(i) {
+			v.vals[p] = value
+			return
+		}
+		v.idx = append(v.idx, 0)
+		v.vals = append(v.vals, value)
+		copy(v.idx[p+1:], v.idx[p:])
+		copy(v.vals[p+1:], v.vals[p:])
+		v.idx[p] = int32(i)
+		v.vals[p] = value
+	case List:
+		for k, ix := range v.idx {
+			if ix == int32(i) {
+				v.vals[k] = value
+				return
+			}
+		}
+		v.idx = append(v.idx, int32(i))
+		v.vals = append(v.vals, value)
+	}
+}
+
+// ExtractElement returns the value at index i and whether it is explicit,
+// the analog of GrB_Vector_extractElement.
+func (v *Vector[T]) ExtractElement(i int) (T, bool) {
+	var zero T
+	if i < 0 || i >= v.n {
+		return zero, false
+	}
+	switch v.rep {
+	case Dense:
+		if v.present.get(i) {
+			return v.dense[i], true
+		}
+	case Sorted:
+		p := sort.Search(len(v.idx), func(k int) bool { return v.idx[k] >= int32(i) })
+		if p < len(v.idx) && v.idx[p] == int32(i) {
+			return v.vals[p], true
+		}
+	case List:
+		for k, ix := range v.idx {
+			if ix == int32(i) {
+				return v.vals[k], true
+			}
+		}
+	}
+	return zero, false
+}
+
+// RemoveElement deletes the explicit entry at index i if present.
+func (v *Vector[T]) RemoveElement(i int) {
+	switch v.rep {
+	case Dense:
+		if v.present.get(i) {
+			v.present.clear(i)
+			var zero T
+			v.dense[i] = zero
+			v.ndense--
+		}
+	case Sorted:
+		p := sort.Search(len(v.idx), func(k int) bool { return v.idx[k] >= int32(i) })
+		if p < len(v.idx) && v.idx[p] == int32(i) {
+			v.idx = append(v.idx[:p], v.idx[p+1:]...)
+			v.vals = append(v.vals[:p], v.vals[p+1:]...)
+		}
+	case List:
+		for k, ix := range v.idx {
+			if ix == int32(i) {
+				last := len(v.idx) - 1
+				v.idx[k], v.vals[k] = v.idx[last], v.vals[last]
+				v.idx = v.idx[:last]
+				v.vals = v.vals[:last]
+				return
+			}
+		}
+	}
+}
+
+// ForEach calls fn for every explicit entry. Iteration order is ascending
+// for Dense and Sorted and unspecified for List.
+func (v *Vector[T]) ForEach(fn func(i int, val T)) {
+	switch v.rep {
+	case Dense:
+		v.present.forEach(func(i int) { fn(i, v.dense[i]) })
+	default:
+		for k, ix := range v.idx {
+			fn(int(ix), v.vals[k])
+		}
+	}
+}
+
+// Dup returns a deep copy with a fresh performance-model slot.
+func (v *Vector[T]) Dup() *Vector[T] {
+	out := &Vector[T]{n: v.n, rep: v.rep, ndense: v.ndense, slot: perfmodel.NewSlot()}
+	if v.dense != nil {
+		out.dense = append([]T(nil), v.dense...)
+		out.present = v.present.clone()
+	}
+	if v.idx != nil {
+		out.idx = append([]int32(nil), v.idx...)
+		out.vals = append([]T(nil), v.vals...)
+	}
+	return out
+}
+
+// Convert switches the vector to the target representation in place.
+func (v *Vector[T]) Convert(rep Rep) {
+	if v.rep == rep {
+		return
+	}
+	switch {
+	case rep == Dense:
+		dense := make([]T, v.n)
+		present := newBitmap(v.n)
+		for k, ix := range v.idx {
+			dense[ix] = v.vals[k]
+			present.set(int(ix))
+		}
+		v.dense, v.present, v.ndense = dense, present, len(v.idx)
+		v.idx, v.vals = nil, nil
+	case v.rep == Dense:
+		idx := make([]int32, 0, v.ndense)
+		vals := make([]T, 0, v.ndense)
+		v.present.forEach(func(i int) {
+			idx = append(idx, int32(i))
+			vals = append(vals, v.dense[i])
+		})
+		v.idx, v.vals = idx, vals
+		v.dense, v.present, v.ndense = nil, nil, 0
+	case v.rep == List && rep == Sorted:
+		sortEntries(v.idx, v.vals)
+	case v.rep == Sorted && rep == List:
+		// Sorted entries are a valid (already unique) list.
+	}
+	v.rep = rep
+}
+
+// sortEntries sorts parallel (idx, vals) slices by index.
+func sortEntries[T any](idx []int32, vals []T) {
+	sort.Sort(&entrySorter[T]{idx, vals})
+}
+
+type entrySorter[T any] struct {
+	idx  []int32
+	vals []T
+}
+
+func (s *entrySorter[T]) Len() int           { return len(s.idx) }
+func (s *entrySorter[T]) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *entrySorter[T]) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// DenseFill makes the vector dense with every entry explicit and equal to
+// value: the GrB_assign(v, GrB_ALL, value) idiom that LAGraph bfs uses to
+// densify its dist vector.
+func (v *Vector[T]) DenseFill(value T) {
+	v.Convert(Dense)
+	for i := range v.dense {
+		v.dense[i] = value
+	}
+	for i := range v.present {
+		v.present[i] = ^uint64(0)
+	}
+	// Mask off the bits beyond n.
+	if rem := v.n & 63; rem != 0 {
+		v.present[len(v.present)-1] = (1 << uint(rem)) - 1
+	}
+	v.ndense = v.n
+}
+
+// Entries returns copies of the explicit (index, value) pairs in ascending
+// index order, for tests and result extraction.
+func (v *Vector[T]) Entries() ([]int, []T) {
+	is := make([]int, 0, v.NVals())
+	vs := make([]T, 0, v.NVals())
+	if v.rep == List {
+		tmp := v.Dup()
+		tmp.Convert(Sorted)
+		tmp.ForEach(func(i int, val T) {
+			is = append(is, i)
+			vs = append(vs, val)
+		})
+		return is, vs
+	}
+	v.ForEach(func(i int, val T) {
+		is = append(is, i)
+		vs = append(vs, val)
+	})
+	return is, vs
+}

@@ -1,0 +1,241 @@
+package grb
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func repsUnderTest() []Rep { return []Rep{Dense, Sorted, List} }
+
+func TestVectorSetExtract(t *testing.T) {
+	for _, rep := range repsUnderTest() {
+		v := NewVector[uint32](10, rep)
+		if v.NVals() != 0 {
+			t.Fatalf("%v: fresh vector has %d entries", rep, v.NVals())
+		}
+		v.SetElement(3, 30)
+		v.SetElement(7, 70)
+		v.SetElement(3, 31) // overwrite
+		if v.NVals() != 2 {
+			t.Fatalf("%v: NVals = %d, want 2", rep, v.NVals())
+		}
+		if got, ok := v.ExtractElement(3); !ok || got != 31 {
+			t.Fatalf("%v: ExtractElement(3) = %d,%v", rep, got, ok)
+		}
+		if _, ok := v.ExtractElement(4); ok {
+			t.Fatalf("%v: index 4 should be implicit", rep)
+		}
+		v.RemoveElement(3)
+		if _, ok := v.ExtractElement(3); ok || v.NVals() != 1 {
+			t.Fatalf("%v: RemoveElement failed", rep)
+		}
+		v.Clear()
+		if v.NVals() != 0 {
+			t.Fatalf("%v: Clear failed", rep)
+		}
+	}
+}
+
+func TestVectorSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetElement out of range did not panic")
+		}
+	}()
+	NewVector[int32](3, Dense).SetElement(3, 0)
+}
+
+func TestVectorConversionsPreserveEntries(t *testing.T) {
+	// Round-trip through every representation pair.
+	seed := func() *Vector[int64] {
+		v := NewVector[int64](20, List)
+		for _, i := range []int{19, 2, 11, 5} {
+			v.SetElement(i, int64(i*10))
+		}
+		return v
+	}
+	wantIdx := []int{2, 5, 11, 19}
+	wantVals := []int64{20, 50, 110, 190}
+	for _, target := range repsUnderTest() {
+		for _, mid := range repsUnderTest() {
+			v := seed()
+			v.Convert(mid)
+			v.Convert(target)
+			is, vs := v.Entries()
+			if !reflect.DeepEqual(is, wantIdx) || !reflect.DeepEqual(vs, wantVals) {
+				t.Fatalf("convert %v->%v: entries %v %v", mid, target, is, vs)
+			}
+		}
+	}
+}
+
+func TestVectorConversionProperty(t *testing.T) {
+	f := func(sets []uint8) bool {
+		v := NewVector[uint32](64, Dense)
+		ref := map[int]uint32{}
+		for n, s := range sets {
+			i := int(s) % 64
+			v.SetElement(i, uint32(n))
+			ref[i] = uint32(n)
+		}
+		v.Convert(Sorted)
+		v.Convert(List)
+		v.Convert(Dense)
+		if v.NVals() != len(ref) {
+			return false
+		}
+		ok := true
+		v.ForEach(func(i int, val uint32) {
+			if ref[i] != val {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorDenseFill(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100} {
+		v := NewVector[int32](n, Sorted)
+		v.DenseFill(7)
+		if v.NVals() != n {
+			t.Fatalf("n=%d: NVals = %d after DenseFill", n, v.NVals())
+		}
+		count := 0
+		v.ForEach(func(i int, val int32) {
+			if val != 7 {
+				t.Fatalf("n=%d: entry %d = %d", n, i, val)
+			}
+			count++
+		})
+		if count != n {
+			t.Fatalf("n=%d: iterated %d entries", n, count)
+		}
+	}
+}
+
+func TestVectorDup(t *testing.T) {
+	v := NewVector[float64](5, Dense)
+	v.SetElement(2, 2.5)
+	d := v.Dup()
+	d.SetElement(2, 9.9)
+	if got, _ := v.ExtractElement(2); got != 2.5 {
+		t.Fatal("Dup aliases original storage")
+	}
+	if v.Slot() == d.Slot() {
+		t.Fatal("Dup shares perfmodel slot")
+	}
+}
+
+func TestVectorForEachOrderDenseSorted(t *testing.T) {
+	for _, rep := range []Rep{Dense, Sorted} {
+		v := NewVector[int32](50, rep)
+		for _, i := range []int{40, 3, 17} {
+			v.SetElement(i, int32(i))
+		}
+		var got []int
+		v.ForEach(func(i int, _ int32) { got = append(got, i) })
+		if !reflect.DeepEqual(got, []int{3, 17, 40}) {
+			t.Fatalf("%v iteration order: %v", rep, got)
+		}
+	}
+}
+
+func TestMaskStructuralAndValue(t *testing.T) {
+	v := NewVector[uint32](8, Dense)
+	v.SetElement(1, 0) // explicit zero
+	v.SetElement(2, 5)
+	sm := StructMask(v)
+	if !sm.allows(1) || !sm.allows(2) || sm.allows(3) {
+		t.Fatal("structural mask wrong")
+	}
+	vm := ValueMask(v)
+	if vm.allows(1) || !vm.allows(2) {
+		t.Fatal("value mask should reject explicit zero")
+	}
+	cm := vm.Comp()
+	if !cm.allows(1) || cm.allows(2) || !cm.allows(3) {
+		t.Fatal("complement mask wrong")
+	}
+	if sm.Count() != 2 || cm.Count() != 7 {
+		t.Fatalf("mask counts: %d, %d", sm.Count(), cm.Count())
+	}
+	var nilMask *Mask
+	if !nilMask.allows(0) || nilMask.Count() != -1 {
+		t.Fatal("nil mask should allow everything")
+	}
+}
+
+func TestMonoidsAndSemirings(t *testing.T) {
+	mp := MinPlus[uint32]()
+	inf := MaxValue[uint32]()
+	if mp.Mul(inf, 5) != inf || mp.Mul(5, inf) != inf {
+		t.Fatal("min_plus must absorb infinity")
+	}
+	if mp.Mul(inf-1, 10) != inf {
+		t.Fatal("min_plus must clamp overflow to infinity")
+	}
+	if mp.Add.Op(3, 9) != 3 {
+		t.Fatal("min monoid wrong")
+	}
+	if mp.Add.Identity != inf {
+		t.Fatal("min identity should be max value")
+	}
+	pt := PlusTimes[int64]()
+	if pt.Mul(6, 7) != 42 || pt.Add.Op(1, 2) != 3 || pt.Add.Identity != 0 {
+		t.Fatal("plus_times wrong")
+	}
+	pp := PlusPair[int64]()
+	if pp.Mul(100, 200) != 1 {
+		t.Fatal("plus_pair multiply must be 1")
+	}
+	ms := MinSecond[uint32]()
+	if ms.Mul(9, 4) != 4 {
+		t.Fatal("min_second must return second arg")
+	}
+	ll := LorLand()
+	if !ll.Mul(true, true) || ll.Mul(true, false) {
+		t.Fatal("lor_land multiply wrong")
+	}
+	if ll.Add.Terminal == nil || *ll.Add.Terminal != true {
+		t.Fatal("or monoid should have terminal true")
+	}
+	if MinValue[float64]() >= 0 || MaxValue[int32]() != 1<<31-1 {
+		t.Fatal("value bounds wrong")
+	}
+}
+
+func TestBitmapOps(t *testing.T) {
+	b := newBitmap(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if !b.get(64) || b.get(63) {
+		t.Fatal("bitmap get/set wrong")
+	}
+	if b.count() != 3 {
+		t.Fatalf("count = %d", b.count())
+	}
+	var got []int
+	b.forEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, []int{0, 64, 129}) {
+		t.Fatalf("forEach = %v", got)
+	}
+	b.clear(64)
+	if b.get(64) || b.count() != 2 {
+		t.Fatal("clear failed")
+	}
+	c := b.clone()
+	c.set(1)
+	if b.get(1) {
+		t.Fatal("clone aliases")
+	}
+	b.reset()
+	if b.count() != 0 {
+		t.Fatal("reset failed")
+	}
+}

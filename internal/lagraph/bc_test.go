@@ -1,0 +1,59 @@
+package lagraph
+
+import (
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/grb"
+	"graphstudy/internal/verify"
+)
+
+func TestBCDiamond(t *testing.T) {
+	// 0->1->3, 0->2->3: vertices 1 and 2 each carry half the 0->3 paths.
+	g := graph.FromEdges(4, [][2]uint32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	A := grb.BoolMatrixFromGraph(g)
+	AT := A.Transpose()
+	bc, err := BC(grb.NewSerialContext(), A, AT, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Ranks(bc)
+	want := verify.Betweenness(g, []uint32{0})
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bc[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got[1] != 0.5 || got[2] != 0.5 {
+		t.Fatalf("diamond bc = %v", got)
+	}
+}
+
+func TestBCMatchesReferenceOnSuite(t *testing.T) {
+	for _, name := range []string{"road-USA-W", "rmat22"} {
+		in, _ := gen.ByName(name)
+		g := in.Build(gen.ScaleTest)
+		A := grb.BoolMatrixFromGraph(g)
+		AT := A.Transpose()
+		sources := []int{0, int(g.MaxOutDegreeVertex())}
+		bc, err := BC(grb.NewGaloisBLASContext(4), A, AT, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Ranks(bc)
+		want := verify.Betweenness(g, []uint32{0, g.MaxOutDegreeVertex()})
+		if d := verify.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%s: max bc diff %g", name, d)
+		}
+	}
+}
+
+func TestBCErrors(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}})
+	A := grb.BoolMatrixFromGraph(g)
+	AT := A.Transpose()
+	if _, err := BC(grb.NewSerialContext(), A, AT, []int{9}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}

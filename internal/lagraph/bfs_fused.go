@@ -1,0 +1,48 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// BFSFused is BFS rebuilt on the fused composite kernel grb.FusedBFSStep —
+// the "what if the API grew the composite operation" experiment from the
+// study's future-work discussion. One kernel call per round replaces the
+// assign/nvals/vxm triple; compare its runtime against BFS (three calls)
+// and lonestar.BFS (the native fused loop) with BenchmarkAblationFusedBFS.
+//
+// Result convention matches BFS: dense vector, source 1, explicit 0
+// unvisited.
+func BFSFused(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], int, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, 0, fmt.Errorf("lagraph: BFSFused needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if src < 0 || src >= n {
+		return nil, 0, fmt.Errorf("lagraph: BFSFused source %d out of range [0,%d)", src, n)
+	}
+	dist := grb.NewVector[int32](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, dist, nil, nil, 0, grb.Desc{}); err != nil {
+		return nil, 0, err
+	}
+	dist.SetElement(src, 1)
+	frontier := grb.NewVector[bool](n, grb.List)
+	frontier.SetElement(src, true)
+
+	level := int32(1)
+	rounds := 0
+	for frontier.NVals() > 0 {
+		if ctx.Stopped() {
+			return nil, rounds, ErrTimeout
+		}
+		rounds++
+		next, err := grb.FusedBFSStep(ctx, dist, frontier, A, level+1)
+		if err != nil {
+			return nil, rounds, err
+		}
+		frontier = next
+		level++
+	}
+	return dist, rounds, nil
+}

@@ -1,0 +1,129 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// BFSPushPull is LAGraph's direction-optimized BFS: rounds with a sparse
+// frontier push (masked vxm over the frontier's rows); rounds with a dense
+// frontier pull (masked vxm driven by the unvisited positions through the
+// CSC mirror). The study's related-work section notes GraphBLAST leans on
+// exactly this optimization; in the GraphBLAS API it falls out of the mask
+// machinery plus a frontier-density heuristic.
+//
+// Same contract as BFS: returns the level+1 vector (source 1, explicit 0
+// unvisited) and the number of rounds, plus how many rounds pulled.
+func BFSPushPull(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], int, int, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, 0, 0, fmt.Errorf("lagraph: BFSPushPull needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if src < 0 || src >= n {
+		return nil, 0, 0, fmt.Errorf("lagraph: BFSPushPull source %d out of range [0,%d)", src, n)
+	}
+	A.EnsureCSC() // the pull kernel's requirement, built up front
+
+	dist := grb.NewVector[int32](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, dist, nil, nil, 0, grb.Desc{}); err != nil {
+		return nil, 0, 0, err
+	}
+	frontier := grb.NewVector[bool](n, grb.List)
+	frontier.SetElement(src, true)
+
+	level := int32(1)
+	rounds, pulls := 0, 0
+	for {
+		if ctx.Stopped() {
+			return nil, rounds, pulls, ErrTimeout
+		}
+		rounds++
+		if err := grb.AssignConstant(ctx, dist, grb.StructMask(frontier), nil, level, grb.Desc{}); err != nil {
+			return nil, rounds, pulls, err
+		}
+		if frontier.NVals() == 0 {
+			break
+		}
+		// Density heuristic: pull when the frontier exceeds 5% of vertices.
+		// Converting the frontier to Dense flips the vxm kernel choice (the
+		// pull path activates for dense operands with a CSC mirror).
+		if frontier.NVals() > n/20 {
+			pulls++
+			frontier.Convert(grb.Dense)
+		} else {
+			frontier.Convert(grb.List)
+		}
+		mask := grb.ValueMask(dist).Comp()
+		if err := grb.VxM(ctx, frontier, mask, nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, pulls, err
+		}
+		level++
+	}
+	return dist, rounds, pulls, nil
+}
+
+// SSSPBellmanFord is the topology-driven matrix sssp (LAGraph ships one):
+// every round relaxes every edge with one min-plus vxm over the full
+// distance vector, Jacobi style, until no distance improves. It is the
+// simplest matrix formulation and the foil for delta-stepping: on a graph
+// of diameter D it runs Θ(D) full-matrix products.
+func SSSPBellmanFord[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int) (SSSPResult[T], error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return SSSPResult[T]{}, fmt.Errorf("lagraph: SSSPBellmanFord needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if src < 0 || src >= n {
+		return SSSPResult[T]{}, fmt.Errorf("lagraph: SSSPBellmanFord source %d out of range [0,%d)", src, n)
+	}
+	inf := grb.MaxValue[T]()
+	minT := func(a, b T) T {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	t := grb.NewVector[T](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, t, nil, nil, inf, grb.Desc{}); err != nil {
+		return SSSPResult[T]{}, err
+	}
+	t.SetElement(src, 0)
+
+	res := SSSPResult[T]{Dist: t, Buckets: 1}
+	for {
+		if ctx.Stopped() {
+			return res, ErrTimeout
+		}
+		res.Rounds++
+		if res.Rounds > n+1 {
+			return res, fmt.Errorf("lagraph: SSSPBellmanFord exceeded %d rounds (negative cycle?)", n)
+		}
+		// tReq = t vxm A (min-plus) over every finite distance.
+		finite := grb.NewVector[T](n, grb.Sorted)
+		if err := grb.SelectVector(ctx, finite, nil, func(v T, _, _ int) bool { return v != inf }, t, grb.Desc{Replace: true}); err != nil {
+			return res, err
+		}
+		tReq := grb.NewVector[T](n, grb.Sorted)
+		if err := grb.VxM(ctx, tReq, nil, nil, grb.MinPlus[T](), finite, A, grb.Desc{Replace: true}); err != nil {
+			return res, err
+		}
+		// improved = positions where tReq < t.
+		improved := grb.NewVector[T](n, grb.Sorted)
+		lt := func(a, b T) T {
+			if a < b {
+				return 1
+			}
+			return 0
+		}
+		if err := grb.EWiseMult(ctx, improved, nil, nil, lt, tReq, t, grb.Desc{Replace: true}); err != nil {
+			return res, err
+		}
+		if grb.ValueMask(improved).Count() == 0 {
+			break
+		}
+		if err := grb.EWiseAdd(ctx, t, nil, nil, minT, t, tReq, grb.Desc{}); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package lagraph
+
+import (
+	"reflect"
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/grb"
+	"graphstudy/internal/verify"
+)
+
+func symU32(g *graph.Graph) (*graph.Graph, *grb.Matrix[uint32]) {
+	sym := g.Symmetrize()
+	sym.SortAdjacency()
+	return sym, grb.MatrixFromGraph(sym, func(uint32) uint32 { return 1 })
+}
+
+func TestKCoreTriangleWithTail(t *testing.T) {
+	// Triangle {0,1,2} (coreness 2) with a tail 2-3 (coreness 1) and an
+	// isolated vertex 4 (coreness 0).
+	g := graph.FromEdges(5, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	sym, A := symU32(g)
+	core, rounds, err := KCore(grb.NewSerialContext(), A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 {
+		t.Fatal("no rounds recorded")
+	}
+	got := make([]uint32, 5)
+	core.ForEach(func(i int, v uint32) { got[i] = v })
+	want := verify.KCore(sym)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("coreness = %v, want %v", got, want)
+	}
+	if want[0] != 2 || want[3] != 1 || want[4] != 0 {
+		t.Fatalf("reference unexpected: %v", want)
+	}
+}
+
+func TestKCoreMatchesReferenceOnSuite(t *testing.T) {
+	for _, name := range []string{"road-USA-W", "rmat22", "eukarya"} {
+		in, _ := gen.ByName(name)
+		sym, A := symU32(in.Build(gen.ScaleTest))
+		want := verify.KCore(sym)
+		for cname, ctx := range testContexts() {
+			core, _, err := KCore(ctx, A)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, cname, err)
+			}
+			got := make([]uint32, len(want))
+			core.ForEach(func(i int, v uint32) { got[i] = v })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: coreness differs", name, cname)
+			}
+		}
+	}
+}
+
+func TestMISIsMaximalIndependent(t *testing.T) {
+	for _, name := range []string{"road-USA-W", "rmat22", "twitter40"} {
+		in, _ := gen.ByName(name)
+		sym, A := symU32(in.Build(gen.ScaleTest))
+		for _, seed := range []uint64{1, 42} {
+			iset, rounds, err := MIS(grb.NewGaloisBLASContext(4), A, seed)
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+			if rounds < 1 {
+				t.Fatal("no rounds")
+			}
+			if err := verify.CheckIndependentSet(sym, Members(iset)); err != nil {
+				t.Fatalf("%s seed=%d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestMISEmptyGraphAllJoin(t *testing.T) {
+	g := graph.FromEdges(4, nil)
+	_, A := symU32(g)
+	// A from an empty symmetrization has no entries but right dimension 4.
+	A = grb.MatrixFromGraph(g, func(uint32) uint32 { return 1 })
+	iset, _, err := MIS(grb.NewSerialContext(), A, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iset.NVals() != 4 {
+		t.Fatalf("isolated vertices must all join: %d", iset.NVals())
+	}
+}

@@ -1,0 +1,85 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// KCore computes the coreness of every vertex (the largest k whose k-core
+// contains it) in the matrix API, an extension workload in the style of
+// LAGraph's k-core: repeated bulk peeling. Each peel is three API calls —
+// select the sub-threshold vertices, count the edges they remove with a
+// vxm, and subtract — so, like ktruss, the matrix formulation runs strictly
+// round-by-round. A must be the adjacency of a symmetric graph with uint32
+// values (values unread).
+func KCore(ctx *grb.Context, A *grb.Matrix[uint32]) (*grb.Vector[uint32], int, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, 0, fmt.Errorf("lagraph: KCore needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	plus := func(a, b uint32) uint32 { return a + b }
+
+	// deg = row degrees of the remaining graph (explicit for all vertices,
+	// including isolated ones, so every vertex is eventually peeled).
+	deg := grb.NewVector[uint32](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, deg, nil, nil, 0, grb.Desc{}); err != nil {
+		return nil, 0, err
+	}
+	ones := grb.NewVector[uint32](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, ones, nil, nil, 1, grb.Desc{}); err != nil {
+		return nil, 0, err
+	}
+	if err := grb.MxV(ctx, deg, nil, plus, grb.PlusSecond[uint32](), A, ones, grb.Desc{}); err != nil {
+		return nil, 0, err
+	}
+
+	core := grb.NewVector[uint32](n, grb.Dense)
+	remaining := n
+	rounds := 0
+	for k := uint32(0); remaining > 0; k++ {
+		for {
+			if ctx.Stopped() {
+				return nil, rounds, ErrTimeout
+			}
+			rounds++
+			// Pass 1: peel = remaining vertices with degree <= k.
+			peel := grb.NewVector[uint32](n, grb.Sorted)
+			if err := grb.SelectVector(ctx, peel, nil, func(v uint32, _, _ int) bool { return v <= k }, deg, grb.Desc{Replace: true}); err != nil {
+				return nil, rounds, err
+			}
+			if peel.NVals() == 0 {
+				break
+			}
+			// Record coreness and drop the peeled vertices from deg.
+			peelMask := grb.StructMask(peel)
+			if err := grb.AssignConstant(ctx, core, peelMask, nil, k, grb.Desc{}); err != nil {
+				return nil, rounds, err
+			}
+			remaining -= peel.NVals()
+			// Pass 2: count, per surviving vertex, edges into the peel set
+			// (peelOnes vxm A with plus_times counts incident peeled edges).
+			peelOnes := grb.NewVector[uint32](n, grb.Sorted)
+			if err := grb.Apply(ctx, peelOnes, nil, nil, func(uint32) uint32 { return 1 }, peel, grb.Desc{Replace: true}); err != nil {
+				return nil, rounds, err
+			}
+			removedDeg := grb.NewVector[uint32](n, grb.Sorted)
+			if err := grb.VxM(ctx, removedDeg, nil, nil, grb.PlusTimes[uint32](), peelOnes, A, grb.Desc{Replace: true}); err != nil {
+				return nil, rounds, err
+			}
+			// Pass 3: deg -= removedDeg, masked to the vertices still in deg
+			// so long-peeled vertices are not resurrected by the union.
+			sub := func(a, b uint32) uint32 {
+				if b > a {
+					return 0
+				}
+				return a - b
+			}
+			if err := grb.EWiseAdd(ctx, deg, grb.StructMask(deg), nil, sub, deg, removedDeg, grb.Desc{}); err != nil {
+				return nil, rounds, err
+			}
+			peel.ForEach(func(i int, _ uint32) { deg.RemoveElement(i) })
+		}
+	}
+	return core, rounds, nil
+}

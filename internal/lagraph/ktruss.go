@@ -1,0 +1,53 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// KTrussResult reports the k-truss outcome.
+type KTrussResult struct {
+	// Edges is the number of directed edges remaining in the k-truss.
+	Edges int64
+	// Rounds is the number of SpGEMM+select rounds executed; the study
+	// reports the matrix formulation needs ~1.6x more rounds than Lonestar
+	// because removals only take effect at round boundaries (Jacobi).
+	Rounds int
+	// Truss is the surviving adjacency pattern (values are final supports).
+	Truss *grb.Matrix[int64]
+}
+
+// KTruss computes the k-truss of a symmetric boolean-pattern adjacency
+// matrix (no self loops) in the LAGraph style: repeatedly compute the
+// support of every edge with one masked SpGEMM, C<S> = S*S under plus_pair,
+// then keep edges with support >= k-2 via GrB_select, until no edge is
+// dropped. Each round materializes the support matrix C — the study's
+// materialization limitation — and edges removed in a round only stop
+// contributing support in the next round (bulk/Jacobi execution).
+func KTruss(ctx *grb.Context, A *grb.Matrix[int64], k uint32) (KTrussResult, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return KTrussResult{}, fmt.Errorf("lagraph: KTruss needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if k < 3 {
+		return KTrussResult{Edges: A.NVals(), Truss: A}, nil
+	}
+	S := A
+	rounds := 0
+	for {
+		if ctx.Stopped() {
+			return KTrussResult{Rounds: rounds}, ErrTimeout
+		}
+		rounds++
+		C, err := grb.MxM(ctx, S.Pattern(), grb.PlusPair[int64](), S, S)
+		if err != nil {
+			return KTrussResult{Rounds: rounds}, err
+		}
+		next := grb.SelectMatrix(C, func(v int64, _, _ int) bool { return v >= int64(k-2) })
+		if next.NVals() == S.NVals() {
+			return KTrussResult{Edges: next.NVals(), Rounds: rounds, Truss: next}, nil
+		}
+		S = next
+	}
+}

@@ -1,0 +1,18 @@
+// Package lagraph is a LAGraph-style library: the six study workloads (bfs,
+// cc, ktruss, pr, sssp, tc) written purely against the GraphBLAS API of
+// internal/grb, with no direct access to graph storage or the parallel
+// runtime. Run the same code on grb.NewSuiteSparseContext for the study's
+// "SS" rows and grb.NewGaloisBLASContext for the "GB" rows.
+//
+// Each algorithm mirrors the LAGraph variant the study selected (section
+// IV): the basic level-synchronous bfs, FastSV for cc, the masked-SpGEMM
+// ktruss, topology-driven and residual pagerank, bulk-synchronous
+// delta-stepping for sssp, and SandiaDot (plus the listing and sorted
+// variants of the differential analysis) for tc.
+package lagraph
+
+import "errors"
+
+// ErrTimeout is returned when the context's Stop flag interrupts a round
+// loop, the analog of a "TO" entry in Table II.
+var ErrTimeout = errors.New("lagraph: computation canceled by timeout")

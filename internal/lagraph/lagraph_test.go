@@ -1,0 +1,294 @@
+package lagraph
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/grb"
+	"graphstudy/internal/verify"
+)
+
+func testContexts() map[string]*grb.Context {
+	return map[string]*grb.Context{
+		"SS": grb.NewSuiteSparseContext(4),
+		"GB": grb.NewGaloisBLASContext(4),
+	}
+}
+
+// testGraphs returns a few structurally distinct suite graphs at test scale.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	for _, name := range []string{"road-USA-W", "rmat22", "indochina04"} {
+		in, err := gen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = in.Build(gen.ScaleTest)
+	}
+	return out
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		A := grb.BoolMatrixFromGraph(g)
+		src := g.MaxOutDegreeVertex()
+		want := verify.BFSLevels(g, src)
+		for cname, ctx := range testContexts() {
+			dist, rounds, err := BFS(ctx, A, int(src))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, cname, err)
+			}
+			if rounds < 1 {
+				t.Fatalf("%s/%s: rounds = %d", gname, cname, rounds)
+			}
+			got := BFSLevels(dist)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: level[%d] = %d, want %d", gname, cname, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSTrivial(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{1, 2}})
+	A := grb.BoolMatrixFromGraph(g)
+	dist, _, err := BFS(grb.NewSerialContext(), A, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BFSLevels(dist)
+	if got[0] != 0 || got[1] != ^uint32(0) || got[2] != ^uint32(0) {
+		t.Fatalf("isolated source: %v", got)
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}})
+	A := grb.BoolMatrixFromGraph(g)
+	if _, _, err := BFS(grb.NewSerialContext(), A, 99); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestBFSTimeout(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 2}})
+	A := grb.BoolMatrixFromGraph(g)
+	ctx := grb.NewSerialContext()
+	ctx.Stop = &atomic.Bool{}
+	ctx.Stop.Store(true)
+	if _, _, err := BFS(ctx, A, 0); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCCFastSVMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		A := grb.MatrixFromGraph(sym, func(uint32) uint32 { return 1 })
+		want := verify.Components(sym)
+		for cname, ctx := range testContexts() {
+			f, rounds, err := CCFastSV(ctx, A)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, cname, err)
+			}
+			if rounds < 1 {
+				t.Fatalf("%s/%s: rounds = %d", gname, cname, rounds)
+			}
+			if !verify.SamePartition(Labels(f), want) {
+				t.Fatalf("%s/%s: partitions differ (%d vs %d comps)", gname, cname,
+					verify.NumComponents(Labels(f)), verify.NumComponents(want))
+			}
+		}
+	}
+}
+
+func TestCCFastSVDisconnected(t *testing.T) {
+	g := graph.FromEdges(5, [][2]uint32{{0, 1}, {1, 0}, {2, 3}, {3, 2}})
+	A := grb.MatrixFromGraph(g, func(uint32) uint32 { return 1 })
+	f, _, err := CCFastSV(grb.NewSerialContext(), A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := Labels(f)
+	if verify.NumComponents(labels) != 3 {
+		t.Fatalf("components = %d, want 3 (%v)", verify.NumComponents(labels), labels)
+	}
+}
+
+func TestTriangleCountVariantsMatchReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		want := int64(verify.TriangleCount(sym))
+		// Degree-sorted relabel for the sorted/listing variants.
+		perm := sym.DegreeOrder()
+		rel := sym.Relabel(perm)
+		rel.SortAdjacency()
+		A := grb.MatrixFromGraph(sym, func(uint32) int64 { return 1 })
+		R := grb.MatrixFromGraph(rel, func(uint32) int64 { return 1 })
+		for cname, ctx := range testContexts() {
+			cases := []struct {
+				v TCVariant
+				m *grb.Matrix[int64]
+			}{{TCSandiaDot, A}, {TCSorted, R}, {TCListing, R}}
+			for _, c := range cases {
+				got, err := TriangleCount(ctx, c.m, c.v)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: %v", gname, cname, c.v, err)
+				}
+				if got != want {
+					t.Fatalf("%s/%s/%v: count = %d, want %d", gname, cname, c.v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKTrussMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		for _, k := range []uint32{3, 4} {
+			want := int64(verify.KTrussEdges(sym, k))
+			A := grb.MatrixFromGraph(sym, func(uint32) int64 { return 1 })
+			res, err := KTruss(grb.NewGaloisBLASContext(4), A, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", gname, k, err)
+			}
+			if res.Edges != want {
+				t.Fatalf("%s k=%d: edges = %d, want %d", gname, k, res.Edges, want)
+			}
+			if res.Rounds < 1 {
+				t.Fatalf("%s k=%d: rounds = %d", gname, k, res.Rounds)
+			}
+		}
+	}
+}
+
+func TestKTrussSmallK(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 0}})
+	A := grb.MatrixFromGraph(g, func(uint32) int64 { return 1 })
+	res, err := KTruss(grb.NewSerialContext(), A, 2)
+	if err != nil || res.Edges != 2 {
+		t.Fatalf("k<3 should keep all edges: %v %d", err, res.Edges)
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		A := grb.FloatMatrixFromGraph(g)
+		want := verify.PageRank(g, 0.85, 10)
+		for cname, ctx := range testContexts() {
+			r, err := PageRank(ctx, A, DefaultPageRankOptions())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, cname, err)
+			}
+			if d := verify.MaxAbsDiff(Ranks(r), want); d > 1e-12 {
+				t.Fatalf("%s/%s: max rank diff %g", gname, cname, d)
+			}
+		}
+	}
+}
+
+func TestPageRankResidualConverges(t *testing.T) {
+	// On a dangling-free graph, the residual formulation run long enough
+	// approaches the true pagerank.
+	in, _ := gen.ByName("road-USA-W") // bidirectional grid: no dangling nodes
+	g := in.Build(gen.ScaleTest)
+	A := grb.FloatMatrixFromGraph(g)
+	// Both formulations converge geometrically (rate 0.85) to the same
+	// fixpoint but along different transients, so compare at a tolerance
+	// matching d^iters.
+	want := verify.PageRank(g, 0.85, 120)
+	r, err := PageRankResidual(grb.NewGaloisBLASContext(4), A, PageRankOptions{Damping: 0.85, Iterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := verify.MaxAbsDiff(Ranks(r), want); d > 1e-8 {
+		t.Fatalf("residual pagerank diverges from reference: %g", d)
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		src := g.MaxOutDegreeVertex()
+		want := verify.Dijkstra(g, src)
+		A := grb.WeightMatrixFromGraph(g)
+		for cname, ctx := range testContexts() {
+			for _, delta := range []uint32{4, 1 << 13} {
+				res, err := SSSP(ctx, A, int(src), delta)
+				if err != nil {
+					t.Fatalf("%s/%s delta=%d: %v", gname, cname, delta, err)
+				}
+				got := Distances(res.Dist)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s delta=%d: dist[%d] = %d, want %d", gname, cname, delta, i, got[i], want[i])
+					}
+				}
+				if res.Rounds < 1 || res.Buckets < 1 {
+					t.Fatalf("%s/%s: no rounds recorded", gname, cname)
+				}
+			}
+		}
+	}
+}
+
+func TestSSSP64BitEukarya(t *testing.T) {
+	// The study's eukarya setup: big weights, delta 2^20, 64-bit distances.
+	in, _ := gen.ByName("eukarya")
+	g := in.Build(gen.ScaleTest)
+	src := in.Source(g)
+	want := verify.Dijkstra(g, src)
+	A := grb.MatrixFromGraph(g, func(w uint32) uint64 { return uint64(w) })
+	res, err := SSSP(grb.NewGaloisBLASContext(4), A, int(src), uint64(in.Delta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Distances(res.Dist)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSSSPErrors(t *testing.T) {
+	g := graph.FromWeightedEdges(3, [][3]uint32{{0, 1, 1}})
+	A := grb.WeightMatrixFromGraph(g)
+	ctx := grb.NewSerialContext()
+	if _, err := SSSP(ctx, A, -1, uint32(4)); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := SSSP(ctx, A, 0, uint32(0)); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+}
+
+func TestSSSPRoadNeedsManyMoreRoundsThanRmat(t *testing.T) {
+	// The asynchrony argument: bulk-synchronous delta-stepping needs far
+	// more rounds on high-diameter road networks than on low-diameter
+	// power-law graphs (study section V-B, sssp).
+	road, _ := gen.ByName("road-USA-W")
+	rmat, _ := gen.ByName("rmat22")
+	gRoad := road.Build(gen.ScaleTest)
+	gRmat := rmat.Build(gen.ScaleTest)
+	ctx := grb.NewGaloisBLASContext(4)
+	resRoad, err := SSSP(ctx, grb.WeightMatrixFromGraph(gRoad), int(road.Source(gRoad)), road.Delta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRmat, err := SSSP(ctx, grb.WeightMatrixFromGraph(gRmat), int(rmat.Source(gRmat)), rmat.Delta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRoad.Rounds <= 2*resRmat.Rounds {
+		t.Fatalf("road rounds %d not clearly above rmat rounds %d", resRoad.Rounds, resRmat.Rounds)
+	}
+}

@@ -1,0 +1,118 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// MIS computes a maximal independent set with Luby's algorithm in the matrix
+// API (the classic GraphBLAS demonstration): every undecided vertex draws a
+// priority; a vertex whose priority beats all undecided neighbors' joins the
+// set; its neighbors drop out; repeat. Each round is four bulk operations —
+// priority assignment, a max_first vxm, a comparison select, and the
+// neighbor knock-out vxm — over every undecided vertex.
+//
+// A must be the adjacency of a symmetric graph with no self loops, uint32
+// values (unread). seed makes the run deterministic. Returns the membership
+// vector (explicit true per member) and the round count.
+func MIS(ctx *grb.Context, A *grb.Matrix[uint32], seed uint64) (*grb.Vector[bool], int, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, 0, fmt.Errorf("lagraph: MIS needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	Af := grb.CastMatrix(A, func(uint32) float64 { return 1 })
+
+	iset := grb.NewVector[bool](n, grb.Sorted)
+	// candidates: undecided vertices, valued by 1/(1+deg) to bias the draw
+	// like Luby's original (high-degree vertices join later).
+	deg := grb.ReduceRows(grb.PlusMonoid[float64](), Af)
+	cand := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, cand, nil, nil, 1, grb.Desc{}); err != nil {
+		return nil, 0, err
+	}
+
+	state := seed | 1
+	rand01 := func() float64 {
+		// splitmix64, matching internal/gen's generator.
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+
+	rounds := 0
+	for cand.NVals() > 0 {
+		if ctx.Stopped() {
+			return nil, rounds, ErrTimeout
+		}
+		if rounds > 64+n {
+			return nil, rounds, fmt.Errorf("lagraph: MIS failed to converge after %d rounds", rounds)
+		}
+		rounds++
+		// Pass 1: prob(v) = random weighted by degree, for candidates only.
+		prob := grb.NewVector[float64](n, grb.Dense)
+		candMask := grb.StructMask(cand)
+		if err := grb.Apply(ctx, prob, candMask, nil, func(float64) float64 { return 0 }, cand, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		prob.ForEach(func(i int, _ float64) {
+			d, _ := deg.ExtractElement(i)
+			prob.SetElement(i, rand01()/(1+d))
+		})
+		// Pass 2: neighborMax(v) = max prob among v's candidate neighbors.
+		neighborMax := grb.NewVector[float64](n, grb.Sorted)
+		if err := grb.VxM(ctx, neighborMax, candMask, nil, grb.MaxFirst[float64](), prob, Af, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		// Pass 3: winners = candidates whose prob beats every neighbor.
+		winners := grb.NewVector[float64](n, grb.Sorted)
+		gt := func(p, nm float64) float64 {
+			if p > nm {
+				return 1
+			}
+			return 0
+		}
+		if err := grb.EWiseMult(ctx, winners, nil, nil, gt, prob, neighborMax, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		// Candidates with NO candidate neighbors (isolated remainders) have
+		// no neighborMax entry: they always join.
+		lonely := grb.NewVector[float64](n, grb.Sorted)
+		if err := grb.SelectVector(ctx, lonely, grb.StructMask(neighborMax).Comp(), func(float64, int, int) bool { return true }, prob, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		joined := grb.NewVector[float64](n, grb.Sorted)
+		keepNonzero := func(v float64, _, _ int) bool { return v != 0 }
+		if err := grb.SelectVector(ctx, joined, nil, keepNonzero, winners, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		lonely.ForEach(func(i int, _ float64) { joined.SetElement(i, 1) })
+		if joined.NVals() == 0 {
+			// Ties can starve a round; retry with fresh randomness.
+			continue
+		}
+		joined.ForEach(func(i int, _ float64) { iset.SetElement(i, true) })
+		// Pass 4: knock out the winners and their neighbors.
+		joinedOnes := grb.NewVector[float64](n, grb.Sorted)
+		if err := grb.Apply(ctx, joinedOnes, nil, nil, func(float64) float64 { return 1 }, joined, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		knocked := grb.NewVector[float64](n, grb.Sorted)
+		if err := grb.VxM(ctx, knocked, nil, nil, grb.MaxFirst[float64](), joinedOnes, Af, grb.Desc{Replace: true}); err != nil {
+			return nil, rounds, err
+		}
+		joined.ForEach(func(i int, _ float64) { cand.RemoveElement(i) })
+		knocked.ForEach(func(i int, _ float64) { cand.RemoveElement(i) })
+	}
+	return iset, rounds, nil
+}
+
+// Members extracts the membership predicate from the MIS result vector.
+func Members(iset *grb.Vector[bool]) []bool {
+	out := make([]bool, iset.Size())
+	iset.ForEach(func(i int, v bool) { out[i] = v })
+	return out
+}

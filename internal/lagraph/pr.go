@@ -1,0 +1,171 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// PageRankOptions configures the pagerank runs; the study uses damping 0.85
+// and exactly 10 iterations.
+type PageRankOptions struct {
+	Damping    float64
+	Iterations int
+}
+
+// DefaultPageRankOptions returns the study's settings.
+func DefaultPageRankOptions() PageRankOptions {
+	return PageRankOptions{Damping: 0.85, Iterations: 10}
+}
+
+// PageRank is the topology-driven LAGraph pagerank of Table II ("gb").
+// Following the study's description, it stores the per-edge pagerank
+// contributions in a materialized matrix each iteration: T = D * A where
+// D = Diag(r ./ outdeg) (exercising GaloisBLAS's diagonal SpGEMM fast
+// path), then reduces T's columns into the importance vector. The edge-data
+// materialization is what the gb-res variant of Figure 3a avoids.
+// A must hold 1.0 per edge; results match verify.PageRank.
+func PageRank(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*grb.Vector[float64], error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, fmt.Errorf("lagraph: PageRank needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if n == 0 {
+		return grb.NewVector[float64](0, grb.Dense), nil
+	}
+	d := opt.Damping
+	A.EnsureCSC() // the dense-vector vxm pulls through columns
+
+	// outdeg and its reciprocal (0 keeps dangling vertices inert).
+	outdeg := grb.ReduceRows(grb.PlusMonoid[float64](), A)
+	invdeg := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, invdeg, nil, nil, 0, grb.Desc{}); err != nil {
+		return nil, err
+	}
+	if err := grb.Apply(ctx, invdeg, nil, nil, func(x float64) float64 { return 1 / x }, outdeg, grb.Desc{}); err != nil {
+		return nil, err
+	}
+	danglingMask := grb.StructMask(outdeg).Comp()
+
+	r := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, r, nil, nil, 1/float64(n), grb.Desc{}); err != nil {
+		return nil, err
+	}
+
+	tmp := grb.NewVector[float64](n, grb.Dense)
+	imp := grb.NewVector[float64](n, grb.Dense)
+	ones := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, ones, nil, nil, 1, grb.Desc{}); err != nil {
+		return nil, err
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		if ctx.Stopped() {
+			return nil, ErrTimeout
+		}
+		// Dangling mass: sum of r over zero-out-degree vertices.
+		dangling := grb.NewVector[float64](n, grb.Sorted)
+		if err := grb.SelectVector(ctx, dangling, danglingMask, func(float64, int, int) bool { return true }, r, grb.Desc{Replace: true}); err != nil {
+			return nil, err
+		}
+		dsum := grb.ReduceVector(grb.PlusMonoid[float64](), dangling)
+
+		// tmp = r ./ outdeg.
+		if err := grb.EWiseMult(ctx, tmp, nil, nil, func(a, b float64) float64 { return a * b }, r, invdeg, grb.Desc{Replace: true}); err != nil {
+			return nil, err
+		}
+		// T = Diag(tmp) * A materializes the contribution of every edge
+		// (the study: "gb uses edge data to store the pagerank
+		// contributions"). The diagonal fast path makes this a row scaling.
+		D := grb.Diag(tmp)
+		T, err := grb.MxM(ctx, nil, grb.PlusTimes[float64](), D, A)
+		if err != nil {
+			return nil, err
+		}
+		// imp(j) = sum_i T(i,j): a column reduction via ones' * T.
+		if err := grb.VxM(ctx, imp, nil, nil, grb.PlusTimes[float64](), ones, T, grb.Desc{Replace: true}); err != nil {
+			return nil, err
+		}
+		// r = (1-d)/n + d*dangling/n + d*imp.
+		base := (1-d)/float64(n) + d*dsum/float64(n)
+		if err := grb.AssignConstant(ctx, r, nil, nil, base, grb.Desc{}); err != nil {
+			return nil, err
+		}
+		if err := grb.Apply(ctx, r, nil, func(a, b float64) float64 { return a + b },
+			func(x float64) float64 { return d * x }, imp, grb.Desc{}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// PageRankResidual is the study's "gb-res" variant (Figure 3a): a residual
+// formulation matching the computation Lonestar's residual pagerank does,
+// written in the matrix API. The two residual operations per iteration
+// (fold the residual into the rank, and divide the residual by out-degree)
+// are separate API calls, so the residual vector is traversed twice — the
+// fusion opportunity the graph API exploits and this API cannot express.
+//
+// It intentionally performs no dangling redistribution, exactly like the
+// Lonestar implementation it mirrors; compare its output against
+// lonestar.PageRankResidual, not verify.PageRank.
+func PageRankResidual(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*grb.Vector[float64], error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, fmt.Errorf("lagraph: PageRankResidual needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if n == 0 {
+		return grb.NewVector[float64](0, grb.Dense), nil
+	}
+	d := opt.Damping
+	base := (1 - d) / float64(n)
+	A.EnsureCSC() // the dense-vector vxm pulls through columns
+
+	outdeg := grb.ReduceRows(grb.PlusMonoid[float64](), A)
+	invdeg := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, invdeg, nil, nil, 0, grb.Desc{}); err != nil {
+		return nil, err
+	}
+	if err := grb.Apply(ctx, invdeg, nil, nil, func(x float64) float64 { return 1 / x }, outdeg, grb.Desc{}); err != nil {
+		return nil, err
+	}
+
+	pr := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, pr, nil, nil, 0, grb.Desc{}); err != nil {
+		return nil, err
+	}
+	res := grb.NewVector[float64](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, res, nil, nil, base, grb.Desc{}); err != nil {
+		return nil, err
+	}
+
+	contrib := grb.NewVector[float64](n, grb.Dense)
+	plus := func(a, b float64) float64 { return a + b }
+	for it := 0; it < opt.Iterations; it++ {
+		if ctx.Stopped() {
+			return nil, ErrTimeout
+		}
+		// Pass 1 over res: pr += res.
+		if err := grb.EWiseAdd(ctx, pr, nil, nil, plus, pr, res, grb.Desc{}); err != nil {
+			return nil, err
+		}
+		// Pass 2 over res: contrib = res ./ outdeg.
+		if err := grb.EWiseMult(ctx, contrib, nil, nil, func(a, b float64) float64 { return a * b }, res, invdeg, grb.Desc{Replace: true}); err != nil {
+			return nil, err
+		}
+		// res = d * (A' contrib).
+		if err := grb.VxM(ctx, res, nil, nil, grb.PlusTimes[float64](), contrib, A, grb.Desc{Replace: true}); err != nil {
+			return nil, err
+		}
+		if err := grb.Apply(ctx, res, nil, nil, func(x float64) float64 { return d * x }, res, grb.Desc{Replace: true}); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// Ranks extracts a dense rank slice for verification (implicit entries 0).
+func Ranks(r *grb.Vector[float64]) []float64 {
+	out := make([]float64, r.Size())
+	r.ForEach(func(i int, v float64) { out[i] = v })
+	return out
+}

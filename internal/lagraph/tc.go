@@ -1,0 +1,74 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"graphstudy/internal/grb"
+)
+
+// TCVariant selects among the study's triangle-counting formulations
+// (Table II uses SandiaDot; Figure 3b adds the sorted and listing variants).
+type TCVariant int
+
+const (
+	// TCSandiaDot is the LAGraph SandiaDot algorithm on the input as given:
+	// C<L> = L * U' under plus_pair, then reduce. Used for Table II ("gb").
+	TCSandiaDot TCVariant = iota
+	// TCSorted runs SandiaDot on the degree-sorted (descending) relabeled
+	// graph; the study's "gb-sort", which does not necessarily help because
+	// the algorithm does not exploit the ordering.
+	TCSorted
+	// TCListing is the triangle-listing formulation in the matrix API
+	// ("gb-ll"): orient each edge from its lower-rank endpoint on the
+	// degree-sorted graph and compute C<O> = O * O' — short rows intersect
+	// short rows, avoiding the high-degree vertices' full lists.
+	TCListing
+)
+
+func (v TCVariant) String() string {
+	switch v {
+	case TCSandiaDot:
+		return "gb"
+	case TCSorted:
+		return "gb-sort"
+	case TCListing:
+		return "gb-ll"
+	}
+	return fmt.Sprintf("TCVariant(%d)", int(v))
+}
+
+// TriangleCount counts triangles of a symmetric boolean adjacency matrix
+// (no self loops) with the selected variant. Degree sorting for TCSorted and
+// TCListing must be applied by the caller (the harness relabels the graph);
+// this function only chooses the formulation.
+//
+// The matrix-API formulation must materialize the L, U', and C matrices —
+// the "materialization" limitation the study measures against Lonestar's
+// fused listing loop, which keeps only a global counter.
+func TriangleCount(ctx *grb.Context, A *grb.Matrix[int64], variant TCVariant) (int64, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return 0, fmt.Errorf("lagraph: TriangleCount needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	switch variant {
+	case TCListing:
+		// O = tril(A): each undirected edge appears once, oriented toward
+		// the lower index (higher degree after the descending relabel).
+		O := A.Tril()
+		OT := O.Transpose()
+		C, err := grb.MxM(ctx, O.Pattern(), grb.PlusPair[int64](), O, OT)
+		if err != nil {
+			return 0, err
+		}
+		return grb.ReduceMatrix(grb.PlusMonoid[int64](), C), nil
+	default:
+		L := A.Tril()
+		U := A.Triu()
+		UT := U.Transpose() // materialized, like LAGraph's GrB_transpose
+		C, err := grb.MxM(ctx, L.Pattern(), grb.PlusPair[int64](), L, UT)
+		if err != nil {
+			return 0, err
+		}
+		return grb.ReduceMatrix(grb.PlusMonoid[int64](), C), nil
+	}
+}

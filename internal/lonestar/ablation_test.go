@@ -1,0 +1,102 @@
+package lonestar
+
+// Ablation benchmarks for the Lonestar-side design choices DESIGN.md calls
+// out: the delta-stepping bucket width, the edge-tiling threshold, and
+// Afforest's neighbor-sampling rounds (via the full-scan SV fallback).
+//
+// Run with: go test ./internal/lonestar -bench Ablation -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+)
+
+func ablationRoad(b *testing.B) *graph.Graph {
+	b.Helper()
+	in, err := gen.ByName("road-USA-W")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in.Build(gen.ScaleTest)
+}
+
+func ablationRMAT(b *testing.B) *graph.Graph {
+	b.Helper()
+	in, err := gen.ByName("rmat22")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in.Build(gen.ScaleTest)
+}
+
+// BenchmarkAblationDelta sweeps the delta-stepping bucket width on a road
+// network: too small degenerates to Dijkstra (priority overhead), too large
+// to Bellman-Ford (wasted relaxations).
+func BenchmarkAblationDelta(b *testing.B) {
+	g := ablationRoad(b)
+	for _, delta := range []uint32{1 << 4, 1 << 8, 1 << 13, 1 << 20} {
+		b.Run(fmt.Sprintf("delta=2^%d", log2(delta)), func(b *testing.B) {
+			o := DefaultSSSPOptions()
+			o.Threads = 4
+			o.Delta = delta
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SSSP(g, 0, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEdgeTiling compares tiled and untiled sssp on a
+// power-law graph, where hub vertices otherwise serialize on one worker.
+func BenchmarkAblationEdgeTiling(b *testing.B) {
+	g := ablationRMAT(b)
+	src := g.MaxOutDegreeVertex()
+	for _, tiling := range []bool{true, false} {
+		b.Run(fmt.Sprintf("tiling=%v", tiling), func(b *testing.B) {
+			o := DefaultSSSPOptions()
+			o.Threads = 4
+			o.EdgeTiling = tiling
+			o.TileSize = 64
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SSSP(g, src, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCCAlgorithm compares Afforest's sampled strategy against
+// the all-edges Shiloach-Vishkin rounds (the ls vs ls-sv split of Figure 3c).
+func BenchmarkAblationCCAlgorithm(b *testing.B) {
+	g := ablationRMAT(b).Symmetrize()
+	g.SortAdjacency()
+	b.Run("afforest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CCAfforest(g, Options{Threads: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shiloach-vishkin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := CCShiloachVishkin(g, Options{Threads: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func log2(v uint32) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

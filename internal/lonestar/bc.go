@@ -1,0 +1,106 @@
+package lonestar
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/graph"
+)
+
+// BC computes betweenness-centrality contributions from the given sources
+// with level-synchronous parallel Brandes — the graph-API counterpart of
+// lagraph.BC. The forward sweep is one fused loop per level (path counting,
+// level stamping, and worklist building together); the backward sweep reuses
+// the level array instead of materializing per-level frontier vectors.
+// Scores are partial sums over the given sources.
+func BC(g *graph.Graph, sources []uint32, opt Options) ([]float64, error) {
+	n := int(g.NumNodes)
+	ex := galois.NewWorkStealing(opt.threads())
+	bc := make([]float64, n)
+
+	levelOf := make([]int32, n)
+	sigma := make([]uint64, n)
+	delta := make([]float64, n)
+	var frontiers [][]uint32
+
+	for _, s := range sources {
+		if s >= g.NumNodes {
+			return nil, fmt.Errorf("lonestar: BC source %d out of range [0,%d)", s, g.NumNodes)
+		}
+		if opt.stopped() {
+			return nil, ErrTimeout
+		}
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			for i := lo; i < hi; i++ {
+				levelOf[i] = -1
+				sigma[i] = 0
+				delta[i] = 0
+			}
+		})
+		levelOf[s] = 0
+		sigma[s] = 1
+		frontiers = frontiers[:0]
+		frontiers = append(frontiers, []uint32{s})
+
+		// Forward: level-synchronous BFS accumulating path counts. One
+		// fused loop discovers vertices, stamps levels, and counts paths.
+		for level := int32(0); len(frontiers[level]) > 0; level++ {
+			curr := frontiers[level]
+			next := galois.NewBag[uint32]()
+			ex.ForRange(len(curr), 0, func(lo, hi int, ctx *galois.Ctx) {
+				var work int64
+				for k := lo; k < hi; k++ {
+					u := curr[k]
+					su := atomic.LoadUint64(&sigma[u])
+					adj := g.OutEdges(u)
+					work += int64(len(adj))
+					for _, v := range adj {
+						lv := atomic.LoadInt32(&levelOf[v])
+						if lv < 0 {
+							if atomic.CompareAndSwapInt32(&levelOf[v], -1, level+1) {
+								next.Push(ctx.TID, v)
+								lv = level + 1
+							} else {
+								lv = atomic.LoadInt32(&levelOf[v])
+							}
+						}
+						if lv == level+1 {
+							atomic.AddUint64(&sigma[v], su)
+						}
+					}
+				}
+				ctx.Work(work)
+			})
+			frontiers = append(frontiers, next.Slice())
+		}
+
+		// Backward: dependency accumulation level by level (no per-level
+		// vector materialization: the shared level array is the mask).
+		for level := int32(len(frontiers) - 2); level >= 0; level-- {
+			curr := frontiers[level]
+			ex.ForRange(len(curr), 0, func(lo, hi int, ctx *galois.Ctx) {
+				var work int64
+				for k := lo; k < hi; k++ {
+					u := curr[k]
+					var acc float64
+					adj := g.OutEdges(u)
+					work += int64(len(adj))
+					for _, v := range adj {
+						if levelOf[v] == level+1 {
+							acc += float64(sigma[u]) / float64(sigma[v]) * (1 + delta[v])
+						}
+					}
+					delta[u] = acc // u is only in one frontier: no races
+				}
+				ctx.Work(work)
+			})
+		}
+		for i := 0; i < n; i++ {
+			if uint32(i) != s {
+				bc[i] += delta[i]
+			}
+		}
+	}
+	return bc, nil
+}

@@ -1,0 +1,51 @@
+package lonestar
+
+import (
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/verify"
+)
+
+func TestBCDiamondPlusTail(t *testing.T) {
+	// 0->1->3, 0->2->3, 3->4: vertex 3 lies on all 0->4 paths.
+	g := graph.FromEdges(5, [][2]uint32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	got, err := BC(g, []uint32{0}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.Betweenness(g, []uint32{0})
+	for i := range want {
+		if d := got[i] - want[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("bc[%d] = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// δ3 = 1 (all 0→4 paths), δ1 = δ2 = ½(1+δ3) = 1, endpoints 0.
+	if got[3] != 1 || got[1] != 1 || got[4] != 0 {
+		t.Fatalf("diamond-tail bc = %v", got)
+	}
+}
+
+func TestBCMatchesReferenceOnSuite(t *testing.T) {
+	for _, name := range []string{"road-USA-W", "rmat22", "twitter40"} {
+		in, _ := gen.ByName(name)
+		g := in.Build(gen.ScaleTest)
+		sources := []uint32{0, g.MaxOutDegreeVertex()}
+		got, err := BC(g, sources, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := verify.Betweenness(g, sources)
+		if d := verify.MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("%s: max bc diff %g", name, d)
+		}
+	}
+}
+
+func TestBCSourceOutOfRange(t *testing.T) {
+	g := graph.FromEdges(2, [][2]uint32{{0, 1}})
+	if _, err := BC(g, []uint32{7}, opts()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}

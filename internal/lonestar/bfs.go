@@ -1,0 +1,80 @@
+package lonestar
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/perfmodel"
+)
+
+// InfDist marks unreachable vertices in 32-bit distance arrays.
+const InfDist = math.MaxUint32
+
+// BFS is the study's Algorithm 1: round-based data-driven breadth-first
+// search with two worklists (curr/next). The single fused loop per round
+// reads the frontier, tests and writes the neighbor's level, and builds the
+// next worklist in one pass — the composite operator the matrix API needs
+// three passes to express.
+//
+// The result uses the canonical form: source level 0, InfDist unreachable.
+func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, int, error) {
+	if src >= g.NumNodes {
+		return nil, 0, fmt.Errorf("lonestar: BFS source %d out of range [0,%d)", src, g.NumNodes)
+	}
+	t := opt.threads()
+	ex := galois.NewWorkStealing(t)
+	slot := perfmodel.NewSlot()  // label array
+	gslot := perfmodel.NewSlot() // graph CSR arrays
+
+	dist := make([]uint32, g.NumNodes)
+	ex.ForRange(int(g.NumNodes), 0, func(lo, hi int, ctx *galois.Ctx) {
+		for i := lo; i < hi; i++ {
+			dist[i] = InfDist
+		}
+	})
+	atomic.StoreUint32(&dist[src], 0)
+
+	curr := galois.NewBag[uint32]()
+	next := galois.NewBag[uint32]()
+	next.Push(0, src)
+
+	level := uint32(0)
+	rounds := 0
+	c := perfmodel.Get()
+	for !next.Empty() {
+		if opt.stopped() {
+			return nil, rounds, ErrTimeout
+		}
+		rounds++
+		curr, next = next, curr
+		next.Clear()
+		level++
+		curr.ForAll(ex, func(u uint32, ctx *galois.Ctx) {
+			adj := g.OutEdges(u)
+			ctx.Work(int64(len(adj)))
+			if c != nil {
+				c.Load(gslot, perfmodel.KRowPtr, int(u), 8)
+				c.LoadRange(gslot, perfmodel.KColIdx, int(g.RowPtr[u]), len(adj), 4)
+				c.Instr(len(adj))
+			}
+			for _, v := range adj {
+				if c != nil {
+					c.Load(slot, perfmodel.KLabels, int(v), 4)
+					c.Instr(1)
+				}
+				if atomic.LoadUint32(&dist[v]) == InfDist {
+					if atomic.CompareAndSwapUint32(&dist[v], InfDist, level) {
+						next.Push(ctx.TID, v)
+						if c != nil {
+							c.Store(slot, perfmodel.KLabels, int(v), 4)
+						}
+					}
+				}
+			}
+		})
+	}
+	return dist, rounds, nil
+}

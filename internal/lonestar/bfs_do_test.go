@@ -1,0 +1,50 @@
+package lonestar
+
+import (
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/verify"
+)
+
+func TestBFSDirectionOptimizedMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		src := g.MaxOutDegreeVertex()
+		want := verify.BFSLevels(g, src)
+		got, rounds, _, err := BFSDirectionOptimized(g, src, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if rounds < 1 {
+			t.Fatalf("%s: rounds = %d", gname, rounds)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: level[%d] = %d, want %d", gname, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBFSDirectionOptimizedUsesPullOnDenseFrontier(t *testing.T) {
+	// A power-law graph reached from its hub floods most vertices in one
+	// round, which must trigger at least one pull round.
+	in, _ := gen.ByName("rmat22")
+	g := in.Build(gen.ScaleTest)
+	src := g.MaxOutDegreeVertex()
+	_, _, pulls, err := BFSDirectionOptimized(g, src, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulls == 0 {
+		t.Fatal("expected at least one pull round on a flooding frontier")
+	}
+}
+
+func TestBFSDirectionOptimizedErrors(t *testing.T) {
+	g := graph.FromEdges(2, [][2]uint32{{0, 1}})
+	if _, _, _, err := BFSDirectionOptimized(g, 9, opts()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}

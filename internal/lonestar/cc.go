@@ -1,0 +1,206 @@
+package lonestar
+
+import (
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/perfmodel"
+)
+
+// ccFind follows parent pointers to the root with path halving; safe under
+// concurrent links because parents only ever decrease.
+func ccFind(comp []uint32, u uint32) uint32 {
+	for {
+		p := atomic.LoadUint32(&comp[u])
+		if p == u {
+			return u
+		}
+		gp := atomic.LoadUint32(&comp[p])
+		if p == gp {
+			return p
+		}
+		atomic.CompareAndSwapUint32(&comp[u], p, gp)
+		u = gp
+	}
+}
+
+// ccLink merges the components of u and v with lock-free hooking: the larger
+// root is pointed at the smaller. This is the fine-grained vertex operation
+// the study highlights as inexpressible in the matrix API.
+func ccLink(comp []uint32, u, v uint32) {
+	p1 := atomic.LoadUint32(&comp[u])
+	p2 := atomic.LoadUint32(&comp[v])
+	for p1 != p2 {
+		hi, lo := p1, p2
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if atomic.CompareAndSwapUint32(&comp[hi], hi, lo) {
+			return
+		}
+		p1 = atomic.LoadUint32(&comp[atomic.LoadUint32(&comp[hi])])
+		p2 = atomic.LoadUint32(&comp[lo])
+	}
+}
+
+// ccCompress pointer-jumps every vertex to its root; unbounded jumping per
+// vertex (Gauss-Seidel: freshly shortened parents are visible immediately).
+func ccCompress(ex galois.Executor, comp []uint32) {
+	ex.ForRange(len(comp), 0, func(lo, hi int, ctx *galois.Ctx) {
+		for u := lo; u < hi; u++ {
+			for {
+				p := atomic.LoadUint32(&comp[u])
+				pp := atomic.LoadUint32(&comp[p])
+				if p == pp {
+					break
+				}
+				atomic.StoreUint32(&comp[uint32(u)], pp)
+			}
+		}
+	})
+}
+
+// CCAfforest computes connected components with the Afforest algorithm
+// (Sutton, Ben-Nun, Barak), the Lonestar choice of Table II: link a small
+// fixed number of sampled neighbors per vertex, identify the giant component
+// by sampling vertices, then finish only the vertices outside it. Most
+// vertices are touched a constant number of times — work the bulk matrix
+// formulation cannot skip.
+//
+// g must be symmetric (both edge directions present).
+func CCAfforest(g *graph.Graph, opt Options) ([]uint32, error) {
+	const neighborRounds = 2
+	const sampleSize = 1024
+	n := int(g.NumNodes)
+	ex := galois.NewWorkStealing(opt.threads())
+	slot := perfmodel.NewSlot()
+	c := perfmodel.Get()
+
+	comp := make([]uint32, n)
+	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+		for i := lo; i < hi; i++ {
+			comp[i] = uint32(i)
+		}
+	})
+
+	// Phase 1: neighbor sampling — link each vertex with its r-th neighbor.
+	for r := 0; r < neighborRounds; r++ {
+		if opt.stopped() {
+			return nil, ErrTimeout
+		}
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			var work int64
+			for u := lo; u < hi; u++ {
+				adj := g.OutEdges(uint32(u))
+				if r < len(adj) {
+					ccLink(comp, uint32(u), adj[r])
+					work++
+					if c != nil {
+						c.Load(slot, perfmodel.KLabels, u, 4)
+						c.Store(slot, perfmodel.KLabels, int(adj[r]), 4)
+						c.Instr(4)
+					}
+				}
+			}
+			ctx.Work(work)
+		})
+		ccCompress(ex, comp)
+	}
+
+	// Phase 2: sample vertices to find the most frequent component.
+	counts := map[uint32]int{}
+	step := n/sampleSize + 1
+	for u := 0; u < n; u += step {
+		counts[ccFind(comp, uint32(u))]++
+	}
+	var giant uint32
+	best := -1
+	for root, cnt := range counts {
+		if cnt > best {
+			giant, best = root, cnt
+		}
+	}
+
+	// Phase 3: finish vertices outside the giant component with a full
+	// neighbor scan (skipping the already-settled majority).
+	if opt.stopped() {
+		return nil, ErrTimeout
+	}
+	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+		var work int64
+		for u := lo; u < hi; u++ {
+			if ccFind(comp, uint32(u)) == giant {
+				continue
+			}
+			adj := g.OutEdges(uint32(u))
+			work += int64(len(adj))
+			if c != nil {
+				c.LoadRange(slot, perfmodel.KLabels, u, len(adj), 4)
+				c.Instr(2 * len(adj))
+			}
+			for e := neighborRounds; e < len(adj); e++ {
+				ccLink(comp, uint32(u), adj[e])
+			}
+		}
+		ctx.Work(work)
+	})
+	ccCompress(ex, comp)
+	return comp, nil
+}
+
+// CCShiloachVishkin is the study's "ls-sv" variant (Figure 3c):
+// Shiloach-Vishkin hooking and unbounded pointer jumping over all edges
+// every round. Unlike the matrix FastSV, the jumping is asynchronous —
+// a freshly short-circuited parent is visible to other vertices in the same
+// round, which is why it beats the matrix version on high-diameter graphs.
+func CCShiloachVishkin(g *graph.Graph, opt Options) ([]uint32, int, error) {
+	n := int(g.NumNodes)
+	ex := galois.NewWorkStealing(opt.threads())
+	slot := perfmodel.NewSlot()
+	c := perfmodel.Get()
+
+	comp := make([]uint32, n)
+	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+		for i := lo; i < hi; i++ {
+			comp[i] = uint32(i)
+		}
+	})
+
+	rounds := 0
+	for {
+		if opt.stopped() {
+			return nil, rounds, ErrTimeout
+		}
+		rounds++
+		var changed atomic.Bool
+		// Hook: point the larger root at the smaller across every edge.
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			var work int64
+			for u := lo; u < hi; u++ {
+				adj := g.OutEdges(uint32(u))
+				work += int64(len(adj))
+				if c != nil {
+					c.LoadRange(slot, perfmodel.KLabels, u, len(adj), 4)
+					c.Instr(3 * len(adj))
+				}
+				for _, v := range adj {
+					cu := atomic.LoadUint32(&comp[u])
+					cv := atomic.LoadUint32(&comp[v])
+					if cu < cv && cv == atomic.LoadUint32(&comp[cv]) {
+						if atomic.CompareAndSwapUint32(&comp[cv], cv, cu) {
+							changed.Store(true)
+						}
+					}
+				}
+			}
+			ctx.Work(work)
+		})
+		// Jump: unbounded pointer jumping.
+		ccCompress(ex, comp)
+		if !changed.Load() {
+			break
+		}
+	}
+	return comp, rounds, nil
+}

@@ -1,0 +1,92 @@
+package lonestar
+
+import (
+	"reflect"
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/verify"
+)
+
+func TestKCoreMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		want := verify.KCore(sym)
+		got, err := KCore(sym, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: coreness differs", gname)
+		}
+	}
+}
+
+func TestKCoreCliqueAndIsolated(t *testing.T) {
+	var edges [][2]uint32
+	for i := uint32(0); i < 4; i++ {
+		for j := uint32(0); j < 4; j++ {
+			if i != j {
+				edges = append(edges, [2]uint32{i, j})
+			}
+		}
+	}
+	g := graph.FromEdges(5, edges) // K4 plus isolated vertex 4
+	got, err := KCore(g, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint32{3, 3, 3, 3, 0}) {
+		t.Fatalf("coreness = %v", got)
+	}
+}
+
+func TestMISIsMaximalIndependent(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		for _, seed := range []uint64{3, 99} {
+			set, rounds, err := MIS(sym, seed, opts())
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", gname, seed, err)
+			}
+			if rounds < 1 {
+				t.Fatal("no rounds")
+			}
+			if err := verify.CheckIndependentSet(sym, set); err != nil {
+				t.Fatalf("%s seed=%d: %v", gname, seed, err)
+			}
+		}
+	}
+}
+
+func TestMISDeterministicPerSeed(t *testing.T) {
+	in, _ := gen.ByName("rmat22")
+	g := in.Build(gen.ScaleTest).Symmetrize()
+	g.SortAdjacency()
+	a, _, err := MIS(g, 5, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MIS(g, 5, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed gave different sets")
+	}
+}
+
+func TestMISPath(t *testing.T) {
+	// Path 0-1-2: any MIS must contain 0 and 2 OR just 1.
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 0}, {1, 2}, {2, 1}})
+	set, _, err := MIS(g, 11, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckIndependentSet(g, set); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package lonestar
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/graph"
+)
+
+// KCore computes the coreness of every vertex of a symmetric graph in the
+// graph API: bucket peeling where, within one k level, removals cascade
+// asynchronously — a vertex whose degree drops to k is peeled by whichever
+// worker observes it, with no round barrier (contrast lagraph.KCore's
+// strictly round-based peeling).
+func KCore(g *graph.Graph, opt Options) ([]uint32, error) {
+	n := int(g.NumNodes)
+	ex := galois.NewWorkStealing(opt.threads())
+
+	deg := make([]int32, n)
+	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+		for i := lo; i < hi; i++ {
+			deg[i] = int32(g.OutDegree(uint32(i)))
+		}
+	})
+	core := make([]uint32, n)
+	peeled := make([]uint32, n) // 0 = alive, 1 = peeled
+	remaining := int64(n)
+
+	for k := int32(0); remaining > 0; k++ {
+		if opt.stopped() {
+			return nil, ErrTimeout
+		}
+		// Seed: every alive vertex already at or below the threshold.
+		var seeds []uint32
+		for v := 0; v < n; v++ {
+			if atomic.LoadUint32(&peeled[v]) == 0 && atomic.LoadInt32(&deg[v]) <= k {
+				seeds = append(seeds, uint32(v))
+			}
+		}
+		var removedCount atomic.Int64
+		kk := k
+		galois.ForEach(opt.threads(), seeds, func(v uint32, ctx *galois.ForEachCtx[uint32]) {
+			// Claim the vertex: exactly one worker peels it.
+			if !atomic.CompareAndSwapUint32(&peeled[v], 0, 1) {
+				return
+			}
+			core[v] = uint32(kk)
+			removedCount.Add(1)
+			adj := g.OutEdges(v)
+			ctx.Work(int64(len(adj)))
+			for _, u := range adj {
+				if atomic.LoadUint32(&peeled[u]) == 1 {
+					continue
+				}
+				// The decrement may drop u to the threshold: cascade now,
+				// inside the same k level (no barrier).
+				if atomic.AddInt32(&deg[u], -1) <= kk {
+					ctx.Push(u)
+				}
+			}
+		})
+		remaining -= removedCount.Load()
+	}
+	// Sanity: the cascade must have consumed everything.
+	for v := 0; v < n; v++ {
+		if peeled[v] == 0 {
+			return nil, fmt.Errorf("lonestar: KCore left vertex %d unpeeled", v)
+		}
+	}
+	return core, nil
+}

@@ -1,0 +1,149 @@
+package lonestar
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/perfmodel"
+)
+
+// KTrussResult reports the k-truss outcome and round count.
+type KTrussResult struct {
+	// Edges is the number of surviving directed edges.
+	Edges int64
+	// Rounds counts peel rounds. Because removals are immediately visible
+	// to all workers within a round (Gauss-Seidel), Lonestar converges in
+	// fewer rounds than the bulk matrix formulation (study: gb runs ~1.6x
+	// more rounds).
+	Rounds int
+}
+
+// KTruss computes the k-truss of a symmetric, sorted-adjacency graph with
+// no self loops. Each round scans the alive edges, counts each edge's
+// support by intersecting the live adjacencies of its endpoints, and kills
+// under-supported edges in place — a removal is seen by every subsequent
+// support computation in the same round.
+func KTruss(g *graph.Graph, k uint32, opt Options) (KTrussResult, error) {
+	if k < 3 {
+		return KTrussResult{Edges: int64(g.NumEdges())}, nil
+	}
+	m := int(g.NumEdges())
+	ex := galois.NewWorkStealing(opt.threads())
+	slot := perfmodel.NewSlot()
+	c := perfmodel.Get()
+
+	// rev[e] is the index of the reverse edge of e; alive flags are shared
+	// by both directions through the canonical (smaller) index.
+	rev := make([]int64, m)
+	ex.ForRange(int(g.NumNodes), 0, func(lo, hi int, ctx *galois.Ctx) {
+		for ui := lo; ui < hi; ui++ {
+			u := uint32(ui)
+			base := g.RowPtr[u]
+			for i, v := range g.OutEdges(u) {
+				e := int64(base) + int64(i)
+				adjV := g.OutEdges(v)
+				p := sort.Search(len(adjV), func(x int) bool { return adjV[x] >= u })
+				rev[e] = int64(g.RowPtr[v]) + int64(p)
+			}
+		}
+	})
+
+	alive := make([]uint32, m)
+	ex.ForRange(m, 0, func(lo, hi int, ctx *galois.Ctx) {
+		for e := lo; e < hi; e++ {
+			alive[e] = 1
+		}
+	})
+	isAlive := func(e int64) bool { return atomic.LoadUint32(&alive[e]) == 1 }
+	kill := func(e int64) {
+		atomic.StoreUint32(&alive[e], 0)
+		atomic.StoreUint32(&alive[rev[e]], 0)
+	}
+
+	threshold := int64(k - 2)
+	res := KTrussResult{}
+	for {
+		if opt.stopped() {
+			return res, ErrTimeout
+		}
+		res.Rounds++
+		var removed atomic.Int64
+		ex.ForRange(int(g.NumNodes), 0, func(lo, hi int, ctx *galois.Ctx) {
+			var work int64
+			for ui := lo; ui < hi; ui++ {
+				u := uint32(ui)
+				baseU := int64(g.RowPtr[u])
+				adjU := g.OutEdges(u)
+				for i, v := range adjU {
+					if v <= u {
+						continue // process each undirected edge once
+					}
+					e := baseU + int64(i)
+					if !isAlive(e) {
+						continue
+					}
+					// support(u,v) = |live N(u) ∩ live N(v)|.
+					adjV := g.OutEdges(v)
+					baseV := int64(g.RowPtr[v])
+					work += int64(len(adjU) + len(adjV))
+					if c != nil {
+						c.LoadRange(slot, perfmodel.KColIdx, int(baseU), len(adjU), 4)
+						c.LoadRange(slot, perfmodel.KColIdx, int(baseV), len(adjV), 4)
+						c.Instr(len(adjU) + len(adjV))
+					}
+					var support int64
+					x, y := 0, 0
+				merge:
+					for x < len(adjU) && y < len(adjV) {
+						a, b := adjU[x], adjV[y]
+						switch {
+						case a < b:
+							x++
+						case a > b:
+							y++
+						default:
+							if isAlive(baseU+int64(x)) && isAlive(baseV+int64(y)) {
+								support++
+								if support >= threshold {
+									break merge
+								}
+							}
+							x++
+							y++
+						}
+					}
+					if support < threshold {
+						kill(e) // immediately visible (Gauss-Seidel)
+						removed.Add(1)
+						if c != nil {
+							c.Store(slot, perfmodel.KAux, int(e), 4)
+						}
+					}
+				}
+			}
+			ctx.Work(work)
+		})
+		if removed.Load() == 0 {
+			break
+		}
+	}
+	var edges int64
+	for e := 0; e < m; e++ {
+		if alive[e] == 1 {
+			edges++
+		}
+	}
+	res.Edges = edges
+	return res, nil
+}
+
+// errNotSymmetric helps tests give a clear failure on bad inputs.
+func errNotSymmetric(g *graph.Graph) error {
+	if err := validateSymmetricSorted(g); err != nil {
+		return fmt.Errorf("lonestar: ktruss precondition: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package lonestar implements the six study workloads against the graph API
+// of internal/graph and the parallel runtime of internal/galois, mirroring
+// the Lonestar benchmark suite: fused operator loops over worklists, atomic
+// fine-grained vertex updates, asynchronous priority scheduling, and
+// algorithm choices (Afforest, residual pagerank, async delta-stepping,
+// degree-sorted triangle listing) that the matrix API cannot express.
+package lonestar
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"graphstudy/internal/galois"
+)
+
+// ErrTimeout is returned when a round loop observes the Stop flag.
+var ErrTimeout = errors.New("lonestar: computation canceled by timeout")
+
+// Options configures a Lonestar run.
+type Options struct {
+	// Threads is the worker count (<= 0 uses the configured default).
+	Threads int
+	// Stop, when non-nil and set, cancels round loops (2-hour-timeout
+	// analog).
+	Stop *atomic.Bool
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return galois.Threads()
+}
+
+func (o Options) stopped() bool { return o.Stop != nil && o.Stop.Load() }
+
+// minCASUint32 atomically lowers *addr to val, returning true if it changed
+// the stored value. This is the fine-grained vertex update at the heart of
+// the graph API's advantage: one label write, no bulk pass.
+func minCASUint32(addr *uint32, val uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if old <= val {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, val) {
+			return true
+		}
+	}
+}
+
+// minCASUint64 is minCASUint32 for 64-bit distances.
+func minCASUint64(addr *uint64, val uint64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if old <= val {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, val) {
+			return true
+		}
+	}
+}

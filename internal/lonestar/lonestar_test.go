@@ -1,0 +1,249 @@
+package lonestar
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/verify"
+)
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	for _, name := range []string{"road-USA-W", "rmat22", "twitter40"} {
+		in, err := gen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = in.Build(gen.ScaleTest)
+	}
+	return out
+}
+
+func opts() Options { return Options{Threads: 4} }
+
+func TestBFSMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		src := g.MaxOutDegreeVertex()
+		want := verify.BFSLevels(g, src)
+		got, rounds, err := BFS(g, src, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if rounds < 1 {
+			t.Fatalf("%s: rounds = %d", gname, rounds)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: level[%d] = %d, want %d", gname, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBFSSourceOutOfRange(t *testing.T) {
+	g := graph.FromEdges(2, [][2]uint32{{0, 1}})
+	if _, _, err := BFS(g, 5, opts()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestBFSTimeout(t *testing.T) {
+	g := graph.FromEdges(2, [][2]uint32{{0, 1}})
+	o := opts()
+	o.Stop = &atomic.Bool{}
+	o.Stop.Store(true)
+	if _, _, err := BFS(g, 0, o); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCCAfforestMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		want := verify.Components(sym)
+		got, err := CCAfforest(sym, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if !verify.SamePartition(got, want) {
+			t.Fatalf("%s: afforest partition differs (%d vs %d comps)", gname,
+				verify.NumComponents(got), verify.NumComponents(want))
+		}
+	}
+}
+
+func TestCCShiloachVishkinMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		want := verify.Components(sym)
+		got, rounds, err := CCShiloachVishkin(sym, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if rounds < 1 {
+			t.Fatalf("%s: rounds = %d", gname, rounds)
+		}
+		if !verify.SamePartition(got, want) {
+			t.Fatalf("%s: sv partition differs", gname)
+		}
+	}
+}
+
+func TestCCManyIsolatedComponents(t *testing.T) {
+	// 100 singletons plus one pair: Afforest's giant-component skip must
+	// not mislabel anything.
+	g := graph.FromEdges(102, [][2]uint32{{100, 101}, {101, 100}})
+	want := verify.Components(g)
+	got, err := CCAfforest(g, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.SamePartition(got, want) {
+		t.Fatal("afforest wrong on isolated vertices")
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		src := g.MaxOutDegreeVertex()
+		want := verify.Dijkstra(g, src)
+		for _, tiling := range []bool{true, false} {
+			o := DefaultSSSPOptions()
+			o.Threads = 4
+			o.EdgeTiling = tiling
+			o.TileSize = 8 // tiny tiles to exercise tiling on test graphs
+			got, applied, err := SSSP(g, src, o)
+			if err != nil {
+				t.Fatalf("%s tiling=%v: %v", gname, tiling, err)
+			}
+			if applied < 1 {
+				t.Fatalf("%s: no operator applications", gname)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s tiling=%v: dist[%d] = %d, want %d", gname, tiling, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSSSPSmallDelta(t *testing.T) {
+	// Delta 1 degenerates to Dijkstra-like bucket-per-distance; still exact.
+	g := graph.FromWeightedEdges(4, [][3]uint32{{0, 1, 3}, {1, 2, 4}, {0, 2, 9}, {2, 3, 1}})
+	o := DefaultSSSPOptions()
+	o.Delta = 1
+	got, _, err := SSSP(g, 0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.Dijkstra(g, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSSSPErrors(t *testing.T) {
+	g := graph.FromEdges(2, [][2]uint32{{0, 1}}) // unweighted
+	o := DefaultSSSPOptions()
+	if _, _, err := SSSP(g, 0, o); err == nil {
+		t.Fatal("unweighted graph accepted")
+	}
+	gw := graph.FromWeightedEdges(2, [][3]uint32{{0, 1, 1}})
+	o.Delta = 0
+	if _, _, err := SSSP(gw, 0, o); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+}
+
+func TestPageRankResidualMatchesLAGraphFormulation(t *testing.T) {
+	// AoS and SoA variants must agree exactly with each other and closely
+	// with the reference on a dangling-free graph.
+	in, _ := gen.ByName("road-USA-W")
+	g := in.Build(gen.ScaleTest)
+	o := DefaultPageRankOptions()
+	o.Threads = 4
+	aos, err := PageRankResidual(g, o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa, err := PageRankResidual(g, o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := verify.MaxAbsDiff(aos, soa); d > 1e-14 {
+		t.Fatalf("AoS and SoA differ: %g", d)
+	}
+	oLong := o
+	oLong.Iterations = 120
+	long, err := PageRankResidual(g, oLong, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verify.PageRank(g, 0.85, 120)
+	if d := verify.MaxAbsDiff(long, want); d > 1e-8 {
+		t.Fatalf("residual pagerank diverges: %g", d)
+	}
+}
+
+func TestTriangleCountMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		want := int64(verify.TriangleCount(sym))
+		sorted := SortByDegree(sym)
+		if err := validateSymmetricSorted(sorted); err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		got, err := TriangleCount(sorted, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", gname, err)
+		}
+		if got != want {
+			t.Fatalf("%s: triangles = %d, want %d", gname, got, want)
+		}
+	}
+}
+
+func TestTriangleCountEmpty(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	got, err := TriangleCount(g, opts())
+	if err != nil || got != 0 {
+		t.Fatalf("empty graph: %d, %v", got, err)
+	}
+}
+
+func TestKTrussMatchesReference(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		sym := g.Symmetrize()
+		sym.SortAdjacency()
+		if err := errNotSymmetric(sym); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []uint32{3, 4} {
+			want := int64(verify.KTrussEdges(sym, k))
+			res, err := KTruss(sym, k, opts())
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", gname, k, err)
+			}
+			if res.Edges != want {
+				t.Fatalf("%s k=%d: edges = %d, want %d", gname, k, res.Edges, want)
+			}
+		}
+	}
+}
+
+func TestKTrussTrivialK(t *testing.T) {
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 0}})
+	res, err := KTruss(g, 2, opts())
+	if err != nil || res.Edges != 2 {
+		t.Fatalf("k=2 should keep everything: %+v %v", res, err)
+	}
+}

@@ -1,0 +1,187 @@
+package lonestar
+
+import (
+	"fmt"
+
+	"graphstudy/internal/galois"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/perfmodel"
+)
+
+// PageRankOptions mirrors the study's settings: damping 0.85, exactly 10
+// iterations.
+type PageRankOptions struct {
+	Options
+	Damping    float64
+	Iterations int
+}
+
+// DefaultPageRankOptions returns the study's settings.
+func DefaultPageRankOptions() PageRankOptions {
+	return PageRankOptions{Damping: 0.85, Iterations: 10}
+}
+
+// prNode is the array-of-structures vertex record of the "ls" variant: the
+// fields the residual operator touches together live in one cache line,
+// the locality advantage Figure 3a attributes to ls over ls-soa. The rank
+// and inverse out-degree are read in the same fused loop that consumes the
+// residual.
+type prNode struct {
+	rank     float64
+	residual float64
+	delta    float64
+	invdeg   float64
+}
+
+// PageRankResidual is Lonestar's synchronous residual pagerank ("ls"):
+// per iteration, ONE fused pass over vertices folds the residual into the
+// rank and computes the out-contribution (the matrix API needs two separate
+// passes), and one edge pass gathers neighbor contributions into the next
+// residual. soa selects the structure-of-arrays layout ("ls-soa") used by
+// the differential analysis; the default AoS layout is the Table II code.
+//
+// No dangling redistribution is performed, matching the Lonestar program;
+// compare against lagraph.PageRankResidual for cross-system checks.
+func PageRankResidual(g *graph.Graph, opt PageRankOptions, soa bool) ([]float64, error) {
+	if opt.Iterations < 0 {
+		return nil, fmt.Errorf("lonestar: negative iteration count")
+	}
+	if soa {
+		return prResidualSoA(g, opt)
+	}
+	return prResidualAoS(g, opt)
+}
+
+func prResidualAoS(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
+	n := int(g.NumNodes)
+	d := opt.Damping
+	base := (1 - d) / float64(n)
+	ex := galois.NewWorkStealing(opt.threads())
+	slot := perfmodel.NewSlot()
+	c := perfmodel.Get()
+	g.BuildIn()
+
+	nodes := make([]prNode, n)
+	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+		for i := lo; i < hi; i++ {
+			nodes[i].residual = base
+			if deg := g.OutDegree(uint32(i)); deg > 0 {
+				nodes[i].invdeg = 1 / float64(deg)
+			}
+		}
+	})
+
+	for it := 0; it < opt.Iterations; it++ {
+		if opt.stopped() {
+			return nil, ErrTimeout
+		}
+		// Fused pass: rank update AND contribution computation in one loop
+		// over one struct — a single traversal of the vertex data.
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			for i := lo; i < hi; i++ {
+				nd := &nodes[i]
+				nd.rank += nd.residual
+				nd.delta = d * nd.residual * nd.invdeg
+				nd.residual = 0
+				if c != nil {
+					c.Load(slot, perfmodel.KLabels, i, 32)
+					c.Store(slot, perfmodel.KLabels, i, 32)
+					c.Instr(3)
+				}
+			}
+		})
+		// Gather pass: pull neighbor deltas through in-edges.
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			var work int64
+			for i := lo; i < hi; i++ {
+				var sum float64
+				in := g.InEdges(uint32(i))
+				work += int64(len(in))
+				if c != nil {
+					c.LoadRange(slot, perfmodel.KColIdx, int(g.InRowPtr[i]), len(in), 4)
+					c.Instr(len(in))
+				}
+				for _, u := range in {
+					sum += nodes[u].delta
+					if c != nil {
+						c.Load(slot, perfmodel.KLabels, int(u), 32)
+					}
+				}
+				nodes[i].residual = sum
+			}
+			ctx.Work(work)
+		})
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = nodes[i].rank
+	}
+	return out, nil
+}
+
+func prResidualSoA(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
+	n := int(g.NumNodes)
+	d := opt.Damping
+	base := (1 - d) / float64(n)
+	ex := galois.NewWorkStealing(opt.threads())
+	slot := perfmodel.NewSlot()
+	dslot := perfmodel.NewSlot()
+	c := perfmodel.Get()
+	g.BuildIn()
+
+	rank := make([]float64, n)
+	residual := make([]float64, n)
+	delta := make([]float64, n)
+	invdeg := make([]float64, n)
+	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+		for i := lo; i < hi; i++ {
+			residual[i] = base
+			if deg := g.OutDegree(uint32(i)); deg > 0 {
+				invdeg[i] = 1 / float64(deg)
+			}
+		}
+	})
+
+	for it := 0; it < opt.Iterations; it++ {
+		if opt.stopped() {
+			return nil, ErrTimeout
+		}
+		// Same fused loop, but rank/residual/delta/invdeg live in four
+		// separate arrays: four streams instead of one (ls-soa).
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			for i := lo; i < hi; i++ {
+				rank[i] += residual[i]
+				delta[i] = d * residual[i] * invdeg[i]
+				residual[i] = 0
+				if c != nil {
+					c.Load(slot, perfmodel.KVecVals, i, 8)
+					c.Load(slot, perfmodel.KAux, i, 8)
+					c.Store(dslot, perfmodel.KVecVals, i, 8)
+					c.Store(slot, perfmodel.KVecVals, i, 8)
+					c.Instr(3)
+				}
+			}
+		})
+		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
+			var work int64
+			for i := lo; i < hi; i++ {
+				var sum float64
+				in := g.InEdges(uint32(i))
+				work += int64(len(in))
+				if c != nil {
+					c.LoadRange(slot, perfmodel.KColIdx, int(g.InRowPtr[i]), len(in), 4)
+					c.Instr(len(in))
+				}
+				for _, u := range in {
+					sum += delta[u]
+					if c != nil {
+						c.Load(dslot, perfmodel.KVecVals, int(u), 8)
+					}
+				}
+				residual[i] = sum
+			}
+			ctx.Work(work)
+		})
+	}
+	return rank, nil
+}

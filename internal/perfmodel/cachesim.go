@@ -1,0 +1,141 @@
+// Package perfmodel is the software substitute for the Intel CapeScripts
+// hardware-counter tooling used by the study. The original collected
+// instruction counts and L1/L2/L3/DRAM access counts from performance
+// counters on a 56-core Xeon; here, instrumented kernels report abstract
+// instructions and memory accesses to a Collector, and a set-associative
+// inclusive LRU cache hierarchy simulator classifies each access by the
+// level that serves it.
+//
+// Tables IV and V of the study report GB/LS *ratios* of these counters,
+// which is exactly what a software model preserves: more passes over the
+// data, more materialized intermediates, and more rounds show up as
+// proportionally more instructions and deeper-level accesses regardless of
+// the machine.
+package perfmodel
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	SizeKB   int
+	Ways     int
+	LineSize int
+}
+
+// DefaultHierarchy mirrors the study machine's per-core L1/L2 and a scaled
+// shared L3 (Xeon Gold 5120: 32 KB L1d, 1 MB L2, ~19 MB L3).
+func DefaultHierarchy() []CacheConfig {
+	return []CacheConfig{
+		{Name: "L1", SizeKB: 32, Ways: 8, LineSize: 64},
+		{Name: "L2", SizeKB: 1024, Ways: 16, LineSize: 64},
+		{Name: "L3", SizeKB: 19 * 1024, Ways: 16, LineSize: 64},
+	}
+}
+
+// cacheLevel is one set-associative LRU cache. Tags are stored per set in
+// most-recently-used-first order.
+type cacheLevel struct {
+	lineBits uint
+	setMask  uint64
+	ways     int
+	tags     [][]uint64 // tags[set] holds up to ways line addresses, MRU first
+}
+
+func newCacheLevel(cfg CacheConfig) *cacheLevel {
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineSize {
+		lineBits++
+	}
+	lines := cfg.SizeKB * 1024 / cfg.LineSize
+	sets := lines / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for cheap masking.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	tags := make([][]uint64, p)
+	for i := range tags {
+		tags[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return &cacheLevel{lineBits: lineBits, setMask: uint64(p - 1), ways: cfg.Ways, tags: tags}
+}
+
+// access looks up the line containing addr; it returns true on hit. On miss
+// the line is installed (evicting the LRU way if needed).
+func (c *cacheLevel) access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := line & c.setMask
+	ways := c.tags[set]
+	for i, t := range ways {
+		if t == line {
+			// Move to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	if len(ways) < c.ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.tags[set] = ways
+	return false
+}
+
+// reset empties the cache.
+func (c *cacheLevel) reset() {
+	for i := range c.tags {
+		c.tags[i] = c.tags[i][:0]
+	}
+}
+
+// CacheSim simulates an inclusive multi-level hierarchy. Accesses[i] counts
+// lookups at level i; an access that misses every level counts once in
+// DRAMAccesses. CacheSim is not safe for concurrent use: traced runs are
+// single-threaded by design (see Collector).
+type CacheSim struct {
+	levels []*cacheLevel
+	names  []string
+
+	Accesses     []uint64
+	DRAMAccesses uint64
+}
+
+// NewCacheSim builds a simulator from level configs (outermost last).
+func NewCacheSim(cfgs []CacheConfig) *CacheSim {
+	s := &CacheSim{}
+	for _, cfg := range cfgs {
+		s.levels = append(s.levels, newCacheLevel(cfg))
+		s.names = append(s.names, cfg.Name)
+	}
+	s.Accesses = make([]uint64, len(s.levels))
+	return s
+}
+
+// Access simulates one memory access at addr.
+func (s *CacheSim) Access(addr uint64) {
+	for i, lvl := range s.levels {
+		s.Accesses[i]++
+		if lvl.access(addr) {
+			return
+		}
+	}
+	s.DRAMAccesses++
+}
+
+// LevelNames returns the configured level names.
+func (s *CacheSim) LevelNames() []string { return s.names }
+
+// Reset clears cache contents and counters.
+func (s *CacheSim) Reset() {
+	for _, lvl := range s.levels {
+		lvl.reset()
+	}
+	for i := range s.Accesses {
+		s.Accesses[i] = 0
+	}
+	s.DRAMAccesses = 0
+}

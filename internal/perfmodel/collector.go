@@ -1,0 +1,182 @@
+package perfmodel
+
+import (
+	"sync/atomic"
+)
+
+// Kind classifies the data structure an access touches; together with a
+// per-object slot it determines the simulated address, so distinct arrays
+// never alias in the cache model.
+type Kind uint8
+
+// The Kind space is deliberately coarse: one value per array role.
+const (
+	KRowPtr Kind = iota
+	KColIdx
+	KVals
+	KVecVals
+	KVecIdx
+	KLabels
+	KAux
+	numKinds
+)
+
+// kindWindow is the simulated address space reserved per (slot, kind):
+// 16 MiB, larger than any single array at bench scale.
+const kindWindow = 1 << 24
+
+// slotCounter hands out unique object slots for the simulated address space.
+var slotCounter atomic.Uint32
+
+// NewSlot allocates a fresh address-space slot for a data structure
+// (a matrix, a vector, or an algorithm's label array).
+func NewSlot() uint32 { return slotCounter.Add(1) }
+
+// addr computes the simulated address of element idx (of elemSize bytes) in
+// the array identified by (slot, kind).
+func addr(slot uint32, kind Kind, idx int, elemSize int) uint64 {
+	return uint64(slot)<<28 | uint64(kind)<<24 | uint64(idx*elemSize)&(kindWindow-1)
+}
+
+// Counters is a snapshot of collected events.
+type Counters struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	// LevelAccesses[i] is the number of accesses that reached cache level i
+	// (L1 = every memory access). DRAM counts accesses missing all levels.
+	LevelAccesses []uint64
+	DRAM          uint64
+}
+
+// MemAccesses returns Loads+Stores.
+func (c Counters) MemAccesses() uint64 { return c.Loads + c.Stores }
+
+// Per-event energy costs in picojoules, in line with published estimates
+// for recent server CPUs (Horowitz, ISSCC'14 scaled): the exact constants
+// only shift absolute numbers; the GB/LS energy *ratio* — the quantity
+// comparable to the study's CapeScripts energy collection — depends on the
+// event mix.
+const (
+	energyInstrPJ = 10.0
+	energyL1PJ    = 15.0
+	energyL2PJ    = 40.0
+	energyL3PJ    = 150.0
+	energyDRAMPJ  = 2000.0
+)
+
+// EnergyJoules estimates the energy of the collected events. Levels beyond
+// the simulated hierarchy contribute nothing; without a cache simulator
+// every access is charged at L1 cost.
+func (c Counters) EnergyJoules() float64 {
+	pj := float64(c.Instructions) * energyInstrPJ
+	if len(c.LevelAccesses) == 0 {
+		pj += float64(c.MemAccesses()) * energyL1PJ
+	} else {
+		costs := []float64{energyL1PJ, energyL2PJ, energyL3PJ}
+		for i, n := range c.LevelAccesses {
+			if i < len(costs) {
+				pj += float64(n) * costs[i]
+			}
+		}
+		pj += float64(c.DRAM) * energyDRAMPJ
+	}
+	return pj * 1e-12
+}
+
+// Collector gathers instruction and memory-access events from instrumented
+// kernels and optionally drives a cache simulator.
+//
+// Collectors are installed globally with Install and retrieved with Get; a
+// nil result means tracing is off and kernels skip instrumentation. Traced
+// runs must be single-threaded (the bench harness sets Threads(1)): the
+// cache simulator is not synchronized, matching the study's practice of
+// collecting counters in dedicated profiled runs.
+type Collector struct {
+	instructions uint64
+	loads        uint64
+	stores       uint64
+	sim          *CacheSim
+}
+
+// NewCollector returns a Collector. sim may be nil to count events without
+// cache simulation.
+func NewCollector(sim *CacheSim) *Collector {
+	return &Collector{sim: sim}
+}
+
+var active atomic.Pointer[Collector]
+
+// Install makes c the active collector (nil uninstalls).
+func Install(c *Collector) { active.Store(c) }
+
+// Get returns the active collector, or nil if tracing is off. The nil check
+// is the only overhead instrumented kernels pay in ordinary timing runs.
+func Get() *Collector { return active.Load() }
+
+// Instr records n abstract instructions (operator applications, comparisons,
+// arithmetic ops).
+func (c *Collector) Instr(n int) { c.instructions += uint64(n) }
+
+// Load records a single element load from (slot, kind, idx).
+func (c *Collector) Load(slot uint32, kind Kind, idx int, elemSize int) {
+	c.loads++
+	if c.sim != nil {
+		c.sim.Access(addr(slot, kind, idx, elemSize))
+	}
+}
+
+// Store records a single element store to (slot, kind, idx).
+func (c *Collector) Store(slot uint32, kind Kind, idx int, elemSize int) {
+	c.stores++
+	if c.sim != nil {
+		c.sim.Access(addr(slot, kind, idx, elemSize))
+	}
+}
+
+// LoadRange records a sequential load of count elements starting at idx.
+// The cache simulator sees one access per element, like the per-element
+// counters the study collected.
+func (c *Collector) LoadRange(slot uint32, kind Kind, idx, count int, elemSize int) {
+	c.loads += uint64(count)
+	if c.sim != nil {
+		for i := 0; i < count; i++ {
+			c.sim.Access(addr(slot, kind, idx+i, elemSize))
+		}
+	}
+}
+
+// StoreRange records a sequential store of count elements starting at idx.
+func (c *Collector) StoreRange(slot uint32, kind Kind, idx, count int, elemSize int) {
+	c.stores += uint64(count)
+	if c.sim != nil {
+		for i := 0; i < count; i++ {
+			c.sim.Access(addr(slot, kind, idx+i, elemSize))
+		}
+	}
+}
+
+// Snapshot returns the collected counters.
+func (c *Collector) Snapshot() Counters {
+	out := Counters{
+		Instructions: c.instructions,
+		Loads:        c.loads,
+		Stores:       c.stores,
+	}
+	if c.sim != nil {
+		out.LevelAccesses = append([]uint64(nil), c.sim.Accesses...)
+		out.DRAM = c.sim.DRAMAccesses
+	}
+	return out
+}
+
+// Collect runs fn with a fresh collector (and default cache hierarchy)
+// installed and returns the gathered counters. It serializes installation:
+// callers must not run concurrent collections.
+func Collect(fn func()) Counters {
+	c := NewCollector(NewCacheSim(DefaultHierarchy()))
+	Install(c)
+	defer Install(nil)
+	fn()
+	return c.Snapshot()
+}

@@ -1,0 +1,193 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinySim() *CacheSim {
+	// 2-way, 4-set, 64B-line L1 (512B) and a 4KB L2 for eviction tests.
+	return NewCacheSim([]CacheConfig{
+		{Name: "L1", SizeKB: 1, Ways: 2, LineSize: 64}, // 16 lines, 8 sets
+		{Name: "L2", SizeKB: 4, Ways: 4, LineSize: 64}, // 64 lines
+	})
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	s := tinySim()
+	s.Access(0x1000)
+	if s.Accesses[0] != 1 || s.Accesses[1] != 1 || s.DRAMAccesses != 1 {
+		t.Fatalf("first access should miss everywhere: %v dram=%d", s.Accesses, s.DRAMAccesses)
+	}
+	s.Access(0x1000)
+	if s.Accesses[0] != 2 || s.Accesses[1] != 1 || s.DRAMAccesses != 1 {
+		t.Fatalf("second access should hit L1: %v dram=%d", s.Accesses, s.DRAMAccesses)
+	}
+	// Same line, different byte: still a hit.
+	s.Access(0x103F)
+	if s.Accesses[1] != 1 {
+		t.Fatal("same-line access missed L1")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s := tinySim()
+	// L1 has 8 sets, 2 ways. Three lines mapping to the same set must evict.
+	a, b, c := uint64(0x0000), uint64(0x0000+8*64), uint64(0x0000+16*64)
+	s.Access(a)
+	s.Access(b)
+	s.Access(c) // evicts a (LRU)
+	l2Before := s.Accesses[1]
+	s.Access(b) // must still hit L1
+	if s.Accesses[1] != l2Before {
+		t.Fatal("b was evicted but should be resident")
+	}
+	s.Access(a) // must miss L1 (evicted), hit L2
+	if s.Accesses[1] != l2Before+1 {
+		t.Fatal("a should have missed L1")
+	}
+	if s.DRAMAccesses != 3 {
+		t.Fatalf("DRAM accesses = %d, want 3 cold misses", s.DRAMAccesses)
+	}
+}
+
+func TestCacheLRUTouchRefreshes(t *testing.T) {
+	s := tinySim()
+	a, b, c := uint64(0), uint64(8*64), uint64(16*64)
+	s.Access(a)
+	s.Access(b)
+	s.Access(a) // a becomes MRU
+	s.Access(c) // evicts b, not a
+	before := s.Accesses[1]
+	s.Access(a)
+	if s.Accesses[1] != before {
+		t.Fatal("a should be resident after refresh")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	s := tinySim()
+	s.Access(0)
+	s.Reset()
+	if s.Accesses[0] != 0 || s.DRAMAccesses != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	s.Access(0)
+	if s.DRAMAccesses != 1 {
+		t.Fatal("Reset did not clear cache contents")
+	}
+}
+
+func TestCacheMonotoneLevels(t *testing.T) {
+	// Property: accesses at level i+1 never exceed accesses at level i, and
+	// DRAM accesses never exceed the innermost level's.
+	f := func(addrs []uint16) bool {
+		s := tinySim()
+		for _, a := range addrs {
+			s.Access(uint64(a) * 8)
+		}
+		return s.Accesses[1] <= s.Accesses[0] && s.DRAMAccesses <= s.Accesses[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialBeatsRandomLocality(t *testing.T) {
+	// A sequential sweep over 64K ints must have far fewer DRAM accesses
+	// than a strided sweep touching one element per line repeatedly evicted.
+	seq := NewCacheSim(DefaultHierarchy())
+	for i := 0; i < 1<<16; i++ {
+		seq.Access(uint64(i) * 4)
+	}
+	rnd := NewCacheSim(DefaultHierarchy())
+	// Pseudo-random walk over a 256 MB range: almost every access misses.
+	x := uint64(12345)
+	for i := 0; i < 1<<16; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		rnd.Access(x % (1 << 28))
+	}
+	if seq.DRAMAccesses*4 > rnd.DRAMAccesses {
+		t.Fatalf("sequential DRAM=%d not clearly below random DRAM=%d", seq.DRAMAccesses, rnd.DRAMAccesses)
+	}
+}
+
+func TestCollectorCountsAndAddressesDisjoint(t *testing.T) {
+	slotA, slotB := NewSlot(), NewSlot()
+	if slotA == slotB {
+		t.Fatal("NewSlot returned duplicate slots")
+	}
+	c := NewCollector(NewCacheSim(DefaultHierarchy()))
+	c.Instr(10)
+	c.Load(slotA, KVals, 0, 8)
+	c.Store(slotB, KVals, 0, 8)
+	snap := c.Snapshot()
+	if snap.Instructions != 10 || snap.Loads != 1 || snap.Stores != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.MemAccesses() != 2 {
+		t.Fatalf("MemAccesses = %d", snap.MemAccesses())
+	}
+	// Different slots, same kind/idx: distinct addresses, so two cold misses.
+	if snap.DRAM != 2 {
+		t.Fatalf("DRAM = %d, want 2 (no aliasing across slots)", snap.DRAM)
+	}
+}
+
+func TestCollectorRanges(t *testing.T) {
+	c := NewCollector(nil)
+	slot := NewSlot()
+	c.LoadRange(slot, KColIdx, 0, 100, 4)
+	c.StoreRange(slot, KVecVals, 5, 50, 8)
+	snap := c.Snapshot()
+	if snap.Loads != 100 || snap.Stores != 50 {
+		t.Fatalf("range counts wrong: %+v", snap)
+	}
+	if snap.LevelAccesses != nil {
+		t.Fatal("nil sim should produce nil level accesses")
+	}
+}
+
+func TestInstallGet(t *testing.T) {
+	if Get() != nil {
+		t.Fatal("collector active at test start")
+	}
+	got := Collect(func() {
+		c := Get()
+		if c == nil {
+			t.Fatal("Collect did not install collector")
+		}
+		c.Instr(7)
+	})
+	if got.Instructions != 7 {
+		t.Fatalf("Instructions = %d", got.Instructions)
+	}
+	if Get() != nil {
+		t.Fatal("Collect left collector installed")
+	}
+}
+
+func TestAddrSameLineSharing(t *testing.T) {
+	// Adjacent elements of the same array share cache lines: a sequential
+	// LoadRange of 16 4-byte elements touches just one 64B line.
+	c := NewCollector(NewCacheSim(DefaultHierarchy()))
+	slot := NewSlot()
+	c.LoadRange(slot, KColIdx, 0, 16, 4)
+	if snap := c.Snapshot(); snap.DRAM != 1 {
+		t.Fatalf("DRAM = %d, want 1 (one line)", snap.DRAM)
+	}
+}
+
+func TestEnergyEstimate(t *testing.T) {
+	// DRAM-heavy traffic must cost far more than the same count of L1 hits.
+	hot := Counters{Instructions: 1000, Loads: 1000, LevelAccesses: []uint64{1000, 0, 0}, DRAM: 0}
+	cold := Counters{Instructions: 1000, Loads: 1000, LevelAccesses: []uint64{1000, 1000, 1000}, DRAM: 1000}
+	if cold.EnergyJoules() < 10*hot.EnergyJoules() {
+		t.Fatalf("cold %g not ≫ hot %g", cold.EnergyJoules(), hot.EnergyJoules())
+	}
+	// No simulator: accesses charged at L1.
+	plain := Counters{Instructions: 0, Loads: 2}
+	if plain.EnergyJoules() <= 0 {
+		t.Fatal("nil-sim energy should be positive")
+	}
+}

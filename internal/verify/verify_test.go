@@ -1,0 +1,187 @@
+package verify
+
+import (
+	"testing"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+)
+
+func TestBFSLevelsPath(t *testing.T) {
+	g := graph.FromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	d := BFSLevels(g, 0)
+	for i, want := range []uint32{0, 1, 2, 3} {
+		if d[i] != want {
+			t.Fatalf("d[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	d = BFSLevels(g, 2)
+	if d[0] != Inf32 || d[3] != 1 {
+		t.Fatalf("bfs from 2: %v", d)
+	}
+}
+
+func TestDijkstraChoosesCheaperLongPath(t *testing.T) {
+	// 0->2 direct costs 10; 0->1->2 costs 3.
+	g := graph.FromWeightedEdges(3, [][3]uint32{{0, 2, 10}, {0, 1, 1}, {1, 2, 2}})
+	d := Dijkstra(g, 0)
+	if d[2] != 3 {
+		t.Fatalf("d[2] = %d, want 3", d[2])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.FromWeightedEdges(3, [][3]uint32{{0, 1, 5}})
+	d := Dijkstra(g, 0)
+	if d[2] != Inf64 {
+		t.Fatal("unreachable node should be Inf64")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := graph.FromEdges(6, [][2]uint32{{0, 1}, {1, 2}, {3, 4}})
+	labels := Components(g)
+	if NumComponents(labels) != 3 {
+		t.Fatalf("components = %d, want 3", NumComponents(labels))
+	}
+	if labels[0] != labels[2] || labels[3] != labels[4] || labels[0] == labels[3] || labels[5] == labels[0] {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Directed edges must still merge (weak connectivity).
+	if labels[0] != 0 || labels[3] != 3 || labels[5] != 5 {
+		t.Fatalf("labels not canonical: %v", labels)
+	}
+}
+
+func TestSamePartition(t *testing.T) {
+	a := []uint32{0, 0, 1, 1}
+	b := []uint32{7, 7, 9, 9}
+	if !SamePartition(a, b) {
+		t.Fatal("relabeled partition rejected")
+	}
+	c := []uint32{7, 7, 7, 9}
+	if SamePartition(a, c) {
+		t.Fatal("different partition accepted")
+	}
+	if SamePartition(a, []uint32{0}) {
+		t.Fatal("length mismatch accepted")
+	}
+	// Merge in the other direction (b finer than a).
+	if SamePartition([]uint32{0, 0}, []uint32{1, 2}) {
+		t.Fatal("finer partition accepted")
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle all ranks stay equal.
+	g := graph.FromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	r := PageRank(g, 0.85, 10)
+	for i := 1; i < 4; i++ {
+		if r[i] != r[0] {
+			t.Fatalf("cycle ranks unequal: %v", r)
+		}
+	}
+	sum := r[0] * 4
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ranks do not sum to 1: %f", sum)
+	}
+}
+
+func TestPageRankSinkAttractsRank(t *testing.T) {
+	// Star into node 0: node 0 must outrank the leaves.
+	g := graph.FromEdges(4, [][2]uint32{{1, 0}, {2, 0}, {3, 0}})
+	r := PageRank(g, 0.85, 20)
+	if r[0] <= r[1] {
+		t.Fatalf("hub rank %f <= leaf rank %f", r[0], r[1])
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// Rank must remain a probability distribution with dangling vertices.
+	g := graph.FromEdges(3, [][2]uint32{{0, 1}}) // 1 and 2 dangle
+	r := PageRank(g, 0.85, 15)
+	sum := r[0] + r[1] + r[2]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("rank sum = %f", sum)
+	}
+}
+
+func TestTriangleCountClique(t *testing.T) {
+	// K5 has C(5,3) = 10 triangles.
+	var edges [][2]uint32
+	for i := uint32(0); i < 5; i++ {
+		for j := uint32(0); j < 5; j++ {
+			if i != j {
+				edges = append(edges, [2]uint32{i, j})
+			}
+		}
+	}
+	g := graph.FromEdges(5, edges)
+	if got := TriangleCount(g); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+}
+
+func TestTriangleCountNone(t *testing.T) {
+	g := graph.FromEdges(4, [][2]uint32{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}})
+	if got := TriangleCount(g); got != 0 {
+		t.Fatalf("path triangles = %d", got)
+	}
+}
+
+func TestKTrussClique(t *testing.T) {
+	// K5: every edge is in 3 triangles, so the 5-truss is the whole graph
+	// (k-2 = 3), and the 6-truss is empty.
+	var edges [][2]uint32
+	for i := uint32(0); i < 5; i++ {
+		for j := uint32(0); j < 5; j++ {
+			if i != j {
+				edges = append(edges, [2]uint32{i, j})
+			}
+		}
+	}
+	g := graph.FromEdges(5, edges)
+	if got := KTrussEdges(g, 5); got != 20 {
+		t.Fatalf("5-truss edges = %d, want 20", got)
+	}
+	if got := KTrussEdges(g, 6); got != 0 {
+		t.Fatalf("6-truss edges = %d, want 0", got)
+	}
+	if got := KTrussEdges(g, 2); got != 20 {
+		t.Fatalf("2-truss should keep everything, got %d", got)
+	}
+}
+
+func TestKTrussPeelingCascade(t *testing.T) {
+	// A triangle with a pendant edge: the 3-truss keeps the triangle and
+	// drops the pendant.
+	g := graph.FromEdges(4, [][2]uint32{
+		{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}, {2, 3}, {3, 2},
+	})
+	if got := KTrussEdges(g, 3); got != 6 {
+		t.Fatalf("3-truss edges = %d, want 6", got)
+	}
+}
+
+func TestReferencesOnSuiteGraph(t *testing.T) {
+	// Smoke: all references run on a suite graph without contradiction.
+	in, _ := gen.ByName("rmat22")
+	g := in.Build(gen.ScaleTest)
+	src := in.Source(g)
+	bfs := BFSLevels(g, src)
+	dij := Dijkstra(g, src)
+	for i := range bfs {
+		reachableB := bfs[i] != Inf32
+		reachableD := dij[i] != Inf64
+		if reachableB != reachableD {
+			t.Fatalf("bfs and dijkstra disagree on reachability of %d", i)
+		}
+	}
+	labels := Components(g)
+	if NumComponents(labels) < 1 {
+		t.Fatal("no components")
+	}
+	sym := g.Symmetrize()
+	sym.SortAdjacency()
+	_ = TriangleCount(sym)
+}

@@ -1,0 +1,32 @@
+# Build/check targets for the graph analytics study and its serving
+# subsystem. `make check` is the gate for concurrency-heavy changes: it
+# vets, verifies formatting, runs the full test suite, and race-checks the
+# service and core packages.
+
+GO ?= go
+
+.PHONY: build test race check fmt clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages that own concurrency: the serving subsystem
+# (queue/dedup/cache/worker pool) and the run orchestrator.
+race:
+	$(GO) test -race ./internal/service/... ./internal/core/...
+
+check: build
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test ./...
+	$(GO) test -race ./internal/service/... ./internal/core/...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,82 @@
+// Command graphd serves the study's (workload, system, input) measurements
+// over HTTP: the batch harness behind core.Run becomes a long-lived service
+// with a bounded admission queue, a fixed worker pool, request
+// deduplication, and an LRU result cache.
+//
+// Usage:
+//
+//	graphd -addr :8080 -workers 4 -queue 64 -cache 128
+//
+//	curl -d '{"app":"bfs","system":"ls","graph":"rmat22","scale":"test"}' localhost:8080/v1/run
+//	curl -d '{"app":"tc","system":"gb","graph":"rmat22","async":true}' localhost:8080/v1/run
+//	curl localhost:8080/v1/jobs/job-2
+//	curl localhost:8080/v1/graphs
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 2, "worker pool size (concurrent runs)")
+		queue   = flag.Int("queue", 64, "admission queue depth (excess requests get 429)")
+		cacheSz = flag.Int("cache", 128, "result cache entries (-1 disables)")
+		threads = flag.Int("threads", 4, "default per-run worker threads")
+		timeout = flag.Duration("timeout", 5*time.Minute, "default per-run deadline")
+		maxTO   = flag.Duration("max-timeout", time.Hour, "cap on client-requested deadlines")
+		list    = flag.Bool("list", false, "print the graph catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range gen.Catalog() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSz,
+		DefaultThreads: *threads,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "graphd: shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "graphd: serving on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *cacheSz)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "graphd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

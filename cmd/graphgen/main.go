@@ -6,6 +6,7 @@
 //	graphgen -graph rmat22   # one graph only
 //	graphgen -scale test     # test-scale inputs
 //	graphgen -out dir        # also write GSG1 binaries into dir
+//	graphgen -list           # print the catalog without generating anything
 package main
 
 import (
@@ -24,12 +25,25 @@ func main() {
 		name  = flag.String("graph", "", "generate only this graph (default: whole suite)")
 		scale = flag.String("scale", "bench", "input scale: test or bench")
 		out   = flag.String("out", "", "write GSG1 binary files into this directory")
+		list  = flag.Bool("list", false, "print the graph catalog (names + descriptions) and exit")
 	)
 	flag.Parse()
 
-	sc := gen.ScaleBench
-	if *scale == "test" {
-		sc = gen.ScaleTest
+	sc, err := gen.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range gen.Catalog() {
+			weighted := ""
+			if e.Weighted {
+				weighted = " (weighted)"
+			}
+			fmt.Printf("%-12s %s%s\n", e.Name, e.Description, weighted)
+		}
+		return
 	}
 
 	inputs := gen.Suite()

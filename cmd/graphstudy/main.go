@@ -39,10 +39,8 @@ func main() {
 	exitOn(err)
 	in, err := gen.ByName(*gname)
 	exitOn(err)
-	sc := gen.ScaleBench
-	if *scale == "test" {
-		sc = gen.ScaleTest
-	}
+	sc, err := gen.ParseScale(*scale)
+	exitOn(err)
 
 	spec := core.RunSpec{
 		App: app, System: sys, Variant: core.Variant(*variant),

@@ -24,8 +24,8 @@ func main() {
 	g := in.Build(gen.ScaleBench)
 	sym := g.Symmetrize()
 	sym.SortAdjacency()
-	fmt.Printf("social network: %d users, %d (directed) follows, %d undirected edges\n",
-		g.NumNodes, g.NumEdges(), sym.NumEdges()/2)
+	fmt.Printf("%s (%s): %d users, %d (directed) follows, %d undirected edges\n",
+		in.Name, gen.Describe(in.Name), g.NumNodes, g.NumEdges(), sym.NumEdges()/2)
 
 	opt := lonestar.Options{Threads: 4}
 

@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g := in.Build(gen.ScaleBench)
-	fmt.Printf("network: %d actors, %d directed ties\n", g.NumNodes, g.NumEdges())
+	fmt.Printf("%s (%s): %d actors, %d directed ties\n", in.Name, gen.Describe(in.Name), g.NumNodes, g.NumEdges())
 
 	// Batch of four sources, like LAGraph's BC demo.
 	sources := []uint32{0, g.MaxOutDegreeVertex(), 100, 200}

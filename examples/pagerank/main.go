@@ -22,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g := in.Build(gen.ScaleBench)
-	fmt.Printf("web crawl: %d pages, %d links\n", g.NumNodes, g.NumEdges())
+	fmt.Printf("%s (%s): %d pages, %d links\n", in.Name, gen.Describe(in.Name), g.NumNodes, g.NumEdges())
 
 	A := grb.FloatMatrixFromGraph(g)
 	ctx := grb.NewGaloisBLASContext(4)

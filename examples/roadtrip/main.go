@@ -23,8 +23,8 @@ func main() {
 	}
 	g := in.Build(gen.ScaleBench)
 	src := in.Source(g)
-	fmt.Printf("road network: %d intersections, %d road segments, delta=%d\n",
-		g.NumNodes, g.NumEdges(), in.Delta())
+	fmt.Printf("%s (%s): %d intersections, %d road segments, delta=%d\n",
+		in.Name, gen.Describe(in.Name), g.NumNodes, g.NumEdges(), in.Delta())
 
 	// Matrix API: bulk-synchronous delta-stepping.
 	A := grb.WeightMatrixFromGraph(g)

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"graphstudy/internal/gen"
+)
+
+func TestParseSystemRoundTrip(t *testing.T) {
+	for _, sys := range []System{SS, GB, LS} {
+		for _, form := range []string{sys.String(), strings.ToLower(sys.String())} {
+			got, err := ParseSystem(form)
+			if err != nil || got != sys {
+				t.Fatalf("ParseSystem(%q) = %v, %v; want %v", form, got, err, sys)
+			}
+		}
+	}
+	for _, bad := range []string{"", "S", "LSX", "galois", "suite"} {
+		if got, err := ParseSystem(bad); err == nil {
+			t.Fatalf("ParseSystem(%q) = %v, want error", bad, got)
+		} else if !strings.Contains(err.Error(), "unknown system") {
+			t.Fatalf("ParseSystem(%q) error %q should name the problem", bad, err)
+		}
+	}
+}
+
+func TestParseAppRoundTrip(t *testing.T) {
+	for _, app := range Apps() {
+		for _, form := range []string{app.String(), strings.ToUpper(app.String())} {
+			got, err := ParseApp(form)
+			if err != nil || got != app {
+				t.Fatalf("ParseApp(%q) = %v, %v; want %v", form, got, err, app)
+			}
+		}
+	}
+	for _, bad := range []string{"", "bf", "pagerank", "triangle"} {
+		if got, err := ParseApp(bad); err == nil {
+			t.Fatalf("ParseApp(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+func TestLabelAllPairs(t *testing.T) {
+	// Default variant: the lowercase system name.
+	for _, sys := range []System{SS, GB, LS} {
+		if got, want := Label(sys, VDefault), strings.ToLower(sys.String()); got != want {
+			t.Fatalf("Label(%v, default) = %q, want %q", sys, got, want)
+		}
+	}
+	// Named variants label as themselves regardless of system.
+	for _, v := range []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL} {
+		if got := Label(LS, v); got != string(v) {
+			t.Fatalf("Label(LS, %q) = %q", v, got)
+		}
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	in, err := gen.ByName("road-USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := RunSpec{App: SSSP, System: GB, Input: in, Scale: gen.ScaleTest, Threads: 2}
+
+	// An already-canceled context stops the run before the first round.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := RunCtx(ctx, spec); r.Outcome != TO {
+		t.Fatalf("canceled ctx: outcome %v, want TO", r.Outcome)
+	}
+
+	// A context deadline works like the spec timeout.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	if r := RunCtx(ctx2, spec); r.Outcome != TO {
+		t.Fatalf("expired ctx: outcome %v, want TO", r.Outcome)
+	}
+
+	// Background context and no timeout still completes.
+	if r := RunCtx(context.Background(), spec); r.Outcome != OK {
+		t.Fatalf("unbounded RunCtx: outcome %v err %v", r.Outcome, r.Err)
+	}
+
+	// Run is a shim over RunCtx: same digest.
+	if a, b := Run(spec), RunCtx(context.Background(), spec); a.Check != b.Check {
+		t.Fatalf("Run and RunCtx disagree: %x vs %x", a.Check, b.Check)
+	}
+}

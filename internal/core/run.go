@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -49,15 +50,45 @@ type Result struct {
 }
 
 // Run executes one measurement. Preparation (generation, symmetrization,
-// matrix building) happens before the clock starts.
+// matrix building) happens before the clock starts. It is a thin shim over
+// RunCtx for callers that have no context of their own.
 func Run(spec RunSpec) Result {
+	return RunCtx(context.Background(), spec)
+}
+
+// RunCtx executes one measurement under a caller-supplied context. The
+// spec's Timeout (when positive) is layered on top as a deadline, so a
+// server can propagate per-request deadlines while batch callers keep the
+// old Timeout semantics. Cancellation is cooperative: the round loops of
+// both APIs observe a stop flag between rounds, and a canceled or expired
+// context flips it, producing a TO outcome rather than an abandoned
+// goroutine.
+func RunCtx(ctx context.Context, spec RunSpec) Result {
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+
 	p := Prepare(spec.Input, spec.Scale)
 
 	var stop atomic.Bool
-	var timer *time.Timer
-	if spec.Timeout > 0 {
-		timer = time.AfterFunc(spec.Timeout, func() { stop.Store(true) })
-		defer timer.Stop()
+	if ctx.Done() != nil {
+		// Synchronous pre-check: an already-expired deadline must stop the
+		// run deterministically, not race with the watcher goroutine.
+		if ctx.Err() != nil {
+			stop.Store(true)
+		} else {
+			watchDone := make(chan struct{})
+			defer close(watchDone)
+			go func() {
+				select {
+				case <-ctx.Done():
+					stop.Store(true)
+				case <-watchDone:
+				}
+			}()
+		}
 	}
 
 	var ms0, ms1 runtime.MemStats

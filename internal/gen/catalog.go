@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseScale converts a scale name ("test" or "bench", case-insensitive).
+// Binaries should use this instead of comparing strings so that a typo like
+// -scale=benhc errors out rather than silently selecting a default.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "test":
+		return ScaleTest, nil
+	case "bench":
+		return ScaleBench, nil
+	}
+	return 0, fmt.Errorf("gen: unknown scale %q (want test or bench)", s)
+}
+
+// CatalogEntry describes one suite graph for listings. Binaries, examples,
+// and the graphd service all render graph lists from this one catalog
+// instead of hardcoding name lists.
+type CatalogEntry struct {
+	// Name is the paper's graph name (e.g. "road-USA", "rmat22").
+	Name string `json:"name"`
+	// Description is the generator family used (Table I's archetype).
+	Description string `json:"description"`
+	// Weighted reports whether edges carry weights.
+	Weighted bool `json:"weighted"`
+	// RoadNetwork marks the two road graphs (source vertex 0, ktruss k=4).
+	RoadNetwork bool `json:"roadNetwork"`
+	// KTrussK and Delta are the per-input study parameters.
+	KTrussK uint32 `json:"ktrussK"`
+	Delta   uint32 `json:"delta"`
+}
+
+// Catalog returns one entry per suite graph, in paper order.
+func Catalog() []CatalogEntry {
+	out := make([]CatalogEntry, len(inputs))
+	for i, in := range inputs {
+		out[i] = CatalogEntry{
+			Name:        in.Name,
+			Description: in.Archetype,
+			Weighted:    in.Weighted,
+			RoadNetwork: in.RoadNetwork,
+			KTrussK:     in.KTrussK(),
+			Delta:       in.Delta(),
+		}
+	}
+	return out
+}
+
+// Describe returns the catalog description for a graph name, or "" when the
+// name is not in the suite.
+func Describe(name string) string {
+	for _, in := range inputs {
+		if in.Name == name {
+			return in.Archetype
+		}
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScaleRoundTrip(t *testing.T) {
+	for _, sc := range []Scale{ScaleTest, ScaleBench} {
+		for _, form := range []string{sc.String(), strings.ToUpper(sc.String())} {
+			got, err := ParseScale(form)
+			if err != nil || got != sc {
+				t.Fatalf("ParseScale(%q) = %v, %v; want %v", form, got, err, sc)
+			}
+		}
+	}
+}
+
+func TestParseScaleErrors(t *testing.T) {
+	// The historical bug: anything unrecognized silently became bench.
+	for _, bad := range []string{"", "benhc", "full", "Test ", "0"} {
+		got, err := ParseScale(bad)
+		if err == nil {
+			t.Fatalf("ParseScale(%q) = %v, want error", bad, got)
+		}
+		if !strings.Contains(err.Error(), "unknown scale") {
+			t.Fatalf("ParseScale(%q) error %q should name the problem", bad, err)
+		}
+	}
+}
+
+func TestCatalogMatchesSuite(t *testing.T) {
+	cat := Catalog()
+	suite := Suite()
+	if len(cat) != len(suite) {
+		t.Fatalf("catalog has %d entries, suite has %d", len(cat), len(suite))
+	}
+	for i, e := range cat {
+		in := suite[i]
+		if e.Name != in.Name || e.Description != in.Archetype ||
+			e.Weighted != in.Weighted || e.RoadNetwork != in.RoadNetwork ||
+			e.KTrussK != in.KTrussK() || e.Delta != in.Delta() {
+			t.Fatalf("entry %d = %+v does not match input %q", i, e, in.Name)
+		}
+		if e.Description == "" {
+			t.Fatalf("entry %q has no description", e.Name)
+		}
+		if Describe(e.Name) != e.Description {
+			t.Fatalf("Describe(%q) = %q, want %q", e.Name, Describe(e.Name), e.Description)
+		}
+	}
+	if Describe("no-such-graph") != "" {
+		t.Fatal("Describe of unknown graph should be empty")
+	}
+}

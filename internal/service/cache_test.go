@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/service/metrics"
+)
+
+func testKey(i int) Key {
+	return Key{App: core.BFS, System: core.LS, Graph: fmt.Sprintf("g%d", i), Scale: "test"}
+}
+
+func okResult(v string) core.Result {
+	return core.Result{Outcome: core.OK, Value: v}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newResultCache(2, reg)
+
+	c.Put(testKey(1), okResult("a"))
+	c.Put(testKey(2), okResult("b"))
+	if _, ok := c.Get(testKey(1)); !ok { // 1 is now most recent
+		t.Fatal("lost entry 1")
+	}
+	c.Put(testKey(3), okResult("c")) // evicts 2, the least recently used
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("entry 1 should have survived")
+	}
+	if _, ok := c.Get(testKey(3)); !ok {
+		t.Fatal("entry 3 should be present")
+	}
+	if n := reg.Counter("cache_evictions").Value(); n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+	if h, m := reg.Counter("cache_hits").Value(), reg.Counter("cache_misses").Value(); h != 3 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", h, m)
+	}
+}
+
+func TestCacheRejectsNonOK(t *testing.T) {
+	c := newResultCache(4, metrics.NewRegistry())
+	c.Put(testKey(1), core.Result{Outcome: core.TO})
+	c.Put(testKey(2), core.Result{Outcome: core.ERR})
+	if c.Len() != 0 {
+		t.Fatalf("cache stored non-OK results: len %d", c.Len())
+	}
+}
+
+func TestCacheUpdateMovesToFront(t *testing.T) {
+	c := newResultCache(2, metrics.NewRegistry())
+	c.Put(testKey(1), okResult("a"))
+	c.Put(testKey(2), okResult("b"))
+	c.Put(testKey(1), okResult("a2")) // refresh 1
+	c.Put(testKey(3), okResult("c"))  // evicts 2
+	if r, ok := c.Get(testKey(1)); !ok || r.Value != "a2" {
+		t.Fatalf("entry 1 = %v %v, want refreshed value", r.Value, ok)
+	}
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, metrics.NewRegistry())
+	c.Put(testKey(1), okResult("a"))
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(8, metrics.NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := testKey(i % 16)
+				c.Put(k, okResult("v"))
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+)
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	App     string `json:"app"`
+	System  string `json:"system"`
+	Variant string `json:"variant,omitempty"`
+	Graph   string `json:"graph"`
+	Scale   string `json:"scale,omitempty"` // "test" or "bench"; default bench
+	Threads int    `json:"threads,omitempty"`
+	// TimeoutMs bounds the run; Timeout accepts a Go duration string
+	// ("1.5s") and wins when both are set. Absent both, the server default
+	// applies.
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
+	Timeout   string  `json:"timeout,omitempty"`
+	// Async returns 202 + a job ID immediately instead of waiting; poll
+	// GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// RunResponse reports one run, in both sync and job-poll responses.
+type RunResponse struct {
+	Job      string  `json:"job"`
+	Status   string  `json:"status"` // queued | running | done
+	App      string  `json:"app"`
+	System   string  `json:"system"`
+	Variant  string  `json:"variant,omitempty"`
+	Graph    string  `json:"graph"`
+	Scale    string  `json:"scale"`
+	Outcome  string  `json:"outcome,omitempty"`
+	Value    string  `json:"value,omitempty"`
+	Digest   string  `json:"digest,omitempty"`
+	Millis   float64 `json:"elapsed_ms,omitempty"`
+	Rounds   int     `json:"rounds,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	CacheHit bool    `json:"cacheHit,omitempty"`
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/run      run a spec (sync by default, async on request)
+//	GET  /v1/jobs/{id} poll a job
+//	GET  /v1/graphs   list the input catalog
+//	GET  /healthz     liveness
+//	GET  /metrics     metrics JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/metrics", s.reg)
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	spec, err := s.specFromRequest(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	job, err := s.Submit(spec)
+	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	if req.Async {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(jobResponse(job)) //nolint:errcheck
+		return
+	}
+
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// Client went away; the job keeps running for any other waiter and
+		// for the cache. 499 is nginx's "client closed request".
+		httpError(w, 499, "client canceled while waiting")
+		return
+	}
+	res, _ := job.Result()
+	if errors.Is(res.Err, ErrQueueFull) {
+		// This waiter was deduplicated onto a submission that lost the
+		// admission race; give it the same backpressure signal.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+		return
+	}
+	writeJSON(w, jobResponse(job))
+}
+
+// specFromRequest validates and resolves a RunRequest into a core.RunSpec,
+// applying server defaults and the timeout cap.
+func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
+	var zero core.RunSpec
+	app, err := core.ParseApp(req.App)
+	if err != nil {
+		return zero, err
+	}
+	sysName := req.System
+	if sysName == "" {
+		return zero, fmt.Errorf("service: missing \"system\" (want SS, GB, or LS)")
+	}
+	sys, err := core.ParseSystem(sysName)
+	if err != nil {
+		return zero, err
+	}
+	in, err := gen.ByName(req.Graph)
+	if err != nil {
+		return zero, err
+	}
+	scale := gen.ScaleBench
+	if req.Scale != "" {
+		scale, err = gen.ParseScale(req.Scale)
+		if err != nil {
+			return zero, err
+		}
+	}
+
+	threads := req.Threads
+	if threads <= 0 {
+		threads = s.cfg.DefaultThreads
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs * float64(time.Millisecond))
+	}
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil {
+			return zero, fmt.Errorf("service: bad timeout %q: %v", req.Timeout, err)
+		}
+		timeout = d
+	}
+	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	return core.RunSpec{
+		App: app, System: sys, Variant: core.Variant(req.Variant),
+		Input: in, Scale: scale, Threads: threads, Timeout: timeout,
+	}, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "want /v1/jobs/{id}")
+		return
+	}
+	job, ok := s.jobs.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, jobResponse(job))
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"graphs": s.Graphs()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Second).String(),
+	})
+}
+
+// jobResponse renders a job's current view; result fields appear only once
+// the job is done.
+func jobResponse(j *Job) RunResponse {
+	resp := RunResponse{
+		Job:     j.ID,
+		Status:  j.State().String(),
+		App:     j.Spec.App.String(),
+		System:  j.Spec.System.String(),
+		Variant: string(j.Spec.Variant),
+		Graph:   j.Key.Graph,
+		Scale:   j.Key.Scale,
+	}
+	select {
+	case <-j.Done():
+	default:
+		return resp
+	}
+	res, cached := j.Result()
+	resp.Outcome = res.Outcome.String()
+	resp.CacheHit = cached
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	if res.Outcome == core.OK {
+		resp.Value = res.Value
+		resp.Digest = fmt.Sprintf("%x", res.Check)
+		resp.Millis = float64(res.Elapsed) / float64(time.Millisecond)
+		resp.Rounds = res.Rounds
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{ //nolint:errcheck
+		"error": fmt.Sprintf(format, args...),
+	})
+}

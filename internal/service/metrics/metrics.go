@@ -1,0 +1,214 @@
+// Package metrics is a small stdlib-only instrumentation registry for the
+// graphd serving subsystem: counters, gauges, and latency histograms,
+// exported as one expvar-style JSON document. It exists so the service can
+// answer "what is the queue depth, the hit rate, the p99 per workload"
+// without pulling an external metrics dependency into the study repo.
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// defaultBuckets are latency bucket upper bounds. Graph runs span sub-ms
+// (cached test-scale BFS) to minutes (bench-scale ktruss), so the bounds
+// grow geometrically from 1ms to 5 minutes.
+var defaultBuckets = []time.Duration{
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+	60 * time.Second,
+	300 * time.Second,
+}
+
+// Histogram accumulates duration observations into fixed buckets. It keeps
+// count, sum, min, and max alongside the bucket counts so the JSON export
+// supports both rate and tail questions.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []time.Duration
+	buckets []int64 // buckets[i] counts observations <= bounds[i]; the last extra slot is +Inf
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{
+		bounds:  defaultBuckets,
+		buckets: make([]int64, len(defaultBuckets)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.buckets[i]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// histogramJSON is the export shape of one histogram.
+type histogramJSON struct {
+	Count   int64            `json:"count"`
+	SumMs   float64          `json:"sum_ms"`
+	MinMs   float64          `json:"min_ms,omitempty"`
+	MaxMs   float64          `json:"max_ms,omitempty"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() histogramJSON {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := histogramJSON{
+		Count: h.count,
+		SumMs: float64(h.sum) / float64(time.Millisecond),
+	}
+	if h.count > 0 {
+		out.MinMs = float64(h.min) / float64(time.Millisecond)
+		out.MaxMs = float64(h.max) / float64(time.Millisecond)
+		out.Buckets = make(map[string]int64, len(h.buckets))
+		for i, n := range h.buckets {
+			if n == 0 {
+				continue
+			}
+			if i < len(h.bounds) {
+				out.Buckets["le_"+h.bounds[i].String()] = n
+			} else {
+				out.Buckets["le_inf"] = n
+			}
+		}
+	}
+	return out
+}
+
+// Registry holds named metrics and renders them as one JSON document. All
+// methods are safe for concurrent use; Counter/Histogram return the same
+// instance for the same name so callers can cache or re-look-up freely.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]func() int64
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]func() int64{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge registers a function sampled at export time (queue depth, in-flight
+// workers, cache size). Re-registering a name replaces the function.
+func (r *Registry) Gauge(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = f
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric into a JSON-encodable map:
+// counters and gauges as integers, histograms as objects.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	// Sample outside the registry lock: gauge functions may take other
+	// locks (e.g. the cache's), and holding both invites deadlock.
+	out := make(map[string]any, len(counts)+len(gauges)+len(hists))
+	for k, c := range counts {
+		out[k] = c.Value()
+	}
+	for k, f := range gauges {
+		out[k] = f()
+	}
+	for k, h := range hists {
+		out[k] = h.snapshot()
+	}
+	return out
+}
+
+// ServeHTTP writes the snapshot as indented JSON, expvar-style.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort diagnostics write
+}

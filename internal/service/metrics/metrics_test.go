@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits") // same instance from every goroutine
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("hits").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency")
+	h.Observe(500 * time.Microsecond) // le_1ms
+	h.Observe(3 * time.Millisecond)   // le_5ms
+	h.Observe(2 * time.Hour)          // le_inf
+	snap := h.snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Buckets["le_1ms"] != 1 || snap.Buckets["le_5ms"] != 1 || snap.Buckets["le_inf"] != 1 {
+		t.Fatalf("buckets = %v", snap.Buckets)
+	}
+	if snap.MinMs != 0.5 || snap.MaxMs != float64(2*time.Hour/time.Millisecond) {
+		t.Fatalf("min/max = %v/%v", snap.MinMs, snap.MaxMs)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	r.Gauge("depth", func() int64 { return 7 })
+	r.Histogram("lat").Observe(10 * time.Millisecond)
+
+	w := httptest.NewRecorder()
+	r.ServeHTTP(w, nil)
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics output is not JSON: %v", err)
+	}
+	if m["requests"].(float64) != 3 || m["depth"].(float64) != 7 {
+		t.Fatalf("snapshot = %v", m)
+	}
+	lat, ok := m["lat"].(map[string]any)
+	if !ok || lat["count"].(float64) != 1 {
+		t.Fatalf("histogram export = %v", m["lat"])
+	}
+}
+
+func TestGaugeSampledOutsideLock(t *testing.T) {
+	// A gauge that itself reads the registry must not deadlock Snapshot.
+	r := NewRegistry()
+	r.Gauge("self", func() int64 { return r.Counter("x").Value() })
+	done := make(chan struct{})
+	go func() {
+		r.Snapshot()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot deadlocked on reentrant gauge")
+	}
+}

@@ -1,0 +1,227 @@
+// Package service is graphd's serving subsystem: it wraps core.RunCtx
+// behind an HTTP JSON API and manages execution with a bounded admission
+// queue (backpressure instead of unbounded goroutines), a fixed-size worker
+// pool that owns all run calls, request deduplication (concurrent identical
+// specs share one execution), and an LRU result cache. The stages compose
+// as admission -> dedup -> cache -> queue -> worker pool, with metrics at
+// every seam.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/service/metrics"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; HTTP callers translate it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the worker pool size; each worker owns one core.RunCtx at
+	// a time (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). Submissions
+	// beyond workers + queue depth are rejected with ErrQueueFull.
+	QueueDepth int
+	// CacheSize bounds the LRU result cache (default 128 entries; <= 0
+	// after defaulting disables caching — use -1 to request that).
+	CacheSize int
+	// DefaultThreads is the per-run thread count when a request does not
+	// name one (default 4).
+	DefaultThreads int
+	// DefaultTimeout bounds runs that do not carry their own deadline
+	// (default 5 minutes).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any client-requested deadline (default 1 hour).
+	MaxTimeout time.Duration
+	// JobRetention is how many jobs /v1/jobs can look up before the oldest
+	// completed ones are forgotten (default 1024).
+	JobRetention int
+	// Runner executes one measurement; tests substitute a gated runner.
+	// Defaults to core.RunCtx.
+	Runner func(ctx context.Context, spec core.RunSpec) core.Result
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.DefaultThreads <= 0 {
+		c.DefaultThreads = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Hour
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 1024
+	}
+	if c.Runner == nil {
+		c.Runner = core.RunCtx
+	}
+	return c
+}
+
+// Server is the serving subsystem: admission, dedup, cache, worker pool,
+// and metrics. Create with New, serve with Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	cache *resultCache
+	jobs  *jobStore
+	queue chan *Job
+
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+	started  time.Time
+
+	closeOnce sync.Once
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   newResultCache(cfg.CacheSize, reg),
+		jobs:    newJobStore(cfg.JobRetention),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		started: time.Now(),
+	}
+	reg.Gauge("queue_depth", func() int64 { return int64(len(s.queue)) })
+	reg.Gauge("workers", func() int64 { return int64(cfg.Workers) })
+	reg.Gauge("workers_busy", func() int64 { return s.inFlight.Load() })
+	reg.Gauge("uptime_seconds", func() int64 { return int64(time.Since(s.started).Seconds()) })
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's registry (the /metrics handler and tests
+// read it).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Close stops the workers. Queued jobs are completed with an ERR outcome so
+// no waiter hangs; the running jobs' contexts are canceled, which the round
+// loops observe as a timeout.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		close(s.queue)
+		for j := range s.queue { // complete jobs the workers will never see
+			j.complete(core.Result{
+				Spec: j.Spec, Outcome: core.ERR,
+				Err: errors.New("service: shut down before execution"),
+			}, false)
+			s.jobs.settle(j)
+		}
+	})
+	s.wg.Wait()
+}
+
+// Submit admits a run request. The fast paths return a completed job
+// without touching the queue: a result-cache hit, or attachment to an
+// in-flight identical job (singleflight). Otherwise the job must win a
+// bounded queue slot; when the queue is full, Submit returns ErrQueueFull
+// immediately — the service never buffers unboundedly.
+func (s *Server) Submit(spec core.RunSpec) (*Job, error) {
+	key := Key{
+		App:     spec.App,
+		System:  spec.System,
+		Variant: spec.Variant,
+		Graph:   spec.Input.Name,
+		Scale:   spec.Scale.String(),
+	}
+	s.reg.Counter("requests_total").Inc()
+
+	job, attached := s.jobs.getOrCreate(key, spec)
+	if attached {
+		s.reg.Counter("dedup_hits").Inc()
+		return job, nil
+	}
+
+	if res, ok := s.cache.Get(key); ok {
+		s.jobs.settle(job)
+		job.complete(res, true)
+		return job, nil
+	}
+
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		// A request may have attached to this job between creation and
+		// rejection; completing with ErrQueueFull wakes it with the same
+		// backpressure signal the submitter gets.
+		s.jobs.abandon(job)
+		job.complete(core.Result{Spec: spec, Outcome: core.ERR, Err: ErrQueueFull}, false)
+		s.reg.Counter("queue_rejects").Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// worker drains the admission queue; the pool is the only place core.RunCtx
+// is ever called, so concurrency is bounded by construction.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.execute(job)
+	}
+}
+
+// execute runs one job and publishes its result to all attached waiters,
+// the cache, and the metrics registry.
+func (s *Server) execute(job *Job) {
+	job.state.Store(int32(JobRunning))
+	s.inFlight.Add(1)
+	s.reg.Counter("runs_total").Inc()
+
+	start := time.Now()
+	res := s.cfg.Runner(s.baseCtx, job.Spec)
+	elapsed := time.Since(start)
+
+	s.inFlight.Add(-1)
+	s.reg.Counter("outcome_" + res.Outcome.String()).Inc()
+	s.reg.Histogram(latencyName(job.Spec.App, job.Spec.System)).Observe(elapsed)
+
+	s.cache.Put(job.Key, res)
+	s.jobs.settle(job)
+	job.complete(res, false)
+}
+
+// latencyName is the per-(app, system) histogram key, e.g.
+// "latency_bfs_ls".
+func latencyName(app core.App, sys core.System) string {
+	return fmt.Sprintf("latency_%s_%s", app, core.Label(sys, core.VDefault))
+}
+
+// Graphs returns the suite catalog served by /v1/graphs. It is the same
+// listing the examples and generator binaries use (gen.Catalog), so the
+// service cannot drift from the generators.
+func (s *Server) Graphs() []gen.CatalogEntry { return gen.Catalog() }

@@ -1,0 +1,447 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+)
+
+// postErr sends one RunRequest and decodes the response; it is safe to call
+// from client goroutines (no testing.T).
+func postErr(url string, req RunRequest) (int, RunResponse, http.Header, error) {
+	var rr RunResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, rr, nil, err
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, rr, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return resp.StatusCode, rr, resp.Header, fmt.Errorf("decode: %v", err)
+		}
+	}
+	return resp.StatusCode, rr, resp.Header, nil
+}
+
+// post is postErr for the test goroutine.
+func post(t *testing.T, url string, req RunRequest) (int, RunResponse, http.Header) {
+	t.Helper()
+	code, rr, hdr, err := postErr(url, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, rr, hdr
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func metricsSnapshot(t *testing.T, url string) map[string]any {
+	t.Helper()
+	var m map[string]any
+	getJSON(t, url+"/metrics", &m)
+	return m
+}
+
+func metricInt(t *testing.T, m map[string]any, name string) int64 {
+	t.Helper()
+	v, ok := m[name]
+	if !ok {
+		return 0
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("metric %s is %T, want number", name, v)
+	}
+	return int64(f)
+}
+
+// TestServeEndToEnd drives a real server (core.RunCtx, test-scale inputs)
+// over httptest with concurrent clients, checking the answers against
+// direct core.Run invocations — the serving path must not change what the
+// harness computes.
+func TestServeEndToEnd(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueDepth: 32})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqs := []RunRequest{
+		{App: "bfs", System: "ls", Graph: "rmat22", Scale: "test"},
+		{App: "bfs", System: "gb", Graph: "rmat22", Scale: "test"},
+		{App: "cc", System: "ls", Graph: "rmat22", Scale: "test"},
+		{App: "tc", System: "gb", Graph: "rmat22", Scale: "test"},
+		{App: "tc", System: "ls", Graph: "rmat22", Scale: "test"},
+		{App: "sssp", System: "ls", Graph: "road-USA-W", Scale: "test"},
+		{App: "pr", System: "gb", Graph: "rmat22", Scale: "test"},
+		{App: "bfs", System: "ss", Graph: "road-USA-W", Scale: "test"},
+	}
+	if len(reqs) < 8 {
+		t.Fatalf("want >= 8 concurrent clients, have %d", len(reqs))
+	}
+
+	var wg sync.WaitGroup
+	got := make([]RunResponse, len(reqs))
+	codes := make([]int, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r RunRequest) {
+			defer wg.Done()
+			codes[i], got[i], _, errs[i] = postErr(ts.URL, r)
+		}(i, r)
+	}
+	wg.Wait()
+
+	for i, r := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("%v: %v", r, errs[i])
+		}
+		if codes[i] != http.StatusOK {
+			t.Fatalf("%v: status %d", r, codes[i])
+		}
+		if got[i].Outcome != "ok" {
+			t.Fatalf("%v: outcome %q error %q", r, got[i].Outcome, got[i].Error)
+		}
+		// Cross-check against the batch harness.
+		app, _ := core.ParseApp(r.App)
+		sys, _ := core.ParseSystem(r.System)
+		in, _ := gen.ByName(r.Graph)
+		want := core.Run(core.RunSpec{App: app, System: sys, Input: in, Scale: gen.ScaleTest, Threads: 4})
+		if d := fmt.Sprintf("%x", want.Check); got[i].Digest != d {
+			t.Fatalf("%v: served digest %s != harness digest %s", r, got[i].Digest, d)
+		}
+	}
+
+	// A repeat of the first request must be served from cache.
+	code, rr, _ := post(t, ts.URL, reqs[0])
+	if code != http.StatusOK || !rr.CacheHit {
+		t.Fatalf("repeat request: status %d cacheHit=%v, want cached 200", code, rr.CacheHit)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if metricInt(t, m, "cache_hits") == 0 {
+		t.Fatal("cache hit not visible in /metrics")
+	}
+	if n := metricInt(t, m, "runs_total"); n != int64(len(reqs)) {
+		t.Fatalf("runs_total = %d, want %d (cache hit must not re-run)", n, len(reqs))
+	}
+}
+
+// gatedRunner wraps core.RunCtx behind a gate so tests can hold requests
+// in-flight deterministically. Runs count invocations.
+type gatedRunner struct {
+	gate chan struct{} // receives once per permitted run
+	mu   sync.Mutex
+	runs int
+}
+
+func newGatedRunner() *gatedRunner {
+	return &gatedRunner{gate: make(chan struct{}, 1024)}
+}
+
+func (g *gatedRunner) run(ctx context.Context, spec core.RunSpec) core.Result {
+	<-g.gate
+	g.mu.Lock()
+	g.runs++
+	g.mu.Unlock()
+	return core.RunCtx(ctx, spec)
+}
+
+func (g *gatedRunner) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.runs
+}
+
+// TestDedupSharesOneRun: >= 8 identical concurrent requests must execute
+// core.Run exactly once; every client still gets the full answer.
+func TestDedupSharesOneRun(t *testing.T) {
+	runner := newGatedRunner()
+	srv := New(Config{Workers: 2, QueueDepth: 32, Runner: runner.run})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 10
+	req := RunRequest{App: "tc", System: "ls", Graph: "rmat22", Scale: "test"}
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	resps := make([]RunResponse, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], resps[i], _, errs[i] = postErr(ts.URL, req)
+		}(i)
+	}
+
+	// Wait until every request is attached to the single in-flight job,
+	// then open the gate exactly once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := metricsSnapshot(t, ts.URL)
+		if metricInt(t, m, "requests_total") == clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("clients did not all arrive")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	runner.gate <- struct{}{}
+	wg.Wait()
+
+	if n := runner.count(); n != 1 {
+		t.Fatalf("core.Run executed %d times for %d identical requests, want 1", n, clients)
+	}
+	want := ""
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if codes[i] != http.StatusOK || resps[i].Outcome != "ok" {
+			t.Fatalf("client %d: status %d outcome %q err %q", i, codes[i], resps[i].Outcome, resps[i].Error)
+		}
+		if want == "" {
+			want = resps[i].Digest
+		}
+		if resps[i].Digest != want {
+			t.Fatalf("client %d digest %s != %s", i, resps[i].Digest, want)
+		}
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if hits := metricInt(t, m, "dedup_hits"); hits != clients-1 {
+		t.Fatalf("dedup_hits = %d, want %d", hits, clients-1)
+	}
+}
+
+// TestQueueFullRejectsWith429: once workers and the bounded queue are
+// saturated, further distinct requests are rejected immediately with 429 +
+// Retry-After rather than buffered without bound.
+func TestQueueFullRejectsWith429(t *testing.T) {
+	runner := newGatedRunner()
+	srv := New(Config{Workers: 1, QueueDepth: 1, Runner: runner.run})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Distinct specs so dedup cannot absorb them: one runs, one queues.
+	hold := []RunRequest{
+		{App: "bfs", System: "ls", Graph: "rmat22", Scale: "test", Async: true},
+		{App: "cc", System: "ls", Graph: "rmat22", Scale: "test", Async: true},
+	}
+	for i, r := range hold {
+		code, _, _ := post(t, ts.URL, r)
+		if code != http.StatusAccepted {
+			t.Fatalf("hold %d: status %d, want 202", i, code)
+		}
+	}
+	// The worker has popped one job (blocked on the gate) and one occupies
+	// the queue slot; wait for that steady state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := metricsSnapshot(t, ts.URL)
+		if metricInt(t, m, "workers_busy") == 1 && metricInt(t, m, "queue_depth") == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never saturated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, _, hdr := post(t, ts.URL, RunRequest{App: "tc", System: "ls", Graph: "rmat22", Scale: "test"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Draining the gate lets the held jobs finish; the server recovers.
+	// Tokens are pushed up front (the gate is buffered) because the sync
+	// POST below blocks until its run is admitted and executed.
+	for i := 0; i < 8; i++ {
+		runner.gate <- struct{}{}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, rr, _ := post(t, ts.URL, RunRequest{App: "tc", System: "ls", Graph: "rmat22", Scale: "test"})
+		if code == http.StatusOK && rr.Outcome == "ok" {
+			break
+		}
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("recovery: unexpected status %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not recover after drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if metricInt(t, m, "queue_rejects") == 0 {
+		t.Fatal("queue_rejects not visible in /metrics")
+	}
+}
+
+// TestDeadlineProducesTO: a request deadline shorter than the run yields an
+// orderly TO outcome — the worker is released, not hung.
+func TestDeadlineProducesTO(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, rr, _ := post(t, ts.URL, RunRequest{
+		App: "sssp", System: "gb", Graph: "road-USA", Scale: "test", Timeout: "1ns",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if rr.Outcome != "TO" {
+		t.Fatalf("outcome %q, want TO", rr.Outcome)
+	}
+
+	// The single worker must be free again: a normal request completes.
+	code, rr, _ = post(t, ts.URL, RunRequest{App: "bfs", System: "ls", Graph: "rmat22", Scale: "test"})
+	if code != http.StatusOK || rr.Outcome != "ok" {
+		t.Fatalf("after TO: status %d outcome %q — worker hung?", code, rr.Outcome)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if metricInt(t, m, "outcome_TO") != 1 {
+		t.Fatal("TO outcome not visible in /metrics")
+	}
+	// A TO must not poison the cache: the same spec with a sane deadline
+	// must actually run.
+	code, rr, _ = post(t, ts.URL, RunRequest{
+		App: "sssp", System: "gb", Graph: "road-USA", Scale: "test", Timeout: "1m",
+	})
+	if code != http.StatusOK || rr.Outcome != "ok" || rr.CacheHit {
+		t.Fatalf("rerun after TO: status %d outcome %q cacheHit %v", code, rr.Outcome, rr.CacheHit)
+	}
+}
+
+// TestAsyncJobLifecycle exercises POST async=true + GET /v1/jobs/{id}.
+func TestAsyncJobLifecycle(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, rr, _ := post(t, ts.URL, RunRequest{App: "cc", System: "gb", Graph: "rmat22", Scale: "test", Async: true})
+	if code != http.StatusAccepted || rr.Job == "" {
+		t.Fatalf("async submit: status %d job %q", code, rr.Job)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var jr RunResponse
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+rr.Job, &jr); code != http.StatusOK {
+			t.Fatalf("job poll: status %d", code)
+		}
+		if jr.Status == "done" {
+			if jr.Outcome != "ok" || jr.Digest == "" {
+				t.Fatalf("job done but outcome %q digest %q", jr.Outcome, jr.Digest)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var nf map[string]string
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&nf) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestGraphsAndHealth checks the catalog and liveness endpoints.
+func TestGraphsAndHealth(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var graphs struct {
+		Graphs []gen.CatalogEntry `json:"graphs"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/graphs", &graphs); code != http.StatusOK {
+		t.Fatalf("graphs: status %d", code)
+	}
+	names := gen.Names()
+	if len(graphs.Graphs) != len(names) {
+		t.Fatalf("graphs listing has %d entries, want %d", len(graphs.Graphs), len(names))
+	}
+	for i, e := range graphs.Graphs {
+		if e.Name != names[i] || e.Description == "" {
+			t.Fatalf("entry %d = %+v, want name %s with description", i, e, names[i])
+		}
+	}
+
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+}
+
+// TestBadRequests: malformed inputs are 400s with JSON errors, not panics.
+func TestBadRequests(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []RunRequest{
+		{App: "nope", System: "ls", Graph: "rmat22"},
+		{App: "bfs", System: "zz", Graph: "rmat22"},
+		{App: "bfs", System: "ls", Graph: "unknown-graph"},
+		{App: "bfs", System: "ls", Graph: "rmat22", Scale: "huge"},
+		{App: "bfs", System: "ls", Graph: "rmat22", Timeout: "not-a-duration"},
+		{App: "bfs", Graph: "rmat22"},
+	}
+	for _, c := range cases {
+		code, _, _ := post(t, ts.URL, c)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400", c, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+}

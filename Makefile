@@ -14,16 +14,17 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages that own concurrency: the serving subsystem
-# (queue/dedup/cache/worker pool) and the run orchestrator.
+# (queue/dedup/cache/worker pool), the run orchestrator, and the dataset
+# store (refcounted registry + LRU eviction).
 race:
-	$(GO) test -race ./internal/service/... ./internal/core/...
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/store/...
 
 check: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test ./...
-	$(GO) test -race ./internal/service/... ./internal/core/...
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/store/...
 
 fmt:
 	gofmt -w .

@@ -19,6 +19,7 @@ import (
 
 	"graphstudy/internal/bench"
 	"graphstudy/internal/gen"
+	"graphstudy/internal/store"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		full     = flag.Bool("full", false, "figure 2: all four largest graphs and threads up to 56")
 		progress = flag.Bool("progress", true, "print progress to stderr")
+		storeDir = flag.String("store", "", "dataset store directory: inputs persist across runs instead of regenerating")
 	)
 	flag.Parse()
 
@@ -38,6 +40,13 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Timeout = *timeout
 	cfg.Reps = *reps
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Registry = store.NewRegistry(store.RegistryConfig{Store: st})
+	}
 	switch *scale {
 	case "test":
 		cfg.Scale = gen.ScaleTest

@@ -6,12 +6,20 @@
 // Usage:
 //
 //	graphd -addr :8080 -workers 4 -queue 64 -cache 128
+//	graphd -data ./datasets -mem-budget 512MB   # persistent, budgeted datasets
 //
 //	curl -d '{"app":"bfs","system":"ls","graph":"rmat22","scale":"test"}' localhost:8080/v1/run
 //	curl -d '{"app":"tc","system":"gb","graph":"rmat22","async":true}' localhost:8080/v1/run
 //	curl localhost:8080/v1/jobs/job-2
 //	curl localhost:8080/v1/graphs
+//	curl localhost:8080/v1/datasets
 //	curl localhost:8080/metrics
+//
+// With -data, graph names resolve through the dataset store as well as the
+// generated suite: anything imported with `graphpack import` is servable,
+// generated graphs persist to the store on first use, and -mem-budget
+// bounds resident graph bytes with LRU eviction (watch the store_* fields
+// of /metrics).
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"graphstudy/internal/gen"
 	"graphstudy/internal/service"
+	"graphstudy/internal/store"
 )
 
 func main() {
@@ -38,6 +47,8 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Minute, "default per-run deadline")
 		maxTO   = flag.Duration("max-timeout", time.Hour, "cap on client-requested deadlines")
 		list    = flag.Bool("list", false, "print the graph catalog and exit")
+		dataDir = flag.String("data", "", "dataset store directory (persists graphs, serves imported datasets)")
+		budget  = flag.String("mem-budget", "", "resident graph byte budget, e.g. 512MB (empty or 0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -48,6 +59,25 @@ func main() {
 		return
 	}
 
+	var reg *store.Registry
+	if *dataDir != "" || *budget != "" {
+		budgetBytes, err := store.ParseBytes(*budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphd:", err)
+			os.Exit(2)
+		}
+		var st *store.Store
+		if *dataDir != "" {
+			if st, err = store.Open(*dataDir); err != nil {
+				fmt.Fprintln(os.Stderr, "graphd:", err)
+				os.Exit(1)
+			}
+		}
+		reg = store.NewRegistry(store.RegistryConfig{Store: st, Budget: budgetBytes})
+		fmt.Fprintf(os.Stderr, "graphd: dataset store %q, budget %s\n",
+			*dataDir, store.FormatBytes(budgetBytes))
+	}
+
 	srv := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -55,6 +85,7 @@ func main() {
 		DefaultThreads: *threads,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
+		Registry:       reg,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

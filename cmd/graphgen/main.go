@@ -6,7 +6,12 @@
 //	graphgen -graph rmat22   # one graph only
 //	graphgen -scale test     # test-scale inputs
 //	graphgen -out dir        # also write GSG1 binaries into dir
+//	graphgen -graph rmat22 -o rmat22.gsg   # one checksummed GSG2 artifact
 //	graphgen -list           # print the catalog without generating anything
+//
+// -o writes through the dataset-store GSG2 writer (per-section CRC32
+// checksums + provenance metadata), so the file is a reusable artifact:
+// `graphpack import` it into any store, or serve it straight to graphd.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"graphstudy/internal/gen"
 	"graphstudy/internal/graph"
+	"graphstudy/internal/store"
 )
 
 func main() {
@@ -25,6 +31,7 @@ func main() {
 		name  = flag.String("graph", "", "generate only this graph (default: whole suite)")
 		scale = flag.String("scale", "bench", "input scale: test or bench")
 		out   = flag.String("out", "", "write GSG1 binary files into this directory")
+		gsg2  = flag.String("o", "", "write one checksummed GSG2 file (requires -graph); see graphpack(1)")
 		list  = flag.Bool("list", false, "print the graph catalog (names + descriptions) and exit")
 	)
 	flag.Parse()
@@ -32,6 +39,10 @@ func main() {
 	sc, err := gen.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *gsg2 != "" && *name == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -o exports a single graph; name one with -graph")
 		os.Exit(2)
 	}
 
@@ -74,6 +85,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("  wrote %s\n", path)
+		}
+		if *gsg2 != "" {
+			meta := map[string]string{
+				"source": "graphgen", "graph": in.Name,
+				"scale": sc.String(), "archetype": in.Archetype,
+			}
+			if err := store.SaveGSG2(*gsg2, g, meta); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s (GSG2, checksummed)\n", *gsg2)
 		}
 	}
 }

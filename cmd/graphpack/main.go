@@ -1,0 +1,196 @@
+// Command graphpack manages dataset stores: the persistent, checksummed
+// graph collections that graphd -data, graphstudy -store, and gentables
+// -store serve from.
+//
+// Usage:
+//
+//	graphpack -store dir import <name> <file>   # ingest .mtx/.el/.gsg/.gsg2 (sniffed)
+//	graphpack -store dir export <name> <file>   # re-encode by extension, or byte-exact .gsg2
+//	graphpack -store dir ls                     # list datasets with sizes and checksums
+//	graphpack -store dir verify [name...]       # recompute checksums + full decode
+//	graphpack -store dir gen <graph> [scale]    # generate a suite graph into the store
+//	graphpack -store dir rm <name>              # remove a dataset (GCs unshared objects)
+//
+// Import sniffs the input format (GSG2, GSG1, %%MatrixMarket, else
+// whitespace edge list); -format overrides. Stored objects are
+// content-addressed GSG2 files with per-section CRC32 checksums, so verify
+// detects any single flipped byte on disk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/store"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: graphpack [-store dir] <command> [args]
+
+commands:
+  import <name> <file> [-format auto|gsg2|gsg1|mtx|el]
+  export <name> <file>
+  ls
+  verify [name...]
+  gen <graph> [test|bench]
+  rm <name>`)
+	os.Exit(2)
+}
+
+func main() {
+	dir := flag.String("store", "datasets", "dataset store directory")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "import":
+		cmdImport(st, args)
+	case "export":
+		cmdExport(st, args)
+	case "ls":
+		cmdLs(st, args)
+	case "verify":
+		cmdVerify(st, args)
+	case "gen":
+		cmdGen(st, args)
+	case "rm":
+		cmdRm(st, args)
+	default:
+		fmt.Fprintf(os.Stderr, "graphpack: unknown command %q\n", cmd)
+		usage()
+	}
+}
+
+func cmdImport(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	formatName := fs.String("format", "auto", "input format: auto, gsg2, gsg1, mtx, el")
+	fs.Parse(restFlags(args, 2)) //nolint:errcheck // ExitOnError
+	if len(args) < 2 {
+		fatal(fmt.Errorf("import wants <name> <file>"))
+	}
+	format, err := store.ParseFormat(*formatName)
+	if err != nil {
+		fatal(err)
+	}
+	e, err := st.Import(args[0], args[1], format)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("imported %s: %d nodes, %d edges, %s as %s (%s)\n",
+		e.Name, e.Nodes, e.Edges, store.FormatBytes(e.Bytes), e.File, e.Meta["source-format"])
+}
+
+func cmdExport(st *store.Store, args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("export wants <name> <file>"))
+	}
+	if err := st.Export(args[0], args[1]); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("exported %s to %s\n", args[0], args[1])
+}
+
+func cmdLs(st *store.Store, _ []string) {
+	entries := st.List()
+	if len(entries) == 0 {
+		fmt.Println("(empty store)")
+		return
+	}
+	fmt.Printf("%-24s %10s %12s %8s  %-16s %s\n", "NAME", "NODES", "EDGES", "SIZE", "SHA256", "FILE")
+	for _, e := range entries {
+		fmt.Printf("%-24s %10d %12d %8s  %-16s %s\n",
+			e.Name, e.Nodes, e.Edges, store.FormatBytes(e.Bytes), e.SHA256[:16], e.File)
+	}
+}
+
+func cmdVerify(st *store.Store, args []string) {
+	names := args
+	if len(names) == 0 {
+		for _, e := range st.List() {
+			names = append(names, e.Name)
+		}
+	}
+	bad := 0
+	for _, name := range names {
+		if err := st.Verify(name); err != nil {
+			fmt.Printf("FAIL %s: %v\n", name, err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok   %s\n", name)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "graphpack: %d of %d datasets failed verification\n", bad, len(names))
+		os.Exit(1)
+	}
+}
+
+// cmdGen generates a suite graph and persists it under the same
+// "<name>@<scale>" key the registry uses, so a later graphd/graphstudy run
+// is a disk hit.
+func cmdGen(st *store.Store, args []string) {
+	if len(args) < 1 || len(args) > 2 {
+		fatal(fmt.Errorf("gen wants <graph> [test|bench]"))
+	}
+	in, err := gen.ByName(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	sc := gen.ScaleBench
+	if len(args) == 2 {
+		if sc, err = gen.ParseScale(args[1]); err != nil {
+			fatal(err)
+		}
+	}
+	key := fmt.Sprintf("%s@%s", in.Name, sc)
+	if st.Has(key) {
+		fmt.Printf("%s already stored\n", key)
+		return
+	}
+	g := in.Build(sc)
+	e, err := st.Put(key, g, map[string]string{
+		"source": "graphpack gen", "graph": in.Name,
+		"scale": sc.String(), "archetype": in.Archetype,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %s: %d nodes, %d edges, %s\n",
+		e.Name, e.Nodes, e.Edges, store.FormatBytes(e.Bytes))
+}
+
+func cmdRm(st *store.Store, args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("rm wants <name>"))
+	}
+	if err := st.Remove(args[0]); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("removed %s\n", args[0])
+}
+
+// restFlags returns the arguments after the first n positionals, for
+// subcommands that take trailing flags (graphpack import a b -format el).
+func restFlags(args []string, n int) []string {
+	if len(args) <= n {
+		return nil
+	}
+	return args[n:]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphpack:", err)
+	os.Exit(1)
+}

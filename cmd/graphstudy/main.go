@@ -7,6 +7,11 @@
 //	graphstudy -app sssp -sys ls -graph road-USA -threads 4
 //	graphstudy -app tc -sys gb -variant gb-ll -graph uk07 -scale bench
 //	graphstudy -app pr -sys gb -counters        # software perf counters
+//	graphstudy -store ./datasets -graph web-BerkStan -app bfs -sys ls
+//
+// With -store, the graph name resolves through the dataset store: imported
+// datasets (graphpack import) run like suite graphs, and generated suite
+// inputs persist into the store so repeated invocations skip regeneration.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"graphstudy/internal/core"
 	"graphstudy/internal/gen"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/store"
 )
 
 func main() {
@@ -30,6 +36,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-run timeout (0 = none)")
 		counters = flag.Bool("counters", false, "collect software performance counters (forces 1 thread)")
 		verifyIt = flag.Bool("verify", false, "check the answer against the serial reference")
+		storeDir = flag.String("store", "", "dataset store directory (serves imported datasets, caches generated ones)")
 	)
 	flag.Parse()
 
@@ -37,10 +44,25 @@ func main() {
 	exitOn(err)
 	sys, err := core.ParseSystem(*sysName)
 	exitOn(err)
-	in, err := gen.ByName(*gname)
-	exitOn(err)
 	sc, err := gen.ParseScale(*scale)
 	exitOn(err)
+
+	var in *gen.Input
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		exitOn(err)
+		reg := store.NewRegistry(store.RegistryConfig{Store: st})
+		in, err = reg.Input(*gname)
+		exitOn(err)
+		// Load (or generate-and-persist) through the registry so the run's
+		// Prepare call reuses the stored graph instead of regenerating.
+		h, err := reg.Acquire(*gname, sc)
+		exitOn(err)
+		defer h.Release()
+	} else {
+		in, err = gen.ByName(*gname)
+		exitOn(err)
+	}
 
 	spec := core.RunSpec{
 		App: app, System: sys, Variant: core.Variant(*variant),

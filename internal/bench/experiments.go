@@ -7,6 +7,7 @@ import (
 	"graphstudy/internal/core"
 	"graphstudy/internal/gen"
 	"graphstudy/internal/graph"
+	"graphstudy/internal/store"
 )
 
 // Config controls a reproduction run.
@@ -21,6 +22,24 @@ type Config struct {
 	// Reps repeats each timed run, reporting the average like the study
 	// (which averaged 3 runs).
 	Reps int
+	// Registry, when set, resolves inputs through the dataset store:
+	// generated graphs persist across processes (so repeated table runs stop
+	// paying regeneration cost) and each experiment leases its inputs so a
+	// memory budget cannot evict them mid-measurement.
+	Registry *store.Registry
+}
+
+// lease pins a graph in the registry for the duration of one measurement;
+// without a registry it is a no-op. The returned func releases the lease.
+func (c Config) lease(name string, sc gen.Scale) (func(), error) {
+	if c.Registry == nil {
+		return func() {}, nil
+	}
+	h, err := c.Registry.Acquire(name, sc)
+	if err != nil {
+		return nil, err
+	}
+	return h.Release, nil
 }
 
 // DefaultConfig returns the scaled-down defaults.
@@ -41,8 +60,14 @@ func Table1(cfg Config) *Table {
 	t := NewTable("Table I: input graphs and their properties",
 		"graph", "|V|", "|E|", "|E|/|V|", "Dout max", "Din max", "approx diam", "CSR size (MB)")
 	for _, in := range gen.Suite() {
+		release, err := cfg.lease(in.Name, cfg.Scale)
+		if err != nil {
+			t.AddNote("store error for %s: %v", in.Name, err)
+			continue
+		}
 		g := in.Build(cfg.Scale)
 		st := graph.ComputeStats(in.Name, g)
+		release()
 		t.AddRow(in.Name,
 			fmt.Sprintf("%d", st.NumNodes),
 			fmt.Sprintf("%d", st.NumEdges),
@@ -79,6 +104,11 @@ func RunGrid(cfg Config, progress func(msg string)) *GridResult {
 					App: app, System: sys, Input: in,
 					Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout,
 				}
+				release, err := cfg.lease(in.Name, cfg.Scale)
+				if err != nil {
+					out.Cells[app][sys][in.Name] = core.Result{Spec: spec, Outcome: core.ERR, Err: err}
+					continue
+				}
 				r := core.Run(spec)
 				// Average elapsed over repetitions (first run kept for
 				// outcome/value; warmed caches make later runs comparable).
@@ -89,6 +119,7 @@ func RunGrid(cfg Config, progress func(msg string)) *GridResult {
 					}
 					r.Elapsed = total / time.Duration(cfg.reps())
 				}
+				release()
 				out.Cells[app][sys][in.Name] = r
 			}
 		}

@@ -90,9 +90,22 @@ func Prepare(in *gen.Input, sc gen.Scale) *Prepared {
 	return e.p
 }
 
-// DropPrepared evicts one prepared input (used by memory-bound sweeps).
+// DropPrepared evicts one prepared input so its matrix forms can be
+// garbage-collected. It also drops the gen build memo for the same (name,
+// scale): the memo holds the base graph the Prepared forms alias, so
+// deleting only the prepCache entry would free nothing. The dataset
+// registry's budget eviction and memory-bound sweeps both rely on this.
 func DropPrepared(name string, sc gen.Scale) {
 	prepMu.Lock()
 	delete(prepCache, prepKey{name, sc})
 	prepMu.Unlock()
+	gen.DropCached(name, sc)
+}
+
+// PreparedCount reports how many prepared inputs are resident (tests and
+// metrics).
+func PreparedCount() int {
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	return len(prepCache)
 }

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"graphstudy/internal/gen"
+)
+
+// TestDropPreparedFreesBothCaches is the regression test for the Prepare
+// leak: dropping a prepared input must remove both the prepared matrix forms
+// and the gen build memo that pins the base graph, otherwise "eviction"
+// frees no memory at all.
+func TestDropPreparedFreesBothCaches(t *testing.T) {
+	in, err := gen.ByName("rmat22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Other tests in this package may already have prepared rmat22@test;
+	// drop it first so the deltas below are deterministic.
+	DropPrepared(in.Name, gen.ScaleTest)
+	basePrep, baseGen := PreparedCount(), gen.CachedCount()
+
+	p := Prepare(in, gen.ScaleTest)
+	if p == nil || p.G == nil {
+		t.Fatal("Prepare returned nil")
+	}
+	if got := PreparedCount(); got != basePrep+1 {
+		t.Fatalf("PreparedCount after Prepare = %d, want %d", got, basePrep+1)
+	}
+	if got := gen.CachedCount(); got != baseGen+1 {
+		t.Fatalf("gen.CachedCount after Prepare = %d, want %d", got, baseGen+1)
+	}
+
+	DropPrepared(in.Name, gen.ScaleTest)
+	if got := PreparedCount(); got != basePrep {
+		t.Fatalf("PreparedCount after DropPrepared = %d, want %d", got, basePrep)
+	}
+	if got := gen.CachedCount(); got != baseGen {
+		t.Fatalf("gen.CachedCount after DropPrepared = %d, want %d", got, baseGen)
+	}
+
+	// A fresh Prepare after the drop must rebuild cleanly.
+	p2 := Prepare(in, gen.ScaleTest)
+	if p2 == nil || p2.G == nil {
+		t.Fatal("Prepare after DropPrepared returned nil")
+	}
+	if p2.G.NumNodes != p.G.NumNodes || p2.G.NumEdges() != p.G.NumEdges() {
+		t.Fatalf("rebuilt graph differs: %d/%d nodes, %d/%d edges",
+			p2.G.NumNodes, p.G.NumNodes, p2.G.NumEdges(), p.G.NumEdges())
+	}
+	DropPrepared(in.Name, gen.ScaleTest)
+}

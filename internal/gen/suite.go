@@ -82,6 +82,41 @@ var (
 	cache   = map[cacheKey]*cacheEntry{}
 )
 
+// SetCached seeds the build memo for (name, s) with a graph decoded from
+// elsewhere (the dataset store), so later Build calls reuse it instead of
+// regenerating. If a graph is already memoized the existing one wins; the
+// canonical graph is returned either way, so callers hold the same pointer
+// core.Prepare will see.
+func SetCached(name string, s Scale, g *graph.Graph) *graph.Graph {
+	key := cacheKey{name, s}
+	cacheMu.Lock()
+	entry, ok := cache[key]
+	if !ok {
+		entry = &cacheEntry{}
+		cache[key] = entry
+	}
+	cacheMu.Unlock()
+	entry.once.Do(func() { entry.g = g })
+	return entry.g
+}
+
+// DropCached evicts the build memo for (name, s) so its graph can be
+// garbage-collected. The dataset registry calls this when a graph leaves its
+// memory budget; without it the memo pins every graph ever built for the
+// life of the process.
+func DropCached(name string, s Scale) {
+	cacheMu.Lock()
+	delete(cache, cacheKey{name, s})
+	cacheMu.Unlock()
+}
+
+// CachedCount reports how many build memos are resident (tests and metrics).
+func CachedCount() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(cache)
+}
+
 // pick returns a or b depending on scale.
 func pick[T any](s Scale, test, bench T) T {
 	if s == ScaleTest {
@@ -147,6 +182,21 @@ var inputs = []*Input{
 			return WebCrawl(pick(s, 500, 10000), pick(s, 25, 220), pick(s, 30, 100), true, true, 255, 0x1107)
 		},
 	},
+}
+
+// NewExternal wraps a graph that lives outside the generated suite (an
+// imported SNAP edge list or Matrix Market dataset) as an Input, so the core
+// harness can run workloads on it exactly as it does on generated graphs.
+// The build func must return the same graph at every scale — external
+// datasets have one concrete size. Study parameters (source vertex, ktruss
+// k, delta) use the non-road defaults.
+func NewExternal(name string, weighted bool, build func(s Scale) *graph.Graph) *Input {
+	return &Input{
+		Name:      name,
+		Archetype: "external dataset",
+		Weighted:  weighted,
+		build:     build,
+	}
 }
 
 // Suite returns the nine inputs in paper order.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -56,12 +57,14 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a GSG1-format graph.
+// ReadBinary reads a GSG1-format graph. Array sizes come from the header,
+// which is untrusted: allocations are capped and grow only as data actually
+// arrives, so a truncated or hostile header produces an error, never an OOM.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if magic != gsgMagic {
 		return nil, errors.New("graph: bad magic, not a GSG1 file")
@@ -69,27 +72,34 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	var flags, nodes uint32
 	var edges uint64
 	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: truncated header: %w", err)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &nodes); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: truncated header: %w", err)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &edges); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: truncated header: %w", err)
+	}
+	if extra := flags &^ 1; extra != 0 {
+		return nil, fmt.Errorf("graph: unknown GSG1 flag bits %#x", extra)
 	}
 	g := &Graph{NumNodes: nodes}
-	g.RowPtr = make([]uint64, nodes+1)
-	if err := readU64s(br, g.RowPtr); err != nil {
-		return nil, err
+	rowPtr, err := ReadU64Section(br, uint64(nodes)+1)
+	if err != nil {
+		return nil, fmt.Errorf("graph: row pointers: %w", err)
 	}
-	g.ColIdx = make([]uint32, edges)
-	if err := readU32s(br, g.ColIdx); err != nil {
-		return nil, err
+	g.RowPtr = rowPtr
+	// The header's edge count and the row pointers must agree before edge
+	// arrays are allocated; a corrupt header fails here, cheaply.
+	if rowPtr[nodes] != edges {
+		return nil, fmt.Errorf("graph: header claims %d edges but row pointers end at %d", edges, rowPtr[nodes])
+	}
+	if g.ColIdx, err = ReadU32Section(br, edges); err != nil {
+		return nil, fmt.Errorf("graph: edge destinations: %w", err)
 	}
 	if flags&1 != 0 {
-		g.Wt = make([]uint32, edges)
-		if err := readU32s(br, g.Wt); err != nil {
-			return nil, err
+		if g.Wt, err = ReadU32Section(br, edges); err != nil {
+			return nil, fmt.Errorf("graph: edge weights: %w", err)
 		}
 	}
 	if err := g.Validate(); err != nil {
@@ -151,32 +161,51 @@ func writeU64s(w io.Writer, s []uint64) error {
 	return nil
 }
 
-func readU32s(r io.Reader, s []uint32) error {
-	buf := make([]byte, 4*4096)
-	for len(s) > 0 {
-		n := min(len(s), 4096)
-		if _, err := io.ReadFull(r, buf[:4*n]); err != nil {
-			return err
-		}
-		for i := 0; i < n; i++ {
-			s[i] = binary.LittleEndian.Uint32(buf[4*i:])
-		}
-		s = s[n:]
+// maxPreallocElems caps how many array elements a header field may allocate
+// before any of the corresponding bytes have been read. Larger arrays grow
+// chunk by chunk, so their footprint tracks the bytes actually present in the
+// input rather than an attacker-controlled count.
+const maxPreallocElems = 1 << 20
+
+// ReadU32Section decodes count little-endian uint32 values. It is shared by
+// the GSG1 reader and the dataset store's GSG2 reader; both treat the count
+// as untrusted (see maxPreallocElems).
+func ReadU32Section(r io.Reader, count uint64) ([]uint32, error) {
+	if count > math.MaxInt/4 {
+		return nil, fmt.Errorf("implausible element count %d", count)
 	}
-	return nil
+	out := make([]uint32, 0, int(min(count, maxPreallocElems)))
+	buf := make([]byte, 4*4096)
+	for remaining := count; remaining > 0; {
+		n := min(remaining, 4096)
+		if _, err := io.ReadFull(r, buf[:4*n]); err != nil {
+			return nil, fmt.Errorf("truncated input (%d of %d values): %w", count-remaining, count, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		remaining -= n
+	}
+	return out, nil
 }
 
-func readU64s(r io.Reader, s []uint64) error {
-	buf := make([]byte, 8*4096)
-	for len(s) > 0 {
-		n := min(len(s), 4096)
-		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
-			return err
-		}
-		for i := 0; i < n; i++ {
-			s[i] = binary.LittleEndian.Uint64(buf[8*i:])
-		}
-		s = s[n:]
+// ReadU64Section decodes count little-endian uint64 values; see
+// ReadU32Section for the allocation policy.
+func ReadU64Section(r io.Reader, count uint64) ([]uint64, error) {
+	if count > math.MaxInt/8 {
+		return nil, fmt.Errorf("implausible element count %d", count)
 	}
-	return nil
+	out := make([]uint64, 0, int(min(count, maxPreallocElems)))
+	buf := make([]byte, 8*4096)
+	for remaining := count; remaining > 0; {
+		n := min(remaining, 4096)
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return nil, fmt.Errorf("truncated input (%d of %d values): %w", count-remaining, count, err)
+		}
+		for i := uint64(0); i < n; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		remaining -= n
+	}
+	return out, nil
 }

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// testGraph builds a small weighted graph for the corruption tests.
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := FromWeightedEdges(6, [][3]uint32{
+		{0, 1, 5}, {0, 2, 7}, {1, 3, 1}, {2, 3, 9}, {3, 4, 2}, {4, 5, 4}, {5, 0, 8},
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func encodeGSG1(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	full := encodeGSG1(t, testGraph(t))
+	// Every proper prefix must fail with an error, never panic or succeed.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes: want error, got nil", cut, len(full))
+		}
+	}
+}
+
+// TestReadBinaryHostileHeader feeds headers claiming enormous node/edge
+// counts with almost no data behind them. The reader must fail fast instead
+// of allocating what the header promises.
+func TestReadBinaryHostileHeader(t *testing.T) {
+	mk := func(nodes uint32, edges uint64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("GSG1")
+		binary.Write(&buf, binary.LittleEndian, uint32(0)) //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, nodes)     //nolint:errcheck
+		binary.Write(&buf, binary.LittleEndian, edges)     //nolint:errcheck
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name  string
+		data  []byte
+		extra int // trailing zero bytes after the header
+	}{
+		{"max nodes", mk(^uint32(0), 8), 64},
+		{"max edges", mk(4, ^uint64(0)), 64},
+		{"both huge", mk(^uint32(0), ^uint64(0)>>1), 0},
+		{"huge but plausible counts, no data", mk(1<<30, 1<<40), 128},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append(append([]byte{}, tc.data...), make([]byte, tc.extra)...)
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Fatal("want error for hostile header, got nil")
+			}
+		})
+	}
+}
+
+func TestReadBinaryHeaderEdgeMismatch(t *testing.T) {
+	full := encodeGSG1(t, testGraph(t))
+	// Bump the header edge count (offset 12) without touching the arrays.
+	corrupt := append([]byte{}, full...)
+	binary.LittleEndian.PutUint64(corrupt[12:], binary.LittleEndian.Uint64(corrupt[12:])+1)
+	_, err := ReadBinary(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("want error for header/rowptr disagreement, got nil")
+	}
+	if !strings.Contains(err.Error(), "row pointers") {
+		t.Fatalf("want row-pointer mismatch error, got: %v", err)
+	}
+}
+
+func TestReadBinaryUnknownFlags(t *testing.T) {
+	full := encodeGSG1(t, testGraph(t))
+	corrupt := append([]byte{}, full...)
+	corrupt[4] |= 0x80 // set an undefined flag bit
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("want error for unknown flag bits, got nil")
+	}
+}
+
+func TestReadBinaryCorruptDestination(t *testing.T) {
+	g := testGraph(t)
+	full := encodeGSG1(t, g)
+	// Overwrite the first ColIdx entry with an out-of-range vertex.
+	off := 4 + 4 + 4 + 8 + 8*(int(g.NumNodes)+1)
+	corrupt := append([]byte{}, full...)
+	binary.LittleEndian.PutUint32(corrupt[off:], g.NumNodes+100)
+	_, err := ReadBinary(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("want validation error for out-of-range destination, got nil")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("want corrupt-file error, got: %v", err)
+	}
+}
+
+func TestSectionReadersRejectImplausibleCounts(t *testing.T) {
+	if _, err := ReadU32Section(bytes.NewReader(nil), ^uint64(0)); err == nil {
+		t.Fatal("ReadU32Section: want error for implausible count")
+	}
+	if _, err := ReadU64Section(bytes.NewReader(nil), ^uint64(0)); err == nil {
+		t.Fatal("ReadU64Section: want error for implausible count")
+	}
+}

@@ -53,6 +53,7 @@ type RunResponse struct {
 //	POST /v1/run      run a spec (sync by default, async on request)
 //	GET  /v1/jobs/{id} poll a job
 //	GET  /v1/graphs   list the input catalog
+//	GET  /v1/datasets list the dataset store (residency, sizes, refcounts)
 //	GET  /healthz     liveness
 //	GET  /metrics     metrics JSON
 func (s *Server) Handler() http.Handler {
@@ -60,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/metrics", s.reg)
 	return mux
@@ -134,7 +136,7 @@ func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
 	if err != nil {
 		return zero, err
 	}
-	in, err := gen.ByName(req.Graph)
+	in, err := s.resolveInput(req.Graph)
 	if err != nil {
 		return zero, err
 	}
@@ -187,6 +189,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"graphs": s.Graphs()})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"datasets": s.Datasets()})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

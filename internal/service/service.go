@@ -18,6 +18,7 @@ import (
 	"graphstudy/internal/core"
 	"graphstudy/internal/gen"
 	"graphstudy/internal/service/metrics"
+	"graphstudy/internal/store"
 )
 
 // ErrQueueFull is returned by Submit when the admission queue is at
@@ -46,6 +47,12 @@ type Config struct {
 	// JobRetention is how many jobs /v1/jobs can look up before the oldest
 	// completed ones are forgotten (default 1024).
 	JobRetention int
+	// Registry, when set, is the dataset subsystem: graph names resolve
+	// through it (store datasets become servable alongside the generated
+	// suite), every run holds a refcounted lease on its input so the
+	// memory budget cannot evict a graph mid-run, and its hit/miss/
+	// eviction/bytes counters join /metrics.
+	Registry *store.Registry
 	// Runner executes one measurement; tests substitute a gated runner.
 	// Defaults to core.RunCtx.
 	Runner func(ctx context.Context, spec core.RunSpec) core.Result
@@ -116,6 +123,9 @@ func New(cfg Config) *Server {
 	reg.Gauge("workers", func() int64 { return int64(cfg.Workers) })
 	reg.Gauge("workers_busy", func() int64 { return s.inFlight.Load() })
 	reg.Gauge("uptime_seconds", func() int64 { return int64(time.Since(s.started).Seconds()) })
+	if cfg.Registry != nil {
+		cfg.Registry.RegisterMetrics(reg)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -196,11 +206,26 @@ func (s *Server) worker() {
 }
 
 // execute runs one job and publishes its result to all attached waiters,
-// the cache, and the metrics registry.
+// the cache, and the metrics registry. When a dataset registry is attached,
+// the run holds a lease on its input graph for the duration so the memory
+// budget evicts only idle graphs.
 func (s *Server) execute(job *Job) {
 	job.state.Store(int32(JobRunning))
 	s.inFlight.Add(1)
 	s.reg.Counter("runs_total").Inc()
+
+	if s.cfg.Registry != nil {
+		h, err := s.cfg.Registry.Acquire(job.Spec.Input.Name, job.Spec.Scale)
+		if err != nil {
+			s.inFlight.Add(-1)
+			s.reg.Counter("outcome_" + core.ERR.String()).Inc()
+			s.jobs.settle(job)
+			job.complete(core.Result{Spec: job.Spec, Outcome: core.ERR,
+				Err: fmt.Errorf("service: loading dataset: %w", err)}, false)
+			return
+		}
+		defer h.Release()
+	}
 
 	start := time.Now()
 	res := s.cfg.Runner(s.baseCtx, job.Spec)
@@ -225,3 +250,23 @@ func latencyName(app core.App, sys core.System) string {
 // listing the examples and generator binaries use (gen.Catalog), so the
 // service cannot drift from the generators.
 func (s *Server) Graphs() []gen.CatalogEntry { return gen.Catalog() }
+
+// Datasets returns the dataset-store listing served by /v1/datasets: every
+// stored dataset plus resident generated graphs. Without a registry the
+// listing is empty.
+func (s *Server) Datasets() []store.DatasetInfo {
+	if s.cfg.Registry == nil {
+		return []store.DatasetInfo{}
+	}
+	return s.cfg.Registry.Datasets()
+}
+
+// resolveInput maps a request's graph name to an Input: through the dataset
+// registry when one is attached (suite names plus store datasets), else the
+// generated suite only.
+func (s *Server) resolveInput(name string) (*gen.Input, error) {
+	if s.cfg.Registry != nil {
+		return s.cfg.Registry.Input(name)
+	}
+	return gen.ByName(name)
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"graphstudy/internal/graph"
+	"graphstudy/internal/store"
+)
+
+// TestRegistryBackedService runs the server against a dataset store: an
+// imported (non-suite) graph must be servable, /v1/datasets must list it,
+// and a tiny memory budget must evict it after the run — visible in the
+// store_* metrics.
+func TestRegistryBackedService(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([][3]uint32, 64)
+	for i := range edges {
+		edges[i] = [3]uint32{uint32(i), uint32((i + 1) % 64), uint32(i%9 + 1)}
+	}
+	if _, err := st.Put("svc-ring", graph.FromWeightedEdges(64, edges), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget 1 byte: every graph is over budget the moment it goes idle, so
+	// the run itself proves the lease keeps the input resident.
+	reg := store.NewRegistry(store.RegistryConfig{Store: st, Budget: 1})
+	srv := New(Config{Workers: 2, QueueDepth: 8, CacheSize: -1, Registry: reg})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, rr, _ := post(t, ts.URL, RunRequest{App: "bfs", System: "ls", Graph: "svc-ring", Scale: "test"})
+	if code != http.StatusOK || rr.Outcome != "ok" {
+		t.Fatalf("store-backed run: status %d outcome %q error %q", code, rr.Outcome, rr.Error)
+	}
+
+	var dl struct {
+		Datasets []store.DatasetInfo `json:"datasets"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/datasets", &dl); code != http.StatusOK {
+		t.Fatalf("/v1/datasets: status %d", code)
+	}
+	found := false
+	for _, d := range dl.Datasets {
+		if d.Name == "svc-ring" && d.Nodes == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/v1/datasets missing svc-ring: %+v", dl.Datasets)
+	}
+
+	// The worker releases its lease just after publishing the result, so the
+	// eviction may trail the HTTP response by a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s := reg.Stats()
+		if s.Evictions >= 1 && s.ResidentGraphs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("budget eviction never happened: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m := metricsSnapshot(t, ts.URL)
+	if metricInt(t, m, "store_disk_hits") < 1 {
+		t.Fatal("store disk hit not visible in /metrics")
+	}
+	if metricInt(t, m, "store_evictions") < 1 {
+		t.Fatal("store eviction not visible in /metrics")
+	}
+
+	// A second identical run must load from disk again (it was evicted), not
+	// regenerate — still a disk hit, and still correct.
+	code, rr2, _ := post(t, ts.URL, RunRequest{App: "bfs", System: "ls", Graph: "svc-ring", Scale: "test"})
+	if code != http.StatusOK || rr2.Outcome != "ok" || rr2.Digest != rr.Digest {
+		t.Fatalf("rerun after eviction: status %d outcome %q digest %q (want %q)",
+			code, rr2.Outcome, rr2.Digest, rr.Digest)
+	}
+
+	// Unknown names are a client error, not a server crash.
+	code, _, _ = post(t, ts.URL, RunRequest{App: "bfs", System: "ls", Graph: "no-such", Scale: "test"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown dataset: status %d, want 400", code)
+	}
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"graphstudy/internal/graph"
+)
+
+func gsg2TestGraph(t *testing.T, weighted bool) *graph.Graph {
+	t.Helper()
+	var g *graph.Graph
+	if weighted {
+		g = graph.FromWeightedEdges(7, [][3]uint32{
+			{0, 1, 3}, {1, 2, 1}, {2, 0, 9}, {2, 3, 2}, {3, 4, 8}, {4, 5, 5}, {5, 6, 1}, {6, 0, 4},
+		})
+	} else {
+		g = graph.FromEdges(7, [][2]uint32{
+			{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 0},
+		})
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGSG2RoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := gsg2TestGraph(t, weighted)
+		meta := map[string]string{"name": "tiny", "origin": "unit test"}
+		var buf bytes.Buffer
+		if err := WriteGSG2(&buf, g, meta); err != nil {
+			t.Fatal(err)
+		}
+		g2, meta2, err := ReadGSG2(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("weighted=%v: %v", weighted, err)
+		}
+		if !reflect.DeepEqual(g.RowPtr, g2.RowPtr) || !reflect.DeepEqual(g.ColIdx, g2.ColIdx) || !reflect.DeepEqual(g.Wt, g2.Wt) {
+			t.Fatalf("weighted=%v: decoded graph differs from original", weighted)
+		}
+		if !reflect.DeepEqual(meta, meta2) {
+			t.Fatalf("weighted=%v: meta %v != %v", weighted, meta2, meta)
+		}
+	}
+}
+
+func TestGSG2NoMeta(t *testing.T) {
+	g := gsg2TestGraph(t, false)
+	var buf bytes.Buffer
+	if err := WriteGSG2(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := ReadGSG2(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Fatalf("want nil meta, got %v", meta)
+	}
+}
+
+// TestGSG2DetectsEveryFlippedByte flips each byte of an encoded file in turn
+// and requires the reader to reject every mutation: this is the integrity
+// property `graphpack verify` relies on.
+func TestGSG2DetectsEveryFlippedByte(t *testing.T) {
+	g := gsg2TestGraph(t, true)
+	var buf bytes.Buffer
+	if err := WriteGSG2(&buf, g, map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := range data {
+		corrupt := append([]byte{}, data...)
+		corrupt[i] ^= 0x01
+		if _, _, err := ReadGSG2(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(data))
+		}
+	}
+}
+
+func TestGSG2Truncation(t *testing.T) {
+	g := gsg2TestGraph(t, true)
+	var buf bytes.Buffer
+	if err := WriteGSG2(&buf, g, map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := ReadGSG2(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes went undetected", cut, len(data))
+		}
+	}
+	// Trailing bytes are also corruption.
+	if _, _, err := ReadGSG2(bytes.NewReader(append(append([]byte{}, data...), 0))); err == nil {
+		t.Fatal("trailing byte went undetected")
+	}
+}

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphstudy/internal/graph"
+)
+
+// Format names a dataset file format the store can read or write.
+type Format string
+
+const (
+	// FormatAuto sniffs the format from the file's leading bytes.
+	FormatAuto Format = "auto"
+	// FormatGSG2 is the store's native checksummed binary format.
+	FormatGSG2 Format = "gsg2"
+	// FormatGSG1 is the legacy binary format written by older graphgen runs.
+	FormatGSG1 Format = "gsg1"
+	// FormatMatrixMarket is MatrixMarket coordinate format (.mtx), the
+	// format LAGraph's dataset suite uses.
+	FormatMatrixMarket Format = "mtx"
+	// FormatEdgeList is a SNAP-style whitespace-separated edge list: one
+	// "src dst" or "src dst weight" line per edge, '#' or '%' comments.
+	FormatEdgeList Format = "el"
+)
+
+// ParseFormat converts a format name (or file extension) to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimPrefix(s, ".")) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "gsg2", "gsg":
+		return FormatGSG2, nil
+	case "gsg1":
+		return FormatGSG1, nil
+	case "mtx", "mm":
+		return FormatMatrixMarket, nil
+	case "el", "txt", "edges", "edgelist", "snap":
+		return FormatEdgeList, nil
+	}
+	return "", fmt.Errorf("store: unknown format %q (want auto, gsg2, gsg1, mtx, or el)", s)
+}
+
+// ReadEdgeList parses a SNAP-style edge list: whitespace-separated "src dst"
+// or "src dst weight" lines, with '#' or '%' comment lines. Node IDs are
+// 0-based; the node count is the largest ID seen plus one. The first data
+// line decides weightedness and every later line must match it. Duplicate
+// edges are merged (first weight wins) and adjacency comes out sorted, like
+// every other graph the harness builds.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var src, dst, wt []uint32
+	var maxID uint32
+	weighted := false
+	first := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if first {
+			switch len(parts) {
+			case 2, 3:
+				weighted = len(parts) == 3
+			default:
+				return nil, fmt.Errorf("store: edge list line %d: want 2 or 3 fields, got %d", lineNo, len(parts))
+			}
+			first = false
+		}
+		want := 2
+		if weighted {
+			want = 3
+		}
+		if len(parts) != want {
+			return nil, fmt.Errorf("store: edge list line %d: want %d fields, got %d", lineNo, want, len(parts))
+		}
+		u, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("store: edge list line %d: bad source %q", lineNo, parts[0])
+		}
+		v, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("store: edge list line %d: bad destination %q", lineNo, parts[1])
+		}
+		var w uint64
+		if weighted {
+			if w, err = strconv.ParseUint(parts[2], 10, 32); err != nil {
+				return nil, fmt.Errorf("store: edge list line %d: bad weight %q", lineNo, parts[2])
+			}
+		}
+		if uint32(u) > maxID {
+			maxID = uint32(u)
+		}
+		if uint32(v) > maxID {
+			maxID = uint32(v)
+		}
+		src = append(src, uint32(u))
+		dst = append(dst, uint32(v))
+		if weighted {
+			wt = append(wt, uint32(w))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading edge list: %w", err)
+	}
+	if len(src) == 0 {
+		return nil, fmt.Errorf("store: edge list has no edges")
+	}
+	if maxID == ^uint32(0) {
+		return nil, fmt.Errorf("store: node ID %d too large", maxID)
+	}
+	b := graph.NewBuilder(maxID+1, weighted)
+	b.Reserve(len(src))
+	for i := range src {
+		w := uint32(0)
+		if weighted {
+			w = wt[i]
+		}
+		b.AddEdge(src[i], dst[i], w)
+	}
+	return b.BuildDedup(graph.KeepFirst), nil
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list (for round-trips with
+// external tools).
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# graphstudy edge list: %d nodes, %d edges\n", g.NumNodes, g.NumEdges()); err != nil {
+		return err
+	}
+	for u := uint32(0); u < g.NumNodes; u++ {
+		lo, hi := g.RowPtr[u], g.RowPtr[u+1]
+		for e := lo; e < hi; e++ {
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", u, g.ColIdx[e], g.Wt[e])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", u, g.ColIdx[e])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// sniffFormat inspects the leading bytes of a dataset file. Binary formats
+// are identified by magic; "%%MatrixMarket" marks .mtx; anything else
+// textual is treated as an edge list.
+func sniffFormat(br *bufio.Reader) (Format, error) {
+	peek, err := br.Peek(16)
+	if err != nil && len(peek) < 4 {
+		return "", fmt.Errorf("store: input too short to identify: %w", err)
+	}
+	switch {
+	case string(peek[:4]) == "GSG2":
+		return FormatGSG2, nil
+	case string(peek[:4]) == "GSG1":
+		return FormatGSG1, nil
+	case strings.HasPrefix(strings.ToLower(string(peek)), "%%matrixmarket"):
+		return FormatMatrixMarket, nil
+	}
+	return FormatEdgeList, nil
+}
+
+// ReadGraph decodes a dataset in the given format (FormatAuto sniffs),
+// returning the graph, any embedded metadata (GSG2 only), and the concrete
+// format that was read.
+func ReadGraph(r io.Reader, format Format) (*graph.Graph, map[string]string, Format, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if format == FormatAuto || format == "" {
+		f, err := sniffFormat(br)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		format = f
+	}
+	switch format {
+	case FormatGSG2:
+		g, meta, err := ReadGSG2(br)
+		return g, meta, format, err
+	case FormatGSG1:
+		g, err := graph.ReadBinary(br)
+		return g, nil, format, err
+	case FormatMatrixMarket:
+		g, err := graph.ReadMatrixMarket(br)
+		return g, nil, format, err
+	case FormatEdgeList:
+		g, err := ReadEdgeList(br)
+		return g, nil, format, err
+	}
+	return nil, nil, "", fmt.Errorf("store: cannot read format %q", format)
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphstudy/internal/graph"
+)
+
+// TestEdgeListMatchesBuilder feeds the same edges through ReadEdgeList and
+// graph.Builder and requires identical CSR output — the round-trip
+// equivalence the importer promises.
+func TestEdgeListMatchesBuilder(t *testing.T) {
+	edges := [][3]uint32{
+		{0, 1, 10}, {0, 2, 20}, {1, 2, 5}, {2, 0, 1}, {3, 1, 7}, {3, 3, 2}, {1, 2, 9}, // dup (1,2)
+	}
+	var text strings.Builder
+	text.WriteString("# comment line\n% another comment\n\n")
+	for _, e := range edges {
+		fmt.Fprintf(&text, "%d %d %d\n", e[0], e[1], e[2])
+	}
+
+	got, err := ReadEdgeList(strings.NewReader(text.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.FromWeightedEdges(4, edges)
+	// FromWeightedEdges keeps the min duplicate weight; the importer keeps
+	// the first. Compare structure exactly and weights per shared policy.
+	if !reflect.DeepEqual(got.RowPtr, want.RowPtr) || !reflect.DeepEqual(got.ColIdx, want.ColIdx) {
+		t.Fatalf("edge list CSR differs from builder CSR:\ngot  %v %v\nwant %v %v",
+			got.RowPtr, got.ColIdx, want.RowPtr, want.ColIdx)
+	}
+	if got.NumNodes != 4 || !got.Weighted() {
+		t.Fatalf("got %d nodes weighted=%v, want 4 weighted", got.NumNodes, got.Weighted())
+	}
+	// First-wins on the duplicated (1,2) edge.
+	if w := got.OutWeights(1)[0]; w != 5 {
+		t.Fatalf("duplicate weight policy: got %d, want first-seen 5", w)
+	}
+}
+
+func TestEdgeListUnweighted(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.FromEdges(3, [][2]uint32{{0, 1}, {1, 2}, {2, 0}})
+	if !reflect.DeepEqual(g.SortedEdgeList(), want.SortedEdgeList()) || g.Weighted() {
+		t.Fatalf("unweighted edge list mismatch")
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"mixed arity":    "0 1 5\n1 2\n",
+		"bad id":         "0 x\n",
+		"bad weight":     "0 1 -3\n",
+		"no edges":       "# nothing\n",
+		"overflowing id": "0 4294967296\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+// TestMatrixMarketRoundTripEquivalence writes a builder graph as Matrix
+// Market, re-imports it through the store's format-sniffing path, and
+// requires the same edges and weights back.
+func TestMatrixMarketRoundTripEquivalence(t *testing.T) {
+	want := graph.FromWeightedEdges(5, [][3]uint32{
+		{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {4, 0, 6}, {0, 3, 7},
+	})
+	var buf bytes.Buffer
+	if err := graph.WriteMatrixMarket(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, format, err := ReadGraph(bytes.NewReader(buf.Bytes()), FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatMatrixMarket {
+		t.Fatalf("sniffed %q, want mtx", format)
+	}
+	if !reflect.DeepEqual(got.RowPtr, want.RowPtr) || !reflect.DeepEqual(got.ColIdx, want.ColIdx) || !reflect.DeepEqual(got.Wt, want.Wt) {
+		t.Fatal("MatrixMarket round-trip changed the graph")
+	}
+}
+
+func TestSniffFormats(t *testing.T) {
+	g := gsg2TestGraph(t, false)
+	var gsg2, gsg1 bytes.Buffer
+	if err := WriteGSG2(&gsg2, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(&gsg1, g); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		data []byte
+		want Format
+	}{
+		{gsg2.Bytes(), FormatGSG2},
+		{gsg1.Bytes(), FormatGSG1},
+		{[]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"), FormatMatrixMarket},
+		{[]byte("0 1\n1 0\n"), FormatEdgeList},
+	}
+	for _, tc := range cases {
+		got, _, format, err := ReadGraph(bytes.NewReader(tc.data), FormatAuto)
+		if err != nil {
+			t.Fatalf("format %q: %v", tc.want, err)
+		}
+		if format != tc.want {
+			t.Fatalf("sniffed %q, want %q", format, tc.want)
+		}
+		if got.NumNodes == 0 {
+			t.Fatalf("format %q: empty graph", tc.want)
+		}
+	}
+}
+
+func TestEdgeListWriterRoundTrip(t *testing.T) {
+	want := gsg2TestGraph(t, true)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.RowPtr, want.RowPtr) || !reflect.DeepEqual(got.ColIdx, want.ColIdx) || !reflect.DeepEqual(got.Wt, want.Wt) {
+		t.Fatal("edge list round-trip changed the graph")
+	}
+}

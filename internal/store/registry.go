@@ -1,0 +1,382 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/service/metrics"
+)
+
+// RegistryConfig sizes a Registry.
+type RegistryConfig struct {
+	// Store persists datasets between processes; nil keeps everything
+	// in-memory (suite graphs regenerate on every cold acquire).
+	Store *Store
+	// Budget bounds the bytes of resident graphs; <= 0 means unlimited.
+	// When an acquire pushes residency past the budget, idle graphs are
+	// evicted in LRU order — along with their gen build memos and
+	// core.Prepare matrix forms, so eviction actually frees memory.
+	Budget int64
+}
+
+// Registry is the in-memory side of the dataset subsystem: it hands out
+// refcounted graph handles, loads lazily (resident hit -> disk hit ->
+// generate-and-persist), and enforces a byte budget with LRU eviction.
+// Suite graphs are seeded into the gen build memo on load so core.Prepare
+// reuses the identical graph object; eviction reverses both that memo and
+// the prepared matrix cache.
+type Registry struct {
+	store  *Store
+	budget int64
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	inputs  map[string]*gen.Input // memoized external-dataset inputs
+	bytes   int64
+	clock   uint64
+
+	hits      atomic.Int64 // acquires satisfied by a resident graph
+	diskHits  atomic.Int64 // acquires satisfied by decoding a stored object
+	misses    atomic.Int64 // acquires that had to generate
+	evictions atomic.Int64
+}
+
+// regEntry tracks one resident (or loading) graph.
+type regEntry struct {
+	key      string
+	name     string
+	sc       gen.Scale
+	external bool
+
+	ready chan struct{} // closed once g/err are set
+	g     *graph.Graph
+	err   error
+	done  bool // set under Registry.mu when ready closes
+
+	bytes    int64
+	refs     int
+	lastUsed uint64
+}
+
+// Handle is a refcounted lease on a resident graph. Release it when the run
+// is over so the budget can evict the graph; Release is idempotent.
+type Handle struct {
+	g    *graph.Graph
+	r    *Registry
+	e    *regEntry
+	once sync.Once
+}
+
+// Graph returns the leased graph (read-only, shared).
+func (h *Handle) Graph() *graph.Graph { return h.g }
+
+// Release returns the lease. After the last release an over-budget registry
+// may evict the graph.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		h.r.mu.Lock()
+		h.e.refs--
+		h.e.lastUsed = h.r.tickLocked()
+		h.r.evictLocked()
+		h.r.mu.Unlock()
+	})
+}
+
+// NewRegistry builds a registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{
+		store:   cfg.Store,
+		budget:  cfg.Budget,
+		entries: map[string]*regEntry{},
+		inputs:  map[string]*gen.Input{},
+	}
+}
+
+// Budget returns the configured byte budget (<= 0 means unlimited).
+func (r *Registry) Budget() int64 { return r.budget }
+
+// Input resolves a graph name the way the serving layer needs it: suite
+// names map to their generator Input, store dataset names to a synthetic
+// external Input that loads from the store. Suite names win collisions, so
+// a dataset named like a generator cannot shadow it.
+func (r *Registry) Input(name string) (*gen.Input, error) {
+	if in, err := gen.ByName(name); err == nil {
+		return in, nil
+	}
+	r.mu.Lock()
+	if in, ok := r.inputs[name]; ok {
+		r.mu.Unlock()
+		return in, nil
+	}
+	r.mu.Unlock()
+	if r.store == nil || !r.store.Has(name) {
+		return nil, fmt.Errorf("store: unknown graph %q (not a suite name, not in the dataset store)", name)
+	}
+	e, _ := r.store.Lookup(name)
+	in := gen.NewExternal(name, e.Weighted, func(gen.Scale) *graph.Graph {
+		// Acquire seeds the gen build memo before any run starts, so this
+		// only executes if a caller bypassed the registry entirely.
+		g, _, err := r.store.Get(name)
+		if err != nil {
+			panic(fmt.Sprintf("store: external dataset %q must be resolved through Registry.Acquire: %v", name, err))
+		}
+		g.SortAdjacency()
+		g.BuildIn()
+		return g
+	})
+	r.mu.Lock()
+	if prev, ok := r.inputs[name]; ok {
+		in = prev
+	} else {
+		r.inputs[name] = in
+	}
+	r.mu.Unlock()
+	return in, nil
+}
+
+// Acquire leases the named graph at the given scale, loading it if needed:
+// a resident graph is a hit; a stored object decodes as a disk hit; a suite
+// name absent everywhere generates and (when a store is attached) persists,
+// so the next process finds it on disk. External datasets ignore scale for
+// loading but are still seeded into the (name, scale) caches the harness
+// keys by.
+func (r *Registry) Acquire(name string, sc gen.Scale) (*Handle, error) {
+	var in *gen.Input
+	external := false
+	if i, err := gen.ByName(name); err == nil {
+		in = i
+	} else if r.store != nil && r.store.Has(name) {
+		external = true
+	} else {
+		return nil, fmt.Errorf("store: unknown graph %q (not a suite name, not in the dataset store)", name)
+	}
+	key := name
+	if !external {
+		key = fmt.Sprintf("%s@%s", name, sc)
+	}
+
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		e.refs++
+		e.lastUsed = r.tickLocked()
+		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		r.hits.Add(1)
+		return &Handle{g: e.g, r: r, e: e}, nil
+	}
+	e := &regEntry{
+		key: key, name: name, sc: sc, external: external,
+		ready: make(chan struct{}), refs: 1, lastUsed: r.tickLocked(),
+	}
+	r.entries[key] = e
+	r.mu.Unlock()
+
+	g, fromDisk, err := r.load(in, name, key, sc, external)
+
+	r.mu.Lock()
+	e.g, e.err = g, err
+	e.done = true
+	if err != nil {
+		// Failed loads leave the table so the next acquire retries; waiters
+		// already attached observe e.err via the closed ready channel.
+		delete(r.entries, key)
+		close(e.ready)
+		r.mu.Unlock()
+		return nil, err
+	}
+	e.bytes = int64(g.SizeBytes())
+	r.bytes += e.bytes
+	close(e.ready)
+	if fromDisk {
+		r.diskHits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
+	r.evictLocked()
+	r.mu.Unlock()
+	return &Handle{g: g, r: r, e: e}, nil
+}
+
+// load materializes a graph outside the registry lock.
+func (r *Registry) load(in *gen.Input, name, key string, sc gen.Scale, external bool) (*graph.Graph, bool, error) {
+	if external {
+		g, _, err := r.store.Get(name)
+		if err != nil {
+			return nil, false, err
+		}
+		g.SortAdjacency()
+		g.BuildIn()
+		// Seed the build memo so core.Prepare(in, sc) reuses this object.
+		g = gen.SetCached(name, sc, g)
+		return g, true, nil
+	}
+	if r.store != nil {
+		if g, _, err := r.store.Get(key); err == nil {
+			g.SortAdjacency()
+			g.BuildIn()
+			g = gen.SetCached(name, sc, g)
+			return g, true, nil
+		} else if !errors.Is(err, ErrNotFound) {
+			return nil, false, err
+		}
+	}
+	g := in.Build(sc) // generates and memoizes in gen
+	if r.store != nil {
+		meta := map[string]string{
+			"source":    "gen",
+			"graph":     name,
+			"scale":     sc.String(),
+			"archetype": in.Archetype,
+		}
+		if _, err := r.store.Put(key, g, meta); err != nil {
+			return nil, false, fmt.Errorf("store: persisting generated %q: %w", key, err)
+		}
+	}
+	return g, false, nil
+}
+
+// tickLocked advances the LRU clock. Callers hold r.mu.
+func (r *Registry) tickLocked() uint64 {
+	r.clock++
+	return r.clock
+}
+
+// evictLocked drops idle graphs in LRU order until residency fits the
+// budget. Each eviction also drops the gen build memo and the core.Prepare
+// entry for the same (name, scale); referenced graphs are never evicted, so
+// a busy registry may run over budget until runs finish. Callers hold r.mu.
+func (r *Registry) evictLocked() {
+	if r.budget <= 0 {
+		return
+	}
+	for r.bytes > r.budget {
+		var victim *regEntry
+		for _, e := range r.entries {
+			if e.refs > 0 || !e.done {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(r.entries, victim.key)
+		r.bytes -= victim.bytes
+		r.evictions.Add(1)
+		gen.DropCached(victim.name, victim.sc)
+		core.DropPrepared(victim.name, victim.sc)
+	}
+}
+
+// RegistryStats is a point-in-time view of the registry's counters.
+type RegistryStats struct {
+	Hits           int64 `json:"hits"`
+	DiskHits       int64 `json:"diskHits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	ResidentBytes  int64 `json:"residentBytes"`
+	ResidentGraphs int   `json:"residentGraphs"`
+	BudgetBytes    int64 `json:"budgetBytes"`
+}
+
+// Stats snapshots the registry counters and residency.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	bytes, n := r.bytes, len(r.entries)
+	r.mu.Unlock()
+	return RegistryStats{
+		Hits:           r.hits.Load(),
+		DiskHits:       r.diskHits.Load(),
+		Misses:         r.misses.Load(),
+		Evictions:      r.evictions.Load(),
+		ResidentBytes:  bytes,
+		ResidentGraphs: n,
+		BudgetBytes:    r.budget,
+	}
+}
+
+// RegisterMetrics exposes the registry's counters and residency gauges in a
+// metrics registry (graphd's /metrics).
+func (r *Registry) RegisterMetrics(m *metrics.Registry) {
+	m.Gauge("store_hits", r.hits.Load)
+	m.Gauge("store_disk_hits", r.diskHits.Load)
+	m.Gauge("store_misses", r.misses.Load)
+	m.Gauge("store_evictions", r.evictions.Load)
+	m.Gauge("store_budget_bytes", func() int64 { return r.budget })
+	m.Gauge("store_resident_bytes", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.bytes
+	})
+	m.Gauge("store_resident_graphs", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(len(r.entries))
+	})
+}
+
+// DatasetInfo is one row of the /v1/datasets listing: the on-disk entry (if
+// any) merged with the registry's residency view.
+type DatasetInfo struct {
+	Name      string `json:"name"`
+	Source    string `json:"source"` // "store" or "generated"
+	DiskBytes int64  `json:"diskBytes,omitempty"`
+	Nodes     uint32 `json:"nodes,omitempty"`
+	Edges     uint64 `json:"edges,omitempty"`
+	Weighted  bool   `json:"weighted"`
+	Resident  bool   `json:"resident"`
+	Bytes     int64  `json:"residentBytes,omitempty"`
+	Refs      int    `json:"refs,omitempty"`
+}
+
+// Datasets lists every stored dataset plus any resident generated graph not
+// yet persisted, sorted by name.
+func (r *Registry) Datasets() []DatasetInfo {
+	byName := map[string]*DatasetInfo{}
+	if r.store != nil {
+		for _, e := range r.store.List() {
+			source := "store"
+			if e.Meta["source"] == "gen" {
+				source = "generated"
+			}
+			byName[e.Name] = &DatasetInfo{
+				Name: e.Name, Source: source, DiskBytes: e.Bytes,
+				Nodes: e.Nodes, Edges: e.Edges, Weighted: e.Weighted,
+			}
+		}
+	}
+	r.mu.Lock()
+	for _, e := range r.entries {
+		d, ok := byName[e.key]
+		if !ok {
+			d = &DatasetInfo{Name: e.key, Source: "generated"}
+			byName[e.key] = d
+		}
+		if e.done && e.err == nil {
+			d.Resident = true
+			d.Bytes = e.bytes
+			d.Refs = e.refs
+			d.Nodes = e.g.NumNodes
+			d.Edges = e.g.NumEdges()
+			d.Weighted = e.g.Weighted()
+		}
+	}
+	r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(byName))
+	for _, d := range byName {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,54 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human-readable byte size for the -mem-budget flags:
+// a bare integer is bytes; suffixes KB/MB/GB (or K/M/G, case-insensitive)
+// are binary multiples (1024-based), with a fractional prefix allowed
+// ("1.5GB"). Zero or empty means no limit.
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1},
+	} {
+		if strings.HasSuffix(s, suf.name) {
+			mult = suf.mult
+			s = strings.TrimSpace(strings.TrimSuffix(s, suf.name))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("store: negative byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// FormatBytes renders n for human-facing listings (graphpack ls).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

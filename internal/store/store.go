@@ -1,0 +1,351 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"graphstudy/internal/graph"
+)
+
+// ErrNotFound reports a dataset name absent from the store manifest.
+var ErrNotFound = errors.New("store: dataset not found")
+
+const (
+	manifestFile    = "manifest.json"
+	objectsDir      = "objects"
+	manifestVersion = 1
+)
+
+// Entry is one manifest record: a dataset name bound to a content-addressed
+// object file plus the properties a caller needs without decoding it.
+type Entry struct {
+	Name     string            `json:"name"`
+	File     string            `json:"file"` // store-relative object path
+	Bytes    int64             `json:"bytes"`
+	SHA256   string            `json:"sha256"`
+	Nodes    uint32            `json:"nodes"`
+	Edges    uint64            `json:"edges"`
+	Weighted bool              `json:"weighted"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+type manifest struct {
+	Version  int              `json:"version"`
+	Datasets map[string]Entry `json:"datasets"`
+}
+
+// Store is a directory of GSG2 object files addressed by content hash, plus
+// a manifest mapping dataset names to objects. Two datasets with identical
+// content share one object file. All methods are safe for concurrent use;
+// manifest updates are written atomically (temp file + rename).
+type Store struct {
+	dir string
+	mu  sync.Mutex
+	m   manifest
+}
+
+// Open opens (creating if needed) a dataset store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, m: manifest{Version: manifestVersion, Datasets: map[string]Entry{}}}
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &s.m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if s.m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d unsupported (want %d)", s.m.Version, manifestVersion)
+	}
+	if s.m.Datasets == nil {
+		s.m.Datasets = map[string]Entry{}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put encodes g as a GSG2 object and binds name to it in the manifest,
+// replacing any previous binding. The object file's name is derived from the
+// SHA-256 of its content, so identical graphs are stored once.
+func (s *Store) Put(name string, g *graph.Graph, meta map[string]string) (Entry, error) {
+	if err := validName(name); err != nil {
+		return Entry{}, err
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, objectsDir), ".put-*")
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: creating temp object: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath) //nolint:errcheck // no-op after successful rename
+
+	h := sha256.New()
+	if err := WriteGSG2(io.MultiWriter(tmp, h), g, meta); err != nil {
+		tmp.Close()
+		return Entry{}, fmt.Errorf("store: encoding %q: %w", name, err)
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return Entry{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return Entry{}, err
+	}
+
+	sum := hex.EncodeToString(h.Sum(nil))
+	objRel := filepath.Join(objectsDir, sum[:16]+".gsg2")
+	objPath := filepath.Join(s.dir, objRel)
+	if _, statErr := os.Stat(objPath); statErr == nil {
+		// Content already present; the temp copy is redundant.
+		os.Remove(tmpPath) //nolint:errcheck
+	} else if err := os.Rename(tmpPath, objPath); err != nil {
+		return Entry{}, fmt.Errorf("store: placing object: %w", err)
+	}
+
+	e := Entry{
+		Name:     name,
+		File:     objRel,
+		Bytes:    info.Size(),
+		SHA256:   sum,
+		Nodes:    g.NumNodes,
+		Edges:    g.NumEdges(),
+		Weighted: g.Weighted(),
+		Meta:     meta,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, existed := s.m.Datasets[name]
+	s.m.Datasets[name] = e
+	if err := s.writeManifestLocked(); err != nil {
+		// Roll back so memory matches disk.
+		if existed {
+			s.m.Datasets[name] = old
+		} else {
+			delete(s.m.Datasets, name)
+		}
+		return Entry{}, err
+	}
+	if existed && old.File != e.File {
+		s.removeUnreferencedLocked(old.File)
+	}
+	return e, nil
+}
+
+// Get decodes the named dataset, verifying its checksums.
+func (s *Store) Get(name string) (*graph.Graph, map[string]string, error) {
+	e, ok := s.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	g, meta, err := LoadGSG2(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: dataset %q: %w", name, err)
+	}
+	return g, meta, nil
+}
+
+// Has reports whether name is in the manifest.
+func (s *Store) Has(name string) bool {
+	_, ok := s.Lookup(name)
+	return ok
+}
+
+// Lookup returns the manifest entry for name.
+func (s *Store) Lookup(name string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m.Datasets[name]
+	return e, ok
+}
+
+// List returns every manifest entry, sorted by name.
+func (s *Store) List() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.m.Datasets))
+	for _, e := range s.m.Datasets {
+		out = append(out, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Remove unbinds name and deletes its object file if no other dataset
+// references it.
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m.Datasets[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(s.m.Datasets, name)
+	if err := s.writeManifestLocked(); err != nil {
+		s.m.Datasets[name] = e
+		return err
+	}
+	s.removeUnreferencedLocked(e.File)
+	return nil
+}
+
+// Verify checks the named dataset end to end: the object file must exist,
+// match the manifest's size and SHA-256, and decode with every GSG2
+// checksum intact. A single flipped byte anywhere fails one of these.
+func (s *Store) Verify(name string) error {
+	e, ok := s.Lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	path := filepath.Join(s.dir, e.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %q: object missing: %w", name, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return fmt.Errorf("store: %q: reading object: %w", name, err)
+	}
+	if n != e.Bytes {
+		return fmt.Errorf("store: %q: object is %d bytes, manifest says %d", name, n, e.Bytes)
+	}
+	if sum := hex.EncodeToString(h.Sum(nil)); sum != e.SHA256 {
+		return fmt.Errorf("store: %q: content hash %s does not match manifest %s", name, sum[:16], e.SHA256[:16])
+	}
+	g, _, err := LoadGSG2(path)
+	if err != nil {
+		return fmt.Errorf("store: %q: %w", name, err)
+	}
+	if g.NumNodes != e.Nodes || g.NumEdges() != e.Edges || g.Weighted() != e.Weighted {
+		return fmt.Errorf("store: %q: decoded shape %d/%d/%v disagrees with manifest %d/%d/%v",
+			name, g.NumNodes, g.NumEdges(), g.Weighted(), e.Nodes, e.Edges, e.Weighted)
+	}
+	return nil
+}
+
+// Import reads the dataset file at path (format sniffed unless forced) and
+// stores it under name. The source format and filename are recorded in the
+// dataset metadata.
+func (s *Store) Import(name, path string, format Format) (Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: import: %w", err)
+	}
+	defer f.Close()
+	g, meta, got, err := ReadGraph(f, format)
+	if err != nil {
+		return Entry{}, fmt.Errorf("store: importing %s: %w", path, err)
+	}
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	meta["source-format"] = string(got)
+	meta["source-file"] = filepath.Base(path)
+	return s.Put(name, g, meta)
+}
+
+// Export writes the named dataset to path in the format implied by the
+// path's extension (.gsg2/.gsg exact object copy, .mtx MatrixMarket,
+// .el/.txt edge list).
+func (s *Store) Export(name, path string) error {
+	format, err := ParseFormat(filepath.Ext(path))
+	if err != nil || format == FormatAuto {
+		return fmt.Errorf("store: export: cannot infer format from %q (use .gsg, .mtx, or .el)", path)
+	}
+	e, ok := s.Lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	switch format {
+	case FormatGSG2:
+		src, err := os.Open(filepath.Join(s.dir, e.File))
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		dst, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			dst.Close()
+			return err
+		}
+		return dst.Close()
+	case FormatMatrixMarket, FormatEdgeList:
+		g, _, err := s.Get(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		write := graph.WriteMatrixMarket
+		if format == FormatEdgeList {
+			write = WriteEdgeList
+		}
+		if err := write(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return fmt.Errorf("store: export to %q format unsupported", format)
+}
+
+// writeManifestLocked persists the manifest atomically. Callers hold s.mu.
+func (s *Store) writeManifestLocked() error {
+	data, err := json.MarshalIndent(&s.m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestFile)); err != nil {
+		return fmt.Errorf("store: replacing manifest: %w", err)
+	}
+	return nil
+}
+
+// removeUnreferencedLocked deletes an object file no manifest entry uses.
+func (s *Store) removeUnreferencedLocked(file string) {
+	for _, e := range s.m.Datasets {
+		if e.File == file {
+			return
+		}
+	}
+	os.Remove(filepath.Join(s.dir, file)) //nolint:errcheck // best-effort GC
+}
+
+// validName rejects dataset names that would confuse the manifest, file
+// paths, or the name@scale keys the registry derives.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("store: empty dataset name")
+	}
+	if strings.ContainsAny(name, "/\\\n") {
+		return fmt.Errorf("store: dataset name %q contains path or control characters", name)
+	}
+	return nil
+}

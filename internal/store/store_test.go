@@ -1,0 +1,230 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphstudy/internal/graph"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStorePutGetListRemove(t *testing.T) {
+	st := openTestStore(t)
+	g := gsg2TestGraph(t, true)
+
+	e, err := st.Put("tiny", g, map[string]string{"origin": "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Nodes != g.NumNodes || e.Edges != g.NumEdges() || !e.Weighted {
+		t.Fatalf("entry shape mismatch: %+v", e)
+	}
+	g2, meta, err := st.Get("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.ColIdx, g2.ColIdx) || meta["origin"] != "test" {
+		t.Fatal("Get returned a different graph or metadata")
+	}
+	if !st.Has("tiny") || st.Has("absent") {
+		t.Fatal("Has is wrong")
+	}
+	if _, _, err := st.Get("absent"); err == nil {
+		t.Fatal("Get(absent): want ErrNotFound")
+	}
+	if ls := st.List(); len(ls) != 1 || ls[0].Name != "tiny" {
+		t.Fatalf("List = %+v, want one entry", ls)
+	}
+
+	// Reopening the directory must see the same manifest.
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Has("tiny") {
+		t.Fatal("manifest did not persist across Open")
+	}
+
+	if err := st.Remove("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has("tiny") {
+		t.Fatal("Remove left the entry")
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), e.File)); !os.IsNotExist(err) {
+		t.Fatal("Remove left an unreferenced object file")
+	}
+}
+
+func TestStoreContentDedup(t *testing.T) {
+	st := openTestStore(t)
+	g := gsg2TestGraph(t, false)
+	e1, err := st.Put("a", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := st.Put("b", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.File != e2.File {
+		t.Fatalf("identical content stored twice: %s vs %s", e1.File, e2.File)
+	}
+	// Removing one name must keep the shared object for the other.
+	if err := st.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get("b"); err != nil {
+		t.Fatalf("shared object deleted too eagerly: %v", err)
+	}
+}
+
+// TestVerifyDetectsFlippedByte is the acceptance check: corrupting a single
+// byte of a stored object must fail Verify, and the corrupt file must error
+// (never panic) when loaded.
+func TestVerifyDetectsFlippedByte(t *testing.T) {
+	st := openTestStore(t)
+	g := gsg2TestGraph(t, true)
+	e, err := st.Put("tiny", g, map[string]string{"origin": "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify("tiny"); err != nil {
+		t.Fatalf("pristine dataset failed verify: %v", err)
+	}
+
+	path := filepath.Join(st.Dir(), e.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the edge arrays.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify("tiny"); err == nil {
+		t.Fatal("Verify missed a flipped byte")
+	}
+	if _, _, err := st.Get("tiny"); err == nil {
+		t.Fatal("Get decoded a corrupt object")
+	}
+}
+
+func TestStoreImportExport(t *testing.T) {
+	st := openTestStore(t)
+	dir := t.TempDir()
+
+	// Import from Matrix Market.
+	want := graph.FromWeightedEdges(5, [][3]uint32{
+		{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {4, 0, 6},
+	})
+	mtx := filepath.Join(dir, "ring.mtx")
+	f, err := os.Create(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteMatrixMarket(f, want); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	e, err := st.Import("ring", mtx, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Meta["source-format"] != "mtx" {
+		t.Fatalf("import metadata = %v", e.Meta)
+	}
+	got, _, err := st.Get("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.ColIdx, want.ColIdx) || !reflect.DeepEqual(got.Wt, want.Wt) {
+		t.Fatal("imported graph differs")
+	}
+
+	// Export to .mtx and .gsg and re-import both.
+	for _, name := range []string{"out.mtx", "out.gsg"} {
+		out := filepath.Join(dir, name)
+		if err := st.Export("ring", out); err != nil {
+			t.Fatal(err)
+		}
+		back, err := st.Import("ring2", out, FormatAuto)
+		if err != nil {
+			t.Fatalf("re-importing %s: %v", name, err)
+		}
+		if back.Nodes != e.Nodes || back.Edges != e.Edges {
+			t.Fatalf("%s round-trip changed shape", name)
+		}
+	}
+
+	// Import an edge list.
+	el := filepath.Join(dir, "snap.txt")
+	if err := os.WriteFile(el, []byte("# snap style\n0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Import("snap", el, FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	sg, _, err := st.Get("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.NumNodes != 3 || sg.NumEdges() != 3 || sg.Weighted() {
+		t.Fatalf("snap import shape: %d nodes %d edges", sg.NumNodes, sg.NumEdges())
+	}
+}
+
+func TestStoreRejectsBadNames(t *testing.T) {
+	st := openTestStore(t)
+	g := gsg2TestGraph(t, false)
+	for _, name := range []string{"", "a/b", "a\\b", "a\nb"} {
+		if _, err := st.Put(name, g, nil); err == nil {
+			t.Errorf("Put(%q): want error", name)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"":      0,
+		"0":     0,
+		"1024":  1024,
+		"1k":    1 << 10,
+		"64MB":  64 << 20,
+		"1.5GB": 3 << 29,
+		"2GiB":  2 << 30,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"x", "-5", "1.5.5MB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q): want error", in)
+		}
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("want corrupt-manifest error, got %v", err)
+	}
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race check fmt clean
+.PHONY: build test race check fmt fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -14,17 +14,33 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages that own concurrency: the serving subsystem
-# (queue/dedup/cache/worker pool), the run orchestrator, and the dataset
-# store (refcounted registry + LRU eviction).
+# (queue/dedup/cache/worker pool), the run orchestrator, the dataset store
+# (refcounted registry + LRU eviction), the per-P span recorder, and the
+# differential harness that drives traced runs from multiple goroutines.
+RACE_PKGS = ./internal/service/... ./internal/core/... ./internal/store/... \
+	./internal/trace/... ./internal/verify/...
+
 race:
-	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/store/...
+	$(GO) test -race $(RACE_PKGS)
+
+# Short fuzzing pass over every untrusted-input decoder. Go allows one fuzz
+# target per invocation, so each runs separately; 30s apiece keeps this
+# CI-sized while still exercising the mutator beyond the seed corpus.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadMatrixMarket$$' -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadGSG2$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadGraph$$' -fuzztime $(FUZZTIME) ./internal/store/
 
 check: build
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test ./...
-	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/store/...
+	$(GO) test -race $(RACE_PKGS)
 
 fmt:
 	gofmt -w .

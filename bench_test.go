@@ -19,6 +19,7 @@ import (
 	"graphstudy/internal/lagraph"
 	"graphstudy/internal/lonestar"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 func benchScale() gen.Scale {
@@ -246,5 +247,59 @@ func BenchmarkFigure3SSSP(b *testing.B) {
 		b.Run(c.label, func(b *testing.B) {
 			runSpec(b, benchSpec(core.SSSP, c.sys, c.v, "road-USA", 4))
 		})
+	}
+}
+
+// TestTraceOverhead is the tentpole's cost guard: with no trace installed,
+// instrumented code pays one atomic load per span. The test measures that
+// per-call cost directly, scales it by the number of spans a traced
+// PageRank run actually records, and requires the product to stay under 2%
+// of the untraced run's wall time. Measuring the disabled path per-call
+// (instead of diffing two noisy end-to-end runs) keeps the bound
+// deterministic.
+func TestTraceOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	trace.Install(nil)
+
+	// Per-call cost of a disabled Begin/End pair.
+	const calls = 1 << 20
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		sp := trace.Begin(trace.CatKernel, "overhead-probe")
+		sp.End()
+	}
+	perCall := time.Since(t0) / calls
+
+	// How many spans a traced run of the same spec records.
+	spec := benchSpec(core.PR, core.SS, core.VDefault, "rmat22", 4)
+	spec.Trace = trace.New()
+	traced := core.Run(spec)
+	if traced.Outcome != core.OK {
+		t.Fatalf("traced pr run: %v", traced.Err)
+	}
+	events := traced.Trace.Events
+
+	// Untraced wall time: best of several runs, so scheduler noise only
+	// makes the bound stricter.
+	spec.Trace = nil
+	wall := time.Duration(1<<63 - 1)
+	for i := 0; i < 5; i++ {
+		r := core.Run(spec)
+		if r.Outcome != core.OK {
+			t.Fatalf("untraced pr run: %v", r.Err)
+		}
+		if r.Elapsed < wall {
+			wall = r.Elapsed
+		}
+	}
+
+	overhead := perCall * time.Duration(events)
+	limit := wall / 50 // 2%
+	t.Logf("disabled span cost %v/call x %d events = %v total; untraced wall %v (limit %v)",
+		perCall, events, overhead, wall, limit)
+	if overhead > limit {
+		t.Errorf("disabled-trace overhead %v exceeds 2%% of wall time %v", overhead, wall)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"graphstudy/internal/bench"
 	"graphstudy/internal/gen"
 	"graphstudy/internal/store"
+	"graphstudy/internal/trace"
 )
 
 func main() {
@@ -33,8 +34,17 @@ func main() {
 		full     = flag.Bool("full", false, "figure 2: all four largest graphs and threads up to 56")
 		progress = flag.Bool("progress", true, "print progress to stderr")
 		storeDir = flag.String("store", "", "dataset store directory: inputs persist across runs instead of regenerating")
+		trDir    = flag.String("trace", "", "record an operator-level Chrome trace of the whole invocation into this directory")
 	)
 	flag.Parse()
+
+	var tr *trace.Trace
+	if *trDir != "" {
+		// One trace spans every experiment; ring capacity is raised since a
+		// full grid records far more events than a single run.
+		tr = trace.NewWithCapacity(1 << 16)
+		trace.Install(tr)
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Threads = *threads
@@ -136,6 +146,29 @@ func main() {
 		for _, vs := range bench.Figure3Specs() {
 			t := bench.Figure3(cfg, vs, note)
 			emit("figure3-"+t.Rows[len(t.Rows)-1][0]+"-"+fmt.Sprint(vs.App), t)
+		}
+	}
+
+	if tr != nil {
+		trace.Install(nil)
+		if err := os.MkdirAll(*trDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*trDir, "gentables.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = tr.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gentables: trace written to %s (load in chrome://tracing)\n", path)
+		if err := tr.Summary().WriteText(os.Stderr); err != nil {
+			fatal(err)
 		}
 	}
 }

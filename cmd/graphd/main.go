@@ -7,10 +7,12 @@
 //
 //	graphd -addr :8080 -workers 4 -queue 64 -cache 128
 //	graphd -data ./datasets -mem-budget 512MB   # persistent, budgeted datasets
+//	graphd -trace-dir ./traces                  # profiling mode: per-run Chrome traces
 //
 //	curl -d '{"app":"bfs","system":"ls","graph":"rmat22","scale":"test"}' localhost:8080/v1/run
 //	curl -d '{"app":"tc","system":"gb","graph":"rmat22","async":true}' localhost:8080/v1/run
 //	curl localhost:8080/v1/jobs/job-2
+//	curl localhost:8080/v1/jobs/job-2/trace > trace.json   # load in chrome://tracing
 //	curl localhost:8080/v1/graphs
 //	curl localhost:8080/v1/datasets
 //	curl localhost:8080/metrics
@@ -49,6 +51,7 @@ func main() {
 		list    = flag.Bool("list", false, "print the graph catalog and exit")
 		dataDir = flag.String("data", "", "dataset store directory (persists graphs, serves imported datasets)")
 		budget  = flag.String("mem-budget", "", "resident graph byte budget, e.g. 512MB (empty or 0 = unlimited)")
+		trDir   = flag.String("trace-dir", "", "profiling mode: record a Chrome trace per run into this directory (serializes executions)")
 	)
 	flag.Parse()
 
@@ -86,7 +89,11 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
 		Registry:       reg,
+		TraceDir:       *trDir,
 	})
+	if *trDir != "" {
+		fmt.Fprintf(os.Stderr, "graphd: profiling mode, traces in %s (runs serialized); fetch via /v1/jobs/{id}/trace\n", *trDir)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

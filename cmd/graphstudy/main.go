@@ -7,6 +7,7 @@
 //	graphstudy -app sssp -sys ls -graph road-USA -threads 4
 //	graphstudy -app tc -sys gb -variant gb-ll -graph uk07 -scale bench
 //	graphstudy -app pr -sys gb -counters        # software perf counters
+//	graphstudy -app pr -sys ss -trace pr.json   # operator-level Chrome trace
 //	graphstudy -store ./datasets -graph web-BerkStan -app bfs -sys ls
 //
 // With -store, the graph name resolves through the dataset store: imported
@@ -23,6 +24,7 @@ import (
 	"graphstudy/internal/gen"
 	"graphstudy/internal/perfmodel"
 	"graphstudy/internal/store"
+	"graphstudy/internal/trace"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 		counters = flag.Bool("counters", false, "collect software performance counters (forces 1 thread)")
 		verifyIt = flag.Bool("verify", false, "check the answer against the serial reference")
 		storeDir = flag.String("store", "", "dataset store directory (serves imported datasets, caches generated ones)")
+		trFile   = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the run to this file and print an operator summary")
 	)
 	flag.Parse()
 
@@ -68,6 +71,11 @@ func main() {
 		App: app, System: sys, Variant: core.Variant(*variant),
 		Input: in, Scale: sc, Threads: *threads, Timeout: *timeout,
 	}
+	var tr *trace.Trace
+	if *trFile != "" {
+		tr = trace.New()
+		spec.Trace = tr
+	}
 
 	fmt.Fprintf(os.Stderr, "preparing %s at %s scale...\n", in.Name, sc)
 	var res core.Result
@@ -76,6 +84,7 @@ func main() {
 		var cnt perfmodel.Counters
 		cnt = perfmodel.Collect(func() { res = core.Run(spec) })
 		report(res)
+		emitTrace(tr, *trFile)
 		fmt.Printf("instructions: %d\n", cnt.Instructions)
 		fmt.Printf("loads: %d stores: %d\n", cnt.Loads, cnt.Stores)
 		for i, a := range cnt.LevelAccesses {
@@ -89,6 +98,7 @@ func main() {
 		var err error
 		res, err = core.RunVerified(spec)
 		report(res)
+		emitTrace(tr, *trFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "verification FAILED:", err)
 			os.Exit(1)
@@ -102,9 +112,27 @@ func main() {
 	}
 	res = core.Run(spec)
 	report(res)
+	emitTrace(tr, *trFile)
 	if res.Outcome != core.OK {
 		os.Exit(1)
 	}
+}
+
+// emitTrace persists the run's trace as Chrome trace-event JSON and prints
+// the per-operator summary to stderr. No-op when tracing is off.
+func emitTrace(tr *trace.Trace, path string) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	exitOn(err)
+	err = tr.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", path)
+	exitOn(tr.Summary().WriteText(os.Stderr))
 }
 
 func report(res core.Result) {

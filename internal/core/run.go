@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"graphstudy/internal/grb"
 	"graphstudy/internal/lagraph"
 	"graphstudy/internal/lonestar"
+	"graphstudy/internal/trace"
 )
 
 // RunSpec describes one measurement: a workload on a system on an input.
@@ -25,6 +27,12 @@ type RunSpec struct {
 	// Timeout bounds the run; zero means unbounded. The study used 2 hours
 	// at full scale; the harness defaults to a scaled-down bound.
 	Timeout time.Duration
+	// Trace, when non-nil, is installed for the duration of the timed
+	// region: every kernel, parallel region, and algorithm round records a
+	// span into it, and Result.Trace carries the aggregated summary.
+	// Installation is global (like perfmodel), so traced runs must not
+	// execute concurrently with other runs.
+	Trace *trace.Trace
 }
 
 // Result is the outcome of one run.
@@ -47,6 +55,8 @@ type Result struct {
 	// Rounds reports algorithm rounds where meaningful (bfs levels, cc
 	// hook/shortcut rounds, ktruss peels, sssp light-relax rounds).
 	Rounds int
+	// Trace is the per-operator summary of the run when Spec.Trace was set.
+	Trace *trace.Summary
 }
 
 // Run executes one measurement. Preparation (generation, symmetrization,
@@ -93,9 +103,15 @@ func RunCtx(ctx context.Context, spec RunSpec) Result {
 
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
+	if spec.Trace != nil {
+		trace.Install(spec.Trace)
+	}
 	start := time.Now()
 	value, check, rounds, err := dispatch(p, spec, &stop)
 	elapsed := time.Since(start)
+	if spec.Trace != nil {
+		trace.Install(nil)
+	}
 	runtime.ReadMemStats(&ms1)
 
 	res := Result{
@@ -105,6 +121,9 @@ func RunCtx(ctx context.Context, spec RunSpec) Result {
 		Check:      check,
 		Rounds:     rounds,
 		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+	}
+	if spec.Trace != nil {
+		res.Trace = spec.Trace.Summary()
 	}
 	switch {
 	case err == lagraph.ErrTimeout || err == lonestar.ErrTimeout:
@@ -369,11 +388,14 @@ func componentCheck(labels []uint32) uint64 {
 }
 
 // rankCheck digests ranks at reduced precision so schedule-dependent float
-// rounding does not break cross-system equality.
+// rounding does not break cross-system equality. Quantization rounds to
+// nearest rather than truncating: analytically exact ranks (0.125 on a
+// complete graph) sit precisely on a truncation boundary, and summation
+// order decides which side each system lands on.
 func rankCheck(r []float64) uint64 {
 	out := make([]uint64, len(r))
 	for i, v := range r {
-		out[i] = uint64(v * 1e7)
+		out[i] = uint64(math.Round(v * 1e7))
 	}
 	return checksum64(out)
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"graphstudy/internal/trace"
 )
 
 // RangeBody is the body of a blocked parallel loop: it processes iterations
@@ -75,6 +77,9 @@ func (e *Static) ForRange(n int, grain int, body RangeBody) {
 	if n <= 0 {
 		return
 	}
+	sp := trace.Begin(trace.CatRegion, "galois.ForRange.static")
+	sp.Items = int64(n)
+	defer sp.End()
 	t := e.t
 	if t > n {
 		t = n
@@ -123,6 +128,9 @@ func (e *WorkStealing) ForRange(n int, grain int, body RangeBody) {
 	if n <= 0 {
 		return
 	}
+	sp := trace.Begin(trace.CatRegion, "galois.ForRange.steal")
+	sp.Items = int64(n)
+	defer sp.End()
 	if grain <= 0 {
 		grain = DefaultGrain(n, e.t)
 	}
@@ -160,6 +168,11 @@ func (e *WorkStealing) ForRange(n int, grain int, body RangeBody) {
 		}(tid)
 	}
 	wg.Wait()
+	// Chunks claimed beyond each worker's first are dynamic (re)distribution:
+	// the steal analog of the chunked self-scheduling loop.
+	if chunks := (n + grain - 1) / grain; chunks > t {
+		sp.Steals = int64(chunks - t)
+	}
 	observeRegion(e.slots, e.t)
 }
 
@@ -177,6 +190,9 @@ func (e *Serial) ForRange(n int, grain int, body RangeBody) {
 	if n <= 0 {
 		return
 	}
+	sp := trace.Begin(trace.CatRegion, "galois.ForRange.serial")
+	sp.Items = int64(n)
+	defer sp.End()
 	e.slot[0].v = 0
 	ctx := &Ctx{TID: 0, work: &e.slot[0].v}
 	ctx.Work(int64(n))

@@ -3,6 +3,8 @@ package galois
 import (
 	"runtime"
 	"sync"
+
+	"graphstudy/internal/trace"
 )
 
 // foreachChunk is the unit of scheduling in the data-driven loops.
@@ -45,6 +47,9 @@ type sharedWorklist[T any] struct {
 	chunks [][]T
 	busy   int
 	done   bool
+	// steals counts chunks a worker took from the shared list after its
+	// first claim: redistribution of donated/overflow work.
+	steals int64
 }
 
 func newSharedWorklist[T any]() *sharedWorklist[T] {
@@ -75,6 +80,9 @@ func (wl *sharedWorklist[T]) popChunk(wasBusy bool) ([]T, bool) {
 		if len(wl.chunks) > 0 {
 			c := wl.chunks[len(wl.chunks)-1]
 			wl.chunks = wl.chunks[:len(wl.chunks)-1]
+			if wasBusy {
+				wl.steals++
+			}
 			wl.busy++
 			return c, true
 		}
@@ -100,6 +108,8 @@ func ForEach[T any](t int, initial []T, body func(item T, ctx *ForEachCtx[T])) {
 	if t <= 0 {
 		t = Threads()
 	}
+	sp := trace.Begin(trace.CatLoop, "galois.ForEach")
+	defer sp.End()
 	wl := newSharedWorklist[T]()
 	for lo := 0; lo < len(initial); lo += foreachChunk {
 		hi := min(lo+foreachChunk, len(initial))
@@ -141,5 +151,11 @@ func ForEach[T any](t int, initial []T, body func(item T, ctx *ForEachCtx[T])) {
 		}(tid)
 	}
 	wg.Wait()
+	if sp.Enabled() {
+		for i := range slots {
+			sp.Items += slots[i].v
+		}
+		sp.Steals = wl.steals
+	}
 	observeRegion(slots, t)
 }

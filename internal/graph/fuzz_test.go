@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzGraph builds a small weighted graph whose encodings seed the fuzzers.
+func fuzzGraph() *Graph {
+	return FromWeightedEdges(6, [][3]uint32{
+		{0, 1, 3}, {1, 2, 5}, {2, 0, 7}, {3, 4, 1}, {0, 0, 2}, {5, 1, 9},
+	})
+}
+
+// FuzzReadBinary hammers the GSG1 decoder: any byte string must produce a
+// graph or an error — never a panic or an unbounded allocation — and any
+// accepted graph must satisfy the CSR invariants.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, fuzzGraph()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Corruptions mirroring the io_test cases: flipped flag, inflated header
+	// counts, truncation.
+	for _, mut := range []func([]byte){
+		func(b []byte) { b[4] |= 0x80 },
+		func(b []byte) { b[5] = 0xFF },
+		func(b []byte) { b[len(b)/2] ^= 0xA5 },
+	} {
+		c := append([]byte{}, valid...)
+		mut(c)
+		f.Add(c)
+	}
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("GSG1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadBinary accepted a graph violating CSR invariants: %v", verr)
+		}
+	})
+}
+
+// FuzzReadMatrixMarket hammers the .mtx text parser with the same contract.
+func FuzzReadMatrixMarket(f *testing.F) {
+	var mtx bytes.Buffer
+	if err := WriteMatrixMarket(&mtx, fuzzGraph()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mtx.Bytes())
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer symmetric\n% comment\n4 4 2\n1 2 9\n3 4 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5e0\n"))
+	// Hostile size lines: negative, huge, and mismatched dimensions.
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n-5 -5 3\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n4000000000 4000000000 1\n1 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n3 3 99999999\n1 2\n"))
+	f.Add([]byte("%%MatrixMarket matrix"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadMatrixMarket accepted a graph violating CSR invariants: %v", verr)
+		}
+	})
+}

@@ -68,4 +68,21 @@ type Desc struct {
 	// Replace clears the output's previous entries outside the mask
 	// (GrB_DESC_R). Without it, unwritten positions keep their old values.
 	Replace bool
+	// Force overrides the push/pull heuristic of VxM/MxV, the analog of
+	// SuiteSparse's GxB_AxB_METHOD hint. The pure-pull BFS variant uses it
+	// to expose the materialization cost the heuristic normally avoids.
+	Force KernelHint
 }
+
+// KernelHint selects an SpMV kernel explicitly.
+type KernelHint uint8
+
+const (
+	// HintAuto lets the density/mask heuristics choose.
+	HintAuto KernelHint = iota
+	// HintPush forces the SAXPY kernel (expand source entries).
+	HintPush
+	// HintPull forces the SDOT kernel (dot every output position),
+	// densifying the source vector if needed.
+	HintPull
+)

@@ -6,6 +6,7 @@ import (
 
 	"graphstudy/internal/galois"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // Pattern is the structural mask of a matrix: which (i, j) positions exist.
@@ -36,10 +37,11 @@ func MxM[T any](ctx *Context, mask *Pattern, s Semiring[T], A, B *Matrix[T]) (*M
 		return nil, fmt.Errorf("grb: MxM mask is %dx%d, want %dx%d", mask.nrows, mask.ncols, A.nrows, B.ncols)
 	}
 	kernel := ctx.Kernel
+	diag := false
 	if kernel == KernelAuto {
 		switch {
 		case A.IsDiagonal():
-			return diagMxM(ctx, s, A, B), nil
+			diag = true
 		case mask != nil:
 			kernel = KernelDot
 		case B.ncols <= 1<<22:
@@ -48,17 +50,36 @@ func MxM[T any](ctx *Context, mask *Pattern, s Semiring[T], A, B *Matrix[T]) (*M
 			kernel = KernelHash
 		}
 	}
-	switch kernel {
-	case KernelDot:
+	op := "grb.MxM.gustavson"
+	switch {
+	case diag:
+		op = "grb.MxM.diag"
+	case kernel == KernelDot:
+		op = "grb.MxM.dot"
+	case kernel == KernelHash:
+		op = "grb.MxM.hash"
+	}
+	sp := trace.Begin(trace.CatKernel, op)
+	defer sp.End()
+	sp.NNZIn = A.NVals() + B.NVals()
+	var C *Matrix[T]
+	switch {
+	case diag:
+		C = diagMxM(ctx, s, A, B)
+	case kernel == KernelDot:
 		if mask == nil {
 			return nil, fmt.Errorf("grb: MxM dot kernel requires a mask to bound the output")
 		}
-		return dotMxM(ctx, mask, s, A, B), nil
-	case KernelHash:
-		return saxpyMxM(ctx, mask, s, A, B, true), nil
+		C = dotMxM(ctx, mask, s, A, B)
+	case kernel == KernelHash:
+		C = saxpyMxM(ctx, mask, s, A, B, true)
 	default:
-		return saxpyMxM(ctx, mask, s, A, B, false), nil
+		C = saxpyMxM(ctx, mask, s, A, B, false)
 	}
+	sp.NNZOut = C.NVals()
+	// The assembled CSR result: col indices + values + row pointers.
+	sp.Bytes = C.NVals()*(4+elemBytes[T]()) + int64(C.nrows+1)*8
+	return C, nil
 }
 
 // rowResult holds one output row before assembly.

@@ -3,6 +3,7 @@ package grb
 import (
 	"graphstudy/internal/galois"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // VxM computes w<mask> = u' * A under the semiring (GrB_vxm):
@@ -28,12 +29,27 @@ func VxM[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 	}
 	usePull := A.HasCSC() && (u.rep == Dense && u.NVals() > A.nrows/16 ||
 		mask != nil && !mask.Complement && mask.Count() < u.NVals())
+	switch desc.Force {
+	case HintPush:
+		usePull = false
+	case HintPull:
+		usePull = true
+	}
+	op := "grb.VxM.push"
+	if usePull {
+		op = "grb.VxM.pull"
+	}
+	sp := trace.Begin(trace.CatKernel, op)
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals())
 	var e entryList[T]
 	if usePull {
 		e = spmvPull(ctx, mask, s, u, A, true)
 	} else {
 		e = spmvPush(ctx, mask, s, u, A, true)
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
 }
@@ -54,12 +70,27 @@ func MxV[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 		return errDim("MxV mask", mask.n, w.n)
 	}
 	usePush := A.HasCSC() && u.rep != Dense && u.NVals() < A.nrows/16
+	switch desc.Force {
+	case HintPush:
+		usePush = true
+	case HintPull:
+		usePush = false
+	}
+	op := "grb.MxV.pull"
+	if usePush {
+		op = "grb.MxV.push"
+	}
+	sp := trace.Begin(trace.CatKernel, op)
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals())
 	var e entryList[T]
 	if usePush {
 		e = spmvPush(ctx, mask, s, u, A, false)
 	} else {
 		e = spmvPull(ctx, mask, s, u, A, false)
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
 }

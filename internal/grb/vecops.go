@@ -2,14 +2,27 @@ package grb
 
 import (
 	"fmt"
+	"unsafe"
 
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // errDim builds a dimension-mismatch error.
 func errDim(op string, got, want int) error {
 	return fmt.Errorf("grb: %s: dimension %d, want %d", op, got, want)
 }
+
+// elemBytes is the in-memory size of the vector/matrix element type, used
+// to tag trace spans with materialized-byte counts.
+func elemBytes[T any]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
+}
+
+// entryBytes is the materialized size of k sparse entries: a 4-byte index
+// plus the element per entry.
+func entryBytes[T any](k int) int64 { return int64(k) * (4 + elemBytes[T]()) }
 
 // entryList is the raw result of a kernel before mask/accum/replace
 // application: parallel (index, value) slices, unordered, duplicate-free.
@@ -86,6 +99,8 @@ func AssignConstant[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryO
 	if mask != nil && mask.n != w.n {
 		return errDim("AssignConstant mask", mask.n, w.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.AssignConstant")
+	defer sp.End()
 	c := perfmodel.Get()
 	if mask == nil && !desc.Replace && accum == nil {
 		if c != nil {
@@ -93,6 +108,10 @@ func AssignConstant[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryO
 			c.Instr(w.n)
 		}
 		w.DenseFill(value)
+		// Densifying the whole vector is a materialization: n elements
+		// plus the presence bitmap.
+		sp.NNZOut = int64(w.n)
+		sp.Bytes = int64(w.n)*elemBytes[T]() + int64(w.n+7)/8
 		return nil
 	}
 	// General path computes the assigned positions as an entry list.
@@ -116,6 +135,8 @@ func AssignConstant[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryO
 			c.LoadRange(0, perfmodel.KAux, 0, w.n, 8)
 		}
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
 }
@@ -128,6 +149,9 @@ func Apply[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], op 
 	if mask != nil && mask.n != w.n {
 		return errDim("Apply mask", mask.n, w.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.Apply")
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals())
 	var e entryList[T]
 	u.ForEach(func(i int, val T) {
 		if mask.allows(i) {
@@ -139,6 +163,8 @@ func Apply[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], op 
 		c.LoadRange(u.slot, perfmodel.KVecVals, 0, u.NVals(), 8)
 		c.Instr(u.NVals())
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
 }
@@ -149,6 +175,10 @@ func EWiseAdd[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], 
 	if u.n != w.n || v.n != w.n {
 		return errDim("EWiseAdd", u.n, w.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.EWiseAdd")
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals() + v.NVals())
+	// The densified copies below are attributed to grb.Convert spans.
 	ud, vd := u.Dup(), v.Dup()
 	ud.Convert(Dense)
 	vd.Convert(Dense)
@@ -175,6 +205,8 @@ func EWiseAdd[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], 
 		c.LoadRange(v.slot, perfmodel.KVecVals, 0, w.n, 8)
 		c.Instr(w.n)
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
 }
@@ -184,6 +216,9 @@ func EWiseMult[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T],
 	if u.n != w.n || v.n != w.n {
 		return errDim("EWiseMult", u.n, w.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.EWiseMult")
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals() + v.NVals())
 	// Iterate the sparser operand, probing the other.
 	a, b := u, v
 	if b.NVals() < a.NVals() {
@@ -210,6 +245,8 @@ func EWiseMult[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T],
 		c.LoadRange(b.slot, perfmodel.KVecVals, 0, a.NVals(), 8)
 		c.Instr(a.NVals())
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
 }
@@ -220,6 +257,9 @@ func SelectVector[T any](ctx *Context, w *Vector[T], mask *Mask, pred IndexedPre
 	if u.n != w.n {
 		return errDim("SelectVector", u.n, w.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.Select")
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals())
 	var e entryList[T]
 	u.ForEach(func(i int, val T) {
 		if pred(val, i, 0) && mask.allows(i) {
@@ -231,6 +271,8 @@ func SelectVector[T any](ctx *Context, w *Vector[T], mask *Mask, pred IndexedPre
 		c.LoadRange(u.slot, perfmodel.KVecVals, 0, u.NVals(), 8)
 		c.Instr(u.NVals())
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum0[T](), desc.Replace)
 	return nil
 }
@@ -241,6 +283,9 @@ func accum0[T any]() BinaryOp[T] { return nil }
 // ReduceVector folds all explicit entries of u under the monoid
 // (GrB_reduce to scalar).
 func ReduceVector[T any](m Monoid[T], u *Vector[T]) T {
+	sp := trace.Begin(trace.CatKernel, "grb.Reduce")
+	defer sp.End()
+	sp.NNZIn = int64(u.NVals())
 	acc := m.Identity
 	u.ForEach(func(_ int, val T) { acc = m.Op(acc, val) })
 	if c := perfmodel.Get(); c != nil {
@@ -257,6 +302,9 @@ func Gather[T any](ctx *Context, w *Vector[T], u *Vector[T], indices *Vector[uin
 	if indices.n != w.n {
 		return errDim("Gather", indices.n, w.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.Gather")
+	defer sp.End()
+	sp.NNZIn = int64(indices.NVals())
 	var e entryList[T]
 	indices.ForEach(func(k int, p uint32) {
 		if val, ok := u.ExtractElement(int(p)); ok {
@@ -271,6 +319,8 @@ func Gather[T any](ctx *Context, w *Vector[T], u *Vector[T], indices *Vector[uin
 		}
 		c.Instr(indices.NVals())
 	}
+	sp.NNZOut = int64(len(e.idx))
+	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, nil, desc.Replace)
 	return nil
 }
@@ -284,6 +334,9 @@ func ScatterAccum[T any](ctx *Context, w *Vector[T], accum BinaryOp[T], indices 
 	if indices.n != u.n {
 		return errDim("ScatterAccum", indices.n, u.n)
 	}
+	sp := trace.Begin(trace.CatKernel, "grb.ScatterAccum")
+	defer sp.End()
+	sp.NNZIn = int64(indices.NVals())
 	c := perfmodel.Get()
 	indices.ForEach(func(k int, target uint32) {
 		val, ok := u.ExtractElement(k)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // Rep selects a sparse-vector representation. GaloisBLAS (study section
@@ -228,6 +229,13 @@ func (v *Vector[T]) Convert(rep Rep) {
 	}
 	switch {
 	case rep == Dense:
+		// Densification is the materialization the study charges the matrix
+		// API for: a full-width value array plus presence bitmap.
+		sp := trace.Begin(trace.CatKernel, "grb.Convert.dense")
+		sp.NNZIn = int64(len(v.idx))
+		sp.NNZOut = int64(len(v.idx))
+		sp.Bytes = int64(v.n)*elemBytes[T]() + int64(v.n+7)/8
+		defer sp.End()
 		dense := make([]T, v.n)
 		present := newBitmap(v.n)
 		for k, ix := range v.idx {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
 )
 
 // BFS is the study's Algorithm 2: round-based, data-driven, push-style
@@ -26,13 +27,16 @@ func BFS(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], in
 	}
 
 	// dist = 0 everywhere (GrB_assign with GrB_ALL makes it dense).
+	init := trace.Begin(trace.CatRound, "lagraph.bfs.init")
 	dist := grb.NewVector[int32](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, dist, nil, nil, 0, grb.Desc{}); err != nil {
+		init.End()
 		return nil, 0, err
 	}
 	// frontier = {src}.
 	frontier := grb.NewVector[bool](n, grb.List)
 	frontier.SetElement(src, true)
+	init.End()
 
 	level := int32(1)
 	rounds := 0
@@ -41,20 +45,33 @@ func BFS(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], in
 			return nil, rounds, ErrTimeout
 		}
 		rounds++
-		// Pass 1: dist<frontier> = level.
-		if err := grb.AssignConstant(ctx, dist, grb.StructMask(frontier), nil, level, grb.Desc{}); err != nil {
+		sp := trace.Begin(trace.CatRound, "lagraph.bfs.round")
+		sp.Round = rounds
+		sp.NNZIn = int64(frontier.NVals())
+		done := false
+		err := func() error {
+			// Pass 1: dist<frontier> = level.
+			if err := grb.AssignConstant(ctx, dist, grb.StructMask(frontier), nil, level, grb.Desc{}); err != nil {
+				return err
+			}
+			// Pass 2: termination check.
+			if frontier.NVals() == 0 {
+				done = true
+				return nil
+			}
+			// Pass 3: frontier<!dist> = frontier vxm A (LOR.LAND, replace).
+			// The value mask over dist keeps visited vertices (non-zero level)
+			// out of the new frontier.
+			mask := grb.ValueMask(dist).Comp()
+			return grb.VxM(ctx, frontier, mask, nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true})
+		}()
+		sp.NNZOut = int64(frontier.NVals())
+		sp.End()
+		if err != nil {
 			return nil, rounds, err
 		}
-		// Pass 2: termination check.
-		if frontier.NVals() == 0 {
+		if done {
 			break
-		}
-		// Pass 3: frontier<!dist> = frontier vxm A (LOR.LAND, replace).
-		// The value mask over dist keeps visited vertices (non-zero level)
-		// out of the new frontier.
-		mask := grb.ValueMask(dist).Comp()
-		if err := grb.VxM(ctx, frontier, mask, nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true}); err != nil {
-			return nil, rounds, err
 		}
 		level++
 	}
@@ -64,6 +81,8 @@ func BFS(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], in
 // BFSLevels converts the BFS result vector to the canonical reference form:
 // hop counts with source 0 and Inf32 (MaxUint32) for unreachable vertices.
 func BFSLevels(dist *grb.Vector[int32]) []uint32 {
+	sp := trace.Begin(trace.CatRound, "lagraph.extract")
+	defer sp.End()
 	out := make([]uint32, dist.Size())
 	for i := range out {
 		out[i] = ^uint32(0)

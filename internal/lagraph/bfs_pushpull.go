@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
 )
 
 // BFSPushPull is LAGraph's direction-optimized BFS: rounds with a sparse
@@ -23,14 +24,17 @@ func BFSPushPull(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[in
 	if src < 0 || src >= n {
 		return nil, 0, 0, fmt.Errorf("lagraph: BFSPushPull source %d out of range [0,%d)", src, n)
 	}
+	init := trace.Begin(trace.CatRound, "lagraph.bfs-pp.init")
 	A.EnsureCSC() // the pull kernel's requirement, built up front
 
 	dist := grb.NewVector[int32](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, dist, nil, nil, 0, grb.Desc{}); err != nil {
+		init.End()
 		return nil, 0, 0, err
 	}
 	frontier := grb.NewVector[bool](n, grb.List)
 	frontier.SetElement(src, true)
+	init.End()
 
 	level := int32(1)
 	rounds, pulls := 0, 0
@@ -39,28 +43,107 @@ func BFSPushPull(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[in
 			return nil, rounds, pulls, ErrTimeout
 		}
 		rounds++
-		if err := grb.AssignConstant(ctx, dist, grb.StructMask(frontier), nil, level, grb.Desc{}); err != nil {
+		sp := trace.Begin(trace.CatRound, "lagraph.bfs-pp.round")
+		sp.Round = rounds
+		sp.NNZIn = int64(frontier.NVals())
+		done := false
+		err := func() error {
+			if err := grb.AssignConstant(ctx, dist, grb.StructMask(frontier), nil, level, grb.Desc{}); err != nil {
+				return err
+			}
+			if frontier.NVals() == 0 {
+				done = true
+				return nil
+			}
+			// Density heuristic: pull when the frontier exceeds 5% of vertices.
+			// Converting the frontier to Dense flips the vxm kernel choice (the
+			// pull path activates for dense operands with a CSC mirror).
+			if frontier.NVals() > n/20 {
+				pulls++
+				frontier.Convert(grb.Dense)
+			} else {
+				frontier.Convert(grb.List)
+			}
+			mask := grb.ValueMask(dist).Comp()
+			return grb.VxM(ctx, frontier, mask, nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true})
+		}()
+		sp.NNZOut = int64(frontier.NVals())
+		sp.End()
+		if err != nil {
 			return nil, rounds, pulls, err
 		}
-		if frontier.NVals() == 0 {
+		if done {
 			break
-		}
-		// Density heuristic: pull when the frontier exceeds 5% of vertices.
-		// Converting the frontier to Dense flips the vxm kernel choice (the
-		// pull path activates for dense operands with a CSC mirror).
-		if frontier.NVals() > n/20 {
-			pulls++
-			frontier.Convert(grb.Dense)
-		} else {
-			frontier.Convert(grb.List)
-		}
-		mask := grb.ValueMask(dist).Comp()
-		if err := grb.VxM(ctx, frontier, mask, nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true}); err != nil {
-			return nil, rounds, pulls, err
 		}
 		level++
 	}
 	return dist, rounds, pulls, nil
+}
+
+// BFSPull is the pure-pull foil for BFSPushPull: every round forces the
+// SDOT kernel, so each level dots every output position through the CSC
+// mirror regardless of frontier size. The frontier is kept sparse between
+// rounds, which makes the pull kernel densify a private copy on every
+// round — the repeated materialization cost direction optimization avoids.
+// The trace-invariant tests assert BFSPushPull materializes strictly fewer
+// bytes on the same input.
+func BFSPull(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], int, error) {
+	n := A.NRows()
+	if A.NCols() != n {
+		return nil, 0, fmt.Errorf("lagraph: BFSPull needs a square matrix, got %dx%d", n, A.NCols())
+	}
+	if src < 0 || src >= n {
+		return nil, 0, fmt.Errorf("lagraph: BFSPull source %d out of range [0,%d)", src, n)
+	}
+	init := trace.Begin(trace.CatRound, "lagraph.bfs-pull.init")
+	A.EnsureCSC()
+
+	dist := grb.NewVector[int32](n, grb.Dense)
+	if err := grb.AssignConstant(ctx, dist, nil, nil, 0, grb.Desc{}); err != nil {
+		init.End()
+		return nil, 0, err
+	}
+	frontier := grb.NewVector[bool](n, grb.List)
+	frontier.SetElement(src, true)
+	init.End()
+
+	level := int32(1)
+	rounds := 0
+	for {
+		if ctx.Stopped() {
+			return nil, rounds, ErrTimeout
+		}
+		rounds++
+		sp := trace.Begin(trace.CatRound, "lagraph.bfs-pull.round")
+		sp.Round = rounds
+		sp.NNZIn = int64(frontier.NVals())
+		done := false
+		err := func() error {
+			if err := grb.AssignConstant(ctx, dist, grb.StructMask(frontier), nil, level, grb.Desc{}); err != nil {
+				return err
+			}
+			if frontier.NVals() == 0 {
+				done = true
+				return nil
+			}
+			// Stay sparse: the forced pull kernel densifies its own copy of
+			// the frontier each round, which is exactly the cost under test.
+			frontier.Convert(grb.List)
+			mask := grb.ValueMask(dist).Comp()
+			return grb.VxM(ctx, frontier, mask, nil, grb.LorLand(), frontier, A,
+				grb.Desc{Replace: true, Force: grb.HintPull})
+		}()
+		sp.NNZOut = int64(frontier.NVals())
+		sp.End()
+		if err != nil {
+			return nil, rounds, err
+		}
+		if done {
+			break
+		}
+		level++
+	}
+	return dist, rounds, nil
 }
 
 // SSSPBellmanFord is the topology-driven matrix sssp (LAGraph ships one):
@@ -98,31 +181,42 @@ func SSSPBellmanFord[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int) 
 		if res.Rounds > n+1 {
 			return res, fmt.Errorf("lagraph: SSSPBellmanFord exceeded %d rounds (negative cycle?)", n)
 		}
-		// tReq = t vxm A (min-plus) over every finite distance.
-		finite := grb.NewVector[T](n, grb.Sorted)
-		if err := grb.SelectVector(ctx, finite, nil, func(v T, _, _ int) bool { return v != inf }, t, grb.Desc{Replace: true}); err != nil {
-			return res, err
-		}
-		tReq := grb.NewVector[T](n, grb.Sorted)
-		if err := grb.VxM(ctx, tReq, nil, nil, grb.MinPlus[T](), finite, A, grb.Desc{Replace: true}); err != nil {
-			return res, err
-		}
-		// improved = positions where tReq < t.
-		improved := grb.NewVector[T](n, grb.Sorted)
-		lt := func(a, b T) T {
-			if a < b {
-				return 1
+		sp := trace.Begin(trace.CatRound, "lagraph.sssp-bf.round")
+		sp.Round = res.Rounds
+		stop := false
+		err := func() error {
+			// tReq = t vxm A (min-plus) over every finite distance.
+			finite := grb.NewVector[T](n, grb.Sorted)
+			if err := grb.SelectVector(ctx, finite, nil, func(v T, _, _ int) bool { return v != inf }, t, grb.Desc{Replace: true}); err != nil {
+				return err
 			}
-			return 0
-		}
-		if err := grb.EWiseMult(ctx, improved, nil, nil, lt, tReq, t, grb.Desc{Replace: true}); err != nil {
+			tReq := grb.NewVector[T](n, grb.Sorted)
+			if err := grb.VxM(ctx, tReq, nil, nil, grb.MinPlus[T](), finite, A, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			// improved = positions where tReq < t.
+			improved := grb.NewVector[T](n, grb.Sorted)
+			lt := func(a, b T) T {
+				if a < b {
+					return 1
+				}
+				return 0
+			}
+			if err := grb.EWiseMult(ctx, improved, nil, nil, lt, tReq, t, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			if grb.ValueMask(improved).Count() == 0 {
+				stop = true
+				return nil
+			}
+			return grb.EWiseAdd(ctx, t, nil, nil, minT, t, tReq, grb.Desc{})
+		}()
+		sp.End()
+		if err != nil {
 			return res, err
 		}
-		if grb.ValueMask(improved).Count() == 0 {
+		if stop {
 			break
-		}
-		if err := grb.EWiseAdd(ctx, t, nil, nil, minT, t, tReq, grb.Desc{}); err != nil {
-			return res, err
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
 )
 
 // minU32 is the accumulator used throughout FastSV.
@@ -36,12 +37,14 @@ func CCFastSV(ctx *grb.Context, A *grb.Matrix[uint32]) (*grb.Vector[uint32], int
 	Au := A
 
 	// f(i) = i: parent; gp = grandparent; mngp = min neighbor grandparent.
+	init := trace.Begin(trace.CatRound, "lagraph.cc.init")
 	f := grb.NewVector[uint32](n, grb.Dense)
 	for i := 0; i < n; i++ {
 		f.SetElement(i, uint32(i))
 	}
 	gp := f.Dup()
 	mngp := f.Dup()
+	init.End()
 
 	rounds := 0
 	for {
@@ -49,33 +52,47 @@ func CCFastSV(ctx *grb.Context, A *grb.Matrix[uint32]) (*grb.Vector[uint32], int
 			return nil, rounds, ErrTimeout
 		}
 		rounds++
-		// mngp(i) = min over neighbors j of gp(j), folded into the previous
-		// mngp (GrB_mxv with MIN accumulator and the MIN_SECOND semiring).
-		if err := grb.MxV(ctx, mngp, nil, minU32, grb.MinSecond[uint32](), Au, gp, grb.Desc{}); err != nil {
+		sp := trace.Begin(trace.CatRound, "lagraph.cc.round")
+		sp.Round = rounds
+		stable := false
+		err := func() error {
+			// mngp(i) = min over neighbors j of gp(j), folded into the previous
+			// mngp (GrB_mxv with MIN accumulator and the MIN_SECOND semiring).
+			if err := grb.MxV(ctx, mngp, nil, minU32, grb.MinSecond[uint32](), Au, gp, grb.Desc{}); err != nil {
+				return err
+			}
+			// Stochastic hooking: f[f[i]] = min(f[f[i]], mngp[i]).
+			if err := grb.ScatterAccum(ctx, f, minU32, f, mngp, grb.Desc{}); err != nil {
+				return err
+			}
+			// Aggressive hooking: f = min(f, mngp).
+			if err := grb.EWiseAdd(ctx, f, nil, nil, minU32, f, mngp, grb.Desc{}); err != nil {
+				return err
+			}
+			// Hooking with grandparent: f = min(f, gp).
+			if err := grb.EWiseAdd(ctx, f, nil, nil, minU32, f, gp, grb.Desc{}); err != nil {
+				return err
+			}
+			// Shortcutting: gpNew = f[f].
+			gpNew := grb.NewVector[uint32](n, grb.Dense)
+			if err := grb.Gather(ctx, gpNew, f, f, grb.Desc{}); err != nil {
+				return err
+			}
+			// Converged when the grandparent vector is stable.
+			if vectorsEqualU32(gp, gpNew) {
+				stable = true
+				return nil
+			}
+			gp = gpNew
+			return nil
+		}()
+		sp.End()
+		if err != nil {
 			return nil, rounds, err
 		}
-		// Stochastic hooking: f[f[i]] = min(f[f[i]], mngp[i]).
-		if err := grb.ScatterAccum(ctx, f, minU32, f, mngp, grb.Desc{}); err != nil {
-			return nil, rounds, err
-		}
-		// Aggressive hooking: f = min(f, mngp).
-		if err := grb.EWiseAdd(ctx, f, nil, nil, minU32, f, mngp, grb.Desc{}); err != nil {
-			return nil, rounds, err
-		}
-		// Hooking with grandparent: f = min(f, gp).
-		if err := grb.EWiseAdd(ctx, f, nil, nil, minU32, f, gp, grb.Desc{}); err != nil {
-			return nil, rounds, err
-		}
-		// Shortcutting: gpNew = f[f].
-		gpNew := grb.NewVector[uint32](n, grb.Dense)
-		if err := grb.Gather(ctx, gpNew, f, f, grb.Desc{}); err != nil {
-			return nil, rounds, err
-		}
-		// Converged when the grandparent vector is stable.
-		if vectorsEqualU32(gp, gpNew) {
+		if stable {
 			break
 		}
-		gp = gpNew
 	}
 	// Canonicalize: jump parents to roots (a few extra gathers at most).
 	for {
@@ -110,6 +127,8 @@ func vectorsEqualU32(a, b *grb.Vector[uint32]) bool {
 
 // Labels extracts the component labels as a plain slice for verification.
 func Labels(f *grb.Vector[uint32]) []uint32 {
+	sp := trace.Begin(trace.CatRound, "lagraph.extract")
+	defer sp.End()
 	out := make([]uint32, f.Size())
 	f.ForEach(func(i int, v uint32) { out[i] = v })
 	return out

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
 )
 
 // KTrussResult reports the k-truss outcome.
@@ -40,11 +41,17 @@ func KTruss(ctx *grb.Context, A *grb.Matrix[int64], k uint32) (KTrussResult, err
 			return KTrussResult{Rounds: rounds}, ErrTimeout
 		}
 		rounds++
+		sp := trace.Begin(trace.CatRound, "lagraph.ktruss.round")
+		sp.Round = rounds
+		sp.NNZIn = S.NVals()
 		C, err := grb.MxM(ctx, S.Pattern(), grb.PlusPair[int64](), S, S)
 		if err != nil {
+			sp.End()
 			return KTrussResult{Rounds: rounds}, err
 		}
 		next := grb.SelectMatrix(C, func(v int64, _, _ int) bool { return v >= int64(k-2) })
+		sp.NNZOut = next.NVals()
+		sp.End()
 		if next.NVals() == S.NVals() {
 			return KTrussResult{Edges: next.NVals(), Rounds: rounds, Truss: next}, nil
 		}

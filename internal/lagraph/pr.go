@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
 )
 
 // PageRankOptions configures the pagerank runs; the study uses damping 0.85
@@ -34,6 +35,7 @@ func PageRank(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*g
 		return grb.NewVector[float64](0, grb.Dense), nil
 	}
 	d := opt.Damping
+	init := trace.Begin(trace.CatRound, "lagraph.pr.init")
 	A.EnsureCSC() // the dense-vector vxm pulls through columns
 
 	// outdeg and its reciprocal (0 keeps dangling vertices inert).
@@ -56,42 +58,50 @@ func PageRank(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*g
 	imp := grb.NewVector[float64](n, grb.Dense)
 	ones := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, ones, nil, nil, 1, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
+	init.End()
 	for it := 0; it < opt.Iterations; it++ {
 		if ctx.Stopped() {
 			return nil, ErrTimeout
 		}
-		// Dangling mass: sum of r over zero-out-degree vertices.
-		dangling := grb.NewVector[float64](n, grb.Sorted)
-		if err := grb.SelectVector(ctx, dangling, danglingMask, func(float64, int, int) bool { return true }, r, grb.Desc{Replace: true}); err != nil {
-			return nil, err
-		}
-		dsum := grb.ReduceVector(grb.PlusMonoid[float64](), dangling)
+		sp := trace.Begin(trace.CatRound, "lagraph.pr.round")
+		sp.Round = it + 1
+		err := func() error {
+			// Dangling mass: sum of r over zero-out-degree vertices.
+			dangling := grb.NewVector[float64](n, grb.Sorted)
+			if err := grb.SelectVector(ctx, dangling, danglingMask, func(float64, int, int) bool { return true }, r, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			dsum := grb.ReduceVector(grb.PlusMonoid[float64](), dangling)
 
-		// tmp = r ./ outdeg.
-		if err := grb.EWiseMult(ctx, tmp, nil, nil, func(a, b float64) float64 { return a * b }, r, invdeg, grb.Desc{Replace: true}); err != nil {
-			return nil, err
-		}
-		// T = Diag(tmp) * A materializes the contribution of every edge
-		// (the study: "gb uses edge data to store the pagerank
-		// contributions"). The diagonal fast path makes this a row scaling.
-		D := grb.Diag(tmp)
-		T, err := grb.MxM(ctx, nil, grb.PlusTimes[float64](), D, A)
+			// tmp = r ./ outdeg.
+			if err := grb.EWiseMult(ctx, tmp, nil, nil, func(a, b float64) float64 { return a * b }, r, invdeg, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			// T = Diag(tmp) * A materializes the contribution of every edge
+			// (the study: "gb uses edge data to store the pagerank
+			// contributions"). The diagonal fast path makes this a row scaling.
+			D := grb.Diag(tmp)
+			T, err := grb.MxM(ctx, nil, grb.PlusTimes[float64](), D, A)
+			if err != nil {
+				return err
+			}
+			// imp(j) = sum_i T(i,j): a column reduction via ones' * T.
+			if err := grb.VxM(ctx, imp, nil, nil, grb.PlusTimes[float64](), ones, T, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			// r = (1-d)/n + d*dangling/n + d*imp.
+			base := (1-d)/float64(n) + d*dsum/float64(n)
+			if err := grb.AssignConstant(ctx, r, nil, nil, base, grb.Desc{}); err != nil {
+				return err
+			}
+			return grb.Apply(ctx, r, nil, func(a, b float64) float64 { return a + b },
+				func(x float64) float64 { return d * x }, imp, grb.Desc{})
+		}()
+		sp.End()
 		if err != nil {
-			return nil, err
-		}
-		// imp(j) = sum_i T(i,j): a column reduction via ones' * T.
-		if err := grb.VxM(ctx, imp, nil, nil, grb.PlusTimes[float64](), ones, T, grb.Desc{Replace: true}); err != nil {
-			return nil, err
-		}
-		// r = (1-d)/n + d*dangling/n + d*imp.
-		base := (1-d)/float64(n) + d*dsum/float64(n)
-		if err := grb.AssignConstant(ctx, r, nil, nil, base, grb.Desc{}); err != nil {
-			return nil, err
-		}
-		if err := grb.Apply(ctx, r, nil, func(a, b float64) float64 { return a + b },
-			func(x float64) float64 { return d * x }, imp, grb.Desc{}); err != nil {
 			return nil, err
 		}
 	}
@@ -118,6 +128,7 @@ func PageRankResidual(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOpti
 	}
 	d := opt.Damping
 	base := (1 - d) / float64(n)
+	init := trace.Begin(trace.CatRound, "lagraph.pr-res.init")
 	A.EnsureCSC() // the dense-vector vxm pulls through columns
 
 	outdeg := grb.ReduceRows(grb.PlusMonoid[float64](), A)
@@ -139,24 +150,31 @@ func PageRankResidual(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOpti
 	}
 
 	contrib := grb.NewVector[float64](n, grb.Dense)
+	init.End()
 	plus := func(a, b float64) float64 { return a + b }
 	for it := 0; it < opt.Iterations; it++ {
 		if ctx.Stopped() {
 			return nil, ErrTimeout
 		}
-		// Pass 1 over res: pr += res.
-		if err := grb.EWiseAdd(ctx, pr, nil, nil, plus, pr, res, grb.Desc{}); err != nil {
-			return nil, err
-		}
-		// Pass 2 over res: contrib = res ./ outdeg.
-		if err := grb.EWiseMult(ctx, contrib, nil, nil, func(a, b float64) float64 { return a * b }, res, invdeg, grb.Desc{Replace: true}); err != nil {
-			return nil, err
-		}
-		// res = d * (A' contrib).
-		if err := grb.VxM(ctx, res, nil, nil, grb.PlusTimes[float64](), contrib, A, grb.Desc{Replace: true}); err != nil {
-			return nil, err
-		}
-		if err := grb.Apply(ctx, res, nil, nil, func(x float64) float64 { return d * x }, res, grb.Desc{Replace: true}); err != nil {
+		sp := trace.Begin(trace.CatRound, "lagraph.pr-res.round")
+		sp.Round = it + 1
+		err := func() error {
+			// Pass 1 over res: pr += res.
+			if err := grb.EWiseAdd(ctx, pr, nil, nil, plus, pr, res, grb.Desc{}); err != nil {
+				return err
+			}
+			// Pass 2 over res: contrib = res ./ outdeg.
+			if err := grb.EWiseMult(ctx, contrib, nil, nil, func(a, b float64) float64 { return a * b }, res, invdeg, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			// res = d * (A' contrib).
+			if err := grb.VxM(ctx, res, nil, nil, grb.PlusTimes[float64](), contrib, A, grb.Desc{Replace: true}); err != nil {
+				return err
+			}
+			return grb.Apply(ctx, res, nil, nil, func(x float64) float64 { return d * x }, res, grb.Desc{Replace: true})
+		}()
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -165,6 +183,8 @@ func PageRankResidual(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOpti
 
 // Ranks extracts a dense rank slice for verification (implicit entries 0).
 func Ranks(r *grb.Vector[float64]) []float64 {
+	sp := trace.Begin(trace.CatRound, "lagraph.extract")
+	defer sp.End()
 	out := make([]float64, r.Size())
 	r.ForEach(func(i int, v float64) { out[i] = v })
 	return out

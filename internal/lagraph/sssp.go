@@ -2,8 +2,10 @@ package lagraph
 
 import (
 	"fmt"
+	"unsafe"
 
 	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
 )
 
 // SSSPResult carries the distance vector and round statistics of the
@@ -50,14 +52,22 @@ func SSSP[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int, delta T) (S
 
 	// Split edges into light and heavy matrices (two materialized copies of
 	// the graph — the matrix API's way of expressing delta-stepping).
+	init := trace.Begin(trace.CatRound, "lagraph.sssp.init")
 	AL := grb.SelectMatrix(A, func(v T, _, _ int) bool { return v <= delta })
 	AH := grb.SelectMatrix(A, func(v T, _, _ int) bool { return v > delta })
+	if init.Enabled() {
+		var z T
+		es := 4 + int64(unsafe.Sizeof(z))
+		init.Bytes = (AL.NVals()+AH.NVals())*es + 2*int64(n+1)*8
+	}
 
 	t := grb.NewVector[T](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, t, nil, nil, inf, grb.Desc{}); err != nil {
+		init.End()
 		return SSSPResult[T]{}, err
 	}
 	t.SetElement(src, 0)
+	init.End()
 
 	res := SSSPResult[T]{Dist: t}
 	lower, upper := T(0), delta
@@ -77,30 +87,38 @@ func SSSP[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int, delta T) (S
 				return res, ErrTimeout
 			}
 			res.Rounds++
-			tReq := grb.NewVector[T](n, grb.Sorted)
-			if err := grb.VxM(ctx, tReq, nil, nil, grb.MinPlus[T](), tmasked, AL, grb.Desc{Replace: true}); err != nil {
-				return res, err
-			}
-			// improved = positions where tReq < t (an eWiseMult producing a
-			// 0/1 vector, then used as a value mask — three more passes).
-			improved := grb.NewVector[T](n, grb.Sorted)
-			lt := func(a, b T) T {
-				if a < b {
-					return 1
+			sp := trace.Begin(trace.CatRound, "lagraph.sssp.round")
+			sp.Round = res.Rounds
+			sp.NNZIn = int64(tmasked.NVals())
+			err := func() error {
+				tReq := grb.NewVector[T](n, grb.Sorted)
+				if err := grb.VxM(ctx, tReq, nil, nil, grb.MinPlus[T](), tmasked, AL, grb.Desc{Replace: true}); err != nil {
+					return err
 				}
-				return 0
-			}
-			if err := grb.EWiseMult(ctx, improved, nil, nil, lt, tReq, t, grb.Desc{Replace: true}); err != nil {
-				return res, err
-			}
-			improvedMask := grb.ValueMask(improved)
-			// t = min(t, tReq).
-			if err := grb.EWiseAdd(ctx, t, nil, nil, minT, t, tReq, grb.Desc{}); err != nil {
-				return res, err
-			}
-			// Next inner frontier: improved entries still inside the bucket.
-			tmasked = grb.NewVector[T](n, grb.Sorted)
-			if err := grb.SelectVector(ctx, tmasked, improvedMask, func(v T, _, _ int) bool { return v < upper }, tReq, grb.Desc{Replace: true}); err != nil {
+				// improved = positions where tReq < t (an eWiseMult producing a
+				// 0/1 vector, then used as a value mask — three more passes).
+				improved := grb.NewVector[T](n, grb.Sorted)
+				lt := func(a, b T) T {
+					if a < b {
+						return 1
+					}
+					return 0
+				}
+				if err := grb.EWiseMult(ctx, improved, nil, nil, lt, tReq, t, grb.Desc{Replace: true}); err != nil {
+					return err
+				}
+				improvedMask := grb.ValueMask(improved)
+				// t = min(t, tReq).
+				if err := grb.EWiseAdd(ctx, t, nil, nil, minT, t, tReq, grb.Desc{}); err != nil {
+					return err
+				}
+				// Next inner frontier: improved entries still inside the bucket.
+				tmasked = grb.NewVector[T](n, grb.Sorted)
+				return grb.SelectVector(ctx, tmasked, improvedMask, func(v T, _, _ int) bool { return v < upper }, tReq, grb.Desc{Replace: true})
+			}()
+			sp.NNZOut = int64(tmasked.NVals())
+			sp.End()
+			if err != nil {
 				return res, err
 			}
 		}
@@ -136,6 +154,8 @@ func SSSP[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int, delta T) (S
 // Distances extracts the distance vector as uint64 with Inf64 for
 // unreachable vertices, the form the verifier compares.
 func Distances[T grb.Number](dist *grb.Vector[T]) []uint64 {
+	sp := trace.Begin(trace.CatRound, "lagraph.extract")
+	defer sp.End()
 	inf := grb.MaxValue[T]()
 	out := make([]uint64, dist.Size())
 	for i := range out {

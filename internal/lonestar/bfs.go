@@ -8,6 +8,7 @@ import (
 	"graphstudy/internal/galois"
 	"graphstudy/internal/graph"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // InfDist marks unreachable vertices in 32-bit distance arrays.
@@ -29,6 +30,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, int, error) {
 	slot := perfmodel.NewSlot()  // label array
 	gslot := perfmodel.NewSlot() // graph CSR arrays
 
+	init := trace.Begin(trace.CatRound, "lonestar.bfs.init")
 	dist := make([]uint32, g.NumNodes)
 	ex.ForRange(int(g.NumNodes), 0, func(lo, hi int, ctx *galois.Ctx) {
 		for i := lo; i < hi; i++ {
@@ -40,6 +42,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, int, error) {
 	curr := galois.NewBag[uint32]()
 	next := galois.NewBag[uint32]()
 	next.Push(0, src)
+	init.End()
 
 	level := uint32(0)
 	rounds := 0
@@ -49,9 +52,14 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, int, error) {
 			return nil, rounds, ErrTimeout
 		}
 		rounds++
+		sp := trace.Begin(trace.CatRound, "lonestar.bfs.round")
+		sp.Round = rounds
 		curr, next = next, curr
 		next.Clear()
 		level++
+		if sp.Enabled() {
+			sp.NNZIn = int64(curr.Len())
+		}
 		curr.ForAll(ex, func(u uint32, ctx *galois.Ctx) {
 			adj := g.OutEdges(u)
 			ctx.Work(int64(len(adj)))
@@ -75,6 +83,10 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, int, error) {
 				}
 			}
 		})
+		if sp.Enabled() {
+			sp.NNZOut = int64(next.Len())
+		}
+		sp.End()
 	}
 	return dist, rounds, nil
 }

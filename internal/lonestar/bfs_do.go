@@ -6,6 +6,7 @@ import (
 
 	"graphstudy/internal/galois"
 	"graphstudy/internal/graph"
+	"graphstudy/internal/trace"
 )
 
 // BFSDirectionOptimized is the push/pull ("bottom-up") BFS of Beamer et al.,
@@ -22,6 +23,7 @@ func BFSDirectionOptimized(g *graph.Graph, src uint32, opt Options) ([]uint32, i
 	if src >= g.NumNodes {
 		return nil, 0, 0, fmt.Errorf("lonestar: BFS source %d out of range [0,%d)", src, g.NumNodes)
 	}
+	init := trace.Begin(trace.CatRound, "lonestar.bfs-do.init")
 	g.BuildIn()
 	t := opt.threads()
 	ex := galois.NewWorkStealing(t)
@@ -38,6 +40,7 @@ func BFSDirectionOptimized(g *graph.Graph, src uint32, opt Options) ([]uint32, i
 	curr := galois.NewBag[uint32]()
 	next := galois.NewBag[uint32]()
 	next.Push(0, src)
+	init.End()
 
 	// Beamer's heuristic, simplified: pull when the frontier exceeds a
 	// fixed fraction of the vertices.
@@ -51,9 +54,14 @@ func BFSDirectionOptimized(g *graph.Graph, src uint32, opt Options) ([]uint32, i
 			return nil, rounds, pullRounds, ErrTimeout
 		}
 		rounds++
+		sp := trace.Begin(trace.CatRound, "lonestar.bfs-do.round")
+		sp.Round = rounds
 		curr, next = next, curr
 		next.Clear()
 		level++
+		if sp.Enabled() {
+			sp.NNZIn = int64(curr.Len())
+		}
 		if curr.Len() > pullThreshold {
 			// Pull round: unvisited vertices look for any visited in-neighbor.
 			pullRounds++
@@ -89,6 +97,10 @@ func BFSDirectionOptimized(g *graph.Graph, src uint32, opt Options) ([]uint32, i
 				}
 			})
 		}
+		if sp.Enabled() {
+			sp.NNZOut = int64(next.Len())
+		}
+		sp.End()
 	}
 	return dist, rounds, pullRounds, nil
 }

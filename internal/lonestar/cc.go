@@ -6,6 +6,7 @@ import (
 	"graphstudy/internal/galois"
 	"graphstudy/internal/graph"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // ccFind follows parent pointers to the root with path halving; safe under
@@ -173,6 +174,8 @@ func CCShiloachVishkin(g *graph.Graph, opt Options) ([]uint32, int, error) {
 			return nil, rounds, ErrTimeout
 		}
 		rounds++
+		sp := trace.Begin(trace.CatRound, "lonestar.cc-sv.round")
+		sp.Round = rounds
 		var changed atomic.Bool
 		// Hook: point the larger root at the smaller across every edge.
 		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
@@ -198,6 +201,7 @@ func CCShiloachVishkin(g *graph.Graph, opt Options) ([]uint32, int, error) {
 		})
 		// Jump: unbounded pointer jumping.
 		ccCompress(ex, comp)
+		sp.End()
 		if !changed.Load() {
 			break
 		}

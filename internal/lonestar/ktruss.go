@@ -8,6 +8,7 @@ import (
 	"graphstudy/internal/galois"
 	"graphstudy/internal/graph"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // KTrussResult reports the k-truss outcome and round count.
@@ -70,6 +71,8 @@ func KTruss(g *graph.Graph, k uint32, opt Options) (KTrussResult, error) {
 			return res, ErrTimeout
 		}
 		res.Rounds++
+		sp := trace.Begin(trace.CatRound, "lonestar.ktruss.round")
+		sp.Round = res.Rounds
 		var removed atomic.Int64
 		ex.ForRange(int(g.NumNodes), 0, func(lo, hi int, ctx *galois.Ctx) {
 			var work int64
@@ -126,6 +129,8 @@ func KTruss(g *graph.Graph, k uint32, opt Options) (KTrussResult, error) {
 			}
 			ctx.Work(work)
 		})
+		sp.NNZOut = removed.Load()
+		sp.End()
 		if removed.Load() == 0 {
 			break
 		}

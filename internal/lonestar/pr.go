@@ -6,6 +6,7 @@ import (
 	"graphstudy/internal/galois"
 	"graphstudy/internal/graph"
 	"graphstudy/internal/perfmodel"
+	"graphstudy/internal/trace"
 )
 
 // PageRankOptions mirrors the study's settings: damping 0.85, exactly 10
@@ -61,6 +62,7 @@ func prResidualAoS(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
 	c := perfmodel.Get()
 	g.BuildIn()
 
+	init := trace.Begin(trace.CatRound, "lonestar.pr.init")
 	nodes := make([]prNode, n)
 	ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
 		for i := lo; i < hi; i++ {
@@ -70,11 +72,15 @@ func prResidualAoS(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
 			}
 		}
 	})
+	init.End()
 
 	for it := 0; it < opt.Iterations; it++ {
 		if opt.stopped() {
 			return nil, ErrTimeout
 		}
+		sp := trace.Begin(trace.CatRound, "lonestar.pr.round")
+		sp.Round = it + 1
+		sp.NNZIn = int64(n)
 		// Fused pass: rank update AND contribution computation in one loop
 		// over one struct — a single traversal of the vertex data.
 		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
@@ -111,6 +117,7 @@ func prResidualAoS(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
 			}
 			ctx.Work(work)
 		})
+		sp.End()
 	}
 	out := make([]float64, n)
 	for i := range out {
@@ -129,6 +136,7 @@ func prResidualSoA(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
 	c := perfmodel.Get()
 	g.BuildIn()
 
+	init := trace.Begin(trace.CatRound, "lonestar.pr-soa.init")
 	rank := make([]float64, n)
 	residual := make([]float64, n)
 	delta := make([]float64, n)
@@ -141,11 +149,15 @@ func prResidualSoA(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
 			}
 		}
 	})
+	init.End()
 
 	for it := 0; it < opt.Iterations; it++ {
 		if opt.stopped() {
 			return nil, ErrTimeout
 		}
+		sp := trace.Begin(trace.CatRound, "lonestar.pr-soa.round")
+		sp.Round = it + 1
+		sp.NNZIn = int64(n)
 		// Same fused loop, but rank/residual/delta/invdeg live in four
 		// separate arrays: four streams instead of one (ls-soa).
 		ex.ForRange(n, 0, func(lo, hi int, ctx *galois.Ctx) {
@@ -182,6 +194,7 @@ func prResidualSoA(g *graph.Graph, opt PageRankOptions) ([]float64, error) {
 			}
 			ctx.Work(work)
 		})
+		sp.End()
 	}
 	return rank, nil
 }

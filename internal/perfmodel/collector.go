@@ -156,6 +156,13 @@ func (c *Collector) StoreRange(slot uint32, kind Kind, idx, count int, elemSize 
 	}
 }
 
+// Totals returns the raw instruction/load/store counts without
+// allocating; span boundaries in internal/trace use it to fold counter
+// deltas into timing spans.
+func (c *Collector) Totals() (instr, loads, stores uint64) {
+	return c.instructions, c.loads, c.stores
+}
+
 // Snapshot returns the collected counters.
 func (c *Collector) Snapshot() Counters {
 	out := Counters{

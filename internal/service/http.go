@@ -46,12 +46,16 @@ type RunResponse struct {
 	Rounds   int     `json:"rounds,omitempty"`
 	Error    string  `json:"error,omitempty"`
 	CacheHit bool    `json:"cacheHit,omitempty"`
+	// Trace is the URL path of the job's Chrome trace JSON when the server
+	// runs in profiling mode (-trace-dir).
+	Trace string `json:"trace,omitempty"`
 }
 
 // Handler returns the service's HTTP mux:
 //
 //	POST /v1/run      run a spec (sync by default, async on request)
 //	GET  /v1/jobs/{id} poll a job
+//	GET  /v1/jobs/{id}/trace fetch the job's Chrome trace JSON (profiling mode)
 //	GET  /v1/graphs   list the input catalog
 //	GET  /v1/datasets list the dataset store (residency, sizes, refcounts)
 //	GET  /healthz     liveness
@@ -174,9 +178,10 @@ func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-	if id == "" || strings.Contains(id, "/") {
-		httpError(w, http.StatusNotFound, "want /v1/jobs/{id}")
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "trace") {
+		httpError(w, http.StatusNotFound, "want /v1/jobs/{id} or /v1/jobs/{id}/trace")
 		return
 	}
 	job, ok := s.jobs.get(id)
@@ -184,7 +189,29 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
+	if sub == "trace" {
+		s.serveJobTrace(w, r, job)
+		return
+	}
 	writeJSON(w, jobResponse(job))
+}
+
+// serveJobTrace streams the job's persisted Chrome trace-event JSON
+// (recorded when the server runs with a trace directory configured).
+func (s *Server) serveJobTrace(w http.ResponseWriter, r *http.Request, job *Job) {
+	select {
+	case <-job.Done():
+	default:
+		httpError(w, http.StatusConflict, "job %q not finished; no trace yet", job.ID)
+		return
+	}
+	if job.TracePath == "" {
+		httpError(w, http.StatusNotFound,
+			"no trace recorded for job %q (server not started with -trace-dir?)", job.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeFile(w, r, job.TracePath)
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {
@@ -222,6 +249,9 @@ func jobResponse(j *Job) RunResponse {
 	res, cached := j.Result()
 	resp.Outcome = res.Outcome.String()
 	resp.CacheHit = cached
+	if j.TracePath != "" {
+		resp.Trace = "/v1/jobs/" + j.ID + "/trace"
+	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
 	}

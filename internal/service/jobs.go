@@ -46,6 +46,9 @@ type Job struct {
 	// Set before done is closed; immutable afterwards.
 	result   core.Result
 	cacheHit bool
+	// TracePath is the Chrome trace JSON persisted for this job's run, when
+	// the server runs in profiling mode (Config.TraceDir). Empty otherwise.
+	TracePath string
 }
 
 func newJob(id string, key Key, spec core.RunSpec) *Job {

@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"graphstudy/internal/gen"
 	"graphstudy/internal/service/metrics"
 	"graphstudy/internal/store"
+	"graphstudy/internal/trace"
 )
 
 // ErrQueueFull is returned by Submit when the admission queue is at
@@ -53,6 +56,13 @@ type Config struct {
 	// memory budget cannot evict a graph mid-run, and its hit/miss/
 	// eviction/bytes counters join /metrics.
 	Registry *store.Registry
+	// TraceDir enables profiling mode: every execution records an
+	// operator-level trace (internal/trace) persisted as Chrome trace-event
+	// JSON at <TraceDir>/<job-id>.json and served by
+	// GET /v1/jobs/{id}/trace. Because trace installation is global,
+	// profiling mode serializes worker executions — throughput drops to one
+	// run at a time so spans from concurrent jobs cannot interleave.
+	TraceDir string
 	// Runner executes one measurement; tests substitute a gated runner.
 	// Defaults to core.RunCtx.
 	Runner func(ctx context.Context, spec core.RunSpec) core.Result
@@ -100,6 +110,10 @@ type Server struct {
 	wg       sync.WaitGroup
 	inFlight atomic.Int64
 	started  time.Time
+
+	// traceMu serializes executions when TraceDir is set: the trace is a
+	// process-global installation, so only one traced run may be in flight.
+	traceMu sync.Mutex
 
 	closeOnce sync.Once
 }
@@ -227,9 +241,28 @@ func (s *Server) execute(job *Job) {
 		defer h.Release()
 	}
 
+	spec := job.Spec
+	var tr *trace.Trace
+	if s.cfg.TraceDir != "" {
+		// Profiling mode: one traced run at a time (trace installation is
+		// global), each recording into a fresh Trace.
+		s.traceMu.Lock()
+		defer s.traceMu.Unlock()
+		tr = trace.New()
+		spec.Trace = tr
+	}
+
 	start := time.Now()
-	res := s.cfg.Runner(s.baseCtx, job.Spec)
+	res := s.cfg.Runner(s.baseCtx, spec)
 	elapsed := time.Since(start)
+
+	if tr != nil {
+		if path, err := s.persistTrace(job.ID, tr); err != nil {
+			s.reg.Counter("trace_write_errors").Inc()
+		} else {
+			job.TracePath = path
+		}
+	}
 
 	s.inFlight.Add(-1)
 	s.reg.Counter("outcome_" + res.Outcome.String()).Inc()
@@ -238,6 +271,24 @@ func (s *Server) execute(job *Job) {
 	s.cache.Put(job.Key, res)
 	s.jobs.settle(job)
 	job.complete(res, false)
+}
+
+// persistTrace writes tr as Chrome trace-event JSON under the configured
+// trace directory and returns the file path.
+func (s *Server) persistTrace(jobID string, tr *trace.Trace) (string, error) {
+	if err := os.MkdirAll(s.cfg.TraceDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.cfg.TraceDir, jobID+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // latencyName is the per-(app, system) histogram key, e.g.

@@ -445,3 +445,82 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("GET /v1/run: status %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestTraceEndpoint: with TraceDir configured, every run persists a Chrome
+// trace whose JSON is served at /v1/jobs/{id}/trace, and the job response
+// advertises the link.
+func TestTraceEndpoint(t *testing.T) {
+	srv := New(Config{Workers: 2, TraceDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, rr, _ := post(t, ts.URL, RunRequest{App: "bfs", System: "ss", Graph: "rmat22", Scale: "test"})
+	if code != http.StatusOK || rr.Outcome != "ok" {
+		t.Fatalf("run: status %d outcome %q", code, rr.Outcome)
+	}
+	want := "/v1/jobs/" + rr.Job + "/trace"
+	if rr.Trace != want {
+		t.Fatalf("trace link = %q, want %q", rr.Trace, want)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if code := getJSON(t, ts.URL+rr.Trace, &doc); code != http.StatusOK {
+		t.Fatalf("GET trace: status %d", code)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		cats[ev.Cat] = true
+	}
+	if !cats["round"] || !cats["kernel"] {
+		t.Fatalf("trace categories = %v, want round and kernel present", cats)
+	}
+
+	// Unknown sub-resource and unfinished/absent traces are clean errors.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rr.Job + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad sub-resource: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestNoTraceWithoutDir: without TraceDir the trace endpoint 404s and the
+// job response carries no trace link.
+func TestNoTraceWithoutDir(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, rr, _ := post(t, ts.URL, RunRequest{App: "bfs", System: "ls", Graph: "rmat22", Scale: "test"})
+	if code != http.StatusOK {
+		t.Fatalf("run: status %d", code)
+	}
+	if rr.Trace != "" {
+		t.Fatalf("trace link = %q, want empty", rr.Trace)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + rr.Job + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace without dir: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"graphstudy/internal/graph"
+)
+
+func fuzzSeedGraph() *graph.Graph {
+	return graph.FromWeightedEdges(5, [][3]uint32{
+		{0, 1, 2}, {1, 2, 4}, {2, 3, 6}, {3, 0, 8}, {4, 4, 1},
+	})
+}
+
+// FuzzReadEdgeList hammers the SNAP text importer: arbitrary text must parse
+// or error cleanly, never panic or allocate a graph unjustified by the input
+// (the single-hostile-line "0 4294967295" case).
+func FuzzReadEdgeList(f *testing.F) {
+	var el bytes.Buffer
+	if err := WriteEdgeList(&el, fuzzSeedGraph()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(el.Bytes())
+	f.Add([]byte("# comment\n0 1\n1 2\n2 0\n"))
+	f.Add([]byte("0 1 7\n1 2 9\n"))
+	f.Add([]byte("0 4294967295\n"))
+	f.Add([]byte("0 4294967294\n"))
+	f.Add([]byte("% matlab-style comment\n3 4\n"))
+	f.Add([]byte("0 1\n1 2 3\n")) // field-count flip mid-file
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadEdgeList accepted a graph violating CSR invariants: %v", verr)
+		}
+		if uint64(g.NumNodes) > 1<<20 && uint64(g.NumNodes) > 32*g.NumEdges() {
+			t.Fatalf("ReadEdgeList built %d nodes from %d edges; allocation bound failed",
+				g.NumNodes, g.NumEdges())
+		}
+	})
+}
+
+// FuzzReadGSG2 hammers the checksummed native format decoder.
+func FuzzReadGSG2(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteGSG2(&buf, fuzzSeedGraph(), map[string]string{"name": "fuzz"}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, i := range []int{4, 8, len(valid) / 2, len(valid) - 1} {
+		c := append([]byte{}, valid...)
+		c[i] ^= 0x01
+		f.Add(c)
+	}
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte("GSG2"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, _, err := ReadGSG2(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadGSG2 accepted a graph violating CSR invariants: %v", verr)
+		}
+	})
+}
+
+// FuzzReadGraph hammers the sniffing front door with every format's bytes,
+// so the dispatcher and all four decoders share one fuzz surface.
+func FuzzReadGraph(f *testing.F) {
+	g := fuzzSeedGraph()
+	var gsg2, el, mtx bytes.Buffer
+	if err := WriteGSG2(&gsg2, g, nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteEdgeList(&el, g); err != nil {
+		f.Fatal(err)
+	}
+	if err := graph.WriteMatrixMarket(&mtx, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gsg2.Bytes())
+	f.Add(el.Bytes())
+	f.Add(mtx.Bytes())
+	f.Add([]byte("GSG1garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, _, _, err := ReadGraph(bytes.NewReader(data), FormatAuto)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadGraph accepted a graph violating CSR invariants: %v", verr)
+		}
+	})
+}

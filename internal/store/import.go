@@ -45,6 +45,16 @@ func ParseFormat(s string) (Format, error) {
 	return "", fmt.Errorf("store: unknown format %q (want auto, gsg2, gsg1, mtx, or el)", s)
 }
 
+// Untrusted-input allocation bounds: a text import may claim any node count
+// via a single huge vertex ID, so graphs above maxUnbackedNodes vertices
+// must carry at least one edge per nodesPerEdgeCap vertices. Real SNAP and
+// MatrixMarket datasets are far denser; the bound only rejects inputs whose
+// CSR would be orders of magnitude larger than the file describing it.
+const (
+	maxUnbackedNodes = 1 << 20
+	nodesPerEdgeCap  = 32
+)
+
 // ReadEdgeList parses a SNAP-style edge list: whitespace-separated "src dst"
 // or "src dst weight" lines, with '#' or '%' comment lines. Node IDs are
 // 0-based; the node count is the largest ID seen plus one. The first data
@@ -117,6 +127,13 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	}
 	if maxID == ^uint32(0) {
 		return nil, fmt.Errorf("store: node ID %d too large", maxID)
+	}
+	// The node count is ID-derived, so a single hostile line ("0 4294967295")
+	// would otherwise size a multi-gigabyte CSR. Allow small graphs any ID
+	// spread, but a large ID space must be justified by the edge count.
+	if n := uint64(maxID) + 1; n > maxUnbackedNodes && n > nodesPerEdgeCap*uint64(len(src)) {
+		return nil, fmt.Errorf("store: node ID %d implies %d vertices from only %d edges; refusing oversized allocation",
+			maxID, n, len(src))
 	}
 	b := graph.NewBuilder(maxID+1, weighted)
 	b.Reserve(len(src))

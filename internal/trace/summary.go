@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// OpStat aggregates every span of one (category, operator) pair. Unlike
+// the event rings, aggregates are never dropped.
+type OpStat struct {
+	Cat   Cat
+	Op    string
+	Count int64
+	Total time.Duration
+	Max   time.Duration
+
+	NNZIn  int64
+	NNZOut int64
+	Bytes  int64
+	Items  int64
+	Steals int64
+
+	Instr  uint64
+	Loads  uint64
+	Stores uint64
+}
+
+// Summary is the in-memory sink: per-operator aggregates plus run-level
+// roll-ups. It is attached to core.Result for traced runs.
+type Summary struct {
+	// Ops is sorted by total time, descending.
+	Ops []OpStat
+	// Rounds counts CatRound spans with Round >= 1 (init phases are
+	// tagged round 0 and excluded).
+	Rounds int
+	// Bytes is the total bytes materialized across all spans.
+	Bytes int64
+	// RoundTotal is the summed duration of all CatRound spans including
+	// init; for a single traced run it should tile the wall time.
+	RoundTotal time.Duration
+	// Events and Dropped count spans recorded and spans evicted from the
+	// rings by wrap-around. Dropped > 0 means the Chrome export is
+	// partial; the aggregates above are still complete.
+	Events  int64
+	Dropped int64
+}
+
+// Summary merges the per-shard aggregates into a sorted Summary. It may
+// be called while the trace is still recording.
+func (t *Trace) Summary() *Summary {
+	merged := map[key]*OpStat{}
+	s := &Summary{}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, st := range sh.agg {
+			m := merged[k]
+			if m == nil {
+				cp := *st
+				merged[k] = &cp
+				continue
+			}
+			m.Count += st.Count
+			m.Total += st.Total
+			if st.Max > m.Max {
+				m.Max = st.Max
+			}
+			m.NNZIn += st.NNZIn
+			m.NNZOut += st.NNZOut
+			m.Bytes += st.Bytes
+			m.Items += st.Items
+			m.Steals += st.Steals
+			m.Instr += st.Instr
+			m.Loads += st.Loads
+			m.Stores += st.Stores
+		}
+		s.Rounds += int(sh.rounds)
+		s.Events += sh.recorded
+		s.Dropped += sh.dropped
+		sh.mu.Unlock()
+	}
+	for _, st := range merged {
+		s.Ops = append(s.Ops, *st)
+		s.Bytes += st.Bytes
+		if st.Cat == CatRound {
+			s.RoundTotal += st.Total
+		}
+	}
+	sort.Slice(s.Ops, func(i, j int) bool {
+		if s.Ops[i].Total != s.Ops[j].Total {
+			return s.Ops[i].Total > s.Ops[j].Total
+		}
+		if s.Ops[i].Op != s.Ops[j].Op {
+			return s.Ops[i].Op < s.Ops[j].Op
+		}
+		return s.Ops[i].Cat < s.Ops[j].Cat
+	})
+	return s
+}
+
+// Find returns the aggregate for (cat, op), or nil.
+func (s *Summary) Find(cat Cat, op string) *OpStat {
+	for i := range s.Ops {
+		if s.Ops[i].Cat == cat && s.Ops[i].Op == op {
+			return &s.Ops[i]
+		}
+	}
+	return nil
+}
+
+// CatTotal sums the recorded time of every span in the category.
+func (s *Summary) CatTotal(cat Cat) time.Duration {
+	var total time.Duration
+	for i := range s.Ops {
+		if s.Ops[i].Cat == cat {
+			total += s.Ops[i].Total
+		}
+	}
+	return total
+}
+
+// CatBytes sums the materialized bytes of every span in the category.
+func (s *Summary) CatBytes(cat Cat) int64 {
+	var total int64
+	for i := range s.Ops {
+		if s.Ops[i].Cat == cat {
+			total += s.Ops[i].Bytes
+		}
+	}
+	return total
+}
+
+// WriteText renders the compact text report: one line per operator,
+// hottest first, followed by run-level totals.
+func (s *Summary) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-28s %8s %12s %12s %10s %10s %10s\n",
+		"CAT", "OP", "COUNT", "TOTAL", "MAX", "NNZ-IN", "NNZ-OUT", "BYTES"); err != nil {
+		return err
+	}
+	for _, st := range s.Ops {
+		if _, err := fmt.Fprintf(w, "%-8s %-28s %8d %12s %12s %10d %10d %10d\n",
+			st.Cat, st.Op, st.Count, round(st.Total), round(st.Max),
+			st.NNZIn, st.NNZOut, st.Bytes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "rounds=%d bytes=%d round-time=%s events=%d dropped=%d\n",
+		s.Rounds, s.Bytes, round(s.RoundTotal), s.Events, s.Dropped)
+	return err
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}

@@ -1,0 +1,255 @@
+// Package trace is the operator-level tracing substrate for the study
+// harness. A Trace records timed spans — grb kernels, galois parallel
+// regions, algorithm rounds — into per-shard ring buffers with a shared
+// monotonic epoch, and aggregates them incrementally so the summary stays
+// complete even when a ring wraps.
+//
+// Tracing is designed to stay compiled into the hot paths: when no trace
+// is installed, Begin performs a single atomic load and returns an inert
+// span whose End is a no-op (see TestTraceOverhead in the repo root).
+// Installation is global, mirroring perfmodel: profiled runs are expected
+// to execute one at a time (graphd serializes workers when a trace
+// directory is configured).
+package trace
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphstudy/internal/perfmodel"
+)
+
+// Cat classifies a span by the layer that emitted it.
+type Cat uint8
+
+const (
+	// CatKernel is a grb primitive: VxM, MxV, MxM, eWiseAdd/Mult, apply,
+	// select, reduce, assign, extract, and dense materialization.
+	CatKernel Cat = iota
+	// CatRound is one algorithm round/iteration (a BFS level, a PageRank
+	// iteration, an SSSP bucket). Round 0 is reserved for init phases so
+	// that round spans tile a run's wall time.
+	CatRound
+	// CatRegion is a galois parallel region (Executor.ForRange / DoAll).
+	CatRegion
+	// CatLoop is a galois ForEach worklist loop.
+	CatLoop
+)
+
+// String returns the category name used in Chrome trace output.
+func (c Cat) String() string {
+	switch c {
+	case CatKernel:
+		return "kernel"
+	case CatRound:
+		return "round"
+	case CatRegion:
+		return "region"
+	case CatLoop:
+		return "loop"
+	}
+	return "unknown"
+}
+
+// Event is one completed span. Start and Dur are offsets on the trace's
+// monotonic clock. The tag fields are optional and span-type specific;
+// instrumented code sets them between Begin and End.
+type Event struct {
+	Op    string // operator name, e.g. "grb.VxM" or "lagraph.pr.round"
+	Cat   Cat
+	Shard int // ring shard that recorded the event (Chrome tid)
+	Round int // round number for CatRound spans; 0 marks an init phase
+
+	Start time.Duration
+	Dur   time.Duration
+
+	NNZIn  int64 // input nonzeros (frontier size, vector nvals)
+	NNZOut int64 // output nonzeros produced
+	Bytes  int64 // bytes materialized: output buffers, densified copies
+	Items  int64 // work items executed (galois regions and loops)
+	Steals int64 // chunks claimed beyond a worker's static share
+
+	// perfmodel deltas, captured when a collector is active during the span.
+	Instr  uint64
+	Loads  uint64
+	Stores uint64
+}
+
+// Span is an open event. Instrumented code sets tag fields directly
+// (sp.NNZIn = ...) and calls End, typically via defer on an addressable
+// local so late tag writes are observed.
+type Span struct {
+	Event
+	tr                      *Trace
+	pm                      *perfmodel.Collector
+	instr0, loads0, stores0 uint64
+}
+
+type key struct {
+	cat Cat
+	op  string
+}
+
+type shard struct {
+	mu       sync.Mutex
+	ring     []Event
+	next     int
+	recorded int64
+	dropped  int64
+	rounds   int64 // CatRound events with Round >= 1
+	agg      map[key]*OpStat
+}
+
+// Trace is a concurrency-safe span recorder. Events are spread across
+// GOMAXPROCS ring shards by an atomic cursor; each shard also keeps a
+// per-(category, op) aggregate that never drops data.
+type Trace struct {
+	epoch  time.Time
+	shards []shard
+	cursor atomic.Uint32
+}
+
+// DefaultShardCapacity is the per-shard ring size used by New: large
+// enough to hold every event of a bench-scale single run, small enough
+// that an always-on trace stays a few MiB.
+const DefaultShardCapacity = 1 << 13
+
+// New returns a Trace with the default per-shard ring capacity.
+func New() *Trace { return NewWithCapacity(DefaultShardCapacity) }
+
+// NewWithCapacity returns a Trace whose shards each hold up to perShard
+// events; older events are overwritten (and counted as dropped) once a
+// shard wraps, while aggregates keep accumulating.
+func NewWithCapacity(perShard int) *Trace {
+	if perShard < 1 {
+		perShard = 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	t := &Trace{epoch: time.Now(), shards: make([]shard, n)}
+	for i := range t.shards {
+		t.shards[i].ring = make([]Event, 0, perShard)
+		t.shards[i].agg = make(map[key]*OpStat)
+	}
+	return t
+}
+
+var current atomic.Pointer[Trace]
+
+// Install makes t the active trace (nil uninstalls). Like perfmodel,
+// installation is global; callers own serialization of profiled runs.
+func Install(t *Trace) { current.Store(t) }
+
+// Get returns the active trace, or nil when tracing is off.
+func Get() *Trace { return current.Load() }
+
+// Begin opens a span on the installed trace. When tracing is off it
+// returns an inert span; the atomic load is the only cost instrumented
+// code pays on ordinary runs.
+func Begin(cat Cat, op string) Span {
+	t := current.Load()
+	if t == nil {
+		return Span{}
+	}
+	return t.Begin(cat, op)
+}
+
+// Begin opens a span on t directly (for code holding a trace reference).
+func (t *Trace) Begin(cat Cat, op string) Span {
+	sp := Span{tr: t}
+	sp.Op = op
+	sp.Cat = cat
+	if c := perfmodel.Get(); c != nil {
+		sp.pm = c
+		sp.instr0, sp.loads0, sp.stores0 = c.Totals()
+	}
+	sp.Start = time.Since(t.epoch)
+	return sp
+}
+
+// Enabled reports whether s will record on End. Instrumented code uses it
+// to skip tag computation (e.g. counting output nonzeros) when idle.
+func (s *Span) Enabled() bool { return s.tr != nil }
+
+// End closes the span and records it. No-op on an inert span; safe to
+// call at most once.
+func (s *Span) End() {
+	t := s.tr
+	if t == nil {
+		return
+	}
+	s.tr = nil
+	s.Dur = time.Since(t.epoch) - s.Start
+	if s.pm != nil {
+		i, l, st := s.pm.Totals()
+		s.Instr = i - s.instr0
+		s.Loads = l - s.loads0
+		s.Stores = st - s.stores0
+	}
+	t.record(&s.Event)
+}
+
+func (t *Trace) record(ev *Event) {
+	idx := int(t.cursor.Add(1) % uint32(len(t.shards)))
+	sh := &t.shards[idx]
+	ev.Shard = idx
+	sh.mu.Lock()
+	st := sh.agg[key{ev.Cat, ev.Op}]
+	if st == nil {
+		st = &OpStat{Cat: ev.Cat, Op: ev.Op}
+		sh.agg[key{ev.Cat, ev.Op}] = st
+	}
+	st.Count++
+	st.Total += ev.Dur
+	if ev.Dur > st.Max {
+		st.Max = ev.Dur
+	}
+	st.NNZIn += ev.NNZIn
+	st.NNZOut += ev.NNZOut
+	st.Bytes += ev.Bytes
+	st.Items += ev.Items
+	st.Steals += ev.Steals
+	st.Instr += ev.Instr
+	st.Loads += ev.Loads
+	st.Stores += ev.Stores
+	if ev.Cat == CatRound && ev.Round >= 1 {
+		sh.rounds++
+	}
+	if len(sh.ring) < cap(sh.ring) {
+		sh.ring = append(sh.ring, *ev)
+	} else {
+		sh.ring[sh.next] = *ev
+		sh.dropped++
+	}
+	sh.next++
+	if sh.next == cap(sh.ring) {
+		sh.next = 0
+	}
+	sh.recorded++
+	sh.mu.Unlock()
+}
+
+// Events returns a snapshot of the retained events across all shards,
+// ordered by start time. Events evicted by ring wrap-around are absent
+// (but still counted in the Summary aggregates).
+func (t *Trace) Events() []Event {
+	var out []Event
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.ring...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphstudy/internal/perfmodel"
+)
+
+func TestDisabledSpanIsInert(t *testing.T) {
+	Install(nil)
+	sp := Begin(CatKernel, "noop")
+	if sp.Enabled() {
+		t.Fatal("span enabled with no trace installed")
+	}
+	sp.NNZIn = 42
+	sp.End()
+	sp.End() // double End must be safe
+}
+
+func TestRecordAndSummary(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin(CatKernel, "grb.VxM")
+		sp.NNZIn = 10
+		sp.NNZOut = 5
+		sp.Bytes = 100
+		sp.End()
+	}
+	for r := 1; r <= 4; r++ {
+		sp := tr.Begin(CatRound, "bfs.round")
+		sp.Round = r
+		sp.End()
+	}
+	init := tr.Begin(CatRound, "bfs.init")
+	init.Round = 0
+	init.End()
+
+	s := tr.Summary()
+	if s.Rounds != 4 {
+		t.Fatalf("Rounds = %d, want 4 (round-0 init must not count)", s.Rounds)
+	}
+	if s.Events != 8 || s.Dropped != 0 {
+		t.Fatalf("Events/Dropped = %d/%d, want 8/0", s.Events, s.Dropped)
+	}
+	st := s.Find(CatKernel, "grb.VxM")
+	if st == nil {
+		t.Fatal("no aggregate for grb.VxM")
+	}
+	if st.Count != 3 || st.NNZIn != 30 || st.NNZOut != 15 || st.Bytes != 300 {
+		t.Fatalf("VxM aggregate = %+v", st)
+	}
+	if s.Bytes != 300 {
+		t.Fatalf("Summary.Bytes = %d, want 300", s.Bytes)
+	}
+	if st.Max > st.Total {
+		t.Fatalf("Max %v > Total %v", st.Max, st.Total)
+	}
+	if s.Find(CatRegion, "grb.VxM") != nil {
+		t.Fatal("Find must match category, not just op")
+	}
+}
+
+func TestSpanDurationMonotonic(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(CatKernel, "sleep")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	st := tr.Summary().Find(CatKernel, "sleep")
+	if st == nil || st.Total < 2*time.Millisecond {
+		t.Fatalf("span did not capture sleep: %+v", st)
+	}
+}
+
+func TestRingWrapKeepsAggregates(t *testing.T) {
+	tr := NewWithCapacity(4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		sp := tr.Begin(CatKernel, "k")
+		sp.Bytes = 1
+		sp.End()
+	}
+	s := tr.Summary()
+	if s.Events != n {
+		t.Fatalf("Events = %d, want %d", s.Events, n)
+	}
+	if s.Dropped == 0 {
+		t.Fatal("expected drops with capacity 4")
+	}
+	st := s.Find(CatKernel, "k")
+	if st == nil || st.Count != n || st.Bytes != n {
+		t.Fatalf("aggregate lost events on wrap: %+v", st)
+	}
+	retained := len(tr.Events())
+	if int64(retained) != s.Events-s.Dropped {
+		t.Fatalf("retained %d events, want %d", retained, s.Events-s.Dropped)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewWithCapacity(64)
+	Install(tr)
+	defer Install(nil)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := Begin(CatRegion, "parallel")
+				sp.Items = 1
+				sp.End()
+				if i%16 == 0 {
+					_ = tr.Summary() // summaries race with recording
+					_ = tr.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := tr.Summary()
+	if s.Events != workers*per {
+		t.Fatalf("Events = %d, want %d", s.Events, workers*per)
+	}
+	st := s.Find(CatRegion, "parallel")
+	if st == nil || st.Count != workers*per || st.Items != workers*per {
+		t.Fatalf("aggregate = %+v", st)
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(CatRound, "pr.round")
+	sp.Round = 1
+	sp.NNZIn = 7
+	sp.Bytes = 88
+	sp.End()
+	k := tr.Begin(CatKernel, "grb.MxM")
+	k.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Fatalf("bad event %+v", ev)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Fatalf("negative time in %+v", ev)
+		}
+		if ev.Name == "pr.round" {
+			if ev.Cat != "round" {
+				t.Fatalf("cat = %q", ev.Cat)
+			}
+			if ev.Args["round"] != float64(1) || ev.Args["nnz_in"] != float64(7) || ev.Args["bytes"] != float64(88) {
+				t.Fatalf("args = %v", ev.Args)
+			}
+		}
+	}
+	if !seen["pr.round"] || !seen["grb.MxM"] {
+		t.Fatalf("missing events: %v", seen)
+	}
+}
+
+func TestPerfmodelDeltasInSpans(t *testing.T) {
+	tr := New()
+	c := perfmodel.NewCollector(nil)
+	perfmodel.Install(c)
+	defer perfmodel.Install(nil)
+
+	c.Instr(5) // before the span: must not be attributed to it
+	sp := tr.Begin(CatKernel, "counted")
+	c.Instr(10)
+	c.Load(0, perfmodel.KVals, 0, 4)
+	c.Store(0, perfmodel.KVals, 1, 4)
+	c.Store(0, perfmodel.KVals, 2, 4)
+	sp.End()
+	c.Instr(100) // after the span: ditto
+
+	st := tr.Summary().Find(CatKernel, "counted")
+	if st == nil {
+		t.Fatal("missing aggregate")
+	}
+	if st.Instr != 10 || st.Loads != 1 || st.Stores != 2 {
+		t.Fatalf("counter deltas = instr %d loads %d stores %d", st.Instr, st.Loads, st.Stores)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New()
+	sp := tr.Begin(CatKernel, "grb.Apply")
+	sp.NNZOut = 12
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.Summary().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"grb.Apply", "kernel", "rounds=0", "events=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race check fmt fuzz-smoke clean
+.PHONY: build test race test-parallel check fmt fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,23 @@ test:
 
 # Race-check the packages that own concurrency: the serving subsystem
 # (queue/dedup/cache/worker pool), the run orchestrator, the dataset store
-# (refcounted registry + LRU eviction), the per-P span recorder, and the
-# differential harness that drives traced runs from multiple goroutines.
+# (refcounted registry + LRU eviction), the per-P span recorder, the
+# differential harness that drives traced runs from multiple goroutines,
+# and the parallel kernel stack (blocked executors, GraphBLAS kernels, and
+# the LAGraph-style apps that run on them).
 RACE_PKGS = ./internal/service/... ./internal/core/... ./internal/store/... \
-	./internal/trace/... ./internal/verify/...
+	./internal/trace/... ./internal/verify/... ./internal/galois/... \
+	./internal/grb/... ./internal/lagraph/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Focused gate for the parallel kernel backend: the equivalence, metamorphic,
+# alias, and digest-stability suites under the race detector at a fixed
+# worker count, plus a does-it-run pass over the SpMV scaling benchmark.
+test-parallel:
+	$(GO) test ./internal/grb ./internal/verify -race -grb.workers=4
+	$(GO) test ./internal/grb -run '^$$' -bench SpMV -benchtime 1x
 
 # Short fuzzing pass over every untrusted-input decoder. Go allows one fuzz
 # target per invocation, so each runs separately; 30s apiece keeps this

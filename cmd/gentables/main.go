@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	gentables -exp table1,table2,table3,table4,table5,figure2,figure3 \
+//	gentables -exp table1,table2,table3,table4,table5,figure2,figure3,threads \
 //	          -scale bench -threads 4 -timeout 60s -reps 1 [-csv dir] [-full]
 //
 // Every experiment prints an aligned text table to stdout; -csv also writes
@@ -141,6 +141,14 @@ func main() {
 		threadsList := bench.Figure2Threads(maxT)
 		points := bench.Figure2(cfg, graphs, threadsList, note)
 		emit("figure2", bench.Figure2Table(points, threadsList))
+	}
+	if wanted["threads"] {
+		threadsList := bench.Figure2Threads(8)
+		points, err := bench.ThreadsScaling(cfg, "", threadsList, note)
+		if err != nil {
+			fatal(err)
+		}
+		emit("threads", bench.ThreadsTable("", points))
 	}
 	if wanted["figure3"] {
 		for _, vs := range bench.Figure3Specs() {

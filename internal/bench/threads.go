@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/galois"
+	"graphstudy/internal/gen"
+)
+
+// ThreadsScaling is the acceptance experiment for the parallel GraphBLAS
+// backend: one workload (pagerank on galoisblas, the system whose kernels
+// run on the blocked executor layer), one graph, a thread sweep. It reports
+// wall-clock, the work/span model, and the modeled speedup over threads=1.
+// The modeled series is the portable signal — on hosts with fewer physical
+// cores than the sweep, wall-clock flattens at the core count while the
+// model keeps tracking how well the blocked kernels split their work.
+type ThreadsPoint struct {
+	Threads     int
+	Result      core.Result
+	ModeledTime int64
+	Regions     int64
+}
+
+// ThreadsScalingApp/Graph are the default acceptance workload: pagerank is
+// the most kernel-diverse iterative app (SpMV, reduce, assign, ewise per
+// iteration) and uk07 the largest default generated graph.
+const (
+	ThreadsScalingGraph = "uk07"
+)
+
+// ThreadsScaling sweeps pagerank/galoisblas over the given thread counts on
+// one graph. An empty graph name selects ThreadsScalingGraph.
+func ThreadsScaling(cfg Config, graphName string, threads []int, progress func(string)) ([]ThreadsPoint, error) {
+	if graphName == "" {
+		graphName = ThreadsScalingGraph
+	}
+	in, err := gen.ByName(graphName)
+	if err != nil {
+		return nil, err
+	}
+	release, err := cfg.lease(graphName, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var points []ThreadsPoint
+	for _, t := range threads {
+		if progress != nil {
+			progress(fmt.Sprintf("threads pr/galoisblas/%s t=%d", graphName, t))
+		}
+		spec := core.RunSpec{App: core.PR, System: core.GB, Input: in,
+			Scale: cfg.Scale, Threads: t, Timeout: cfg.Timeout}
+		var res core.Result
+		stats := galois.CollectStats(func() { res = core.Run(spec) })
+		points = append(points, ThreadsPoint{
+			Threads:     t,
+			Result:      res,
+			ModeledTime: stats.ModeledTime(barrierCost),
+			Regions:     stats.Regions,
+		})
+	}
+	return points, nil
+}
+
+// ModeledSpeedup returns the modeled speedup of the point with the given
+// thread count over the threads=1 point, or 0 when either is missing.
+func ModeledSpeedup(points []ThreadsPoint, threads int) float64 {
+	var base, at int64
+	for _, p := range points {
+		if p.Result.Outcome != core.OK {
+			continue
+		}
+		if p.Threads == 1 {
+			base = p.ModeledTime
+		}
+		if p.Threads == threads {
+			at = p.ModeledTime
+		}
+	}
+	if base == 0 || at == 0 {
+		return 0
+	}
+	return float64(base) / float64(at)
+}
+
+// ThreadsTable renders the sweep: one row per thread count with wall-clock,
+// modeled Mwork, and modeled speedup over threads=1.
+func ThreadsTable(graphName string, points []ThreadsPoint) *Table {
+	if graphName == "" {
+		graphName = ThreadsScalingGraph
+	}
+	tab := NewTable(fmt.Sprintf("Threads scaling: pagerank on galoisblas, graph %s", graphName),
+		"threads", "wall", "model Mwork", "model speedup", "regions")
+	for _, p := range points {
+		if p.Result.Outcome != core.OK {
+			tab.AddRow(fmt.Sprint(p.Threads), p.Result.Outcome.String(), "-", "-", "-")
+			continue
+		}
+		tab.AddRow(
+			fmt.Sprint(p.Threads),
+			core.Elapsed(p.Result.Elapsed),
+			fmt.Sprintf("%.1f", float64(p.ModeledTime)/1e6),
+			fmt.Sprintf("%.2fx", ModeledSpeedup(points, p.Threads)),
+			fmt.Sprint(p.Regions),
+		)
+	}
+	tab.AddNote("modeled time = per-region span + %d work-units per barrier; wall-clock saturates at the host's physical cores while the modeled series keeps measuring kernel work-splitting", barrierCost)
+	return tab
+}

@@ -1,0 +1,177 @@
+package galois
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// blockedExecutors returns one executor per scheduling policy and worker
+// count the deterministic-blocking guarantees must hold for.
+func blockedExecutors() map[string]Executor {
+	out := map[string]Executor{"serial": NewSerial()}
+	for _, t := range []int{1, 2, 4, 7} {
+		out["static-"+itoa(t)] = NewStatic(t)
+		out["steal-"+itoa(t)] = NewWorkStealing(t)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestDetBlockDependsOnLengthOnly(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 10000, 1 << 20} {
+		b := DetBlock(n)
+		if b < 1 {
+			t.Fatalf("DetBlock(%d) = %d", n, b)
+		}
+		// Same n must give the same block size no matter the configured
+		// thread count — that is the whole point.
+		old := Threads()
+		SetThreads(7)
+		if DetBlock(n) != b {
+			t.Fatalf("DetBlock(%d) changed with thread count", n)
+		}
+		SetThreads(old)
+	}
+}
+
+func TestForBlocksTilesRange(t *testing.T) {
+	for name, ex := range blockedExecutors() {
+		for _, n := range []int{0, 1, 100, 512, 1000, 4096, 10001} {
+			for _, block := range []int{0, 1, 7, 512} {
+				visited := make([]int32, n)
+				ForBlocks(ex, n, block, func(b, lo, hi int, ctx *Ctx) {
+					wantLo, wantHi := BlockBounds(b, n, block)
+					if lo != wantLo || hi != wantHi {
+						t.Fatalf("%s n=%d block=%d: body got [%d,%d), BlockBounds says [%d,%d)",
+							name, n, block, lo, hi, wantLo, wantHi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visited[i], 1)
+					}
+				})
+				for i, v := range visited {
+					if v != 1 {
+						t.Fatalf("%s n=%d block=%d: index %d visited %d times", name, n, block, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOrderedReduceBitIdentical: a float64 sum folded by OrderedReduce must
+// produce the same bit pattern on every executor and on repeated
+// work-stealing runs, because the blocking and the fold order are fixed by
+// the range length alone.
+func TestOrderedReduceBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		// Wildly mixed magnitudes make float addition maximally
+		// order-sensitive.
+		vals[i] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(20)-10))
+	}
+	sum := func(ex Executor) uint64 {
+		s, ok := OrderedReduce(ex, n, 0, func(b, lo, hi int, ctx *Ctx) float64 {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += vals[i]
+			}
+			return acc
+		}, func(a, b float64) float64 { return a + b })
+		if !ok {
+			t.Fatal("OrderedReduce reported empty range")
+		}
+		return math.Float64bits(s)
+	}
+	want := sum(NewSerial())
+	for name, ex := range blockedExecutors() {
+		if got := sum(ex); got != want {
+			t.Fatalf("%s: sum bits %x, serial %x", name, got, want)
+		}
+	}
+	steal := NewWorkStealing(7)
+	for rep := 0; rep < 25; rep++ {
+		if got := sum(steal); got != want {
+			t.Fatalf("steal rep %d: sum bits %x, serial %x", rep, got, want)
+		}
+	}
+}
+
+// TestOrderedReduceFixedMergeOrder is the regression test for why the fold
+// order must be fixed: with values chosen for catastrophic cancellation, a
+// merge that folds partials in any other order — which is exactly what a
+// naive atomic-add merge does, since workers finish in scheduler order —
+// produces a different float64. OrderedReduce is associativity-safe for
+// float64 by construction (fixed blocking, fixed left-to-right fold), not
+// because float addition became associative.
+func TestOrderedReduceFixedMergeOrder(t *testing.T) {
+	vals := []float64{1e16, 1.0, -1e16}
+	// Ordered: (1e16 + 1.0) + -1e16 == 1e16 + -1e16 == 0 (the 1.0 is
+	// absorbed by rounding in the first fold).
+	got, ok := OrderedReduce(NewWorkStealing(3), len(vals), 1,
+		func(b, lo, hi int, ctx *Ctx) float64 { return vals[lo] },
+		func(a, b float64) float64 { return a + b })
+	if !ok || got != 0 {
+		t.Fatalf("ordered fold = %v, want 0", got)
+	}
+	// The naive merge: fold the same per-block partials in the order an
+	// unlucky schedule would deliver them (block 0, block 2, block 1).
+	// (1e16 + -1e16) + 1.0 == 1.0 != 0: bitwise different, so a reduction
+	// whose merge order follows worker completion cannot be deterministic.
+	naive := (vals[0] + vals[2]) + vals[1]
+	if naive == got {
+		t.Fatalf("naive out-of-order fold agreed (%v); the regression values no longer demonstrate non-associativity", naive)
+	}
+	if naive != 1.0 {
+		t.Fatalf("naive fold = %v, want 1.0", naive)
+	}
+}
+
+func TestOrderedReduceEmpty(t *testing.T) {
+	_, ok := OrderedReduce(NewSerial(), 0, 0,
+		func(b, lo, hi int, ctx *Ctx) int { return 1 },
+		func(a, b int) int { return a + b })
+	if ok {
+		t.Fatal("OrderedReduce over empty range reported ok")
+	}
+}
+
+// TestForBlocksBoundariesIndependentOfWorkers: the block index → iteration
+// range mapping observed by bodies must be identical across executors (the
+// property the grb metamorphic tests build on).
+func TestForBlocksBoundariesIndependentOfWorkers(t *testing.T) {
+	n := 7777
+	record := func(ex Executor) map[int][2]int {
+		out := make([]([2]int), NumBlocks(n, 0))
+		ForBlocks(ex, n, 0, func(b, lo, hi int, ctx *Ctx) {
+			out[b] = [2]int{lo, hi}
+		})
+		m := map[int][2]int{}
+		for b, r := range out {
+			m[b] = r
+		}
+		return m
+	}
+	want := record(NewSerial())
+	for name, ex := range blockedExecutors() {
+		got := record(ex)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d blocks, want %d", name, len(got), len(want))
+		}
+		for b, r := range want {
+			if got[b] != r {
+				t.Fatalf("%s: block %d = %v, want %v", name, b, got[b], r)
+			}
+		}
+	}
+}

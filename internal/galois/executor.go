@@ -84,6 +84,7 @@ func (e *Static) ForRange(n int, grain int, body RangeBody) {
 	if t > n {
 		t = n
 	}
+	sp.Workers = int64(t)
 	for i := range e.slots {
 		e.slots[i].v = 0
 	}
@@ -138,6 +139,7 @@ func (e *WorkStealing) ForRange(n int, grain int, body RangeBody) {
 	if (n+grain-1)/grain < t {
 		t = (n + grain - 1) / grain
 	}
+	sp.Workers = int64(t)
 	for i := range e.slots {
 		e.slots[i].v = 0
 	}
@@ -192,6 +194,7 @@ func (e *Serial) ForRange(n int, grain int, body RangeBody) {
 	}
 	sp := trace.Begin(trace.CatRegion, "galois.ForRange.serial")
 	sp.Items = int64(n)
+	sp.Workers = 1
 	defer sp.End()
 	e.slot[0].v = 0
 	ctx := &Ctx{TID: 0, work: &e.slot[0].v}

@@ -1,0 +1,174 @@
+package grb
+
+import (
+	"testing"
+)
+
+// Aliased operands are the one way user code can smuggle a data race into
+// the blocked kernels: w == u means a block writing its output slice could
+// overlap another block still reading the "input". The kernels defend by
+// snapshotting (unalias / aliasAny + Dup) before any parallel region starts.
+// Each test computes the expected result with explicitly distinct operands,
+// then runs the aliased call on every parallel context and demands the same
+// bits. lagraph's pagerank residual step (Apply with w == u) is the
+// production instance of this pattern.
+
+func aliasTestVector(n int) *Vector[float64] {
+	u := NewVector[float64](n, Sorted)
+	for i := 0; i < n; i += 3 {
+		u.SetElement(i, float64(i)*1.25+0.5)
+	}
+	return u
+}
+
+func TestAliasApplyInPlace(t *testing.T) {
+	n := 500
+	f := func(a float64) float64 { return a*0.85 + 0.15 }
+	for name, ctx := range parallelContexts() {
+		u := aliasTestVector(n)
+		want := NewVector[float64](n, Sorted)
+		if err := Apply(NewSerialContext(), want, nil, nil, f, u.Dup(), Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Apply(ctx, u, nil, nil, f, u, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "apply-inplace/"+name, want, u)
+	}
+}
+
+func TestAliasMxVInPlace(t *testing.T) {
+	n := 400
+	A := pathMatrix5ByScaling(n)
+	s := PlusTimes[float64]()
+	for name, ctx := range parallelContexts() {
+		u := aliasTestVector(n)
+		want := NewVector[float64](n, Sorted)
+		if err := MxV(NewSerialContext(), want, nil, nil, s, A, u.Dup(), Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		for _, hint := range []KernelHint{HintPush, HintPull} {
+			w := u.Dup()
+			if err := MxV(ctx, w, nil, nil, s, A, w, Desc{Replace: true, Force: hint}); err != nil {
+				t.Fatal(err)
+			}
+			mustEqualVectors(t, "mxv-inplace/"+name, want, w)
+		}
+	}
+}
+
+// pathMatrix5ByScaling builds an n-vertex weighted ring so MxV has work in
+// every row.
+func pathMatrix5ByScaling(n int) *Matrix[float64] {
+	rows := make([]int, n)
+	cols := make([]int, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = i
+		cols[i] = (i + 1) % n
+		vals[i] = float64(i%7) + 0.5
+	}
+	m, err := BuildMatrix(n, n, rows, cols, vals, nil)
+	if err != nil {
+		panic(err)
+	}
+	m.EnsureCSC()
+	return m
+}
+
+func TestAliasEWiseMultInPlace(t *testing.T) {
+	n := 450
+	mul := func(a, b float64) float64 { return a * b }
+	for name, ctx := range parallelContexts() {
+		u := aliasTestVector(n)
+		want := NewVector[float64](n, Sorted)
+		if err := EWiseMult(NewSerialContext(), want, nil, nil, mul, u.Dup(), u.Dup(), Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		// w aliases both inputs: the harshest form.
+		w := u.Dup()
+		if err := EWiseMult(ctx, w, nil, nil, mul, w, w, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "ewisemult-inplace/"+name, want, w)
+	}
+}
+
+func TestAliasSelectInPlace(t *testing.T) {
+	n := 380
+	pred := func(v float64, i, j int) bool { return int(v)%2 == 0 }
+	for name, ctx := range parallelContexts() {
+		u := aliasTestVector(n)
+		want := NewVector[float64](n, Sorted)
+		if err := SelectVector(NewSerialContext(), want, nil, pred, u.Dup(), Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := SelectVector(ctx, u, nil, pred, u, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "select-inplace/"+name, want, u)
+	}
+}
+
+func TestAliasGather(t *testing.T) {
+	n := 300
+	for name, ctx := range parallelContexts() {
+		// w aliases the data vector.
+		u := aliasTestVector(n)
+		idx := NewVector[uint32](n, Sorted)
+		for i := 0; i < n; i++ {
+			idx.SetElement(i, uint32((i*7)%n))
+		}
+		want := NewVector[float64](n, Sorted)
+		if err := Gather(NewSerialContext(), want, u.Dup(), idx, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Gather(ctx, u, u, idx, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "gather-w-aliases-u/"+name, want, u)
+
+		// w aliases the index vector (same element type required).
+		data := NewVector[uint32](n, Sorted)
+		for i := 0; i < n; i++ {
+			data.SetElement(i, uint32(i*3))
+		}
+		idx2 := NewVector[uint32](n, Sorted)
+		for i := 0; i < n; i++ {
+			idx2.SetElement(i, uint32((i*11)%n))
+		}
+		want2 := NewVector[uint32](n, Sorted)
+		if err := Gather(NewSerialContext(), want2, data, idx2.Dup(), Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Gather(ctx, idx2, data, idx2, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "gather-w-aliases-indices/"+name, want2, idx2)
+	}
+}
+
+func TestAliasScatterAccum(t *testing.T) {
+	n := 300
+	plus := func(a, b uint32) uint32 { return a + b }
+	for name, ctx := range parallelContexts() {
+		w := NewVector[uint32](n, Dense)
+		for i := 0; i < n; i++ {
+			w.SetElement(i, uint32(i))
+		}
+		idx := NewVector[uint32](n, Sorted)
+		for i := 0; i < n; i++ {
+			idx.SetElement(i, uint32((i*13)%n))
+		}
+		wantW := w.Dup()
+		if err := ScatterAccum(NewSerialContext(), wantW, plus, idx.Dup(), w.Dup(), Desc{}); err != nil {
+			t.Fatal(err)
+		}
+		// u aliases w: every scatter reads the vector it is mutating.
+		gotW := w.Dup()
+		if err := ScatterAccum(ctx, gotW, plus, idx, gotW, Desc{}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "scatteraccum-u-aliases-w/"+name, wantW, gotW)
+	}
+}

@@ -1,0 +1,41 @@
+package grb
+
+import (
+	"fmt"
+	"testing"
+
+	"graphstudy/internal/gen"
+)
+
+// BenchmarkSpMV is the threads-scaling smoke for the parallel backend: push
+// and pull SpMV across worker counts on the skewed RMAT matrix. CI runs it
+// with -benchtime=1x as a does-it-run check; locally, -benchtime=10x and
+// comparing workers=1 vs workers=4 shows the blocked kernels' speedup.
+func BenchmarkSpMV(b *testing.B) {
+	g := gen.RMAT(13, 16, 0.57, 0.19, 0.19, true, 255, 3)
+	A := MatrixFromGraph(g, func(w uint32) float64 { return float64(w) + 0.5 })
+	A.EnsureCSC()
+	n := A.NRows()
+	u := NewVector[float64](n, Dense)
+	for i := 0; i < n; i += 2 {
+		u.SetElement(i, float64(i%97)+0.5)
+	}
+	s := PlusTimes[float64]()
+	for _, workers := range []int{1, 2, 4} {
+		for _, hint := range []KernelHint{HintPush, HintPull} {
+			name := fmt.Sprintf("workers=%d/push", workers)
+			if hint == HintPull {
+				name = fmt.Sprintf("workers=%d/pull", workers)
+			}
+			b.Run(name, func(b *testing.B) {
+				ctx := NewGaloisBLASContext(workers)
+				for i := 0; i < b.N; i++ {
+					w := NewVector[float64](n, Sorted)
+					if err := MxV(ctx, w, nil, nil, s, A, u, Desc{Replace: true, Force: hint}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

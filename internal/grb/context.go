@@ -49,6 +49,11 @@ type Context struct {
 	// abandon work: the bench harness's stand-in for the study's 2-hour
 	// timeout. Kernels do not check it; algorithms poll between rounds.
 	Stop *atomic.Bool
+	// Block overrides the deterministic block size of the parallel kernels;
+	// <= 0 selects galois.DetBlock per range. Results legitimately depend on
+	// the blocking (float folds regroup), so production code leaves it 0 and
+	// only the metamorphic tests sweep it.
+	Block int
 }
 
 // Stopped reports whether a timeout/cancel was requested.

@@ -107,7 +107,7 @@ func TestReplaceSemanticsAcrossReps(t *testing.T) {
 
 func TestReduceRows(t *testing.T) {
 	m := build4(t)
-	deg := ReduceRows(PlusMonoid[int64](), m)
+	deg := ReduceRows(NewSerialContext(), PlusMonoid[int64](), m)
 	wantVals := map[int]int64{0: 3, 1: 3, 2: 9}
 	deg.ForEach(func(i int, v int64) {
 		if wantVals[i] != v {

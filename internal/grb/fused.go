@@ -36,10 +36,10 @@ func FusedBFSStep(ctx *Context, dist *Vector[int32], frontier *Vector[bool], A *
 	fIdx, _ := frontier.Entries()
 	c := perfmodel.Get()
 
-	t := ctx.threads()
-	parts := make([][]int32, t)
-	ctx.Ex.ForRange(len(fIdx), 0, func(lo, hi int, gctx *galois.Ctx) {
-		local := parts[gctx.TID]
+	block := ctx.blockFor(len(fIdx))
+	parts := make([][]int32, galois.NumBlocks(len(fIdx), block))
+	galois.ForBlocks(ctx.Ex, len(fIdx), block, func(b, lo, hi int, gctx *galois.Ctx) {
+		var local []int32
 		var work int64
 		for k := lo; k < hi; k++ {
 			i := fIdx[k]
@@ -64,7 +64,7 @@ func FusedBFSStep(ctx *Context, dist *Vector[int32], frontier *Vector[bool], A *
 				}
 			}
 		}
-		parts[gctx.TID] = local
+		parts[b] = local
 		gctx.Work(work)
 	})
 	next := NewVector[bool](frontier.n, List)
@@ -74,5 +74,10 @@ func FusedBFSStep(ctx *Context, dist *Vector[int32], frontier *Vector[bool], A *
 			next.vals = append(next.vals, true)
 		}
 	}
+	// Which expansion wins a discovery CAS is schedule-dependent, so the raw
+	// concatenation order is too (the discovered *set* is not). Sorting
+	// canonicalizes the frontier, keeping fused BFS bit-identical across
+	// worker counts like the pure-API kernels.
+	sortEntries(next.idx, next.vals)
 	return next, nil
 }

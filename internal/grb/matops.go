@@ -88,7 +88,7 @@ func ewiseMatrix[T any](ctx *Context, op BinaryOp[T], a, b *Matrix[T], union boo
 		}
 		gctx.Work(work)
 	})
-	return assemble(a.nrows, a.ncols, rows)
+	return assemble(ctx, a.nrows, a.ncols, rows)
 }
 
 // ExtractSubvector returns w = u(indices): w has dimension len(indices) and
@@ -137,7 +137,7 @@ func ExtractSubmatrix[T any](ctx *Context, a *Matrix[T], rowIdx, colIdx []int) (
 		sortEntries(outCols, outVals)
 		rows[k] = rowResult[T]{cols: outCols, vals: outVals}
 	}
-	return assemble(len(rowIdx), len(colIdx), rows), nil
+	return assemble(ctx, len(rowIdx), len(colIdx), rows), nil
 }
 
 // Kronecker returns the Kronecker product a ⊗ b under the semiring's
@@ -177,5 +177,5 @@ func Kronecker[T any](ctx *Context, s Semiring[T], a, b *Matrix[T]) *Matrix[T] {
 		}
 		gctx.Work(work)
 	})
-	return assemble(nrows, ncols, rows)
+	return assemble(ctx, nrows, ncols, rows)
 }

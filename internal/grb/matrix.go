@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"graphstudy/internal/galois"
 	"graphstudy/internal/perfmodel"
 )
 
@@ -278,29 +279,50 @@ func (m *Matrix[T]) selectIndexed(pred IndexedPredicate[T]) *Matrix[T] {
 
 // ReduceRows folds each row's explicit values under the monoid, returning a
 // dense vector with one explicit entry per non-empty row (GrB_reduce to
-// vector). PageRank uses it to compute out-degrees.
-func ReduceRows[T any](m Monoid[T], a *Matrix[T]) *Vector[T] {
+// vector). PageRank uses it to compute out-degrees. Rows fold independently
+// (each inside one fixed block), so the parallel result is trivially
+// schedule-independent; the per-block entry lists commit serially because
+// the dense output's presence bitmap is not safe for concurrent writes.
+func ReduceRows[T any](ctx *Context, m Monoid[T], a *Matrix[T]) *Vector[T] {
 	out := NewVector[T](a.nrows, Dense)
-	for i := 0; i < a.nrows; i++ {
-		lo, hi := a.rowPtr[i], a.rowPtr[i+1]
-		if lo == hi {
-			continue
+	e := blockedEntries(ctx, a.nrows, func(lo, hi int, gctx *galois.Ctx, part *entryList[T]) {
+		var work int64
+		for i := lo; i < hi; i++ {
+			rlo, rhi := a.rowPtr[i], a.rowPtr[i+1]
+			if rlo == rhi {
+				continue
+			}
+			acc := m.Identity
+			for k := rlo; k < rhi; k++ {
+				acc = m.Op(acc, a.vals[k])
+			}
+			work += rhi - rlo
+			part.idx = append(part.idx, int32(i))
+			part.vals = append(part.vals, acc)
 		}
-		acc := m.Identity
-		for e := lo; e < hi; e++ {
-			acc = m.Op(acc, a.vals[e])
-		}
-		out.SetElement(i, acc)
+		gctx.Work(work)
+	})
+	for k, ix := range e.idx {
+		out.SetElement(int(ix), e.vals[k])
 	}
 	return out
 }
 
-// ReduceMatrix folds every explicit value under the monoid.
-func ReduceMatrix[T any](m Monoid[T], a *Matrix[T]) T {
+// ReduceMatrix folds every explicit value under the monoid, blockwise with
+// an ordered merge so float folds are bit-identical at any worker count.
+func ReduceMatrix[T any](ctx *Context, m Monoid[T], a *Matrix[T]) T {
 	traceMatrixPass(a, nil)
-	acc := m.Identity
-	for _, v := range a.vals {
-		acc = m.Op(acc, v)
+	vals := a.vals
+	acc, ok := galois.OrderedReduce(ctx.Ex, len(vals), ctx.blockFor(len(vals)),
+		func(b, lo, hi int, gctx *galois.Ctx) T {
+			part := m.Identity
+			for k := lo; k < hi; k++ {
+				part = m.Op(part, vals[k])
+			}
+			return part
+		}, m.Op)
+	if !ok {
+		return m.Identity
 	}
 	return acc
 }

@@ -126,10 +126,10 @@ func TestSelectMatrix(t *testing.T) {
 
 func TestReduceMatrix(t *testing.T) {
 	m := build4(t)
-	if got := ReduceMatrix(PlusMonoid[int64](), m); got != 15 {
+	if got := ReduceMatrix(NewSerialContext(), PlusMonoid[int64](), m); got != 15 {
 		t.Fatalf("reduce = %d, want 15", got)
 	}
-	if got := ReduceMatrix(MaxMonoid[int64](), m); got != 5 {
+	if got := ReduceMatrix(NewSerialContext(), MaxMonoid[int64](), m); got != 5 {
 		t.Fatalf("max reduce = %d", got)
 	}
 }

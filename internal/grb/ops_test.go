@@ -162,10 +162,10 @@ func TestSelectVectorAndReduce(t *testing.T) {
 	if w.NVals() != 3 {
 		t.Fatalf("select kept %d", w.NVals())
 	}
-	if got := ReduceVector(PlusMonoid[uint32](), w); got != 5+6+7 {
+	if got := ReduceVector(NewSerialContext(), PlusMonoid[uint32](), w); got != 5+6+7 {
 		t.Fatalf("reduce = %d", got)
 	}
-	if got := ReduceVector(MinMonoid[uint32](), w); got != 5 {
+	if got := ReduceVector(NewSerialContext(), MinMonoid[uint32](), w); got != 5 {
 		t.Fatalf("min reduce = %d", got)
 	}
 }

@@ -1,0 +1,124 @@
+package grb
+
+import (
+	"sort"
+
+	"graphstudy/internal/galois"
+)
+
+// This file is the deterministic parallel execution layer of the kernels:
+// shared machinery for running them on the Galois executors while keeping
+// results bit-identical across scheduling policies and worker counts.
+//
+// The rule every kernel follows: cut the iteration range into blocks whose
+// boundaries depend only on the range length (galois.DetBlock), produce one
+// partial result per *block* (never per worker), and combine partials in
+// ascending block order. Which worker computes a block then cannot influence
+// the result — only wall-clock time. The equivalence tests in equiv_test.go
+// and the metamorphic tests in metamorphic_test.go hold every kernel to this.
+
+// blockFor returns the block size deterministic blocked kernels use for a
+// range of n iterations: the Context override when set (the metamorphic
+// tests sweep it to prove blocking invariance), otherwise galois.DetBlock(n).
+func (c *Context) blockFor(n int) int {
+	if c.Block > 0 {
+		return c.Block
+	}
+	return galois.DetBlock(n)
+}
+
+// stitch concatenates per-block entry lists in ascending block order into one
+// list. Entry order in the output is therefore fixed by the blocking, not by
+// the schedule that produced the parts.
+func stitch[T any](parts []entryList[T]) entryList[T] {
+	total := 0
+	for i := range parts {
+		total += len(parts[i].idx)
+	}
+	var out entryList[T]
+	if total == 0 {
+		return out
+	}
+	out.idx = make([]int32, 0, total)
+	out.vals = make([]T, 0, total)
+	for i := range parts {
+		out.idx = append(out.idx, parts[i].idx...)
+		out.vals = append(out.vals, parts[i].vals...)
+	}
+	return out
+}
+
+// blockedEntries runs produce over the deterministic blocking of [0, n),
+// each block appending its output entries to a private list, and stitches
+// the lists in block order. Provided each block's output depends only on its
+// iteration range, the result is identical on every executor, worker count,
+// and schedule.
+func blockedEntries[T any](ctx *Context, n int, produce func(lo, hi int, gctx *galois.Ctx, out *entryList[T])) entryList[T] {
+	block := ctx.blockFor(n)
+	parts := make([]entryList[T], galois.NumBlocks(n, block))
+	galois.ForBlocks(ctx.Ex, n, block, func(b, lo, hi int, gctx *galois.Ctx) {
+		produce(lo, hi, gctx, &parts[b])
+	})
+	return stitch(parts)
+}
+
+// pushAcc is the dense scatter accumulator of the SAXPY kernels: one value
+// slot per output position with generation marks, so clearing between blocks
+// costs O(touched) rather than O(n). Workers reuse one accumulator across
+// the blocks they happen to process; take() snapshots a block's result so
+// reuse never leaks state between blocks.
+type pushAcc[T any] struct {
+	vals  []T
+	mark  []int32
+	gen   int32
+	touch []int32
+}
+
+func newPushAcc[T any](n int) *pushAcc[T] {
+	return &pushAcc[T]{vals: make([]T, n), mark: make([]int32, n), gen: 1}
+}
+
+// add folds p into position j under addOp.
+func (a *pushAcc[T]) add(j int32, p T, addOp BinaryOp[T]) {
+	if a.mark[j] != a.gen {
+		a.mark[j] = a.gen
+		a.vals[j] = p
+		a.touch = append(a.touch, j)
+	} else {
+		a.vals[j] = addOp(a.vals[j], p)
+	}
+}
+
+// take extracts the accumulated entries sorted by index and resets the
+// accumulator for reuse. Sorting makes the extracted list — and anything
+// folded from it in a fixed order — independent of scatter order.
+func (a *pushAcc[T]) take() entryList[T] {
+	var out entryList[T]
+	if len(a.touch) > 0 {
+		sort.Slice(a.touch, func(x, y int) bool { return a.touch[x] < a.touch[y] })
+		out.idx = append([]int32(nil), a.touch...)
+		out.vals = make([]T, len(out.idx))
+		for k, j := range out.idx {
+			out.vals[k] = a.vals[j]
+		}
+	}
+	a.touch = a.touch[:0]
+	a.gen++
+	return out
+}
+
+// unalias guards kernel inputs against output aliasing. GraphBLAS permits an
+// operation's output to appear among its inputs (LAGraph's pagerank calls
+// Apply with w == u), but the kernels assume exclusive output ownership:
+// mergeIntoVector mutates w, and the parallel paths read inputs from many
+// workers. An aliased input is therefore snapshotted before the kernel runs.
+func unalias[T any](w, u *Vector[T]) *Vector[T] {
+	if u == nil || w != u {
+		return u
+	}
+	return u.Dup()
+}
+
+// aliasAny reports whether two vectors of possibly different element types
+// are the same underlying object (interface equality compares the pointers).
+func aliasAny(a, b any) bool { return a == b }

@@ -62,6 +62,7 @@ func MxM[T any](ctx *Context, mask *Pattern, s Semiring[T], A, B *Matrix[T]) (*M
 	sp := trace.Begin(trace.CatKernel, op)
 	defer sp.End()
 	sp.NNZIn = A.NVals() + B.NVals()
+	sp.Workers = int64(ctx.threads())
 	var C *Matrix[T]
 	switch {
 	case diag:
@@ -88,20 +89,29 @@ type rowResult[T any] struct {
 	vals []T
 }
 
-// assemble concatenates per-row results into a CSR matrix.
-func assemble[T any](nrows, ncols int, rows []rowResult[T]) *Matrix[T] {
+// assemble builds a CSR matrix from per-row results in two passes: a serial
+// size pass (the prefix sum over row lengths that fixes every row's offset)
+// and a parallel fill pass. Rows copy into disjoint [rowPtr[i], rowPtr[i+1])
+// ranges, so the fill is race-free and its output independent of schedule.
+func assemble[T any](ctx *Context, nrows, ncols int, rows []rowResult[T]) *Matrix[T] {
 	rowPtr := make([]int64, nrows+1)
 	var nnz int64
 	for i := range rows {
 		nnz += int64(len(rows[i].cols))
 		rowPtr[i+1] = nnz
 	}
-	colIdx := make([]int32, 0, nnz)
-	vals := make([]T, 0, nnz)
-	for i := range rows {
-		colIdx = append(colIdx, rows[i].cols...)
-		vals = append(vals, rows[i].vals...)
-	}
+	colIdx := make([]int32, nnz)
+	vals := make([]T, nnz)
+	galois.ForBlocks(ctx.Ex, nrows, ctx.blockFor(nrows), func(b, lo, hi int, gctx *galois.Ctx) {
+		var work int64
+		for i := lo; i < hi; i++ {
+			off := rowPtr[i]
+			copy(colIdx[off:rowPtr[i+1]], rows[i].cols)
+			copy(vals[off:rowPtr[i+1]], rows[i].vals)
+			work += rowPtr[i+1] - off
+		}
+		gctx.Work(work)
+	})
 	out := NewMatrixFromCSR(nrows, ncols, rowPtr, colIdx, vals)
 	if c := perfmodel.Get(); c != nil {
 		// Assembling the result is a full write pass plus a read of the
@@ -268,7 +278,7 @@ func saxpyMxM[T any](ctx *Context, mask *Pattern, s Semiring[T], A, B *Matrix[T]
 		}
 		gctx.Work(work)
 	})
-	return assemble(A.nrows, B.ncols, rows)
+	return assemble(ctx, A.nrows, B.ncols, rows)
 }
 
 // dotMxM is SDOT SpGEMM: C(i,j) = A(i,:) · B(:,j) computed only for the
@@ -338,7 +348,7 @@ func dotMxM[T any](ctx *Context, mask *Pattern, s Semiring[T], A, B *Matrix[T]) 
 		}
 		gctx.Work(work)
 	})
-	return assemble(A.nrows, B.ncols, rows)
+	return assemble(ctx, A.nrows, B.ncols, rows)
 }
 
 // diagMxM scales row i of B by the diagonal entry A(i,i): the specialized
@@ -368,5 +378,5 @@ func diagMxM[T any](ctx *Context, s Semiring[T], A, B *Matrix[T]) *Matrix[T] {
 		}
 		gctx.Work(work)
 	})
-	return assemble(A.nrows, B.ncols, rows)
+	return assemble(ctx, A.nrows, B.ncols, rows)
 }

@@ -168,7 +168,7 @@ func TestMxMTriangleCountIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ReduceMatrix(PlusMonoid[int64](), C); got != 1 {
+	if got := ReduceMatrix(NewSerialContext(), PlusMonoid[int64](), C); got != 1 {
 		t.Fatalf("triangle count = %d, want 1", got)
 	}
 }

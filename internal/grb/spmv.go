@@ -27,6 +27,7 @@ func VxM[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 	if mask != nil && mask.n != w.n {
 		return errDim("VxM mask", mask.n, w.n)
 	}
+	u = unalias(w, u)
 	usePull := A.HasCSC() && (u.rep == Dense && u.NVals() > A.nrows/16 ||
 		mask != nil && !mask.Complement && mask.Count() < u.NVals())
 	switch desc.Force {
@@ -42,6 +43,7 @@ func VxM[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 	sp := trace.Begin(trace.CatKernel, op)
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals())
+	sp.Workers = int64(ctx.threads())
 	var e entryList[T]
 	if usePull {
 		e = spmvPull(ctx, mask, s, u, A, true)
@@ -69,6 +71,7 @@ func MxV[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 	if mask != nil && mask.n != w.n {
 		return errDim("MxV mask", mask.n, w.n)
 	}
+	u = unalias(w, u)
 	usePush := A.HasCSC() && u.rep != Dense && u.NVals() < A.nrows/16
 	switch desc.Force {
 	case HintPush:
@@ -83,6 +86,7 @@ func MxV[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 	sp := trace.Begin(trace.CatKernel, op)
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals())
+	sp.Workers = int64(ctx.threads())
 	var e entryList[T]
 	if usePush {
 		e = spmvPush(ctx, mask, s, u, A, false)
@@ -97,8 +101,14 @@ func MxV[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 
 // spmvPush is the SAXPY kernel. For VxM (alongRows=true) it expands row
 // A(i,:) for every u(i); for MxV (alongRows=false) it expands column A(:,j)
-// for every u(j) via CSC. Each worker accumulates into a private dense
-// buffer; buffers merge under the add monoid afterwards.
+// for every u(j) via CSC.
+//
+// Determinism: the frontier is cut into fixed blocks (a function of its
+// length alone); each block scatters into a worker-private dense accumulator
+// whose contents are extracted, sorted, per block; the block partials are
+// then folded in ascending block order. The add monoid is applied in an
+// order fixed by the blocking, never by the schedule, so float results are
+// bit-identical across executors and worker counts.
 func spmvPush[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *Matrix[T], alongRows bool) entryList[T] {
 	n := A.ncols
 	if !alongRows {
@@ -106,20 +116,19 @@ func spmvPush[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *M
 		A.EnsureCSC()
 	}
 	uIdx, uVals := u.Entries()
-	t := ctx.threads()
-	type acc struct {
-		vals  []T
-		mark  []int32
-		touch []int32
+	if len(uIdx) == 0 {
+		return entryList[T]{}
 	}
-	accs := make([]*acc, t)
 	c := perfmodel.Get()
-	ctx.Ex.ForRange(len(uIdx), 0, func(lo, hi int, gctx *galois.Ctx) {
+	// Workers lazily allocate one reusable dense accumulator each; partial
+	// results are indexed by block so the merge order below is fixed.
+	accs := make([]*pushAcc[T], ctx.threads())
+	block := ctx.blockFor(len(uIdx))
+	parts := make([]entryList[T], galois.NumBlocks(len(uIdx), block))
+	galois.ForBlocks(ctx.Ex, len(uIdx), block, func(b, lo, hi int, gctx *galois.Ctx) {
 		a := accs[gctx.TID]
 		if a == nil {
-			// mark uses 0 = empty so the fresh zeroed allocation needs no
-			// initialization pass.
-			a = &acc{vals: make([]T, n), mark: make([]int32, n)}
+			a = newPushAcc[T](n)
 			accs[gctx.TID] = a
 		}
 		var work int64
@@ -145,50 +154,27 @@ func spmvPush[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *M
 				if !mask.allows(int(j)) {
 					continue
 				}
-				p := s.Mul(x, vals[e2])
-				if a.mark[j] == 0 {
-					a.mark[j] = 1
-					a.vals[j] = p
-					a.touch = append(a.touch, j)
-				} else {
-					a.vals[j] = s.Add.Op(a.vals[j], p)
-				}
+				a.add(j, s.Mul(x, vals[e2]), s.Add.Op)
 				if c != nil {
 					c.Store(0, perfmodel.KAux, int(j), 8)
 				}
 			}
 		}
+		parts[b] = a.take()
 		gctx.Work(work)
 	})
-	// Merge worker accumulators (serial: the touched sets are small relative
-	// to the expansion work, and merging needs the add monoid anyway).
-	var out entryList[T]
-	var first *acc
-	for _, a := range accs {
-		if a == nil {
-			continue
-		}
-		if first == nil {
-			first = a
-			continue
-		}
-		for _, j := range a.touch {
-			if first.mark[j] == 0 {
-				first.mark[j] = 1
-				first.vals[j] = a.vals[j]
-				first.touch = append(first.touch, j)
-			} else {
-				first.vals[j] = s.Add.Op(first.vals[j], a.vals[j])
-			}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	// Ordered reduction: fold block partials in ascending block order into a
+	// fresh accumulator. Serial, but over the (small) touched sets only.
+	final := newPushAcc[T](n)
+	for _, part := range parts {
+		for k, j := range part.idx {
+			final.add(j, part.vals[k], s.Add.Op)
 		}
 	}
-	if first != nil {
-		for _, j := range first.touch {
-			out.idx = append(out.idx, j)
-			out.vals = append(out.vals, first.vals[j])
-		}
-	}
-	return out
+	return final.take()
 }
 
 // spmvPull is the SDOT kernel. For VxM (alongCols=true) it walks column
@@ -207,10 +193,10 @@ func spmvPull[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *M
 		ud.Convert(Dense)
 	}
 	c := perfmodel.Get()
-	t := ctx.threads()
-	parts := make([]entryList[T], t)
-	ctx.Ex.ForRange(n, 0, func(lo, hi int, gctx *galois.Ctx) {
-		part := &parts[gctx.TID]
+	// Each output position's dot product is self-contained, so per-block
+	// output lists stitched in block order are not just schedule-independent
+	// but blocking-independent too (the metamorphic tests exploit this).
+	return blockedEntries(ctx, n, func(lo, hi int, gctx *galois.Ctx, part *entryList[T]) {
 		var work int64
 		for j := lo; j < hi; j++ {
 			if !mask.allows(j) {
@@ -261,10 +247,4 @@ func spmvPull[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *M
 		}
 		gctx.Work(work)
 	})
-	var out entryList[T]
-	for i := range parts {
-		out.idx = append(out.idx, parts[i].idx...)
-		out.vals = append(out.vals, parts[i].vals...)
-	}
-	return out
 }

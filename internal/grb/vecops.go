@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"unsafe"
 
+	"graphstudy/internal/galois"
 	"graphstudy/internal/perfmodel"
 	"graphstudy/internal/trace"
 )
@@ -101,6 +102,7 @@ func AssignConstant[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryO
 	}
 	sp := trace.Begin(trace.CatKernel, "grb.AssignConstant")
 	defer sp.End()
+	sp.Workers = int64(ctx.threads())
 	c := perfmodel.Get()
 	if mask == nil && !desc.Replace && accum == nil {
 		if c != nil {
@@ -114,24 +116,27 @@ func AssignConstant[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryO
 		sp.Bytes = int64(w.n)*elemBytes[T]() + int64(w.n+7)/8
 		return nil
 	}
-	// General path computes the assigned positions as an entry list.
-	var e entryList[T]
-	if mask != nil && !mask.Complement {
-		mask.pattern.forEach(func(i int) {
-			e.idx = append(e.idx, int32(i))
-			e.vals = append(e.vals, value)
-		})
-		if c != nil {
-			c.LoadRange(0, perfmodel.KAux, 0, len(e.idx), 8)
+	// General path computes the assigned positions as an entry list, in
+	// parallel over fixed blocks of the index space.
+	e := blockedEntries(ctx, w.n, func(lo, hi int, gctx *galois.Ctx, out *entryList[T]) {
+		if mask != nil && !mask.Complement {
+			mask.pattern.forEachIn(lo, hi, func(i int) {
+				out.idx = append(out.idx, int32(i))
+				out.vals = append(out.vals, value)
+			})
+			return
 		}
-	} else {
-		for i := 0; i < w.n; i++ {
+		for i := lo; i < hi; i++ {
 			if mask.allows(i) {
-				e.idx = append(e.idx, int32(i))
-				e.vals = append(e.vals, value)
+				out.idx = append(out.idx, int32(i))
+				out.vals = append(out.vals, value)
 			}
 		}
-		if c != nil {
+	})
+	if c != nil {
+		if mask != nil && !mask.Complement {
+			c.LoadRange(0, perfmodel.KAux, 0, len(e.idx), 8)
+		} else {
 			c.LoadRange(0, perfmodel.KAux, 0, w.n, 8)
 		}
 	}
@@ -149,14 +154,18 @@ func Apply[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], op 
 	if mask != nil && mask.n != w.n {
 		return errDim("Apply mask", mask.n, w.n)
 	}
+	u = unalias(w, u)
 	sp := trace.Begin(trace.CatKernel, "grb.Apply")
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals())
-	var e entryList[T]
-	u.ForEach(func(i int, val T) {
-		if mask.allows(i) {
-			e.idx = append(e.idx, int32(i))
-			e.vals = append(e.vals, op(val))
+	sp.Workers = int64(ctx.threads())
+	uIdx, uVals := u.Entries()
+	e := blockedEntries(ctx, len(uIdx), func(lo, hi int, gctx *galois.Ctx, out *entryList[T]) {
+		for k := lo; k < hi; k++ {
+			if i := uIdx[k]; mask.allows(i) {
+				out.idx = append(out.idx, int32(i))
+				out.vals = append(out.vals, op(uVals[k]))
+			}
 		}
 	})
 	if c := perfmodel.Get(); c != nil {
@@ -178,28 +187,31 @@ func EWiseAdd[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], 
 	sp := trace.Begin(trace.CatKernel, "grb.EWiseAdd")
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals() + v.NVals())
-	// The densified copies below are attributed to grb.Convert spans.
+	sp.Workers = int64(ctx.threads())
+	// The densified copies below are attributed to grb.Convert spans; Dup
+	// also snapshots any operand that aliases w.
 	ud, vd := u.Dup(), v.Dup()
 	ud.Convert(Dense)
 	vd.Convert(Dense)
-	var e entryList[T]
-	for i := 0; i < w.n; i++ {
-		up, vp := ud.present.get(i), vd.present.get(i)
-		if !up && !vp || !mask.allows(i) {
-			continue
+	e := blockedEntries(ctx, w.n, func(lo, hi int, gctx *galois.Ctx, out *entryList[T]) {
+		for i := lo; i < hi; i++ {
+			up, vp := ud.present.get(i), vd.present.get(i)
+			if !up && !vp || !mask.allows(i) {
+				continue
+			}
+			var val T
+			switch {
+			case up && vp:
+				val = op(ud.dense[i], vd.dense[i])
+			case up:
+				val = ud.dense[i]
+			default:
+				val = vd.dense[i]
+			}
+			out.idx = append(out.idx, int32(i))
+			out.vals = append(out.vals, val)
 		}
-		var val T
-		switch {
-		case up && vp:
-			val = op(ud.dense[i], vd.dense[i])
-		case up:
-			val = ud.dense[i]
-		default:
-			val = vd.dense[i]
-		}
-		e.idx = append(e.idx, int32(i))
-		e.vals = append(e.vals, val)
-	}
+	})
 	if c := perfmodel.Get(); c != nil {
 		c.LoadRange(u.slot, perfmodel.KVecVals, 0, w.n, 8)
 		c.LoadRange(v.slot, perfmodel.KVecVals, 0, w.n, 8)
@@ -216,29 +228,35 @@ func EWiseMult[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T],
 	if u.n != w.n || v.n != w.n {
 		return errDim("EWiseMult", u.n, w.n)
 	}
+	u = unalias(w, u)
+	v = unalias(w, v)
 	sp := trace.Begin(trace.CatKernel, "grb.EWiseMult")
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals() + v.NVals())
+	sp.Workers = int64(ctx.threads())
 	// Iterate the sparser operand, probing the other.
 	a, b := u, v
 	if b.NVals() < a.NVals() {
 		a, b = b, a
 	}
 	swapped := a != u
-	var e entryList[T]
-	a.ForEach(func(i int, av T) {
-		bv, ok := b.ExtractElement(i)
-		if !ok || !mask.allows(i) {
-			return
+	aIdx, aVals := a.Entries()
+	e := blockedEntries(ctx, len(aIdx), func(lo, hi int, gctx *galois.Ctx, out *entryList[T]) {
+		for k := lo; k < hi; k++ {
+			i := aIdx[k]
+			bv, ok := b.ExtractElement(i)
+			if !ok || !mask.allows(i) {
+				continue
+			}
+			var val T
+			if swapped {
+				val = op(bv, aVals[k])
+			} else {
+				val = op(aVals[k], bv)
+			}
+			out.idx = append(out.idx, int32(i))
+			out.vals = append(out.vals, val)
 		}
-		var val T
-		if swapped {
-			val = op(bv, av)
-		} else {
-			val = op(av, bv)
-		}
-		e.idx = append(e.idx, int32(i))
-		e.vals = append(e.vals, val)
 	})
 	if c := perfmodel.Get(); c != nil {
 		c.LoadRange(a.slot, perfmodel.KVecVals, 0, a.NVals(), 8)
@@ -257,14 +275,19 @@ func SelectVector[T any](ctx *Context, w *Vector[T], mask *Mask, pred IndexedPre
 	if u.n != w.n {
 		return errDim("SelectVector", u.n, w.n)
 	}
+	u = unalias(w, u)
 	sp := trace.Begin(trace.CatKernel, "grb.Select")
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals())
-	var e entryList[T]
-	u.ForEach(func(i int, val T) {
-		if pred(val, i, 0) && mask.allows(i) {
-			e.idx = append(e.idx, int32(i))
-			e.vals = append(e.vals, val)
+	sp.Workers = int64(ctx.threads())
+	uIdx, uVals := u.Entries()
+	e := blockedEntries(ctx, len(uIdx), func(lo, hi int, gctx *galois.Ctx, out *entryList[T]) {
+		for k := lo; k < hi; k++ {
+			i := uIdx[k]
+			if pred(uVals[k], i, 0) && mask.allows(i) {
+				out.idx = append(out.idx, int32(i))
+				out.vals = append(out.vals, uVals[k])
+			}
 		}
 	})
 	if c := perfmodel.Get(); c != nil {
@@ -281,16 +304,47 @@ func SelectVector[T any](ctx *Context, w *Vector[T], mask *Mask, pred IndexedPre
 func accum0[T any]() BinaryOp[T] { return nil }
 
 // ReduceVector folds all explicit entries of u under the monoid
-// (GrB_reduce to scalar).
-func ReduceVector[T any](m Monoid[T], u *Vector[T]) T {
+// (GrB_reduce to scalar). Each fixed block of the index space folds to a
+// partial starting from the identity; partials merge in ascending block
+// order (galois.OrderedReduce), so the result is bit-identical on every
+// executor and worker count even for float monoids.
+func ReduceVector[T any](ctx *Context, m Monoid[T], u *Vector[T]) T {
 	sp := trace.Begin(trace.CatKernel, "grb.Reduce")
 	defer sp.End()
 	sp.NNZIn = int64(u.NVals())
-	acc := m.Identity
-	u.ForEach(func(_ int, val T) { acc = m.Op(acc, val) })
+	sp.Workers = int64(ctx.threads())
 	if c := perfmodel.Get(); c != nil {
 		c.LoadRange(u.slot, perfmodel.KVecVals, 0, u.NVals(), 8)
 		c.Instr(u.NVals())
+	}
+	var acc T
+	var ok bool
+	if u.rep == Dense {
+		acc, ok = galois.OrderedReduce(ctx.Ex, u.n, ctx.blockFor(u.n),
+			func(b, lo, hi int, gctx *galois.Ctx) T {
+				part := m.Identity
+				for i := lo; i < hi; i++ {
+					if u.present.get(i) {
+						part = m.Op(part, u.dense[i])
+					}
+				}
+				return part
+			}, m.Op)
+	} else {
+		// Sparse reps fold in storage order, which is a fixed property of
+		// the vector — the same for every executor.
+		vals := u.vals
+		acc, ok = galois.OrderedReduce(ctx.Ex, len(vals), ctx.blockFor(len(vals)),
+			func(b, lo, hi int, gctx *galois.Ctx) T {
+				part := m.Identity
+				for k := lo; k < hi; k++ {
+					part = m.Op(part, vals[k])
+				}
+				return part
+			}, m.Op)
+	}
+	if !ok {
+		return m.Identity
 	}
 	return acc
 }
@@ -302,14 +356,21 @@ func Gather[T any](ctx *Context, w *Vector[T], u *Vector[T], indices *Vector[uin
 	if indices.n != w.n {
 		return errDim("Gather", indices.n, w.n)
 	}
+	u = unalias(w, u)
+	if aliasAny(w, indices) {
+		indices = indices.Dup()
+	}
 	sp := trace.Begin(trace.CatKernel, "grb.Gather")
 	defer sp.End()
 	sp.NNZIn = int64(indices.NVals())
-	var e entryList[T]
-	indices.ForEach(func(k int, p uint32) {
-		if val, ok := u.ExtractElement(int(p)); ok {
-			e.idx = append(e.idx, int32(k))
-			e.vals = append(e.vals, val)
+	sp.Workers = int64(ctx.threads())
+	kIdx, kVals := indices.Entries()
+	e := blockedEntries(ctx, len(kIdx), func(lo, hi int, gctx *galois.Ctx, out *entryList[T]) {
+		for x := lo; x < hi; x++ {
+			if val, ok := u.ExtractElement(int(kVals[x])); ok {
+				out.idx = append(out.idx, int32(kIdx[x]))
+				out.vals = append(out.vals, val)
+			}
 		}
 	})
 	if c := perfmodel.Get(); c != nil {
@@ -333,6 +394,12 @@ func Gather[T any](ctx *Context, w *Vector[T], u *Vector[T], indices *Vector[uin
 func ScatterAccum[T any](ctx *Context, w *Vector[T], accum BinaryOp[T], indices *Vector[uint32], u *Vector[T], desc Desc) error {
 	if indices.n != u.n {
 		return errDim("ScatterAccum", indices.n, u.n)
+	}
+	// The scatter interleaves reads of u/indices with writes to w, so
+	// aliased inputs must be snapshotted or results become order-dependent.
+	u = unalias(w, u)
+	if aliasAny(w, indices) {
+		indices = indices.Dup()
 	}
 	sp := trace.Begin(trace.CatKernel, "grb.ScatterAccum")
 	defer sp.End()

@@ -26,7 +26,7 @@ func MIS(ctx *grb.Context, A *grb.Matrix[uint32], seed uint64) (*grb.Vector[bool
 	iset := grb.NewVector[bool](n, grb.Sorted)
 	// candidates: undecided vertices, valued by 1/(1+deg) to bias the draw
 	// like Luby's original (high-degree vertices join later).
-	deg := grb.ReduceRows(grb.PlusMonoid[float64](), Af)
+	deg := grb.ReduceRows(ctx, grb.PlusMonoid[float64](), Af)
 	cand := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, cand, nil, nil, 1, grb.Desc{}); err != nil {
 		return nil, 0, err

@@ -39,7 +39,7 @@ func PageRank(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*g
 	A.EnsureCSC() // the dense-vector vxm pulls through columns
 
 	// outdeg and its reciprocal (0 keeps dangling vertices inert).
-	outdeg := grb.ReduceRows(grb.PlusMonoid[float64](), A)
+	outdeg := grb.ReduceRows(ctx, grb.PlusMonoid[float64](), A)
 	invdeg := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, invdeg, nil, nil, 0, grb.Desc{}); err != nil {
 		return nil, err
@@ -74,7 +74,7 @@ func PageRank(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*g
 			if err := grb.SelectVector(ctx, dangling, danglingMask, func(float64, int, int) bool { return true }, r, grb.Desc{Replace: true}); err != nil {
 				return err
 			}
-			dsum := grb.ReduceVector(grb.PlusMonoid[float64](), dangling)
+			dsum := grb.ReduceVector(ctx, grb.PlusMonoid[float64](), dangling)
 
 			// tmp = r ./ outdeg.
 			if err := grb.EWiseMult(ctx, tmp, nil, nil, func(a, b float64) float64 { return a * b }, r, invdeg, grb.Desc{Replace: true}); err != nil {
@@ -131,7 +131,7 @@ func PageRankResidual(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOpti
 	init := trace.Begin(trace.CatRound, "lagraph.pr-res.init")
 	A.EnsureCSC() // the dense-vector vxm pulls through columns
 
-	outdeg := grb.ReduceRows(grb.PlusMonoid[float64](), A)
+	outdeg := grb.ReduceRows(ctx, grb.PlusMonoid[float64](), A)
 	invdeg := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, invdeg, nil, nil, 0, grb.Desc{}); err != nil {
 		return nil, err

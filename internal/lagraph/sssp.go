@@ -144,7 +144,7 @@ func SSSP[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int, delta T) (S
 		if remaining.NVals() == 0 {
 			break
 		}
-		m := grb.ReduceVector(grb.MinMonoid[T](), remaining)
+		m := grb.ReduceVector(ctx, grb.MinMonoid[T](), remaining)
 		lower = m / delta * delta // integer bucket floor (T is integral here)
 		upper = lower + delta
 	}

@@ -60,7 +60,7 @@ func TriangleCount(ctx *grb.Context, A *grb.Matrix[int64], variant TCVariant) (i
 		if err != nil {
 			return 0, err
 		}
-		return grb.ReduceMatrix(grb.PlusMonoid[int64](), C), nil
+		return grb.ReduceMatrix(ctx, grb.PlusMonoid[int64](), C), nil
 	default:
 		L := A.Tril()
 		U := A.Triu()
@@ -69,6 +69,6 @@ func TriangleCount(ctx *grb.Context, A *grb.Matrix[int64], variant TCVariant) (i
 		if err != nil {
 			return 0, err
 		}
-		return grb.ReduceMatrix(grb.PlusMonoid[int64](), C), nil
+		return grb.ReduceMatrix(ctx, grb.PlusMonoid[int64](), C), nil
 	}
 }

@@ -73,6 +73,9 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		if ev.Steals != 0 {
 			args["steals"] = ev.Steals
 		}
+		if ev.Workers != 0 {
+			args["workers"] = ev.Workers
+		}
 		if ev.Instr != 0 {
 			args["instr"] = ev.Instr
 		}

@@ -21,6 +21,9 @@ type OpStat struct {
 	Bytes  int64
 	Items  int64
 	Steals int64
+	// Workers is the maximum worker count any span of this operator
+	// reported (counts from different thread configurations don't add).
+	Workers int64
 
 	Instr  uint64
 	Loads  uint64
@@ -72,6 +75,9 @@ func (t *Trace) Summary() *Summary {
 			m.Bytes += st.Bytes
 			m.Items += st.Items
 			m.Steals += st.Steals
+			if st.Workers > m.Workers {
+				m.Workers = st.Workers
+			}
 			m.Instr += st.Instr
 			m.Loads += st.Loads
 			m.Stores += st.Stores

@@ -66,11 +66,12 @@ type Event struct {
 	Start time.Duration
 	Dur   time.Duration
 
-	NNZIn  int64 // input nonzeros (frontier size, vector nvals)
-	NNZOut int64 // output nonzeros produced
-	Bytes  int64 // bytes materialized: output buffers, densified copies
-	Items  int64 // work items executed (galois regions and loops)
-	Steals int64 // chunks claimed beyond a worker's static share
+	NNZIn   int64 // input nonzeros (frontier size, vector nvals)
+	NNZOut  int64 // output nonzeros produced
+	Bytes   int64 // bytes materialized: output buffers, densified copies
+	Items   int64 // work items executed (galois regions and loops)
+	Steals  int64 // chunks claimed beyond a worker's static share
+	Workers int64 // workers the parallel region or kernel ran with
 
 	// perfmodel deltas, captured when a collector is active during the span.
 	Instr  uint64
@@ -214,6 +215,9 @@ func (t *Trace) record(ev *Event) {
 	st.Bytes += ev.Bytes
 	st.Items += ev.Items
 	st.Steals += ev.Steals
+	if ev.Workers > st.Workers {
+		st.Workers = ev.Workers
+	}
 	st.Instr += ev.Instr
 	st.Loads += ev.Loads
 	st.Stores += ev.Stores

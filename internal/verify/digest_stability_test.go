@@ -1,0 +1,55 @@
+package verify_test
+
+import (
+	"flag"
+	"testing"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+)
+
+// grb.workers mirrors the flag the grb equivalence tests register: go test
+// hands flags to every package's test binary, so both must accept it. Here
+// a positive value replaces the "max" side of the threads=1-vs-max digest
+// comparison.
+var verifyWorkers = flag.Int("grb.workers", 0, "max worker count for digest stability tests (0 = 7)")
+
+// TestDigestStabilityAcrossThreads is the whole-application face of the
+// kernel equivalence layer: for all six study workloads, on both GraphBLAS-
+// backed systems, the run digest at threads=1 must equal the digest at
+// threads=max. With the blocked kernels this holds bit-for-bit — block
+// boundaries depend on input sizes only, partials merge in block order — so
+// any schedule dependence that leaks into an answer fails this test.
+// (Lonestar is exercised by the differential suite instead: its atomics-
+// based kernels promise answer equivalence, not bitwise digest stability.)
+func TestDigestStabilityAcrossThreads(t *testing.T) {
+	maxThreads := 7
+	if *verifyWorkers > 0 {
+		maxThreads = *verifyWorkers
+	}
+	in, err := gen.ByName("rmat22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.DropPrepared("rmat22", gen.ScaleTest)
+	for _, sys := range []core.System{core.SS, core.GB} {
+		for _, app := range core.Apps() {
+			run := func(threads int) core.Result {
+				r := core.Run(core.RunSpec{
+					App: app, System: sys, Variant: core.VDefault,
+					Input: in, Scale: gen.ScaleTest, Threads: threads,
+				})
+				if r.Outcome != core.OK {
+					t.Fatalf("%v/%v threads=%d: outcome %v err %v", app, sys, threads, r.Outcome, r.Err)
+				}
+				return r
+			}
+			r1 := run(1)
+			rN := run(maxThreads)
+			if r1.Check != rN.Check {
+				t.Errorf("%v/%v: digest %#x at threads=1 but %#x at threads=%d",
+					app, sys, r1.Check, rN.Check, maxThreads)
+			}
+		}
+	}
+}

@@ -98,6 +98,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
+	//lint:ignore gostmt process-lifetime signal listener: joined via done before main returns, nothing to pool
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
@@ -106,7 +107,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "graphd: shutting down...")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx) //nolint:errcheck
+		_ = httpSrv.Shutdown(ctx) // best-effort graceful drain; Close follows
 		srv.Close()
 	}()
 

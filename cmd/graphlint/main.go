@@ -1,0 +1,150 @@
+// graphlint runs the repo's domain-specific static analyses over the
+// module: the determinism, concurrency, tracing, and error-hygiene
+// rules described in internal/lint. It loads and type-checks packages
+// with only the standard library (no go/packages, no external
+// analyzers), prints findings as `file:line:col: [rule] message`, and
+// exits nonzero if any finding survives //lint:ignore suppression.
+//
+// Usage:
+//
+//	graphlint [-rules rule1,rule2] [-list] [packages]
+//
+// Package patterns are module-relative: `./...` (the default) lints
+// every package, `./internal/grb` one package, `./internal/...` a
+// subtree. `make lint` runs `graphlint ./...` and is part of
+// `make check` and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphstudy/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Suite()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "graphlint: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	modRoot, err := lint.FindModRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := resolve(loader, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	exit := 0
+	var pkgs []*lint.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphlint: %v\n", err)
+			exit = 1
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	lint.Relativize(diags, modRoot)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// resolve expands module-relative package patterns to import paths.
+func resolve(l *lint.Loader, patterns []string) ([]string, error) {
+	all, err := l.PackagePaths()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+		switch {
+		case pat == "..." || pat == ".":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := l.ModPath + "/" + strings.TrimSuffix(pat, "/...")
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("no packages match %s", pat)
+			}
+		default:
+			p := l.ModPath + "/" + pat
+			known := false
+			for _, q := range all {
+				if q == p {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("no package matches %s", pat)
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "graphlint: %v\n", err)
+	os.Exit(2)
+}

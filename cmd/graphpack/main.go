@@ -76,7 +76,7 @@ func main() {
 func cmdImport(st *store.Store, args []string) {
 	fs := flag.NewFlagSet("import", flag.ExitOnError)
 	formatName := fs.String("format", "auto", "input format: auto, gsg2, gsg1, mtx, el")
-	fs.Parse(restFlags(args, 2)) //nolint:errcheck // ExitOnError
+	_ = fs.Parse(restFlags(args, 2)) // ExitOnError: Parse never returns an error
 	if len(args) < 2 {
 		fatal(fmt.Errorf("import wants <name> <file>"))
 	}

@@ -91,6 +91,7 @@ func RunCtx(ctx context.Context, spec RunSpec) Result {
 		} else {
 			watchDone := make(chan struct{})
 			defer close(watchDone)
+			//lint:ignore gostmt context-cancellation watcher: one goroutine per run, joined via watchDone on every exit path
 			go func() {
 				select {
 				case <-ctx.Done():

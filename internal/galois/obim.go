@@ -2,6 +2,7 @@ package galois
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -40,8 +41,18 @@ func (c *PriorityCtx[T]) Push(prio int, v T) {
 }
 
 func (c *PriorityCtx[T]) flush() {
-	for p, items := range c.local {
-		c.q.push(p, items)
+	// Drain in ascending priority, not map order: the shared worklist
+	// serves the minimal bucket first, so pushing low priorities first
+	// makes them visible to idle workers sooner, and the deterministic
+	// order keeps the worklist's arrival sequence schedule-independent
+	// for a given set of pushes (graphlint: maprange).
+	prios := make([]int, 0, len(c.local))
+	for p := range c.local {
+		prios = append(prios, p)
+	}
+	sort.Ints(prios)
+	for _, p := range prios {
+		c.q.push(p, c.local[p])
 		delete(c.local, p)
 	}
 	c.n = 0
@@ -89,6 +100,7 @@ func (q *priorityWorklist[T]) pop(wasBusy bool) ([]T, bool) {
 			// Re-find the minimum if the cached one emptied.
 			if _, ok := q.buckets[q.minPrio]; !ok {
 				q.minPrio = int(^uint(0) >> 1)
+				//lint:ignore maprange min-reduction over keys is order-insensitive: every visit order yields the same minimum
 				for p := range q.buckets {
 					if p < q.minPrio {
 						q.minPrio = p

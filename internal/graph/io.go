@@ -115,7 +115,7 @@ func SaveFile(path string, g *Graph) error {
 		return err
 	}
 	if err := WriteBinary(f, g); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one to surface
 		return err
 	}
 	return f.Close()

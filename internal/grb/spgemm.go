@@ -153,6 +153,7 @@ func saxpyMxM[T any](ctx *Context, mask *Pattern, s Semiring[T], A, B *Matrix[T]
 				if mask != nil {
 					a.inMask = newBitmap(B.ncols)
 				}
+				//lint:ignore sharedwrite worker-local scratch cache: slot TID is only ever touched by its own worker and never feeds the output (rows is row-indexed)
 				accs[gctx.TID] = a
 			}
 		}

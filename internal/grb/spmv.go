@@ -129,6 +129,7 @@ func spmvPush[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *M
 		a := accs[gctx.TID]
 		if a == nil {
 			a = newPushAcc[T](n)
+			//lint:ignore sharedwrite worker-local scratch cache: slot TID is only ever touched by its own worker and never feeds the output (parts is block-indexed)
 			accs[gctx.TID] = a
 		}
 		var work int64

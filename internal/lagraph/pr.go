@@ -42,15 +42,18 @@ func PageRank(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOptions) (*g
 	outdeg := grb.ReduceRows(ctx, grb.PlusMonoid[float64](), A)
 	invdeg := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, invdeg, nil, nil, 0, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 	if err := grb.Apply(ctx, invdeg, nil, nil, func(x float64) float64 { return 1 / x }, outdeg, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 	danglingMask := grb.StructMask(outdeg).Comp()
 
 	r := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, r, nil, nil, 1/float64(n), grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 
@@ -134,18 +137,22 @@ func PageRankResidual(ctx *grb.Context, A *grb.Matrix[float64], opt PageRankOpti
 	outdeg := grb.ReduceRows(ctx, grb.PlusMonoid[float64](), A)
 	invdeg := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, invdeg, nil, nil, 0, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 	if err := grb.Apply(ctx, invdeg, nil, nil, func(x float64) float64 { return 1 / x }, outdeg, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 
 	pr := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, pr, nil, nil, 0, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 	res := grb.NewVector[float64](n, grb.Dense)
 	if err := grb.AssignConstant(ctx, res, nil, nil, base, grb.Desc{}); err != nil {
+		init.End()
 		return nil, err
 	}
 

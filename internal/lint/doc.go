@@ -1,0 +1,64 @@
+// Package lint is graphlint's analysis engine: a small, stdlib-only
+// static-analysis framework (go/parser, go/ast, go/types, go/importer)
+// that loads and type-checks every package of this module and runs a
+// suite of domain-specific analyzers encoding the repo's determinism,
+// concurrency, tracing, and error-hygiene invariants.
+//
+// The invariants exist because the study's claims depend on them: the
+// deterministic parallel backend (internal/galois/blocked.go) promises
+// bit-identical results at every worker count, which map iteration
+// order, wall-clock reads, or schedule-dependent shared writes would
+// silently break; the operator-level trace aggregates are only
+// meaningful if every span that is begun is also ended; and the dataset
+// importers parse untrusted bytes, where a dropped error is a
+// correctness hole. Tests catch violations after the fact — the
+// analyzers here reject them at the source level, the way go vet
+// rejects printf mistakes.
+//
+// # Rule catalog
+//
+//   - maprange: `range` over a map in a kernel package (grb, lagraph,
+//     lonestar, galois) is flagged unless the loop only drains keys into
+//     a slice that is subsequently sorted (or only counts/deletes, which
+//     is order-insensitive).
+//   - nondet: kernel packages must not import math/rand, call
+//     time.Now/Since/Until, or use multi-case select statements; all
+//     three make kernel output or instrumentation schedule-dependent.
+//   - sharedwrite: inside closures passed to the galois parallel loops
+//     (DoAll, ForEach, Executor.ForRange, ForBlocks, OrderedReduce),
+//     writes to captured slices must be indexed by the loop's own
+//     item/block/range parameters — never by worker identity (ctx.TID)
+//     or captured outer state — and captured maps and plain captured
+//     variables must not be written at all.
+//   - gostmt: bare `go` statements are confined to internal/galois and
+//     internal/service; everything else must use the executors or the
+//     worker pool so concurrency stays observable and bounded.
+//   - tracespan: every span opened with trace.Begin must be ended, by
+//     defer or on every return path, so operator aggregates never leak
+//     open spans.
+//   - errcheck: in the untrusted decoder paths (internal/store,
+//     internal/graph) a call returning an error must not be used as a
+//     bare statement; check it or discard it explicitly with `_ =`.
+//
+// # Suppression
+//
+// A finding is suppressed by a directive on the same line or the line
+// directly above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported
+// (rule "lint"). Suppressions are for the rare legitimate exception —
+// e.g. a worker-local scratch cache indexed by TID that never feeds an
+// output — and the reason is the reviewable record of why.
+//
+// # Adding an analyzer
+//
+// Implement a *Analyzer with a Name, Doc, an optional Applies predicate
+// over import paths (nil means every package), and a Run(*Pass)
+// function; register it in Suite (suite.go); add a fixture package
+// under testdata/src/<name>/ with `// want <name> "substring"`
+// annotations and a suppressed case, and list it in TestGolden
+// (golden_test.go). The golden harness loads fixtures under synthetic
+// in-scope import paths, so Applies is exercised too.
+package lint

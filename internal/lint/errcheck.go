@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// ErrCheck flags calls whose error result is silently dropped in the
+// untrusted decoder paths: internal/store and internal/graph parse
+// bytes from disk and the network, where an ignored write/parse error
+// turns into a truncated dataset or a phantom graph that the
+// checksummed formats exist to prevent. A bare call statement that
+// returns an error is reported; checking the error or discarding it
+// explicitly (`_ = f()`) is not — the blank assignment is a visible,
+// reviewable decision. Deferred calls are exempt (the `defer f.Close()`
+// idiom on read paths).
+var ErrCheck = &Analyzer{
+	Name:    "errcheck",
+	Doc:     "unchecked error returns in untrusted decoder paths",
+	Applies: inPkgs("graphstudy/internal/store", "graphstudy/internal/graph"),
+	Run:     runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok || !returnsError(p.Pkg.Info, call) {
+				return true
+			}
+			p.Reportf(st.Pos(), "error returned by %s is dropped: check it or discard explicitly with _ =", exprString(p.Fset, call.Fun))
+			return true
+		})
+	}
+}
+
+// exprString renders a (small) expression for a message.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "call"
+	}
+	return b.String()
+}

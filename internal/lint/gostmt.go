@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoStmt confines bare `go` statements to the two packages that own
+// goroutine lifecycles: internal/galois (the parallel runtime, whose
+// executors join every worker before returning) and internal/service
+// (the worker pool, whose admission queue bounds them). Anywhere else a
+// bare goroutine is unbounded, unjoined concurrency the study harness
+// cannot account for: it escapes the work/span model, the race gates,
+// and graceful shutdown. Use galois.DoAll/ForEach or the service queue;
+// genuinely structural exceptions (a signal listener in main) carry a
+// //lint:ignore with the reason.
+var GoStmt = &Analyzer{
+	Name:    "gostmt",
+	Doc:     "bare go statements outside internal/galois and internal/service",
+	Applies: notInPkgs(galoisPkg, "graphstudy/internal/service"),
+	Run:     runGoStmt,
+}
+
+func runGoStmt(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "bare go statement outside internal/galois and internal/service: route concurrency through the galois executors or the service worker pool")
+			}
+			return true
+		})
+	}
+}

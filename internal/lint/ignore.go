@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. Full form:
+//
+//	//lint:ignore <rule> <reason>
+//
+// It suppresses findings of <rule> on its own line and on the line
+// directly below, so it works both as a trailing comment and as a
+// standalone line above the offending statement.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreKey locates a suppression: file, line, rule.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// suppresses reports whether d is covered by a directive on its line or
+// the line above.
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
+		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+}
+
+// collectIgnores scans a package's comments for //lint:ignore
+// directives. Malformed directives (missing rule or reason) are
+// returned as findings under the "lint" rule: a suppression without a
+// reviewable reason is itself a violation.
+func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "lint",
+						Msg:  "malformed //lint:ignore directive: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message. The String form is the `file:line:col: [rule]
+// message` contract cmd/graphlint prints and the golden tests assert.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Pass is the per-(analyzer, package) context handed to Analyzer.Run.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Package
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the running analyzer's rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  p.Fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lint rule. Applies filters by import path (nil means
+// the rule runs on every package); Run reports findings through the Pass.
+type Analyzer struct {
+	Name    string
+	Doc     string
+	Applies func(pkgPath string) bool
+	Run     func(p *Pass)
+}
+
+// Run executes the analyzers over the packages, drops findings
+// suppressed by //lint:ignore directives, appends a finding for every
+// malformed directive, and returns the result sorted by position then
+// rule. It is deterministic: same inputs, same output order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, rule: a.Name, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ignores.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+		diags = append(diags, bad...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// Relativize rewrites diagnostic filenames relative to root (typically
+// the module root) so output is stable across checkouts.
+func Relativize(diags []Diagnostic, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+}
+
+// inPkgs returns an Applies predicate matching any of the given import
+// paths or their subpackages.
+func inPkgs(paths ...string) func(string) bool {
+	return func(p string) bool {
+		for _, q := range paths {
+			if p == q || strings.HasPrefix(p, q+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// notInPkgs is the complement of inPkgs.
+func notInPkgs(paths ...string) func(string) bool {
+	in := inPkgs(paths...)
+	return func(p string) bool { return !in(p) }
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: either a real module
+// package or a fixture directory loaded under a synthetic import path.
+type Package struct {
+	Path  string // import path the package was loaded as
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library. Module-internal imports are resolved by mapping the
+// import path under the module root and type-checking recursively;
+// standard-library imports come from the compiler's export data
+// (go/importer "gc"), with a source-parsing fallback for toolchains
+// that ship no export data. There are no third-party imports to
+// resolve: the module is dependency-free by design.
+type Loader struct {
+	ModRoot string
+	ModPath string
+	Fset    *token.FileSet
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+	src     types.Importer
+}
+
+// NewLoader returns a Loader for the module rooted at modRoot (the
+// directory holding go.mod).
+func NewLoader(modRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", modRoot)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "gc", nil),
+		src:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// FindModRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// skipDir reports whether a directory is outside the load universe,
+// matching the go tool's conventions: testdata, vendor, and hidden or
+// underscore-prefixed names.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// lintableFile reports whether name is a non-test Go source file.
+func lintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// PackagePaths walks the module tree and returns, sorted, the import
+// path of every directory holding at least one non-test Go file.
+func (l *Loader) PackagePaths() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != l.ModRoot && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !lintableFile(d.Name()) {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil {
+			return err
+		}
+		p := l.ModPath
+		if rel != "." {
+			p = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		if n := len(paths); n == 0 || paths[n-1] != p {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Load type-checks (or returns the cached) package with the given
+// module import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return nil, fmt.Errorf("lint: %s is not under module %s", path, l.ModPath)
+	}
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
+	return l.LoadDir(dir, path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of dir as a
+// package with import path asPath. Fixture directories use this to be
+// loaded under synthetic in-scope paths.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	if l.loading[asPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", asPath)
+	}
+	l.loading[asPath] = true
+	defer delete(l.loading, asPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && lintableFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(asPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", asPath, err)
+	}
+	p := &Package{Path: asPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[asPath] = p
+	return p, nil
+}
+
+// importPkg satisfies the type-checker's imports: module packages load
+// recursively, everything else is standard library.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	return l.src.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModRoot(t *testing.T) {
+	root, err := FindModRoot(".")
+	if err != nil {
+		t.Fatalf("FindModRoot: %v", err)
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(root))) == "" {
+		t.Fatalf("implausible module root %q", root)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModPath != "graphstudy" {
+		t.Fatalf("module path = %q, want graphstudy", loader.ModPath)
+	}
+}
+
+func TestPackagePaths(t *testing.T) {
+	loader := newTestLoader(t)
+	paths, err := loader.PackagePaths()
+	if err != nil {
+		t.Fatalf("PackagePaths: %v", err)
+	}
+	got := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		got[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("PackagePaths includes fixture package %s", p)
+		}
+	}
+	for _, p := range []string{
+		"graphstudy/internal/grb",
+		"graphstudy/internal/galois",
+		"graphstudy/internal/lint",
+		"graphstudy/cmd/graphlint",
+	} {
+		if !got[p] {
+			t.Errorf("PackagePaths missing %s (got %d paths)", p, len(paths))
+		}
+	}
+}
+
+func TestLoadTypeInfo(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.Load("graphstudy/internal/graph")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Graph") == nil {
+		t.Fatal("loaded package lacks type information for graph.Graph")
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Fatal("loaded package has an empty Uses map")
+	}
+	// Loading again returns the cached package.
+	again, err := loader.Load("graphstudy/internal/graph")
+	if err != nil {
+		t.Fatalf("second Load: %v", err)
+	}
+	if again != pkg {
+		t.Error("second Load did not return the cached *Package")
+	}
+}
+
+func TestSuite(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuchrule") != nil {
+		t.Error("ByName of an unknown rule should be nil")
+	}
+	for _, want := range []string{"maprange", "nondet", "sharedwrite", "gostmt", "tracespan", "errcheck"} {
+		if !names[want] {
+			t.Errorf("suite is missing the %s analyzer", want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `range` over a map in kernel packages. Go randomizes
+// map iteration order per run, so any map-ordered effect — appended
+// output, float accumulation, first-wins selection — varies between
+// runs and schedules, breaking the deterministic-backend guarantee and
+// the paper's instruction-count comparisons.
+//
+// The one sanctioned shape is the drain: a loop whose body only
+// collects keys/values into slices (optionally behind order-insensitive
+// ifs), deletes from the map, or bumps integer counters, with every
+// collected slice passed to a sort.* / slices.Sort* call later in the
+// same block. Iteration order then never escapes.
+var MapRange = &Analyzer{
+	Name:    "maprange",
+	Doc:     "range over map in a kernel package without a sorted drain",
+	Applies: inPkgs(kernelPkgs...),
+	Run:     runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		stmtLists(f, func(list []ast.Stmt) {
+			for i, s := range list {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := p.Pkg.Info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				drained, sinks := drainOnly(p.Pkg.Info, rs.Body.List)
+				if !drained {
+					p.Reportf(rs.Pos(), "range over map: iteration order is nondeterministic; drain keys into a slice, sort, then emit")
+					continue
+				}
+				if len(sinks) > 0 && !sortedAfter(p.Pkg.Info, list[i+1:], sinks) {
+					p.Reportf(rs.Pos(), "map keys drained into a slice that is never sorted in this block; sort before use")
+				}
+			}
+		})
+	}
+}
+
+// drainOnly reports whether every statement in body is order-
+// insensitive: `x = append(x, ...)` (sinks records x), delete(m, k),
+// integer-counter updates, or an if whose branches are themselves
+// drain-only. Any other statement lets iteration order escape.
+func drainOnly(info *types.Info, body []ast.Stmt) (ok bool, sinks []types.Object) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			obj, isAppend := selfAppend(info, st)
+			if isAppend {
+				sinks = append(sinks, obj)
+				continue
+			}
+			if !intCounterUpdate(info, st) {
+				return false, nil
+			}
+		case *ast.IncDecStmt:
+			// n++ / n-- on an integer is commutative across orders.
+			if !isIntExpr(info, st.X) {
+				return false, nil
+			}
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "delete") {
+				return false, nil
+			}
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return false, nil
+			}
+			bodyOK, nested := drainOnly(info, st.Body.List)
+			if !bodyOK {
+				return false, nil
+			}
+			sinks = append(sinks, nested...)
+		default:
+			return false, nil
+		}
+	}
+	return true, sinks
+}
+
+// selfAppend matches `x = append(x, ...)` and returns x's object.
+func selfAppend(info *types.Info, st *ast.AssignStmt) (types.Object, bool) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil, false
+	}
+	lhs, ok := st.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+		return nil, false
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	lobj, aobj := usedObj(info, lhs), usedObj(info, arg0)
+	if lobj == nil || lobj != aobj {
+		return nil, false
+	}
+	return lobj, true
+}
+
+// intCounterUpdate matches `n += e`, `n -= e`, `n |= e` on integers:
+// commutative-and-associative folds whose result is order-independent.
+func intCounterUpdate(info *types.Info, st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	switch st.Tok.String() {
+	case "+=", "-=", "|=", "&=", "^=":
+	default:
+		return false
+	}
+	return isIntExpr(info, st.Lhs[0])
+}
+
+func isIntExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = usedObj(info, id).(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether some statement in rest calls a sort.* or
+// slices.Sort* function over one of the sink slices.
+func sortedAfter(info *types.Info, rest []ast.Stmt, sinks []types.Object) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						obj := usedObj(info, id)
+						for _, sink := range sinks {
+							if obj == sink {
+								found = true
+							}
+						}
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

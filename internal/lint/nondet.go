@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NonDet forbids the remaining nondeterminism sources in kernel call
+// trees beyond map iteration (see MapRange):
+//
+//   - math/rand (v1 or v2): seeded or global randomness in a kernel
+//     makes results input-and-seed dependent. Randomized inputs belong
+//     in internal/gen, which owns its own deterministic splitmix RNG.
+//   - time.Now/Since/Until: wall-clock reads inside a kernel leak the
+//     schedule into behavior (and into perfmodel counts). Timing is the
+//     harness's and tracer's job.
+//   - select with more than one clause: which ready case runs is a
+//     scheduler coin flip. Channel orchestration belongs to the galois
+//     executors and the service layer, which are out of scope here.
+var NonDet = &Analyzer{
+	Name:    "nondet",
+	Doc:     "nondeterminism sources (math/rand, wall clock, select) in kernel call trees",
+	Applies: inPkgs(kernelPkgs...),
+	Run:     runNonDet,
+}
+
+func runNonDet(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s in a kernel package: randomness makes kernel output seed- and schedule-dependent; generate inputs in internal/gen instead", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Pkg.Info, x)
+				if fn == nil || !fromPkg(fn, "time") {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					p.Reportf(x.Pos(), "call to time.%s in a kernel call tree: wall-clock reads are schedule-dependent; time at the harness or trace layer", fn.Name())
+				}
+			case *ast.SelectStmt:
+				if len(x.Body.List) > 1 {
+					p.Reportf(x.Pos(), "select with %d clauses in a kernel package: case choice is a scheduler coin flip; kernel control flow must be deterministic", len(x.Body.List))
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedWrite checks the bodies of closures handed to the galois
+// parallel loops. The deterministic blocked layer's contract is that a
+// parallel body writes only through slots addressed by its own
+// item/block/range parameters — disjoint per invocation, so the result
+// is schedule-independent. Three shapes break that contract:
+//
+//   - indexed writes to a captured slice whose index derives from
+//     nothing local to the body (worker identity like ctx.TID, or
+//     captured outer state): racy or schedule-dependent partials;
+//   - any write to a captured map: Go maps are not safe for concurrent
+//     writes at all;
+//   - plain writes to captured variables (x = ..., x.f = ..., *p = ...):
+//     a data race unless atomically coordinated, which belongs in the
+//     runtime layer, not in kernel bodies.
+//
+// The analyzer blesses an index that mentions any identifier declared
+// inside the closure other than the galois context parameter — loop
+// counters derived from lo/hi, the block id, the worklist item, or
+// locals computed from them.
+var SharedWrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc:  "schedule-dependent writes to captured state in galois parallel bodies",
+	Run:  runSharedWrite,
+}
+
+// parallelBodyArg maps each galois loop entry point to the position of
+// its parallel-body argument. OnEach is deliberately absent: it exists
+// for TID-indexed per-thread initialization.
+var parallelBodyArg = map[string]int{
+	"DoAll":         1, // DoAll(n, body)
+	"ForEach":       2, // ForEach(t, initial, body)
+	"ForBlocks":     3, // ForBlocks(ex, n, block, body)
+	"OrderedReduce": 3, // OrderedReduce(ex, n, block, compute, fold)
+	"ForRange":      2, // Executor.ForRange(n, grain, body)
+}
+
+func runSharedWrite(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil || !fromPkg(fn, galoisPkg) {
+				return true
+			}
+			argIdx, ok := parallelBodyArg[fn.Name()]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[argIdx]).(*ast.FuncLit); ok {
+				checkParallelBody(p, fn.Name(), lit)
+			}
+			return true
+		})
+	}
+}
+
+func checkParallelBody(p *Pass, loop string, lit *ast.FuncLit) {
+	info := p.Pkg.Info
+	inside := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+	}
+	// blessed: the index expression mentions some body-local identifier
+	// that is not the galois context. ctx.TID alone does not count.
+	blessed := func(index ast.Expr) bool {
+		found := false
+		ast.Inspect(index, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return !found
+			}
+			obj := usedObj(info, id)
+			if v, ok := obj.(*types.Var); ok && inside(obj) && !isGaloisCtxType(v.Type()) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	checkTarget := func(lhs ast.Expr) {
+		e := ast.Unparen(lhs)
+		// Strip field selections and derefs down to the indexed or base
+		// expression actually being written through.
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+				continue
+			case *ast.SelectorExpr:
+				e = x.X
+				continue
+			case *ast.StarExpr:
+				e = x.X
+				continue
+			}
+			break
+		}
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			root := rootIdent(x.X)
+			if root == nil {
+				return
+			}
+			obj, isVar := usedObj(info, root).(*types.Var)
+			if !isVar || inside(obj) {
+				return
+			}
+			tv, ok := info.Types[x.X]
+			if !ok || tv.Type == nil {
+				return
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(lhs.Pos(), "write to captured map %s inside a %s body: concurrent map writes; build per-block results and merge in order", root.Name, loop)
+			default:
+				if !blessed(x.Index) {
+					p.Reportf(lhs.Pos(), "write to captured slice %s indexed by captured or worker state inside a %s body: index by the loop's item/block parameter so writes are disjoint and schedule-free", root.Name, loop)
+				}
+			}
+		case *ast.Ident:
+			obj, isVar := usedObj(info, x).(*types.Var)
+			if !isVar || inside(obj) || x.Name == "_" {
+				return
+			}
+			p.Reportf(lhs.Pos(), "write to captured %s inside a %s body is a data race; use a per-block slot or an ordered reduction", x.Name, loop)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(st.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,18 @@
+package lint
+
+// Suite returns the full analyzer suite in its canonical order. This is
+// what cmd/graphlint and `make lint` run; the golden tests run each
+// member against its seeded-violation fixture.
+func Suite() []*Analyzer {
+	return []*Analyzer{MapRange, NonDet, SharedWrite, GoStmt, TraceSpan, ErrCheck}
+}
+
+// ByName returns the named analyzer from the suite, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package badignore holds a malformed //lint:ignore directive: the
+// rule name is present but the mandatory reason is missing. The golden
+// test asserts both that the directive itself is reported and that it
+// does NOT suppress the finding it sits above.
+package badignore
+
+func spin() {}
+
+// Bad tries to silence gostmt without giving a reason.
+func Bad() {
+	//lint:ignore gostmt
+	go spin()
+}

@@ -1,0 +1,43 @@
+// Package errcheck seeds violations of the errcheck rule: error
+// returns silently dropped in the persistence layers.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func decode() error { return errors.New("boom") }
+
+func scan() (int, error) { return 0, io.EOF }
+
+// Bad drops errors on the floor, single- and multi-value.
+func Bad() {
+	decode()          // want errcheck "error returned by decode is dropped"
+	fmt.Println("hi") // want errcheck "error returned by fmt.Println is dropped"
+}
+
+// Checked propagates.
+func Checked() error {
+	if _, err := scan(); err != nil {
+		return err
+	}
+	return decode()
+}
+
+// Explicit discards visibly; the underscore is the point.
+func Explicit() {
+	_ = decode()
+}
+
+// Deferred cleanup is exempt: the error has nowhere to go.
+func Deferred() {
+	defer decode()
+}
+
+// Suppressed shows //lint:ignore licensing a drop.
+func Suppressed() {
+	//lint:ignore errcheck fixture: proves a licensed drop is accepted
+	decode()
+}

@@ -1,0 +1,23 @@
+// Package gostmt seeds violations of the gostmt rule: bare goroutine
+// launches outside the two packages allowed to own concurrency.
+package gostmt
+
+func spin() {}
+
+// Bad launches a goroutine the executors never account for.
+func Bad() {
+	go spin() // want gostmt "bare go statement"
+}
+
+// BadClosure is just as bare with a func literal.
+func BadClosure(c chan struct{}) {
+	go func() { // want gostmt "bare go statement"
+		close(c)
+	}()
+}
+
+// Suppressed shows //lint:ignore licensing a process-lifetime helper.
+func Suppressed() {
+	//lint:ignore gostmt fixture: proves a licensed goroutine is accepted
+	go spin()
+}

@@ -1,0 +1,16 @@
+// Package exempt is loaded under a synthetic internal/service import
+// path, where the gostmt rule must NOT apply: the golden test asserts
+// zero findings here even though the code launches bare goroutines.
+package exempt
+
+func pump(c chan int) {
+	for range c {
+	}
+}
+
+// Spawn would be a finding anywhere outside galois and service.
+func Spawn() chan int {
+	c := make(chan int)
+	go pump(c)
+	return c
+}

@@ -1,0 +1,81 @@
+// Package maprange seeds violations of the maprange rule: map-ordered
+// effects in kernel code. Each `// want` comment names the rule and a
+// substring of the expected diagnostic; functions without one must stay
+// clean.
+package maprange
+
+import "sort"
+
+// Sum folds float values in map iteration order. Float addition is not
+// associative, so the result is order- (and therefore run-) dependent.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want maprange "range over map"
+		s += v
+	}
+	return s
+}
+
+// UnsortedKeys drains keys into a slice but never sorts it, so
+// iteration order escapes through the return value.
+func UnsortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want maprange "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedDrain is the sanctioned shape: collect, sort, then use.
+func SortedDrain(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// FilteredDrain collects behind an if; the guard does not let order
+// escape as long as the sink is still sorted afterwards.
+func FilteredDrain(m map[int]int, min int) []int {
+	var big []int
+	for k, v := range m {
+		if v >= min {
+			big = append(big, k)
+		}
+	}
+	sort.Ints(big)
+	return big
+}
+
+// Count bumps an integer counter: commutative, so order-insensitive.
+func Count(m map[int]bool, want bool) int {
+	n := 0
+	for _, v := range m {
+		if v == want {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear deletes while ranging, the idiom the spec blesses.
+func Clear(m map[int]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Suppressed shows //lint:ignore turning off a finding that would
+// otherwise fire (max-reduction via `=` is not a recognized drain).
+func Suppressed(m map[int]int) int {
+	best := 0
+	//lint:ignore maprange fixture: max-reduction over keys is order-insensitive
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}

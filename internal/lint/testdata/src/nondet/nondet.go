@@ -1,0 +1,49 @@
+// Package nondet seeds violations of the nondet rule: nondeterminism
+// sources (randomness, wall-clock reads, racing selects) in kernel
+// code.
+package nondet
+
+import (
+	"math/rand" // want nondet "import of math/rand"
+	"time"
+)
+
+// Jitter pulls from the global PRNG; kernel output would depend on
+// seed state.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Stamp reads the wall clock inside a kernel call tree.
+func Stamp() time.Time {
+	return time.Now() // want nondet "call to time.Now"
+}
+
+// Elapsed measures time in kernel code; timing belongs to the harness.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want nondet "call to time.Since"
+}
+
+// Race lets the scheduler pick a branch.
+func Race(a, b chan int) int {
+	select { // want nondet "select with 2 clauses"
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// Blocking has a single clause: no choice, no coin flip.
+func Blocking(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	}
+}
+
+// Suppressed shows //lint:ignore turning off a finding.
+func Suppressed() time.Time {
+	//lint:ignore nondet fixture: proves a licensed wall-clock read is accepted
+	return time.Now()
+}

@@ -1,0 +1,94 @@
+// Package sharedwrite seeds violations of the sharedwrite rule:
+// writes to captured state inside galois parallel-loop bodies that are
+// not provably disjoint per item or per block.
+package sharedwrite
+
+import "graphstudy/internal/galois"
+
+// Good writes only through indices derived from the loop's own item
+// parameter, so every iteration touches its own cells.
+func Good(n int) []int {
+	out := make([]int, 2*n)
+	galois.DoAll(n, func(i int, ctx *galois.Ctx) {
+		out[2*i] = i
+		out[2*i+1] = -i
+	})
+	return out
+}
+
+// GoodOffset mixes a captured offset into a blessed index: the item
+// parameter still makes writes disjoint.
+func GoodOffset(dst []int, off, n int) {
+	galois.DoAll(n, func(i int, ctx *galois.Ctx) {
+		dst[i+off] = i
+	})
+}
+
+// GoodForEach indexes by the worklist item.
+func GoodForEach(seeds []int, dist []int) {
+	galois.ForEach(1, seeds, func(item int, ctx *galois.ForEachCtx[int]) {
+		dist[item] = 0
+	})
+}
+
+// GoodBlocks writes the block-indexed slot, the deterministic-backend
+// contract.
+func GoodBlocks(n int) []int {
+	ex := galois.NewSerial()
+	parts := make([]int, galois.NumBlocks(n, 0))
+	galois.ForBlocks(ex, n, 0, func(b, lo, hi int, ctx *galois.Ctx) {
+		parts[b] = hi - lo
+	})
+	return parts
+}
+
+// BadTID indexes by worker identity: which worker runs which item is
+// schedule, not data, so the result depends on the interleaving.
+func BadTID(n int) []int64 {
+	perWorker := make([]int64, galois.MaxThreads)
+	galois.DoAll(n, func(i int, ctx *galois.Ctx) {
+		perWorker[ctx.TID] += int64(i) // want sharedwrite "indexed by captured or worker state"
+	})
+	return perWorker
+}
+
+// BadCaptured accumulates into one captured cell from every iteration.
+func BadCaptured(n int) int {
+	sum := 0
+	galois.DoAll(n, func(i int, ctx *galois.Ctx) {
+		sum += i // want sharedwrite "write to captured sum"
+	})
+	return sum
+}
+
+// BadMap writes a captured map concurrently, which is a crash, not
+// just a race.
+func BadMap(n int) map[int]bool {
+	seen := make(map[int]bool)
+	galois.DoAll(n, func(i int, ctx *galois.Ctx) {
+		seen[i] = true // want sharedwrite "write to captured map seen"
+	})
+	return seen
+}
+
+// BadOuterIndex writes through an index captured from outside the
+// closure: every block hits the same cell.
+func BadOuterIndex(parts []int, k int) {
+	ex := galois.NewSerial()
+	galois.ForBlocks(ex, len(parts), 0, func(b, lo, hi int, ctx *galois.Ctx) {
+		parts[k] = b // want sharedwrite "indexed by captured or worker state"
+	})
+}
+
+// Suppressed is the worker-local scratch idiom with its license: the
+// TID slot is only ever touched by its own worker.
+func Suppressed(n int) {
+	scratch := make([]*[]int, galois.MaxThreads)
+	galois.DoAll(n, func(i int, ctx *galois.Ctx) {
+		if scratch[ctx.TID] == nil {
+			//lint:ignore sharedwrite fixture: worker-local scratch never read across workers
+			scratch[ctx.TID] = new([]int)
+		}
+		_ = scratch[ctx.TID]
+	})
+}

@@ -1,0 +1,73 @@
+// Package tracespan seeds violations of the tracespan rule: spans
+// begun via trace.Begin that can leak without a matching End.
+package tracespan
+
+import "graphstudy/internal/trace"
+
+// NeverEnded opens a span and forgets it entirely.
+func NeverEnded(n int) {
+	sp := trace.Begin(trace.CatKernel, "fixture.never") // want tracespan "never ended"
+	sp.NNZIn = int64(n)
+}
+
+// Discarded drops the span value on the floor.
+func Discarded() {
+	trace.Begin(trace.CatKernel, "fixture.discard") // want tracespan "result discarded"
+}
+
+// Leaky ends the span on the fall-through path but not before the
+// early return.
+func Leaky(cond bool) int {
+	sp := trace.Begin(trace.CatKernel, "fixture.leaky")
+	if cond {
+		return 1 // want tracespan "not ended on the path to this return"
+	}
+	sp.End()
+	return 0
+}
+
+// LoopLeak ends the span on one branch only; most iterations leave
+// the loop body with the span still open.
+func LoopLeak(n int) {
+	for i := 0; i < n; i++ {
+		sp := trace.Begin(trace.CatKernel, "fixture.loop") // want tracespan "may leave its block"
+		if i == 0 {
+			sp.End()
+		}
+	}
+}
+
+// GoodDefer is the canonical pattern.
+func GoodDefer() {
+	sp := trace.Begin(trace.CatKernel, "fixture.defer")
+	defer sp.End()
+}
+
+// GoodPaths ends the span explicitly on every path, the per-round
+// pattern the kernels use when defer is too coarse.
+func GoodPaths(cond bool) int {
+	sp := trace.Begin(trace.CatKernel, "fixture.paths")
+	if cond {
+		sp.End()
+		return 1
+	}
+	sp.NNZOut = 1
+	sp.End()
+	return 0
+}
+
+// GoodLoop re-begins per iteration and ends unconditionally.
+func GoodLoop(n int) {
+	for i := 0; i < n; i++ {
+		sp := trace.Begin(trace.CatKernel, "fixture.round")
+		sp.Round = i
+		sp.End()
+	}
+}
+
+// Suppressed shows //lint:ignore licensing a deliberate leak.
+func Suppressed() {
+	//lint:ignore tracespan fixture: span handed to the aggregator for deferred ending
+	sp := trace.Begin(trace.CatKernel, "fixture.suppressed")
+	sp.NNZIn = 1
+}

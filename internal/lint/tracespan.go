@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const tracePkg = "graphstudy/internal/trace"
+
+// TraceSpan enforces the span protocol: every span opened with
+// trace.Begin* must be ended. An unended span skews the per-operator
+// aggregates the study's figures are built from (counts and durations
+// stop matching), and since spans are recorded at End, the work simply
+// vanishes from the trace.
+//
+// The check is lexical but path-aware for structured code: a span is
+// accepted when its End is deferred, or when every exit of the block
+// that declares it — each return statement and the fall-through out of
+// the block — is preceded by an End call whose enclosing block also
+// encloses that exit (so the End cannot be skipped by taking a
+// different branch). Ends guarded by conditions the analyzer cannot
+// prove cover all paths are reported; restructure with defer or end the
+// span before branching.
+var TraceSpan = &Analyzer{
+	Name: "tracespan",
+	Doc:  "trace.Begin without a matching End on every path",
+	Run:  runTraceSpan,
+}
+
+func runTraceSpan(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					checkFuncSpans(p, x.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncSpans(p, x.Body)
+			}
+			return true
+		})
+	}
+}
+
+// beginCall returns the trace.Begin* function a call invokes, or nil.
+func beginCall(info *types.Info, e ast.Expr) *types.Func {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fromPkg(fn, tracePkg) && strings.HasPrefix(fn.Name(), "Begin") {
+		return fn
+	}
+	return nil
+}
+
+// spanDecl is one `v := trace.Begin*(...)` statement.
+type spanDecl struct {
+	obj   types.Object
+	name  string
+	stmt  ast.Stmt
+	owner ast.Node   // node owning the statement list that declares v
+	rest  []ast.Stmt // statements after the declaration in that list
+}
+
+// endCall is one `v.End()` statement, with the span of the node owning
+// its statement list: an End dominates an exit only if that span
+// contains the exit (same or enclosing block) and the End precedes it.
+type endCall struct {
+	pos      token.Pos
+	deferred bool
+	blockLo  token.Pos
+	blockHi  token.Pos
+}
+
+// spanWalk accumulates the facts checkFuncSpans needs in one pass over
+// a function body, without descending into nested function literals
+// (those are checked as their own functions).
+type spanWalk struct {
+	info    *types.Info
+	p       *Pass
+	decls   []*spanDecl
+	ends    map[types.Object][]endCall
+	returns []token.Pos
+}
+
+func checkFuncSpans(p *Pass, body *ast.BlockStmt) {
+	w := &spanWalk{info: p.Pkg.Info, p: p, ends: make(map[types.Object][]endCall)}
+	w.list(body, body.List)
+	for _, d := range w.decls {
+		w.checkDecl(d)
+	}
+}
+
+func (w *spanWalk) list(owner ast.Node, list []ast.Stmt) {
+	for i, s := range list {
+		w.stmt(owner, list, i, s)
+	}
+}
+
+func (w *spanWalk) stmt(owner ast.Node, list []ast.Stmt, i int, s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			if fn := beginCall(w.info, st.Rhs[0]); fn != nil {
+				if len(st.Lhs) == 1 {
+					if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if obj := usedObj(w.info, id); obj != nil {
+							w.decls = append(w.decls, &spanDecl{
+								obj: obj, name: id.Name, stmt: st,
+								owner: owner, rest: list[i+1:],
+							})
+							return
+						}
+					}
+				}
+				w.p.Reportf(st.Pos(), "trace.%s result discarded: the span can never be ended", fn.Name())
+			}
+		}
+	case *ast.ExprStmt:
+		if fn := beginCall(w.info, st.X); fn != nil {
+			w.p.Reportf(st.Pos(), "trace.%s result discarded: the span can never be ended", fn.Name())
+			return
+		}
+		if obj := w.endTarget(st.X); obj != nil {
+			w.ends[obj] = append(w.ends[obj], endCall{
+				pos: st.Pos(), blockLo: owner.Pos(), blockHi: owner.End(),
+			})
+		}
+	case *ast.DeferStmt:
+		if obj := w.endTarget(st.Call); obj != nil {
+			w.ends[obj] = append(w.ends[obj], endCall{pos: st.Pos(), deferred: true})
+		}
+		// defer func() { ...; v.End() }() also ends v on every path.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := w.endTarget(call); obj != nil {
+						w.ends[obj] = append(w.ends[obj], endCall{pos: n.Pos(), deferred: true})
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		w.returns = append(w.returns, st.Pos())
+	}
+
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.list(st, st.List)
+	case *ast.IfStmt:
+		w.list(st.Body, st.Body.List)
+		if st.Else != nil {
+			w.stmt(st, nil, 0, st.Else)
+		}
+	case *ast.ForStmt:
+		w.list(st.Body, st.Body.List)
+	case *ast.RangeStmt:
+		w.list(st.Body, st.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.list(cc, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.list(cc, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.list(cc, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(owner, list, i, st.Stmt)
+	}
+}
+
+// endTarget returns the span object e ends, if e is `v.End()` for a
+// tracked span variable.
+func (w *spanWalk) endTarget(e ast.Expr) types.Object {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	fn, ok := w.info.Uses[sel.Sel].(*types.Func)
+	if !ok || !fromPkg(fn, tracePkg) {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return usedObj(w.info, id)
+}
+
+func (w *spanWalk) checkDecl(d *spanDecl) {
+	ends := w.ends[d.obj]
+	var after []endCall
+	for _, e := range ends {
+		if e.deferred && e.pos > d.stmt.Pos() {
+			return // deferred End covers every path out
+		}
+		if e.pos > d.stmt.End() {
+			after = append(after, e)
+		}
+	}
+	if len(after) == 0 {
+		w.p.Reportf(d.stmt.Pos(), "span %s is begun but never ended; operator aggregates would leak the span", d.name)
+		return
+	}
+	dominated := func(exit token.Pos) bool {
+		for _, e := range after {
+			if e.pos < exit && e.blockLo <= exit && exit <= e.blockHi {
+				return true
+			}
+		}
+		return false
+	}
+	line := w.p.Fset.Position(d.stmt.Pos()).Line
+	for _, r := range w.returns {
+		if r > d.stmt.End() && r < d.owner.End() && !dominated(r) {
+			w.p.Reportf(r, "span %s (begun on line %d) is not ended on the path to this return; end it before returning or use defer", d.name, line)
+		}
+	}
+	// Fall-through out of the declaring block (for a loop body: the next
+	// iteration, which would re-begin the span).
+	if n := len(d.rest); n == 0 || !isReturn(d.rest[n-1]) {
+		if !dominated(d.owner.End()) {
+			w.p.Reportf(d.stmt.Pos(), "span %s may leave its block without End; end it unconditionally before the block exits or use defer", d.name)
+		}
+	}
+}
+
+func isReturn(s ast.Stmt) bool {
+	if l, ok := s.(*ast.LabeledStmt); ok {
+		s = l.Stmt
+	}
+	_, ok := s.(*ast.ReturnStmt)
+	return ok
+}

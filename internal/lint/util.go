@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// galoisPkg is the package whose parallel-loop entry points the
+// concurrency rules key on.
+const galoisPkg = "graphstudy/internal/galois"
+
+// kernelPkgs are the packages whose code executes inside kernel call
+// trees: the GraphBLAS kernels, both algorithm suites, and the runtime
+// they run on. The determinism rules apply here.
+var kernelPkgs = []string{
+	"graphstudy/internal/grb",
+	"graphstudy/internal/lagraph",
+	"graphstudy/internal/lonestar",
+	galoisPkg,
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// looking through parentheses and generic instantiation. It returns nil
+// for builtins, conversions, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(f.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(f.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// fromPkg reports whether obj belongs to the package with the given
+// import path.
+func fromPkg(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// usedObj resolves an identifier to the object it uses or defines.
+func usedObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// rootIdent strips parens, selectors, indexes, and unary/star wrappers
+// to the leftmost identifier of an expression: rootIdent(a.b[i].c) = a.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// stmtLists calls fn for every statement list in the file: block
+// bodies plus switch/select clause bodies. Statement-level analyses
+// that care about what follows a statement in its own list use this.
+func stmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			fn(x.List)
+		case *ast.CaseClause:
+			fn(x.Body)
+		case *ast.CommClause:
+			fn(x.Body)
+		}
+		return true
+	})
+}
+
+// isGaloisCtxType reports whether t is (a pointer to) one of the galois
+// loop-context types (Ctx, ForEachCtx). Identifiers of these types do
+// not "bless" an index expression: ctx.TID is worker identity, exactly
+// the schedule-dependent index the sharedwrite rule exists to reject.
+func isGaloisCtxType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return fromPkg(named.Obj(), galoisPkg)
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's result is, or ends with, an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errorType)
+	default:
+		return types.Identical(t, errorType)
+	}
+}

@@ -1,6 +1,7 @@
 package lonestar
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"graphstudy/internal/galois"
@@ -115,10 +116,19 @@ func CCAfforest(g *graph.Graph, opt Options) ([]uint32, error) {
 	for u := 0; u < n; u += step {
 		counts[ccFind(comp, uint32(u))]++
 	}
+	// Pick the most frequent sampled root over a sorted drain of the count
+	// map: ranging the map directly would break count ties by iteration
+	// order, making the phase-3 workload (and the union-find shape it
+	// builds) vary run to run (graphlint: maprange).
+	roots := make([]uint32, 0, len(counts))
+	for root := range counts {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	var giant uint32
 	best := -1
-	for root, cnt := range counts {
-		if cnt > best {
+	for _, root := range roots {
+		if cnt := counts[root]; cnt > best {
 			giant, best = root, cnt
 		}
 	}

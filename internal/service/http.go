@@ -101,7 +101,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Async {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(jobResponse(job)) //nolint:errcheck
+		_ = json.NewEncoder(w).Encode(jobResponse(job)) // best-effort response write
 		return
 	}
 
@@ -266,13 +266,13 @@ func jobResponse(j *Job) RunResponse {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+	_ = json.NewEncoder(w).Encode(v) // best-effort response write
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{ //nolint:errcheck
+	_ = json.NewEncoder(w).Encode(map[string]string{ // best-effort response write
 		"error": fmt.Sprintf(format, args...),
 	})
 }

@@ -210,5 +210,5 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort diagnostics write
+	_ = enc.Encode(r.Snapshot()) // best-effort diagnostics write
 }

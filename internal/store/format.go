@@ -207,7 +207,7 @@ func SaveGSG2(path string, g *graph.Graph, meta map[string]string) error {
 		return err
 	}
 	if err := WriteGSG2(f, g, meta); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one to surface
 		return err
 	}
 	return f.Close()
@@ -258,7 +258,7 @@ func writeU32Section(w io.Writer, s []uint32) error {
 }
 
 func writeHashed(w io.Writer, h hash.Hash32, b []byte) error {
-	h.Write(b) //nolint:errcheck // hash.Hash never errors
+	_, _ = h.Write(b) // hash.Hash documents that Write never errors
 	_, err := w.Write(b)
 	return err
 }

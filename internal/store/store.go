@@ -93,16 +93,16 @@ func (s *Store) Put(name string, g *graph.Graph, meta map[string]string) (Entry,
 		return Entry{}, fmt.Errorf("store: creating temp object: %w", err)
 	}
 	tmpPath := tmp.Name()
-	defer os.Remove(tmpPath) //nolint:errcheck // no-op after successful rename
+	defer os.Remove(tmpPath) // best-effort: no-op after successful rename
 
 	h := sha256.New()
 	if err := WriteGSG2(io.MultiWriter(tmp, h), g, meta); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the encode error is the one to surface
 		return Entry{}, fmt.Errorf("store: encoding %q: %w", name, err)
 	}
 	info, err := tmp.Stat()
 	if err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return Entry{}, err
 	}
 	if err := tmp.Close(); err != nil {
@@ -114,7 +114,7 @@ func (s *Store) Put(name string, g *graph.Graph, meta map[string]string) (Entry,
 	objPath := filepath.Join(s.dir, objRel)
 	if _, statErr := os.Stat(objPath); statErr == nil {
 		// Content already present; the temp copy is redundant.
-		os.Remove(tmpPath) //nolint:errcheck
+		_ = os.Remove(tmpPath)
 	} else if err := os.Rename(tmpPath, objPath); err != nil {
 		return Entry{}, fmt.Errorf("store: placing object: %w", err)
 	}
@@ -286,7 +286,7 @@ func (s *Store) Export(name, path string) error {
 			return err
 		}
 		if _, err := io.Copy(dst, src); err != nil {
-			dst.Close()
+			_ = dst.Close() // the copy error is the one to surface
 			return err
 		}
 		return dst.Close()
@@ -304,7 +304,7 @@ func (s *Store) Export(name, path string) error {
 			write = WriteEdgeList
 		}
 		if err := write(f, g); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one to surface
 			return err
 		}
 		return f.Close()
@@ -335,7 +335,7 @@ func (s *Store) removeUnreferencedLocked(file string) {
 			return
 		}
 	}
-	os.Remove(filepath.Join(s.dir, file)) //nolint:errcheck // best-effort GC
+	_ = os.Remove(filepath.Join(s.dir, file)) // best-effort GC
 }
 
 // validName rejects dataset names that would confuse the manifest, file

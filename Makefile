@@ -6,7 +6,8 @@
 
 GO ?= go
 
-.PHONY: build test race test-parallel check vet lint fmt fuzz-smoke clean
+.PHONY: build test race test-parallel check vet lint fmt fuzz-smoke clean \
+	bench-fresh bench-gate bench-baseline
 
 build:
 	$(GO) build ./...
@@ -22,7 +23,7 @@ test:
 # the LAGraph-style apps that run on them).
 RACE_PKGS = ./internal/service/... ./internal/core/... ./internal/store/... \
 	./internal/trace/... ./internal/verify/... ./internal/galois/... \
-	./internal/grb/... ./internal/lagraph/...
+	./internal/grb/... ./internal/lagraph/... ./internal/loadgen/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -73,6 +74,33 @@ check: build vet lint
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
+
+# Perf gate. bench-fresh regenerates a full BENCH snapshot into
+# $(BENCH_FRESH): the serving half from a seeded graphbench scenario
+# against an in-process graphd, the kernel half from the traced
+# `gentables -exp bench` cell set. bench-gate then compares it against the
+# committed baseline $(BENCH_BASELINE) like a lint pass — one line per
+# violated tolerance, nonzero exit on any finding. Deterministic columns
+# (digests, rounds, bytes, request counts) gate exactly; wall-clock
+# columns get a 10x + 1s floor so CI noise cannot trip them.
+# bench-baseline rewrites the committed baseline — run it (and commit the
+# diff) when a change legitimately moves the numbers.
+BENCH_BASELINE ?= BENCH_6.json
+BENCH_FRESH ?= BENCH_fresh.json
+BENCH_SCENARIO ?= smoke
+
+bench-fresh:
+	rm -f $(BENCH_FRESH)
+	$(GO) run ./cmd/graphbench run -scenario $(BENCH_SCENARIO) -self -json $(BENCH_FRESH)
+	$(GO) run ./cmd/gentables -exp bench -scale test -progress=false -bench-json $(BENCH_FRESH) > /dev/null
+
+bench-gate: bench-fresh
+	$(GO) run ./cmd/graphbench gate -baseline $(BENCH_BASELINE) -fresh $(BENCH_FRESH)
+
+bench-baseline:
+	rm -f $(BENCH_BASELINE)
+	$(GO) run ./cmd/graphbench run -scenario $(BENCH_SCENARIO) -self -json $(BENCH_BASELINE)
+	$(GO) run ./cmd/gentables -exp bench -scale test -progress=false -bench-json $(BENCH_BASELINE) > /dev/null
 
 fmt:
 	gofmt -w .

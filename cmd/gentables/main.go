@@ -7,6 +7,10 @@
 //
 // Every experiment prints an aligned text table to stdout; -csv also writes
 // one CSV per experiment into the given directory.
+//
+// The extra experiment `bench` runs the fixed perf-gate cell set and, with
+// -bench-json, merges the kernel rows into a BENCH_*.json snapshot (see
+// cmd/graphbench for the serving half and `make bench-gate` for the gate).
 package main
 
 import (
@@ -25,16 +29,17 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "table1,table2,table3,table4,table5,figure2,figure3", "comma-separated experiments to run")
-		scale    = flag.String("scale", "bench", "input scale: test or bench")
-		threads  = flag.Int("threads", 4, "worker threads for timed runs")
-		timeout  = flag.Duration("timeout", 120*time.Second, "per-run timeout (study analog: 2h)")
-		reps     = flag.Int("reps", 1, "repetitions averaged per timing (study: 3)")
-		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
-		full     = flag.Bool("full", false, "figure 2: all four largest graphs and threads up to 56")
-		progress = flag.Bool("progress", true, "print progress to stderr")
-		storeDir = flag.String("store", "", "dataset store directory: inputs persist across runs instead of regenerating")
-		trDir    = flag.String("trace", "", "record an operator-level Chrome trace of the whole invocation into this directory")
+		expFlag   = flag.String("exp", "table1,table2,table3,table4,table5,figure2,figure3", "comma-separated experiments to run")
+		scale     = flag.String("scale", "bench", "input scale: test or bench")
+		threads   = flag.Int("threads", 4, "worker threads for timed runs")
+		timeout   = flag.Duration("timeout", 120*time.Second, "per-run timeout (study analog: 2h)")
+		reps      = flag.Int("reps", 1, "repetitions averaged per timing (study: 3)")
+		csvDir    = flag.String("csv", "", "also write CSV files into this directory")
+		full      = flag.Bool("full", false, "figure 2: all four largest graphs and threads up to 56")
+		progress  = flag.Bool("progress", true, "print progress to stderr")
+		storeDir  = flag.String("store", "", "dataset store directory: inputs persist across runs instead of regenerating")
+		trDir     = flag.String("trace", "", "record an operator-level Chrome trace of the whole invocation into this directory")
+		benchJSON = flag.String("bench-json", "", "with -exp bench: merge kernel rows into this BENCH_*.json file")
 	)
 	flag.Parse()
 
@@ -154,6 +159,21 @@ func main() {
 		for _, vs := range bench.Figure3Specs() {
 			t := bench.Figure3(cfg, vs, note)
 			emit("figure3-"+t.Rows[len(t.Rows)-1][0]+"-"+fmt.Sprint(vs.App), t)
+		}
+	}
+	if wanted["bench"] {
+		ks, err := bench.BenchKernels(cfg, note)
+		if err != nil {
+			fatal(err)
+		}
+		emit("bench", bench.BenchTable(ks))
+		if *benchJSON != "" {
+			if err := bench.MergeBenchFile(*benchJSON, func(r *bench.BenchReport) {
+				r.Kernels = ks
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "gentables: kernel bench rows merged into %s\n", *benchJSON)
 		}
 	}
 

@@ -8,6 +8,7 @@
 //	graphd -addr :8080 -workers 4 -queue 64 -cache 128
 //	graphd -data ./datasets -mem-budget 512MB   # persistent, budgeted datasets
 //	graphd -trace-dir ./traces                  # profiling mode: per-run Chrome traces
+//	graphd -record session.jsonl                # capture /v1/run traffic for graphbench replay
 //
 //	curl -d '{"app":"bfs","system":"ls","graph":"rmat22","scale":"test"}' localhost:8080/v1/run
 //	curl -d '{"app":"tc","system":"gb","graph":"rmat22","async":true}' localhost:8080/v1/run
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"graphstudy/internal/gen"
+	"graphstudy/internal/loadgen"
 	"graphstudy/internal/service"
 	"graphstudy/internal/store"
 )
@@ -52,6 +54,7 @@ func main() {
 		dataDir = flag.String("data", "", "dataset store directory (persists graphs, serves imported datasets)")
 		budget  = flag.String("mem-budget", "", "resident graph byte budget, e.g. 512MB (empty or 0 = unlimited)")
 		trDir   = flag.String("trace-dir", "", "profiling mode: record a Chrome trace per run into this directory (serializes executions)")
+		recPath = flag.String("record", "", "append incoming /v1/run requests as a JSONL session log (replay with `graphbench replay`)")
 	)
 	flag.Parse()
 
@@ -95,7 +98,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphd: profiling mode, traces in %s (runs serialized); fetch via /v1/jobs/{id}/trace\n", *trDir)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *recPath != "" {
+		f, err := os.OpenFile(*recPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphd:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec := loadgen.NewRecorder(f)
+		handler = rec.Middleware(handler)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "graphd: %d request(s) recorded to %s\n", rec.Count(), *recPath)
+		}()
+		fmt.Fprintf(os.Stderr, "graphd: recording /v1/run sessions to %s\n", *recPath)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	done := make(chan struct{})
 	//lint:ignore gostmt process-lifetime signal listener: joined via done before main returns, nothing to pool

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/trace"
+)
+
+// benchCell is one (app, system, graph) measurement of the bench
+// experiment.
+type benchCell struct {
+	app   core.App
+	sys   core.System
+	graph string
+}
+
+// benchCells is the fixed offline workload of `gentables -exp bench`:
+// every app on every system on the RMAT input, plus the two
+// road-network-sourced apps on the weighted road graph. Small enough for
+// CI, wide enough that a regression in any app family or either API
+// moves a number.
+func benchCells() []benchCell {
+	var cells []benchCell
+	for _, app := range core.Apps() {
+		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+			cells = append(cells, benchCell{app, sys, "rmat22"})
+		}
+	}
+	for _, app := range []core.App{core.BFS, core.SSSP} {
+		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
+			cells = append(cells, benchCell{app, sys, "road-USA-W"})
+		}
+	}
+	return cells
+}
+
+// BenchKernels runs the offline kernel side of a BENCH_*.json: each cell
+// executes once with a fresh operator trace, and the row records elapsed
+// wall time, summed operator time (grb kernels for the matrix systems,
+// galois regions and loops for Lonestar), bytes materialized, rounds,
+// and the result digest. Runs are sequential — trace installation is
+// process-global — so cells never contend. Any non-OK cell is an error:
+// a bench baseline must be green.
+func BenchKernels(cfg Config, progress func(string)) ([]KernelBench, error) {
+	var out []KernelBench
+	for _, c := range benchCells() {
+		if progress != nil {
+			progress(fmt.Sprintf("bench %v/%v/%s", c.app, c.sys, c.graph))
+		}
+		in, err := gen.ByName(c.graph)
+		if err != nil {
+			return nil, err
+		}
+		release, err := cfg.lease(c.graph, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		tr := trace.New()
+		res := core.Run(core.RunSpec{
+			App: c.app, System: c.sys, Input: in,
+			Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout,
+			Trace: tr,
+		})
+		release()
+		if res.Outcome != core.OK {
+			return nil, fmt.Errorf("bench: cell %v/%v/%s: outcome %v (err %v)",
+				c.app, c.sys, c.graph, res.Outcome, res.Err)
+		}
+		sum := res.Trace
+		opMs := float64(sum.CatTotal(trace.CatKernel)+
+			sum.CatTotal(trace.CatRegion)+
+			sum.CatTotal(trace.CatLoop)) / 1e6
+		out = append(out, KernelBench{
+			App:       c.app.String(),
+			System:    c.sys.String(),
+			Graph:     c.graph,
+			Scale:     cfg.Scale.String(),
+			ElapsedMs: float64(res.Elapsed) / 1e6,
+			KernelMs:  opMs,
+			Rounds:    res.Rounds,
+			Bytes:     sum.Bytes,
+			Check:     fmt.Sprintf("%x", res.Check),
+		})
+	}
+	return out, nil
+}
+
+// BenchTable renders the kernel rows as an aligned table.
+func BenchTable(kernels []KernelBench) *Table {
+	t := NewTable("Bench: per-cell kernel time, bytes materialized, and digests",
+		"app", "sys", "graph", "scale", "elapsed ms", "op ms", "rounds", "bytes", "digest")
+	for _, k := range kernels {
+		t.AddRow(k.App, k.System, k.Graph, k.Scale,
+			fmt.Sprintf("%.2f", k.ElapsedMs),
+			fmt.Sprintf("%.2f", k.KernelMs),
+			fmt.Sprint(k.Rounds),
+			fmt.Sprint(k.Bytes),
+			k.Check)
+	}
+	t.AddNote("op ms sums grb kernel spans plus galois region/loop spans; bytes, rounds, and digests are deterministic and gate exactly")
+	return t
+}

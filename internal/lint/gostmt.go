@@ -4,19 +4,21 @@ import (
 	"go/ast"
 )
 
-// GoStmt confines bare `go` statements to the two packages that own
+// GoStmt confines bare `go` statements to the three packages that own
 // goroutine lifecycles: internal/galois (the parallel runtime, whose
-// executors join every worker before returning) and internal/service
-// (the worker pool, whose admission queue bounds them). Anywhere else a
-// bare goroutine is unbounded, unjoined concurrency the study harness
+// executors join every worker before returning), internal/service (the
+// worker pool, whose admission queue bounds them), and internal/loadgen
+// (the load client, whose open- and closed-loop issuers cap in-flight
+// requests and join every worker before Execute returns). Anywhere else
+// a bare goroutine is unbounded, unjoined concurrency the study harness
 // cannot account for: it escapes the work/span model, the race gates,
 // and graceful shutdown. Use galois.DoAll/ForEach or the service queue;
 // genuinely structural exceptions (a signal listener in main) carry a
 // //lint:ignore with the reason.
 var GoStmt = &Analyzer{
 	Name:    "gostmt",
-	Doc:     "bare go statements outside internal/galois and internal/service",
-	Applies: notInPkgs(galoisPkg, "graphstudy/internal/service"),
+	Doc:     "bare go statements outside internal/galois, internal/service, and internal/loadgen",
+	Applies: notInPkgs(galoisPkg, "graphstudy/internal/service", "graphstudy/internal/loadgen"),
 	Run:     runGoStmt,
 }
 

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphstudy/internal/service"
+)
+
+// Options configures one Execute call.
+type Options struct {
+	// BaseURL is the graphd endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Mode selects issuance: "open" honors each entry's offset as an
+	// arrival time (requests launch on schedule regardless of earlier
+	// completions, up to the in-flight cap); "closed" ignores offsets and
+	// keeps Concurrency workers each issuing the next entry as soon as
+	// the previous one completes.
+	Mode string
+	// Concurrency is the closed-loop worker count, and the in-flight cap
+	// for open-loop issuance (default 4).
+	Concurrency int
+	// Client is the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+}
+
+func (o Options) concurrency() int {
+	if o.Concurrency <= 0 {
+		return 4
+	}
+	return o.Concurrency
+}
+
+func (o Options) client() *http.Client {
+	if o.Client == nil {
+		return http.DefaultClient
+	}
+	return o.Client
+}
+
+// sample is one request's observed result.
+type sample struct {
+	code     int
+	latency  time.Duration
+	outcome  string // body outcome for 200s: "ok", "TO", "ERR"
+	cacheHit bool
+	err      error // transport-level failure
+}
+
+// Execute issues the session against the endpoint and aggregates a
+// Report. Every launched request is joined before Execute returns; the
+// worker goroutines never outlive the call.
+func Execute(entries []Entry, opt Options) (*Report, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty session")
+	}
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: missing base URL")
+	}
+	samples := make([]sample, len(entries))
+	start := time.Now()
+	switch opt.Mode {
+	case "open":
+		executeOpen(entries, opt, samples)
+	case "closed", "":
+		executeClosed(entries, opt, samples)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want open or closed)", opt.Mode)
+	}
+	return buildReport(samples, time.Since(start)), nil
+}
+
+// executeOpen launches each entry at its scheduled offset. The cap on
+// in-flight requests is 8x the configured concurrency — wide enough that
+// a backed-up server sees arrival pressure (the point of open loop), but
+// bounded so a stalled server cannot accumulate goroutines without
+// limit. When the cap is hit, issuance blocks and the schedule slips.
+func executeOpen(entries []Entry, opt Options, samples []sample) {
+	inflight := opt.concurrency() * 8
+	if inflight < 16 {
+		inflight = 16
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range entries {
+		if d := time.Duration(entries[i].Offset)*time.Microsecond - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples[i] = issue(opt, &entries[i])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+}
+
+// executeClosed runs a fixed-size worker pool over the entries in order.
+func executeClosed(entries []Entry, opt Options, samples []sample) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opt.concurrency(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(entries) {
+					return
+				}
+				samples[i] = issue(opt, &entries[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// issue sends one entry and classifies the response.
+func issue(opt Options, e *Entry) sample {
+	req, err := http.NewRequest(e.Method, opt.BaseURL+e.Path, bytes.NewReader(e.Body))
+	if err != nil {
+		return sample{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := opt.client().Do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		return sample{latency: lat, err: err}
+	}
+	defer resp.Body.Close()
+	s := sample{code: resp.StatusCode, latency: lat}
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		var rr service.RunResponse
+		if err := decodeJSON(resp.Body, &rr); err != nil {
+			s.err = err
+			return s
+		}
+		s.outcome = rr.Outcome
+		s.cacheHit = rr.CacheHit
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse; body content irrelevant
+	}
+	return s
+}

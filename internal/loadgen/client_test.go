@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphstudy/internal/service"
+)
+
+// stubServer emulates graphd's /v1/run and /metrics shapes without
+// running real kernels: deterministic responses, optional injected 429s
+// and errors, a call counter.
+type stubServer struct {
+	calls     atomic.Int64
+	rejectMod int64 // every Nth call 429s (0 = never)
+	delay     time.Duration
+}
+
+func (s *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
+		n := s.calls.Add(1)
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
+		var req service.RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if s.rejectMod > 0 && n%s.rejectMod == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		outcome := "ok"
+		if req.App == "to-please" {
+			outcome = "TO"
+		}
+		_ = json.NewEncoder(w).Encode(service.RunResponse{
+			Outcome: outcome, App: req.App, CacheHit: n > 10,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{
+			"requests_total": 48, "runs_total": 10, "queue_rejects": 2,
+			"latency_bfs_ls": {"count": 100, "max_ms": 800.0,
+				"buckets": {"le_1ms": 50, "le_25ms": 49, "le_inf": 1}}
+		}`))
+	})
+	return mux
+}
+
+func TestExecuteClosedLoop(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	entries, err := Plan(Presets()["smoke"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(entries, Options{BaseURL: ts.URL, Mode: "closed", Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != len(entries) || rep.OK != len(entries) {
+		t.Fatalf("requests=%d ok=%d, want both %d", rep.Requests, rep.OK, len(entries))
+	}
+	if got := stub.calls.Load(); got != int64(len(entries)) {
+		t.Fatalf("server saw %d calls, want %d", got, len(entries))
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("stub marks later responses cacheHit; report saw none")
+	}
+	if rep.LatP50Ms <= 0 || rep.LatP99Ms < rep.LatP50Ms || rep.LatMaxMs < rep.LatP99Ms {
+		t.Fatalf("latency distribution disordered: p50=%.3f p99=%.3f max=%.3f",
+			rep.LatP50Ms, rep.LatP99Ms, rep.LatMaxMs)
+	}
+}
+
+func TestExecuteOpenLoopPacing(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	// 20 requests 5ms apart: the run must take at least the schedule's
+	// span (~95ms) but not wildly longer.
+	sc := &Scenario{
+		Name: "paced", Seed: 3, Requests: 20, Mode: "open", RatePerSec: 200,
+		Mix: []MixEntry{{App: "bfs", System: "ls", Graph: "rmat22"}},
+	}
+	entries, err := Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := time.Duration(entries[len(entries)-1].Offset) * time.Microsecond
+	start := time.Now()
+	rep, err := Execute(entries, Options{BaseURL: ts.URL, Mode: "open", Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < span {
+		t.Fatalf("open loop finished in %v, faster than the schedule span %v", elapsed, span)
+	}
+	if rep.OK != sc.Requests {
+		t.Fatalf("ok=%d, want %d", rep.OK, sc.Requests)
+	}
+}
+
+func TestExecuteClassifiesOutcomes(t *testing.T) {
+	stub := &stubServer{rejectMod: 4} // every 4th call 429s
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	sc := &Scenario{
+		Name: "classify", Seed: 5, Requests: 40, Mode: "closed", Concurrency: 2,
+		Mix: []MixEntry{{App: "to-please", System: "ls", Graph: "rmat22"}},
+	}
+	entries, err := Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(entries, Options{BaseURL: ts.URL, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TooMany != 10 {
+		t.Fatalf("429s=%d, want 10", rep.TooMany)
+	}
+	if rep.Timeouts != 30 {
+		t.Fatalf("timeouts=%d, want 30 (every non-429 is a TO)", rep.Timeouts)
+	}
+	if rate := rep.Rate429(); rate < 0.24 || rate > 0.26 {
+		t.Fatalf("429 rate = %.3f, want 0.25", rate)
+	}
+
+	slo := &SLO{Max429Rate: 0.1}
+	if v := slo.Check(rep); len(v) != 1 || !strings.Contains(v[0], "429 rate") {
+		t.Fatalf("SLO violations = %v, want one 429-rate finding", v)
+	}
+	loose := &SLO{Max429Rate: 0.5, MaxErrorRate: 0}
+	if v := loose.Check(rep); len(v) != 0 {
+		t.Fatalf("loose SLO violated: %v", v)
+	}
+}
+
+func TestAttachServerMetrics(t *testing.T) {
+	stub := &stubServer{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	rep := &Report{Requests: 1}
+	if err := rep.AttachServerMetrics(ts.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server["queue_rejects"] != 2 || rep.Server["requests_total"] != 48 {
+		t.Fatalf("server counters = %v", rep.Server)
+	}
+	// 100 observations: 99th lands in the le_25ms bucket (50+49=99).
+	if rep.ServerP99Ms != 25 {
+		t.Fatalf("server p99 bound = %.1fms, want 25ms", rep.ServerP99Ms)
+	}
+}
+
+func TestHistogramP99InfBucket(t *testing.T) {
+	// All observations beyond the last bound: p99 falls back to max_ms.
+	var v any
+	if err := json.Unmarshal([]byte(`{"count": 10, "max_ms": 1234.5,
+		"buckets": {"le_inf": 10}}`), &v); err != nil {
+		t.Fatal(err)
+	}
+	p99, ok := histogramP99(v)
+	if !ok || p99 != 1234.5 {
+		t.Fatalf("p99 = %v ok=%v, want 1234.5", p99, ok)
+	}
+}
+
+func TestSLOLatencyBounds(t *testing.T) {
+	rep := &Report{Requests: 10, OK: 10, LatP50Ms: 5, LatP99Ms: 80, ServerP99Ms: 90}
+	slo := &SLO{MaxP50Ms: 4, MaxP99Ms: 50, MaxServerP99Ms: 60}
+	v := slo.Check(rep)
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want 3 latency findings", v)
+	}
+	pass := &SLO{MaxP50Ms: 10, MaxP99Ms: 100, MaxServerP99Ms: 100}
+	if v := pass.Check(rep); len(v) != 0 {
+		t.Fatalf("passing SLO produced %v", v)
+	}
+}

@@ -1,0 +1,163 @@
+// Package loadgen is the workload-replay and load-generation subsystem
+// for graphd. It turns a small scenario config (an app x graph x scale
+// traffic mix plus an arrival model) into a deterministic, seeded request
+// schedule, drives a graphd HTTP endpoint with it in open-loop (fixed
+// arrival rate) or closed-loop (fixed concurrency) mode, and evaluates
+// SLO bounds against both the client-side latency distribution and the
+// server's /metrics histograms.
+//
+// The same JSONL session schema serves three roles: the planned schedule
+// a scenario expands to (byte-identical for a given seed, so a perf
+// baseline names an exact request sequence), the capture graphd writes
+// with -record, and the input `graphbench replay` reissues with original
+// or scaled pacing. cmd/graphbench is the CLI; internal/bench's
+// BenchReport embeds the resulting serving-path numbers next to the
+// kernel-path numbers so `make bench-gate` can compare one file against
+// a committed BENCH_*.json baseline.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MixEntry is one weighted request template of a scenario's traffic mix.
+type MixEntry struct {
+	// App, System, Variant, and Graph name the run exactly as the
+	// /v1/run body does.
+	App     string `json:"app"`
+	System  string `json:"system"`
+	Variant string `json:"variant,omitempty"`
+	Graph   string `json:"graph"`
+	// Weight is the entry's relative share of the mix (default 1).
+	Weight int `json:"weight,omitempty"`
+}
+
+// Scenario is the load-generation config: what traffic to send and how
+// to pace it. Scenarios are deliberately small JSON documents so a perf
+// baseline can name one exactly.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed drives every random choice (mix selection, inter-arrival
+	// gaps). The same seed always expands to the same schedule.
+	Seed uint64 `json:"seed"`
+	// Requests is the total number of requests the scenario issues.
+	Requests int `json:"requests"`
+	// Mode selects the arrival model: "open" issues requests at
+	// RatePerSec regardless of completions (fixed arrival rate),
+	// "closed" keeps Concurrency requests in flight (fixed concurrency).
+	Mode string `json:"mode"`
+	// RatePerSec is the open-loop arrival rate; inter-arrival gaps are
+	// exponential with this mean rate.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Concurrency is the closed-loop worker count, and caps in-flight
+	// requests in open-loop mode (default 4).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Scale and Timeout are copied into every request body ("test" or
+	// "bench"; a Go duration string).
+	Scale   string `json:"scale,omitempty"`
+	Timeout string `json:"timeout,omitempty"`
+	// Mix is the weighted set of request templates.
+	Mix []MixEntry `json:"mix"`
+	// SLO, when set, is asserted against the run's report.
+	SLO *SLO `json:"slo,omitempty"`
+}
+
+// Validate checks the scenario for the errors that would otherwise
+// surface mid-run.
+func (sc *Scenario) Validate() error {
+	if sc.Requests <= 0 {
+		return fmt.Errorf("loadgen: scenario %q: requests must be positive", sc.Name)
+	}
+	switch sc.Mode {
+	case "open":
+		if sc.RatePerSec <= 0 {
+			return fmt.Errorf("loadgen: scenario %q: open-loop mode needs rate_per_sec > 0", sc.Name)
+		}
+	case "closed":
+	default:
+		return fmt.Errorf("loadgen: scenario %q: mode %q (want open or closed)", sc.Name, sc.Mode)
+	}
+	if len(sc.Mix) == 0 {
+		return fmt.Errorf("loadgen: scenario %q: empty mix", sc.Name)
+	}
+	for i, m := range sc.Mix {
+		if m.App == "" || m.System == "" || m.Graph == "" {
+			return fmt.Errorf("loadgen: scenario %q: mix[%d] needs app, system, and graph", sc.Name, i)
+		}
+		if m.Weight < 0 {
+			return fmt.Errorf("loadgen: scenario %q: mix[%d] has negative weight", sc.Name, i)
+		}
+	}
+	return nil
+}
+
+// concurrency returns the effective worker count.
+func (sc *Scenario) concurrency() int {
+	if sc.Concurrency <= 0 {
+		return 4
+	}
+	return sc.Concurrency
+}
+
+// smokeMix is the fast, cache-diverse CI mix: every app family, two
+// graphs, all three systems represented, everything test-scale quick.
+var smokeMix = []MixEntry{
+	{App: "bfs", System: "ls", Graph: "rmat22", Weight: 3},
+	{App: "bfs", System: "gb", Graph: "rmat22", Weight: 2},
+	{App: "bfs", System: "ss", Graph: "road-USA-W", Weight: 1},
+	{App: "cc", System: "ls", Graph: "rmat22", Weight: 2},
+	{App: "cc", System: "gb", Graph: "rmat22", Weight: 1},
+	{App: "pr", System: "gb", Graph: "rmat22", Weight: 2},
+	{App: "tc", System: "ls", Graph: "rmat22", Weight: 2},
+	{App: "sssp", System: "ls", Graph: "road-USA-W", Weight: 2},
+}
+
+// Presets returns the built-in scenarios by name.
+func Presets() map[string]*Scenario {
+	return map[string]*Scenario{
+		// smoke is the CI scenario: closed-loop, small, seeded, with
+		// bounds loose enough to pass on a noisy shared runner.
+		"smoke": {
+			Name: "smoke", Seed: 42, Requests: 48, Mode: "closed",
+			Concurrency: 4, Scale: "test", Timeout: "60s", Mix: smokeMix,
+			SLO: &SLO{MaxErrorRate: 0, Max429Rate: 0.5},
+		},
+		// steady is an open-loop arrival stream at a modest fixed rate;
+		// useful for watching queue depth and Retry-After behavior.
+		"steady": {
+			Name: "steady", Seed: 42, Requests: 200, Mode: "open",
+			RatePerSec: 50, Concurrency: 16, Scale: "test", Timeout: "60s",
+			Mix: smokeMix,
+			SLO: &SLO{MaxErrorRate: 0},
+		},
+		// mixed is a longer closed-loop soak over the same mix.
+		"mixed": {
+			Name: "mixed", Seed: 42, Requests: 400, Mode: "closed",
+			Concurrency: 8, Scale: "test", Timeout: "120s", Mix: smokeMix,
+			SLO: &SLO{MaxErrorRate: 0},
+		},
+	}
+}
+
+// LoadScenario resolves nameOrPath: a preset name first, then a JSON
+// file path.
+func LoadScenario(nameOrPath string) (*Scenario, error) {
+	if sc, ok := Presets()[nameOrPath]; ok {
+		cp := *sc
+		return &cp, nil
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %q is neither a preset nor a readable scenario file: %w", nameOrPath, err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing scenario %s: %w", nameOrPath, err)
+	}
+	if sc.Name == "" {
+		sc.Name = nameOrPath
+	}
+	return &sc, sc.Validate()
+}

@@ -1,0 +1,266 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphstudy/internal/bench"
+)
+
+// Report aggregates one load run: outcome counts, the client-side
+// latency distribution, throughput, and (when fetched) the server-side
+// view from /metrics. It is the serving-path half of a BENCH_*.json.
+type Report struct {
+	Scenario string `json:"scenario,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+
+	Requests  int `json:"requests"`
+	OK        int `json:"ok"`
+	Timeouts  int `json:"timeouts"`   // 200s whose body outcome was TO
+	Errors    int `json:"errors"`     // transport failures, 5xx, body ERR
+	TooMany   int `json:"too_many"`   // 429 admission rejections
+	CacheHits int `json:"cache_hits"` // client-visible cacheHit responses
+
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	LatMeanMs float64 `json:"lat_mean_ms"`
+	LatP50Ms  float64 `json:"lat_p50_ms"`
+	LatP90Ms  float64 `json:"lat_p90_ms"`
+	LatP99Ms  float64 `json:"lat_p99_ms"`
+	LatMaxMs  float64 `json:"lat_max_ms"`
+
+	// ServerP99Ms is the worst per-workload p99 upper bound derived from
+	// the server's latency_* histogram buckets (0 when not fetched).
+	ServerP99Ms float64 `json:"server_p99_ms,omitempty"`
+	// Server carries the interesting /metrics counters verbatim.
+	Server map[string]int64 `json:"server,omitempty"`
+
+	// Violations are the SLO findings; empty means the run passed.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ErrorRate returns failed requests as a fraction of all requests.
+func (r *Report) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// Rate429 returns admission rejections as a fraction of all requests.
+func (r *Report) Rate429() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.TooMany) / float64(r.Requests)
+}
+
+func buildReport(samples []sample, elapsed time.Duration) *Report {
+	rep := &Report{Requests: len(samples)}
+	lats := make([]time.Duration, 0, len(samples))
+	var sum time.Duration
+	for i := range samples {
+		s := &samples[i]
+		switch {
+		case s.err != nil:
+			rep.Errors++
+		case s.code == http.StatusTooManyRequests:
+			rep.TooMany++
+		case s.code >= 500:
+			rep.Errors++
+		case s.outcome == "TO":
+			rep.Timeouts++
+		case s.outcome == "ok":
+			rep.OK++
+		default:
+			rep.Errors++
+		}
+		if s.cacheHit {
+			rep.CacheHits++
+		}
+		if s.err == nil {
+			lats = append(lats, s.latency)
+			sum += s.latency
+		}
+	}
+	rep.ElapsedMs = ms(elapsed)
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.LatMeanMs = ms(sum / time.Duration(len(lats)))
+		rep.LatP50Ms = ms(quantile(lats, 0.50))
+		rep.LatP90Ms = ms(quantile(lats, 0.90))
+		rep.LatP99Ms = ms(quantile(lats, 0.99))
+		rep.LatMaxMs = ms(lats[len(lats)-1])
+	}
+	return rep
+}
+
+// quantile returns the q-th quantile of sorted latencies (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// serverCounters are the /metrics counters a report carries along for
+// the bench gate: admission pressure, dedup and cache effectiveness.
+var serverCounters = []string{
+	"requests_total", "runs_total", "queue_rejects",
+	"dedup_hits", "cache_hits", "cache_misses", "cache_evictions",
+}
+
+// AttachServerMetrics fetches the endpoint's /metrics snapshot and fills
+// the report's server-side fields: the counters above and the worst
+// latency_* histogram p99 upper bound. The SLO layer asserts against
+// these alongside the client-side distribution.
+func (r *Report) AttachServerMetrics(baseURL string, client *http.Client) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("loadgen: fetching metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := decodeJSON(resp.Body, &snap); err != nil {
+		return fmt.Errorf("loadgen: parsing metrics: %w", err)
+	}
+	r.Server = map[string]int64{}
+	for _, name := range serverCounters {
+		if v, ok := snap[name].(float64); ok {
+			r.Server[name] = int64(v)
+		}
+	}
+	for name, v := range snap {
+		if !strings.HasPrefix(name, "latency_") {
+			continue
+		}
+		if p99, ok := histogramP99(v); ok && p99 > r.ServerP99Ms {
+			r.ServerP99Ms = p99
+		}
+	}
+	return nil
+}
+
+// histogramP99 extracts an upper bound on the p99 from one exported
+// histogram: the smallest bucket bound at which the cumulative count
+// reaches 99%. The le_inf bucket falls back to max_ms, which the export
+// also carries.
+func histogramP99(v any) (float64, bool) {
+	h, ok := v.(map[string]any)
+	if !ok {
+		return 0, false
+	}
+	count, _ := h["count"].(float64)
+	if count == 0 {
+		return 0, false
+	}
+	buckets, ok := h["buckets"].(map[string]any)
+	if !ok {
+		return 0, false
+	}
+	type bound struct {
+		ms float64
+		n  float64
+	}
+	var bs []bound
+	var infCount float64
+	for k, raw := range buckets {
+		n, _ := raw.(float64)
+		if k == "le_inf" {
+			infCount = n
+			continue
+		}
+		d, err := time.ParseDuration(strings.TrimPrefix(k, "le_"))
+		if err != nil {
+			continue
+		}
+		bs = append(bs, bound{ms: ms(d), n: n})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].ms < bs[j].ms })
+	need := 0.99 * count
+	var cum float64
+	for _, b := range bs {
+		cum += b.n
+		if cum >= need {
+			return b.ms, true
+		}
+	}
+	if infCount > 0 {
+		if maxMs, ok := h["max_ms"].(float64); ok {
+			return maxMs, true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the report as an aligned table matching the repo's other
+// experiment outputs.
+func (r *Report) Table() *bench.Table {
+	t := bench.NewTable(fmt.Sprintf("Load run: scenario %s (seed %d, %s loop)", r.Scenario, r.Seed, r.Mode),
+		"metric", "value")
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("requests", strconv.Itoa(r.Requests))
+	add("ok", strconv.Itoa(r.OK))
+	add("timeouts", strconv.Itoa(r.Timeouts))
+	add("errors", strconv.Itoa(r.Errors))
+	add("429s", strconv.Itoa(r.TooMany))
+	add("cache hits", strconv.Itoa(r.CacheHits))
+	add("elapsed", fmt.Sprintf("%.1f ms", r.ElapsedMs))
+	add("throughput", fmt.Sprintf("%.1f req/s", r.ThroughputRPS))
+	add("latency mean", fmt.Sprintf("%.2f ms", r.LatMeanMs))
+	add("latency p50", fmt.Sprintf("%.2f ms", r.LatP50Ms))
+	add("latency p90", fmt.Sprintf("%.2f ms", r.LatP90Ms))
+	add("latency p99", fmt.Sprintf("%.2f ms", r.LatP99Ms))
+	add("latency max", fmt.Sprintf("%.2f ms", r.LatMaxMs))
+	if r.ServerP99Ms > 0 {
+		add("server p99 (histogram bound)", fmt.Sprintf("%.2f ms", r.ServerP99Ms))
+	}
+	for _, name := range serverCounters {
+		if v, ok := r.Server[name]; ok {
+			add("server "+name, strconv.FormatInt(v, 10))
+		}
+	}
+	if len(r.Violations) == 0 {
+		t.AddNote("SLO: pass")
+	} else {
+		for _, v := range r.Violations {
+			t.AddNote("SLO violation: %s", v)
+		}
+	}
+	return t
+}
+
+// decodeJSON decodes one JSON document and drains the remainder so the
+// HTTP connection can be reused.
+func decodeJSON(r io.Reader, out any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(out); err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, dec.Buffered()) // best-effort drain
+	_, _ = io.Copy(io.Discard, r)
+	return nil
+}

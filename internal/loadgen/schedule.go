@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"graphstudy/internal/service"
+)
+
+// rng is a splitmix64 generator, the same tiny deterministic PRNG
+// internal/gen uses for graph generation. math/rand would work here (the
+// nondet rule scopes to kernel packages), but splitmix keeps schedules
+// byte-identical across Go releases, which the perf baseline depends on.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64v returns a uniform value in (0, 1]; never 0, so it is safe
+// under a logarithm.
+func (r *rng) float64v() float64 {
+	return (float64(r.next()>>11) + 1) / float64(1<<53)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Plan expands a scenario into its deterministic request schedule. The
+// same (scenario, seed) always yields the same entries; WriteSession of
+// the result is byte-identical across runs, so a recorded plan is an
+// exact, diffable artifact.
+//
+// Open-loop schedules carry exponential inter-arrival gaps at the
+// scenario's rate; closed-loop schedules carry offset 0 everywhere (the
+// workers issue each next request the moment one frees up, so pacing is
+// the completion process, not the plan).
+func Plan(sc *Scenario) ([]Entry, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, m := range sc.Mix {
+		w := m.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: scenario %q: mix has zero total weight", sc.Name)
+	}
+
+	r := newRNG(sc.Seed)
+	entries := make([]Entry, 0, sc.Requests)
+	var offset float64 // microseconds
+	for i := 0; i < sc.Requests; i++ {
+		pick := r.intn(total)
+		var m MixEntry
+		for _, cand := range sc.Mix {
+			w := cand.Weight
+			if w == 0 {
+				w = 1
+			}
+			if pick < w {
+				m = cand
+				break
+			}
+			pick -= w
+		}
+		body, err := json.Marshal(service.RunRequest{
+			App:     m.App,
+			System:  m.System,
+			Variant: m.Variant,
+			Graph:   m.Graph,
+			Scale:   sc.Scale,
+			Timeout: sc.Timeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: encoding request %d: %w", i, err)
+		}
+		e := Entry{Method: "POST", Path: "/v1/run", Body: body}
+		if sc.Mode == "open" {
+			e.Offset = int64(offset)
+			offset += -math.Log(r.float64v()) / sc.RatePerSec * 1e6
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

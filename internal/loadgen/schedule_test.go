@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"graphstudy/internal/service"
+)
+
+// TestPlanDeterministic is the acceptance property the perf baseline
+// rests on: the same (scenario, seed) expands to a byte-identical
+// recorded session, run after run.
+func TestPlanDeterministic(t *testing.T) {
+	for name, sc := range Presets() {
+		a, err := Plan(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Plan(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var bufA, bufB bytes.Buffer
+		if err := WriteSession(&bufA, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSession(&bufB, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Fatalf("%s: two plans of the same seed differ", name)
+		}
+		if len(a) != sc.Requests {
+			t.Fatalf("%s: %d entries, want %d", name, len(a), sc.Requests)
+		}
+	}
+}
+
+// TestPlanSeedChangesSchedule: different seeds must actually produce
+// different schedules (the determinism above is not a constant).
+func TestPlanSeedChangesSchedule(t *testing.T) {
+	sc := Presets()["smoke"]
+	a, err := Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := *sc
+	sc2.Seed = 43
+	b, err := Plan(&sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := WriteSession(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSession(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("seed 42 and 43 produced identical schedules")
+	}
+}
+
+// TestPlanMixProportions: weighted templates appear in roughly their
+// weight share over a long schedule.
+func TestPlanMixProportions(t *testing.T) {
+	sc := &Scenario{
+		Name: "prop", Seed: 7, Requests: 20000, Mode: "closed",
+		Mix: []MixEntry{
+			{App: "bfs", System: "ls", Graph: "rmat22", Weight: 3},
+			{App: "pr", System: "gb", Graph: "rmat22", Weight: 1},
+		},
+	}
+	entries, err := Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range entries {
+		var rr service.RunRequest
+		if err := json.Unmarshal(e.Body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		counts[rr.App]++
+	}
+	frac := float64(counts["bfs"]) / float64(sc.Requests)
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("bfs share = %.3f, want ~0.75 (counts %v)", frac, counts)
+	}
+}
+
+// TestPlanOpenOffsets: open-loop offsets are non-decreasing and their
+// mean gap matches the configured rate.
+func TestPlanOpenOffsets(t *testing.T) {
+	sc := &Scenario{
+		Name: "open", Seed: 11, Requests: 5000, Mode: "open", RatePerSec: 100,
+		Mix: []MixEntry{{App: "bfs", System: "ls", Graph: "rmat22"}},
+	}
+	entries, err := Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Offset != 0 {
+		t.Fatalf("first offset = %d, want 0", entries[0].Offset)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Offset < entries[i-1].Offset {
+			t.Fatalf("offset %d decreased: %d after %d", i, entries[i].Offset, entries[i-1].Offset)
+		}
+	}
+	// Mean inter-arrival gap should be ~1/rate = 10ms = 10000us.
+	last := entries[len(entries)-1].Offset
+	mean := float64(last) / float64(len(entries)-1)
+	if mean < 9000 || mean > 11000 {
+		t.Fatalf("mean gap = %.0fus, want ~10000us", mean)
+	}
+}
+
+// TestPlanClosedOffsetsZero: closed-loop plans carry no pacing.
+func TestPlanClosedOffsetsZero(t *testing.T) {
+	entries, err := Plan(Presets()["smoke"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if e.Offset != 0 {
+			t.Fatalf("entry %d offset = %d, want 0 in closed mode", i, e.Offset)
+		}
+	}
+}
+
+// TestScenarioValidation rejects the configs that would fail mid-run.
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Name: "a", Requests: 0, Mode: "closed", Mix: smokeMix},
+		{Name: "b", Requests: 1, Mode: "sideways", Mix: smokeMix},
+		{Name: "c", Requests: 1, Mode: "open", RatePerSec: 0, Mix: smokeMix},
+		{Name: "d", Requests: 1, Mode: "closed"},
+		{Name: "e", Requests: 1, Mode: "closed", Mix: []MixEntry{{App: "bfs"}}},
+		{Name: "f", Requests: 1, Mode: "closed", Mix: []MixEntry{{App: "bfs", System: "ls", Graph: "g", Weight: -1}}},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("scenario %q validated, want error", sc.Name)
+		}
+	}
+	for name, sc := range Presets() {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("preset %q failed validation: %v", name, err)
+		}
+	}
+}
+
+func TestScaleOffsets(t *testing.T) {
+	in := []Entry{{Offset: 0}, {Offset: 1000}, {Offset: 4000}}
+	half := ScaleOffsets(in, 2)
+	if half[1].Offset != 500 || half[2].Offset != 2000 {
+		t.Fatalf("pace 2: got %d,%d want 500,2000", half[1].Offset, half[2].Offset)
+	}
+	none := ScaleOffsets(in, 0)
+	for i, e := range none {
+		if e.Offset != 0 {
+			t.Fatalf("pace 0 entry %d offset = %d, want 0", i, e.Offset)
+		}
+	}
+	if in[1].Offset != 1000 {
+		t.Fatal("ScaleOffsets mutated its input")
+	}
+}

@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Entry is one request of a session: the schedule a scenario expands to,
+// the line graphd appends with -record, and the unit replay reissues.
+// Capture and replay share this one schema.
+type Entry struct {
+	// Offset is the arrival time in microseconds from session start.
+	// Planned schedules carry the generator's intended offsets; recorded
+	// sessions carry observed arrival offsets (first request = 0).
+	Offset int64  `json:"offset_us"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Body is the request body, compacted. For /v1/run this is the
+	// RunRequest JSON.
+	Body json.RawMessage `json:"body"`
+}
+
+// WriteSession writes entries as JSONL: one compact JSON object per
+// line. Encoding a planned schedule is deterministic — same entries,
+// byte-identical output — which is what lets a perf baseline pin an
+// exact request sequence.
+func WriteSession(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("loadgen: encoding session entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSession parses a JSONL session log. Blank lines are skipped;
+// entries must arrive in non-decreasing offset order (both the planner
+// and the recorder write them that way).
+func ReadSession(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("loadgen: session line %d: %w", line, err)
+		}
+		if e.Method == "" || e.Path == "" {
+			return nil, fmt.Errorf("loadgen: session line %d: missing method or path", line)
+		}
+		if n := len(out); n > 0 && e.Offset < out[n-1].Offset {
+			return nil, fmt.Errorf("loadgen: session line %d: offset went backwards (%d after %d)",
+				line, e.Offset, out[n-1].Offset)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading session: %w", err)
+	}
+	return out, nil
+}
+
+// ScaleOffsets returns a copy of entries with every offset divided by
+// pace: pace 2 replays a session twice as fast, pace 0 (or negative)
+// drops pacing entirely (offset 0 for all — issue as fast as the
+// arrival model allows).
+func ScaleOffsets(entries []Entry, pace float64) []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	for i := range out {
+		if pace <= 0 {
+			out[i].Offset = 0
+		} else {
+			out[i].Offset = int64(float64(out[i].Offset) / pace)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSessionRoundTrip(t *testing.T) {
+	entries, err := Plan(Presets()["steady"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSession(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip: %d entries, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i].Offset != entries[i].Offset ||
+			back[i].Method != entries[i].Method ||
+			back[i].Path != entries[i].Path ||
+			!bytes.Equal(back[i].Body, entries[i].Body) {
+			t.Fatalf("entry %d changed in round trip: %+v != %+v", i, back[i], entries[i])
+		}
+	}
+}
+
+func TestReadSessionSkipsBlankLines(t *testing.T) {
+	in := `{"offset_us":0,"method":"POST","path":"/v1/run","body":{"app":"bfs"}}
+
+{"offset_us":5,"method":"POST","path":"/v1/run","body":{"app":"cc"}}
+`
+	entries, err := ReadSession(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(entries))
+	}
+}
+
+func TestReadSessionRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":         "not json at all\n",
+		"missing method":   `{"offset_us":0,"path":"/v1/run","body":{}}` + "\n",
+		"missing path":     `{"offset_us":0,"method":"POST","body":{}}` + "\n",
+		"offset backwards": `{"offset_us":9,"method":"POST","path":"/v1/run","body":{}}` + "\n" + `{"offset_us":3,"method":"POST","path":"/v1/run","body":{}}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSession(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: parsed, want error", name)
+		}
+	}
+}

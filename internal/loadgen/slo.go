@@ -1,0 +1,48 @@
+package loadgen
+
+import "fmt"
+
+// SLO bounds a load run. Zero-valued fields are not asserted, except
+// MaxErrorRate and Max429Rate, whose zero means "none allowed" when the
+// SLO is present at all — an absent SLO asserts nothing.
+type SLO struct {
+	// MaxP50Ms / MaxP99Ms bound the client-side latency distribution.
+	MaxP50Ms float64 `json:"max_p50_ms,omitempty"`
+	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
+	// MaxServerP99Ms bounds the p99 upper bound derived from the
+	// server's /metrics latency histograms.
+	MaxServerP99Ms float64 `json:"max_server_p99_ms,omitempty"`
+	// MaxErrorRate bounds transport failures + 5xx + ERR outcomes as a
+	// fraction of requests.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// Max429Rate bounds admission rejections as a fraction of requests.
+	// Closed-loop clients that respect Retry-After should sit well under
+	// any sane bound; open loop at an over-capacity rate will not.
+	Max429Rate float64 `json:"max_429_rate"`
+}
+
+// Check evaluates the SLO against a report and returns one finding per
+// violated bound, formatted like lint findings: measured vs bound.
+func (s *SLO) Check(r *Report) []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	f := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	if s.MaxP50Ms > 0 && r.LatP50Ms > s.MaxP50Ms {
+		f("client p50 %.2fms exceeds bound %.2fms", r.LatP50Ms, s.MaxP50Ms)
+	}
+	if s.MaxP99Ms > 0 && r.LatP99Ms > s.MaxP99Ms {
+		f("client p99 %.2fms exceeds bound %.2fms", r.LatP99Ms, s.MaxP99Ms)
+	}
+	if s.MaxServerP99Ms > 0 && r.ServerP99Ms > s.MaxServerP99Ms {
+		f("server p99 bound %.2fms exceeds SLO %.2fms", r.ServerP99Ms, s.MaxServerP99Ms)
+	}
+	if rate := r.ErrorRate(); rate > s.MaxErrorRate {
+		f("error rate %.3f (%d/%d) exceeds bound %.3f", rate, r.Errors, r.Requests, s.MaxErrorRate)
+	}
+	if rate := r.Rate429(); rate > s.Max429Rate {
+		f("429 rate %.3f (%d/%d) exceeds bound %.3f", rate, r.TooMany, r.Requests, s.Max429Rate)
+	}
+	return out
+}

@@ -89,7 +89,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	job, err := s.Submit(spec)
 	if errors.Is(err, ErrQueueFull) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
 		return
 	}
@@ -117,7 +117,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if errors.Is(res.Err, ErrQueueFull) {
 		// This waiter was deduplicated onto a submission that lost the
 		// admission race; give it the same backpressure signal.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
 		return
 	}

@@ -1,0 +1,196 @@
+// Loadgen-driven concurrency tests for the serving path: internal/loadgen
+// generates the traffic, so these exercise the same admission/dedup/cache
+// seams a real graphbench run hits. The package is service_test because
+// loadgen imports service (the external test package breaks the cycle).
+// internal/service is in the race-detector set, so these run under -race.
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/loadgen"
+	"graphstudy/internal/service"
+)
+
+// countingRunner is a stub Runner: instant deterministic results keyed by
+// spec, with an invocation count per key. No kernels run, so these tests
+// isolate the serving layers.
+type countingRunner struct {
+	mu    sync.Mutex
+	runs  map[string]int
+	delay time.Duration
+}
+
+func newCountingRunner(delay time.Duration) *countingRunner {
+	return &countingRunner{runs: map[string]int{}, delay: delay}
+}
+
+func (c *countingRunner) key(spec core.RunSpec) string {
+	return fmt.Sprintf("%v/%v/%s", spec.App, spec.System, spec.Input.Name)
+}
+
+func (c *countingRunner) run(_ context.Context, spec core.RunSpec) core.Result {
+	c.mu.Lock()
+	c.runs[c.key(spec)]++
+	c.mu.Unlock()
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return core.Result{
+		Spec: spec, Outcome: core.OK,
+		Value: c.key(spec), Check: 42,
+	}
+}
+
+func (c *countingRunner) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.runs {
+		n += v
+	}
+	return n
+}
+
+func (c *countingRunner) distinct() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// bootServer starts a service with the runner stub and returns its URL.
+func bootServer(t *testing.T, cfg service.Config) (string, *service.Server) {
+	t.Helper()
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts.URL, srv
+}
+
+func runScenario(t *testing.T, url string, sc *loadgen.Scenario) *loadgen.Report {
+	t.Helper()
+	entries, err := loadgen.Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Execute(entries, loadgen.Options{
+		BaseURL: url, Mode: sc.Mode, Concurrency: sc.Concurrency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.AttachServerMetrics(url, nil); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestLoadIdenticalRequestsRunOnce: a closed-loop burst of identical
+// requests must execute the underlying run exactly once — concurrent
+// arrivals share the in-flight job (singleflight) and later arrivals hit
+// the cache; the cache is populated before the job leaves the dedup map,
+// so there is no window where a duplicate run can slip through.
+func TestLoadIdenticalRequestsRunOnce(t *testing.T) {
+	runner := newCountingRunner(5 * time.Millisecond)
+	url, _ := bootServer(t, service.Config{Workers: 4, QueueDepth: 64, Runner: runner.run})
+
+	rep := runScenario(t, url, &loadgen.Scenario{
+		Name: "identical", Seed: 7, Requests: 64, Mode: "closed", Concurrency: 8,
+		Scale: "test",
+		Mix:   []loadgen.MixEntry{{App: "bfs", System: "ls", Graph: "rmat22"}},
+	})
+
+	if rep.OK != 64 || rep.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want 64/0", rep.OK, rep.Errors)
+	}
+	if n := runner.total(); n != 1 {
+		t.Fatalf("underlying run executed %d times for identical traffic, want exactly 1", n)
+	}
+	if got := rep.Server["dedup_hits"] + rep.Server["cache_hits"]; got != 63 {
+		t.Fatalf("dedup_hits + cache_hits = %d, want 63 (every request but the first)", got)
+	}
+}
+
+// TestLoadCacheHitRateMonotone: replaying the same seeded scenario
+// against a warm server can only raise the cumulative hit rate — each
+// pass re-requests keys the previous pass already cached.
+func TestLoadCacheHitRateMonotone(t *testing.T) {
+	runner := newCountingRunner(0)
+	url, _ := bootServer(t, service.Config{Workers: 2, QueueDepth: 64, CacheSize: 128, Runner: runner.run})
+
+	sc := &loadgen.Scenario{
+		Name: "mono", Seed: 42, Requests: 48, Mode: "closed", Concurrency: 4,
+		Scale: "test",
+		Mix: []loadgen.MixEntry{
+			{App: "bfs", System: "ls", Graph: "rmat22", Weight: 3},
+			{App: "cc", System: "gb", Graph: "rmat22", Weight: 2},
+			{App: "tc", System: "ls", Graph: "rmat22", Weight: 2},
+			{App: "sssp", System: "ls", Graph: "road-USA-W", Weight: 1},
+		},
+	}
+	var prevRate float64
+	for pass := 1; pass <= 3; pass++ {
+		rep := runScenario(t, url, sc)
+		if rep.Errors != 0 {
+			t.Fatalf("pass %d: %d errors", pass, rep.Errors)
+		}
+		total := rep.Server["requests_total"]
+		rate := float64(rep.Server["cache_hits"]) / float64(total)
+		if rate < prevRate {
+			t.Fatalf("pass %d: cumulative hit rate fell %.3f -> %.3f", pass, prevRate, rate)
+		}
+		prevRate = rate
+		if pass > 1 && rep.CacheHits != rep.Requests {
+			t.Fatalf("pass %d: warm cache served %d/%d requests as hits", pass, rep.CacheHits, rep.Requests)
+		}
+	}
+	if n, d := runner.total(), runner.distinct(); n != d {
+		t.Fatalf("warm passes re-ran work: %d runs for %d distinct keys", n, d)
+	}
+}
+
+// TestLoadEvictionAtSmallCache: with a 2-entry cache under a 4-key mix,
+// evictions must occur, evicted keys must re-run (no stale or corrupt
+// results), and the cache never exceeds its bound.
+func TestLoadEvictionAtSmallCache(t *testing.T) {
+	runner := newCountingRunner(0)
+	url, srv := bootServer(t, service.Config{Workers: 2, QueueDepth: 64, CacheSize: 2, Runner: runner.run})
+
+	rep := runScenario(t, url, &loadgen.Scenario{
+		Name: "evict", Seed: 9, Requests: 120, Mode: "closed", Concurrency: 4,
+		Scale: "test",
+		Mix: []loadgen.MixEntry{
+			{App: "bfs", System: "ls", Graph: "rmat22"},
+			{App: "cc", System: "ls", Graph: "rmat22"},
+			{App: "tc", System: "ls", Graph: "rmat22"},
+			{App: "pr", System: "ls", Graph: "rmat22"},
+		},
+	})
+
+	if rep.OK != 120 || rep.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d, want 120/0", rep.OK, rep.Errors)
+	}
+	if rep.Server["cache_evictions"] == 0 {
+		t.Fatal("4 keys through a 2-entry cache produced no evictions")
+	}
+	if n := runner.total(); n <= runner.distinct() {
+		t.Fatalf("evicted keys never re-ran: %d runs for %d keys", n, runner.distinct())
+	}
+	// The counters stay consistent: every admitted request either hit the
+	// cache, attached to an in-flight job, or caused a run.
+	m := rep.Server
+	if m["cache_hits"]+m["dedup_hits"]+m["runs_total"] != m["requests_total"] {
+		t.Fatalf("counter imbalance: hits %d + dedup %d + runs %d != requests %d",
+			m["cache_hits"], m["dedup_hits"], m["runs_total"], m["requests_total"])
+	}
+	// And the cache itself respected its bound.
+	if got := srv.Metrics(); got == nil {
+		t.Fatal("metrics registry missing")
+	}
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"math"
+	"strconv"
+	"time"
+)
+
+// retryAfterHint estimates how long a rejected client should wait before
+// the queue has likely drained enough to admit it: the backlog ahead of
+// it (queued jobs spread over the worker pool, plus the run that must
+// finish to free a worker) times the average run duration. The hint is
+// clamped to [1s, 60s] — HTTP Retry-After is whole seconds, and beyond a
+// minute the estimate says more about a stuck server than a busy one.
+// With no completed runs yet (avgRun 0) there is nothing to extrapolate
+// from, so the hint stays at the 1-second floor.
+func retryAfterHint(queued, workers int, avgRun time.Duration) int {
+	if avgRun <= 0 || workers <= 0 {
+		return 1
+	}
+	waves := float64(queued)/float64(workers) + 1
+	secs := math.Ceil(waves * avgRun.Seconds())
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return int(secs)
+}
+
+// observeRunDuration folds one completed run into the EWMA the
+// Retry-After hint extrapolates from. The 1/8 step weights recent runs
+// heavily enough to track a workload shift within a few completions
+// while smoothing over one outlier.
+func (s *Server) observeRunDuration(d time.Duration) {
+	for {
+		old := s.avgRunNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/8
+		}
+		if s.avgRunNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter renders the current hint for a 429 response header.
+func (s *Server) retryAfter() string {
+	hint := retryAfterHint(len(s.queue), s.cfg.Workers, time.Duration(s.avgRunNs.Load()))
+	return strconv.Itoa(hint)
+}

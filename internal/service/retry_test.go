@@ -1,0 +1,65 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		name    string
+		queued  int
+		workers int
+		avg     time.Duration
+		want    int
+	}{
+		{"no history yet", 10, 2, 0, 1},
+		{"degenerate worker count", 10, 0, time.Second, 1},
+		{"idle queue, fast runs", 0, 2, 50 * time.Millisecond, 1},
+		{"one wave of slow runs", 0, 2, 2 * time.Second, 2},
+		{"deep queue", 8, 2, 2 * time.Second, 10}, // (8/2 + 1) * 2s
+		{"fractional wave rounds up", 3, 2, time.Second, 3},
+		{"clamped to a minute", 100, 1, 10 * time.Second, 60},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.queued, c.workers, c.avg); got != c.want {
+			t.Errorf("%s: retryAfterHint(%d, %d, %v) = %d, want %d",
+				c.name, c.queued, c.workers, c.avg, got, c.want)
+		}
+	}
+}
+
+func TestObserveRunDurationEWMA(t *testing.T) {
+	s := &Server{}
+	s.observeRunDuration(time.Second)
+	if got := time.Duration(s.avgRunNs.Load()); got != time.Second {
+		t.Fatalf("first observation should set the average exactly, got %v", got)
+	}
+	// A stream of 9s runs pulls a 1s average most of the way over within
+	// a couple dozen observations.
+	for i := 0; i < 24; i++ {
+		s.observeRunDuration(9 * time.Second)
+	}
+	got := time.Duration(s.avgRunNs.Load())
+	if got < 8*time.Second || got > 9*time.Second {
+		t.Fatalf("EWMA after shift = %v, want within (8s, 9s]", got)
+	}
+}
+
+// TestRetryAfterGrowsWithBacklog: the rendered header tracks queue depth
+// once the server has run-duration history.
+func TestRetryAfterGrowsWithBacklog(t *testing.T) {
+	// Hand-built server (no worker pool) so the queue depth holds still.
+	srv := &Server{cfg: Config{Workers: 2}.withDefaults(), queue: make(chan *Job, 8)}
+	srv.observeRunDuration(3 * time.Second)
+
+	if got := srv.retryAfter(); got != "3" { // (0/2 + 1) * 3s
+		t.Fatalf("idle hint = %s, want 3", got)
+	}
+	for i := 0; i < 6; i++ {
+		srv.queue <- &Job{}
+	}
+	if got := srv.retryAfter(); got != "12" { // (6/2 + 1) * 3s
+		t.Fatalf("backlogged hint = %s, want 12", got)
+	}
+}

@@ -111,6 +111,10 @@ type Server struct {
 	inFlight atomic.Int64
 	started  time.Time
 
+	// avgRunNs is an EWMA of completed run durations (nanoseconds); the
+	// Retry-After hint derives queue drain time from it.
+	avgRunNs atomic.Int64
+
 	// traceMu serializes executions when TraceDir is set: the trace is a
 	// process-global installation, so only one traced run may be in flight.
 	traceMu sync.Mutex
@@ -267,6 +271,7 @@ func (s *Server) execute(job *Job) {
 	s.inFlight.Add(-1)
 	s.reg.Counter("outcome_" + res.Outcome.String()).Inc()
 	s.reg.Histogram(latencyName(job.Spec.App, job.Spec.System)).Observe(elapsed)
+	s.observeRunDuration(elapsed)
 
 	s.cache.Put(job.Key, res)
 	s.jobs.settle(job)

@@ -11,6 +11,8 @@
 // The extra experiment `bench` runs the fixed perf-gate cell set and, with
 // -bench-json, merges the kernel rows into a BENCH_*.json snapshot (see
 // cmd/graphbench for the serving half and `make bench-gate` for the gate).
+// The extra experiment `fusion` compares eager grb, fused grb, and Lonestar
+// on the ported workloads, reporting the bytes the fusion planner elided.
 package main
 
 import (
@@ -160,6 +162,13 @@ func main() {
 			t := bench.Figure3(cfg, vs, note)
 			emit("figure3-"+t.Rows[len(t.Rows)-1][0]+"-"+fmt.Sprint(vs.App), t)
 		}
+	}
+	if wanted["fusion"] {
+		t, err := bench.FusionTable(cfg, note)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fusion", t)
 	}
 	if wanted["bench"] {
 		ks, err := bench.BenchKernels(cfg, note)

@@ -31,7 +31,7 @@ func main() {
 	var (
 		appName  = flag.String("app", "bfs", "workload: bfs, cc, ktruss, pr, sssp, tc")
 		sysName  = flag.String("sys", "ls", "system: SS, GB, or LS")
-		variant  = flag.String("variant", "", "variant: ls-sv, ls-soa, ls-notile, gb-res, gb-sort, gb-ll")
+		variant  = flag.String("variant", "", "variant: ls-sv, ls-soa, ls-notile, gb-res, gb-sort, gb-ll, fused")
 		gname    = flag.String("graph", "rmat22", "input graph (see graphgen for the list)")
 		scale    = flag.String("scale", "bench", "input scale: test or bench")
 		threads  = flag.Int("threads", 4, "worker threads")
@@ -47,6 +47,11 @@ func main() {
 	exitOn(err)
 	sys, err := core.ParseSystem(*sysName)
 	exitOn(err)
+	v, err := core.ParseVariant(*variant)
+	exitOn(err)
+	if !core.ValidVariant(app, sys, v) {
+		exitOn(fmt.Errorf("variant %q is not valid for %v on %v", v, app, sys))
+	}
 	sc, err := gen.ParseScale(*scale)
 	exitOn(err)
 
@@ -68,7 +73,7 @@ func main() {
 	}
 
 	spec := core.RunSpec{
-		App: app, System: sys, Variant: core.Variant(*variant),
+		App: app, System: sys, Variant: v,
 		Input: in, Scale: sc, Threads: *threads, Timeout: *timeout,
 	}
 	var tr *trace.Trace

@@ -8,30 +8,40 @@ import (
 	"graphstudy/internal/trace"
 )
 
-// benchCell is one (app, system, graph) measurement of the bench
-// experiment.
+// benchCell is one (app, system, variant, graph) measurement of the
+// bench experiment.
 type benchCell struct {
-	app   core.App
-	sys   core.System
-	graph string
+	app     core.App
+	sys     core.System
+	variant core.Variant
+	graph   string
 }
 
 // benchCells is the fixed offline workload of `gentables -exp bench`:
 // every app on every system on the RMAT input, plus the two
-// road-network-sourced apps on the weighted road graph. Small enough for
-// CI, wide enough that a regression in any app family or either API
-// moves a number.
+// road-network-sourced apps on the weighted road graph, plus the fused
+// lazy-DAG column for the three ported workloads. Small enough for CI,
+// wide enough that a regression in any app family, either API, or the
+// fusion planner moves a number.
 func benchCells() []benchCell {
 	var cells []benchCell
 	for _, app := range core.Apps() {
 		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
-			cells = append(cells, benchCell{app, sys, "rmat22"})
+			cells = append(cells, benchCell{app, sys, core.VDefault, "rmat22"})
 		}
 	}
 	for _, app := range []core.App{core.BFS, core.SSSP} {
 		for _, sys := range []core.System{core.SS, core.GB, core.LS} {
-			cells = append(cells, benchCell{app, sys, "road-USA-W"})
+			cells = append(cells, benchCell{app, sys, core.VDefault, "road-USA-W"})
 		}
+	}
+	// The fused-grb column: same graphs as the eager GB cells so the
+	// elision win is read off as a same-row comparison.
+	for _, app := range []core.App{core.BFS, core.PR, core.SSSP} {
+		cells = append(cells, benchCell{app, core.GB, core.VFused, "rmat22"})
+	}
+	for _, app := range []core.App{core.BFS, core.SSSP} {
+		cells = append(cells, benchCell{app, core.GB, core.VFused, "road-USA-W"})
 	}
 	return cells
 }
@@ -59,29 +69,33 @@ func BenchKernels(cfg Config, progress func(string)) ([]KernelBench, error) {
 		}
 		tr := trace.New()
 		res := core.Run(core.RunSpec{
-			App: c.app, System: c.sys, Input: in,
+			App: c.app, System: c.sys, Variant: c.variant, Input: in,
 			Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout,
 			Trace: tr,
 		})
 		release()
 		if res.Outcome != core.OK {
-			return nil, fmt.Errorf("bench: cell %v/%v/%s: outcome %v (err %v)",
-				c.app, c.sys, c.graph, res.Outcome, res.Err)
+			return nil, fmt.Errorf("bench: cell %v/%v/%s/%s: outcome %v (err %v)",
+				c.app, c.sys, c.variant, c.graph, res.Outcome, res.Err)
 		}
 		sum := res.Trace
+		// CatFused spans are excluded: they wrap the CatKernel spans the
+		// fused grb kernels emit, so adding them would double-count.
 		opMs := float64(sum.CatTotal(trace.CatKernel)+
 			sum.CatTotal(trace.CatRegion)+
 			sum.CatTotal(trace.CatLoop)) / 1e6
 		out = append(out, KernelBench{
-			App:       c.app.String(),
-			System:    c.sys.String(),
-			Graph:     c.graph,
-			Scale:     cfg.Scale.String(),
-			ElapsedMs: float64(res.Elapsed) / 1e6,
-			KernelMs:  opMs,
-			Rounds:    res.Rounds,
-			Bytes:     sum.Bytes,
-			Check:     fmt.Sprintf("%x", res.Check),
+			App:         c.app.String(),
+			System:      c.sys.String(),
+			Variant:     string(c.variant),
+			Graph:       c.graph,
+			Scale:       cfg.Scale.String(),
+			ElapsedMs:   float64(res.Elapsed) / 1e6,
+			KernelMs:    opMs,
+			Rounds:      res.Rounds,
+			Bytes:       sum.Bytes,
+			BytesElided: sum.BytesElided,
+			Check:       fmt.Sprintf("%x", res.Check),
 		})
 	}
 	return out, nil
@@ -90,15 +104,20 @@ func BenchKernels(cfg Config, progress func(string)) ([]KernelBench, error) {
 // BenchTable renders the kernel rows as an aligned table.
 func BenchTable(kernels []KernelBench) *Table {
 	t := NewTable("Bench: per-cell kernel time, bytes materialized, and digests",
-		"app", "sys", "graph", "scale", "elapsed ms", "op ms", "rounds", "bytes", "digest")
+		"app", "sys", "variant", "graph", "scale", "elapsed ms", "op ms", "rounds", "bytes", "elided", "digest")
 	for _, k := range kernels {
-		t.AddRow(k.App, k.System, k.Graph, k.Scale,
+		variant := k.Variant
+		if variant == "" {
+			variant = "-"
+		}
+		t.AddRow(k.App, k.System, variant, k.Graph, k.Scale,
 			fmt.Sprintf("%.2f", k.ElapsedMs),
 			fmt.Sprintf("%.2f", k.KernelMs),
 			fmt.Sprint(k.Rounds),
 			fmt.Sprint(k.Bytes),
+			fmt.Sprint(k.BytesElided),
 			k.Check)
 	}
-	t.AddNote("op ms sums grb kernel spans plus galois region/loop spans; bytes, rounds, and digests are deterministic and gate exactly")
+	t.AddNote("op ms sums grb kernel spans plus galois region/loop spans; bytes, rounds, elided bytes, and digests are deterministic and gate exactly")
 	return t
 }

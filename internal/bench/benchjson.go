@@ -51,8 +51,11 @@ type ServingBench struct {
 type KernelBench struct {
 	App    string `json:"app"`
 	System string `json:"system"`
-	Graph  string `json:"graph"`
-	Scale  string `json:"scale"`
+	// Variant distinguishes alternative implementations on the same
+	// system (e.g. the fused lazy-DAG column); empty means the default.
+	Variant string `json:"variant,omitempty"`
+	Graph   string `json:"graph"`
+	Scale   string `json:"scale"`
 
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// KernelMs is the summed duration of every CatKernel span.
@@ -62,14 +65,23 @@ type KernelBench struct {
 	// headline per-kernel cost, and deterministic at a fixed worker
 	// count.
 	Bytes int64 `json:"bytes"`
+	// BytesElided is the trace's total bytes the fusion compiler proved
+	// it did not have to materialize (zero for eager cells). Like Bytes
+	// it is deterministic at a fixed worker count.
+	BytesElided int64 `json:"bytes_elided,omitempty"`
 	// Check is the run's result digest in hex. Deterministic kernels
 	// mean a digest change is a correctness regression, not noise.
 	Check string `json:"check"`
 }
 
-// key orders and identifies kernel cells.
+// key orders and identifies kernel cells. The variant segment is
+// omitted when empty so default-cell keys match pre-variant baselines.
 func (k KernelBench) key() string {
-	return k.App + "/" + k.System + "/" + k.Graph + "/" + k.Scale
+	sys := k.System
+	if k.Variant != "" {
+		sys += ":" + k.Variant
+	}
+	return k.App + "/" + sys + "/" + k.Graph + "/" + k.Scale
 }
 
 // ReadBenchFile parses a BENCH_*.json document.
@@ -201,6 +213,9 @@ func Compare(base, fresh *BenchReport, tol Tolerances) []string {
 		}
 		if tol.BytesFactor > 0 && float64(n.Bytes) > float64(b.Bytes)*tol.BytesFactor {
 			f("kernels[%s].bytes: fresh %d > baseline %d * %.2f (materialization regression)", b.key(), n.Bytes, b.Bytes, tol.BytesFactor)
+		}
+		if n.BytesElided != b.BytesElided {
+			f("kernels[%s].bytes_elided: fresh %d != baseline %d — the fusion planner's coverage changed", b.key(), n.BytesElided, b.BytesElided)
 		}
 		if overTime(b.KernelMs, n.KernelMs) {
 			f("kernels[%s].kernel_ms: fresh %.2f > baseline %.2f * %.1f + %.0fms", b.key(), n.KernelMs, b.KernelMs, tol.TimeFactor, tol.TimeFloorMs)

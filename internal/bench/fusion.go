@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/trace"
+)
+
+// fusionCell is one row of the fusion experiment: a workload and graph
+// measured as eager GraphBLAS, fused GraphBLAS, and Lonestar.
+type fusionCell struct {
+	app   core.App
+	eager core.Variant // the eager variant the fused port reproduces
+	graph string
+}
+
+// fusionCells mirrors the fused benchCells rows: the three ported
+// workloads on RMAT plus the road-sourced pair on the weighted road
+// graph. FusedPageRank ports the residual formulation, so its eager
+// reference is gb-res.
+func fusionCells() []fusionCell {
+	return []fusionCell{
+		{core.BFS, core.VDefault, "rmat22"},
+		{core.PR, core.VGBRes, "rmat22"},
+		{core.SSSP, core.VDefault, "rmat22"},
+		{core.BFS, core.VDefault, "road-USA-W"},
+		{core.SSSP, core.VDefault, "road-USA-W"},
+	}
+}
+
+// fusionRun is one traced measurement of a fusion-table column.
+type fusionRun struct {
+	res    core.Result
+	bytes  int64
+	elided int64
+}
+
+// FusionTable runs `gentables -exp fusion`: the paper's matrix-API-gap
+// reading with the fusion compiler as a third column. For each cell it
+// reports eager grb, fused grb (with the bytes the planner elided), and
+// Lonestar, and cross-checks that the fused digest is bit-identical to
+// the eager one — a row that broke equivalence is marked, never
+// silently averaged in.
+func FusionTable(cfg Config, progress func(string)) (*Table, error) {
+	t := NewTable("Fusion: eager grb vs fused grb vs Lonestar (time, bytes materialized, bytes elided)",
+		"app", "graph", "eager ms", "eager bytes", "fused ms", "fused bytes", "elided", "ls ms", "digest")
+	run := func(c fusionCell, sys core.System, v core.Variant) (fusionRun, error) {
+		if progress != nil {
+			progress(fmt.Sprintf("fusion %v/%v/%v/%s", c.app, sys, v, c.graph))
+		}
+		in, err := gen.ByName(c.graph)
+		if err != nil {
+			return fusionRun{}, err
+		}
+		release, err := cfg.lease(c.graph, cfg.Scale)
+		if err != nil {
+			return fusionRun{}, err
+		}
+		defer release()
+		res := core.Run(core.RunSpec{
+			App: c.app, System: sys, Variant: v, Input: in,
+			Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout,
+			Trace: trace.New(),
+		})
+		if res.Outcome != core.OK {
+			return fusionRun{}, fmt.Errorf("bench: fusion cell %v/%v/%v/%s: outcome %v (err %v)",
+				c.app, sys, v, c.graph, res.Outcome, res.Err)
+		}
+		return fusionRun{res: res, bytes: res.Trace.Bytes, elided: res.Trace.BytesElided}, nil
+	}
+	ms := func(r fusionRun) string { return fmt.Sprintf("%.2f", float64(r.res.Elapsed)/1e6) }
+	for _, c := range fusionCells() {
+		eager, err := run(c, core.GB, c.eager)
+		if err != nil {
+			return nil, err
+		}
+		fused, err := run(c, core.GB, core.VFused)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := run(c, core.LS, core.VDefault)
+		if err != nil {
+			return nil, err
+		}
+		digest := "ok"
+		if fused.res.Check != eager.res.Check {
+			digest = fmt.Sprintf("MISMATCH %x != %x", fused.res.Check, eager.res.Check)
+		}
+		t.AddRow(c.app.String(), c.graph,
+			ms(eager), fmt.Sprint(eager.bytes),
+			ms(fused), fmt.Sprint(fused.bytes), fmt.Sprint(fused.elided),
+			ms(ls), digest)
+	}
+	t.AddNote("eager is the grb variant the fused port reproduces (%s for pr); digest checks fused == eager bit for bit", core.VGBRes)
+	t.AddNote("elided is the traffic the planner proved unnecessary; fused bytes + elided ≈ eager bytes when every round fuses")
+	return t, nil
+}

@@ -36,6 +36,9 @@ func (s System) String() string {
 	return fmt.Sprintf("System(%d)", int(s))
 }
 
+// Systems lists all runtimes in the paper's column order.
+func Systems() []System { return []System{SS, GB, LS} }
+
 // ParseSystem converts a name ("SS", "GB", "LS", case-insensitive).
 func ParseSystem(s string) (System, error) {
 	switch strings.ToUpper(s) {
@@ -129,7 +132,49 @@ const (
 	VGBRes    Variant = "gb-res"    // pr: residual formulation in GraphBLAS
 	VGBSort   Variant = "gb-sort"   // tc: SandiaDot on the degree-sorted graph
 	VGBLL     Variant = "gb-ll"     // tc: triangle listing in GraphBLAS
+	VFused    Variant = "fused"     // bfs/pr/sssp: lazy-DAG GraphBLAS with fusion
 )
+
+// Variants lists every named variant.
+func Variants() []Variant {
+	return []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL, VFused}
+}
+
+// ParseVariant converts a variant name; the empty string is the default.
+func ParseVariant(s string) (Variant, error) {
+	if s == "" {
+		return VDefault, nil
+	}
+	for _, v := range Variants() {
+		if string(v) == s {
+			return v, nil
+		}
+	}
+	return VDefault, fmt.Errorf("core: unknown variant %q", s)
+}
+
+// ValidVariant reports whether the variant applies to the (app, system)
+// pair — the combinations dispatch actually routes. The default variant
+// applies everywhere.
+func ValidVariant(a App, s System, v Variant) bool {
+	switch v {
+	case VDefault:
+		return true
+	case VLSSV:
+		return a == CC && s == LS
+	case VLSSoA:
+		return a == PR && s == LS
+	case VLSNoTile:
+		return a == SSSP && s == LS
+	case VGBRes:
+		return a == PR && s != LS
+	case VGBSort, VGBLL:
+		return a == TC && s != LS
+	case VFused:
+		return (a == BFS || a == PR || a == SSSP) && s != LS
+	}
+	return false
+}
 
 // Label renders a (system, variant) pair the way the paper does.
 func Label(s System, v Variant) string {

@@ -58,6 +58,59 @@ func TestLabelAllPairs(t *testing.T) {
 	}
 }
 
+func TestParseVariantRoundTrip(t *testing.T) {
+	if got, err := ParseVariant(""); err != nil || got != VDefault {
+		t.Fatalf("ParseVariant(\"\") = %v, %v; want default", got, err)
+	}
+	for _, v := range Variants() {
+		got, err := ParseVariant(string(v))
+		if err != nil || got != v {
+			t.Fatalf("ParseVariant(%q) = %v, %v; want %v", v, got, err, v)
+		}
+	}
+	for _, bad := range []string{"fusedd", "gb", "ls-", "FUSED"} {
+		if got, err := ParseVariant(bad); err == nil {
+			t.Fatalf("ParseVariant(%q) = %v, want error", bad, got)
+		} else if !strings.Contains(err.Error(), "unknown variant") {
+			t.Fatalf("ParseVariant(%q) error %q should name the problem", bad, err)
+		}
+	}
+}
+
+func TestValidVariantRegistry(t *testing.T) {
+	// The default variant is valid everywhere.
+	for _, app := range Apps() {
+		for _, sys := range Systems() {
+			if !ValidVariant(app, sys, VDefault) {
+				t.Fatalf("ValidVariant(%v, %v, default) = false", app, sys)
+			}
+		}
+	}
+	cases := []struct {
+		app  App
+		sys  System
+		v    Variant
+		want bool
+	}{
+		{BFS, GB, VFused, true},
+		{PR, SS, VFused, true},
+		{SSSP, GB, VFused, true},
+		{BFS, LS, VFused, false}, // fusion is GraphBLAS-only
+		{CC, GB, VFused, false},  // cc has no fused port
+		{PR, GB, VGBRes, true},
+		{BFS, GB, VGBRes, false},
+		{CC, LS, VLSSV, true},
+		{CC, GB, VLSSV, false},
+		{TC, SS, VGBSort, true},
+		{TC, LS, VGBSort, false},
+	}
+	for _, c := range cases {
+		if got := ValidVariant(c.app, c.sys, c.v); got != c.want {
+			t.Errorf("ValidVariant(%v, %v, %q) = %v, want %v", c.app, c.sys, c.v, got, c.want)
+		}
+	}
+}
+
 func TestRunCtxCancellation(t *testing.T) {
 	in, err := gen.ByName("road-USA")
 	if err != nil {

@@ -169,7 +169,11 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 		if err != nil {
 			return "", 0, 0, err
 		}
-		dist, r, err := lagraph.BFS(ctx, p.ABool, int(p.Src))
+		bfs := lagraph.BFS
+		if spec.Variant == VFused {
+			bfs = lagraph.FusedBFS
+		}
+		dist, r, err := bfs(ctx, p.ABool, int(p.Src))
 		if err != nil {
 			return "", 0, r, err
 		}
@@ -238,9 +242,14 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 		}
 		opt := lagraph.DefaultPageRankOptions()
 		var r *grb.Vector[float64]
-		if spec.Variant == VGBRes {
+		switch spec.Variant {
+		case VGBRes:
 			r, err = lagraph.PageRankResidual(ctx, p.AFloat, opt)
-		} else {
+		case VFused:
+			// The fused DAG port of the residual formulation; its digest
+			// matches gb-res bit for bit (the fused differential suite).
+			r, err = lagraph.FusedPageRank(ctx, p.AFloat, opt)
+		default:
 			r, err = lagraph.PageRank(ctx, p.AFloat, opt)
 		}
 		if err != nil {
@@ -266,16 +275,20 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 		if err != nil {
 			return "", 0, 0, err
 		}
+		sssp32, sssp64 := lagraph.SSSP[uint32], lagraph.SSSP[uint64]
+		if spec.Variant == VFused {
+			sssp32, sssp64 = lagraph.FusedSSSP[uint32], lagraph.FusedSSSP[uint64]
+		}
 		// The study switches to 64-bit distances for eukarya only.
 		if p.In.BigDelta {
-			res, err := lagraph.SSSP(ctx, p.AW64, int(p.Src), uint64(delta))
+			res, err := sssp64(ctx, p.AW64, int(p.Src), uint64(delta))
 			if err != nil {
 				return "", 0, res.Rounds, err
 			}
 			d := lagraph.Distances(res.Dist)
 			return summarizeDists(d), checksum64(d), res.Rounds, nil
 		}
-		res, err := lagraph.SSSP(ctx, p.AW32, int(p.Src), delta)
+		res, err := sssp32(ctx, p.AW32, int(p.Src), delta)
 		if err != nil {
 			return "", 0, res.Rounds, err
 		}

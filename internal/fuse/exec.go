@@ -1,0 +1,75 @@
+package fuse
+
+import (
+	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
+)
+
+// Run plans and executes the program: the one call an algorithm makes per
+// recorded round body.
+func (p *Program) Run() error { return p.Plan().Run() }
+
+// RunEager executes every node in recording order with no fusion — the
+// reference schedule the differential and fuzz tests compare against, and
+// a debugging escape hatch.
+func (p *Program) RunEager() error {
+	for _, n := range p.nodes {
+		if err := n.run(p.ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the plan's steps in order. Each fused step emits one
+// fused-category trace span tagging the decision: Bytes holds the elided
+// intermediate bytes on success, and the operation name gains a ".bail"
+// suffix when runtime preconditions force the eager fallback. A leading
+// "fuse.plan" span records the schedule's shape (nodes in, fused steps
+// out).
+func (pl *Plan) Run() error {
+	psp := trace.Begin(trace.CatFused, "fuse.plan")
+	psp.NNZIn = int64(len(pl.prog.nodes))
+	for i := range pl.Steps {
+		if pl.Steps[i].Fused {
+			psp.NNZOut++
+		}
+	}
+	psp.End()
+	ctx := pl.prog.ctx
+	for i := range pl.Steps {
+		if err := runStep(ctx, &pl.Steps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runStep(ctx *grb.Context, st *Step) error {
+	if !st.Fused {
+		return st.nodes[0].run(ctx)
+	}
+	sp := trace.Begin(trace.CatFused, "fuse."+st.Name)
+	defer sp.End()
+	stats, applied, err := st.fused(ctx)
+	if err != nil {
+		return err
+	}
+	if !applied {
+		// A precondition only checkable at execution time failed
+		// (representation, density, aliasing); the window runs eagerly.
+		// Identical results either way — the span just records that this
+		// decision elided nothing.
+		sp.Op = "fuse." + st.Name + ".bail"
+		for _, n := range st.nodes {
+			if err := n.run(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sp.Bytes = stats.Elided
+	sp.NNZIn = stats.NNZIn
+	sp.NNZOut = stats.NNZOut
+	return nil
+}

@@ -1,0 +1,395 @@
+// Execution equivalence tests: for every fused pattern, Run (planned,
+// fused) must produce bit-identical vectors to RunEager (recording order,
+// no fusion) on every runtime and worker count — including the runtime
+// bail path, where a precondition fails at execution time and the window
+// falls back to the eager nodes.
+package fuse_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphstudy/internal/fuse"
+	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
+)
+
+// workersFlag mirrors the flag the grb equivalence tests register: CI's
+// test-parallel job passes -grb.workers=4.
+var workersFlag = flag.Int("grb.workers", 0, "worker count for fuse equivalence tests (0 = sweep 1,2,4,7)")
+
+func workerCounts() []int {
+	if *workersFlag > 0 {
+		return []int{1, *workersFlag}
+	}
+	return []int{1, 2, 4, 7}
+}
+
+type namedCtx struct {
+	name string
+	ctx  *grb.Context
+}
+
+func contexts() []namedCtx {
+	var out []namedCtx
+	for _, w := range workerCounts() {
+		out = append(out,
+			namedCtx{fmt.Sprintf("static-%d", w), grb.NewSuiteSparseContext(w)},
+			namedCtx{fmt.Sprintf("steal-%d", w), grb.NewGaloisBLASContext(w)},
+		)
+	}
+	return out
+}
+
+func mustEqualF64(t *testing.T, label string, want, got *grb.Vector[float64]) {
+	t.Helper()
+	wi, wv := want.Entries()
+	gi, gv := got.Entries()
+	if len(wi) != len(gi) {
+		t.Fatalf("%s: %d entries, want %d", label, len(gi), len(wi))
+	}
+	for k := range wi {
+		if wi[k] != gi[k] {
+			t.Fatalf("%s: entry %d at index %d, want index %d", label, k, gi[k], wi[k])
+		}
+		if math.Float64bits(gv[k]) != math.Float64bits(wv[k]) {
+			t.Fatalf("%s: value at %d = %v (bits %x), want %v (bits %x)",
+				label, wi[k], gv[k], math.Float64bits(gv[k]), wv[k], math.Float64bits(wv[k]))
+		}
+	}
+	if want.Rep() != got.Rep() {
+		t.Fatalf("%s: representation %v, want %v", label, got.Rep(), want.Rep())
+	}
+}
+
+// denseF64 builds a fully dense vector with deterministic pseudo-random
+// values.
+func denseF64(n int, r *rand.Rand) *grb.Vector[float64] {
+	v := grb.NewVector[float64](n, grb.Dense)
+	v.DenseFill(0)
+	for i := 0; i < n; i++ {
+		v.SetElement(i, float64(1+r.Intn(64))/8)
+	}
+	return v
+}
+
+// sparseF64 builds a Sorted vector with about half the positions explicit.
+func sparseF64(n int, r *rand.Rand) *grb.Vector[float64] {
+	v := grb.NewVector[float64](n, grb.Sorted)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			v.SetElement(i, float64(1+r.Intn(64))/8)
+		}
+	}
+	return v
+}
+
+// prRound records the residual pagerank iteration over the given pool.
+func prRound(p *fuse.Program, pr, res, contrib, invdeg *grb.Vector[float64], A *grb.Matrix[float64]) {
+	plus := func(a, b float64) float64 { return a + b }
+	times := func(a, b float64) float64 { return a * b }
+	fuse.EWiseAdd(p, pr, fuse.NoMask(), nil, plus, pr, res, grb.Desc{})
+	fuse.EWiseMult(p, contrib, fuse.NoMask(), nil, times, res, invdeg, grb.Desc{Replace: true})
+	fuse.VxM(p, res, fuse.NoMask(), nil, grb.PlusTimes[float64](), contrib, A, grb.Desc{Replace: true})
+	fuse.Apply(p, res, fuse.NoMask(), nil, func(x float64) float64 { return 0.85 * x }, res, grb.Desc{Replace: true})
+}
+
+// TestPRRoundEquivalence: the fold-scale + spmv-apply plan against the
+// eager schedule, with both a fully dense and a partially dense residual
+// (the shape pagerank reaches after its first iteration).
+func TestPRRoundEquivalence(t *testing.T) {
+	const n = 64
+	for _, nc := range contexts() {
+		for _, partial := range []bool{false, true} {
+			r := rand.New(rand.NewSource(42))
+			A := f64Matrix(t, n, randEdges(n, 4*n, r), func(k int) float64 { return 1 })
+			A.EnsureCSC()
+			pr := denseF64(n, r)
+			res := denseF64(n, r)
+			if partial {
+				// Knock out a band of entries, including a bitmap-word
+				// straddling range, to exercise the pattern-aware path.
+				for i := 10; i < 30; i++ {
+					res.RemoveElement(i)
+				}
+			}
+			contrib := grb.NewVector[float64](n, grb.Dense)
+			invdeg := denseF64(n, r)
+
+			prE, resE, contribE, invdegE := pr.Dup(), res.Dup(), contrib.Dup(), invdeg.Dup()
+			pe := fuse.NewProgram(nc.ctx)
+			prRound(pe, prE, resE, contribE, invdegE, A)
+			if err := pe.RunEager(); err != nil {
+				t.Fatal(err)
+			}
+			pf := fuse.NewProgram(nc.ctx)
+			prRound(pf, pr, res, contrib, invdeg, A)
+			if err := pf.Run(); err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("%s partial=%v", nc.name, partial)
+			mustEqualF64(t, label+" pr", prE, pr)
+			mustEqualF64(t, label+" res", resE, res)
+			mustEqualF64(t, label+" contrib", contribE, contrib)
+		}
+	}
+}
+
+// relaxRound records the light-edge relaxation chain, returning the next
+// frontier.
+func relaxRound(p *fuse.Program, t, cur *grb.Vector[float64], A *grb.Matrix[float64], upper float64) *grb.Vector[float64] {
+	n := t.Size()
+	minF := func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	lt := func(a, b float64) float64 {
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	tReq := grb.NewVector[float64](n, grb.Sorted)
+	improved := grb.NewVector[float64](n, grb.Sorted)
+	next := grb.NewVector[float64](n, grb.Sorted)
+	p.Temp(tReq, improved)
+	fuse.VxM(p, tReq, fuse.NoMask(), nil, grb.MinPlus[float64](), cur, A, grb.Desc{Replace: true})
+	fuse.EWiseMult(p, improved, fuse.NoMask(), nil, lt, tReq, t, grb.Desc{Replace: true})
+	fuse.EWiseAdd(p, t, fuse.NoMask(), nil, minF, t, tReq, grb.Desc{})
+	fuse.Select(p, next, fuse.ValueOf(improved), func(v float64, _, _ int) bool { return v < upper }, tReq, grb.Desc{Replace: true})
+	return next
+}
+
+// TestRelaxEquivalence: the four-node relaxation window against its eager
+// schedule; t (in place) and the emitted frontier must match bit for bit.
+func TestRelaxEquivalence(t *testing.T) {
+	const n = 64
+	for _, nc := range contexts() {
+		r := rand.New(rand.NewSource(7))
+		A := f64Matrix(t, n, randEdges(n, 5*n, r), func(k int) float64 { return float64(1+k%9) / 2 })
+		dist := denseF64(n, r)
+		cur := sparseF64(n, r)
+
+		distE, curE := dist.Dup(), cur.Dup()
+		pe := fuse.NewProgram(nc.ctx)
+		nextE := relaxRound(pe, distE, curE, A, 12)
+		if err := pe.RunEager(); err != nil {
+			t.Fatal(err)
+		}
+		pf := fuse.NewProgram(nc.ctx)
+		next := relaxRound(pf, dist, cur, A, 12)
+		if err := pf.Run(); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualF64(t, nc.name+" t", distE, dist)
+		mustEqualF64(t, nc.name+" next", nextE, next)
+	}
+}
+
+// TestAccumEquivalence: the spmv-accum window (heavy-edge fold) against its
+// eager schedule.
+func TestAccumEquivalence(t *testing.T) {
+	const n = 48
+	minF := func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for _, nc := range contexts() {
+		r := rand.New(rand.NewSource(11))
+		A := f64Matrix(t, n, randEdges(n, 6*n, r), func(k int) float64 { return float64(1 + k%13) })
+		dist := denseF64(n, r)
+		src := sparseF64(n, r)
+
+		distE := dist.Dup()
+		build := func(p *fuse.Program, d *grb.Vector[float64]) {
+			tReq := grb.NewVector[float64](n, grb.Sorted)
+			p.Temp(tReq)
+			fuse.VxM(p, tReq, fuse.NoMask(), nil, grb.MinPlus[float64](), src, A, grb.Desc{Replace: true})
+			fuse.EWiseAdd(p, d, fuse.NoMask(), nil, minF, d, tReq, grb.Desc{})
+		}
+		pe := fuse.NewProgram(nc.ctx)
+		build(pe, distE)
+		if err := pe.RunEager(); err != nil {
+			t.Fatal(err)
+		}
+		pf := fuse.NewProgram(nc.ctx)
+		build(pf, dist)
+		if err := pf.Run(); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualF64(t, nc.name, distE, dist)
+	}
+}
+
+// TestBFSExpandEquivalence: the assign+expand window against its eager
+// schedule, checked on the level vector and the next frontier.
+func TestBFSExpandEquivalence(t *testing.T) {
+	const n = 64
+	for _, nc := range contexts() {
+		r := rand.New(rand.NewSource(3))
+		A := boolMatrix(t, n, randEdges(n, 4*n, r))
+		dist := grb.NewVector[int32](n, grb.Dense)
+		dist.DenseFill(0)
+		// A couple of already-visited vertices plus a three-vertex frontier.
+		dist.SetElement(0, 1)
+		dist.SetElement(5, 1)
+		frontier := grb.NewVector[bool](n, grb.List)
+		frontier.SetElement(3, true)
+		frontier.SetElement(17, true)
+		frontier.SetElement(40, true)
+
+		build := func(p *fuse.Program, d *grb.Vector[int32], f *grb.Vector[bool]) {
+			fuse.AssignConstant(p, d, fuse.StructOf(f), nil, int32(2), grb.Desc{})
+			fuse.VxM(p, f, fuse.ValueOf(d).Comp(), nil, grb.LorLand(), f, A, grb.Desc{Replace: true})
+		}
+		distE, frontierE := dist.Dup(), frontier.Dup()
+		pe := fuse.NewProgram(nc.ctx)
+		build(pe, distE, frontierE)
+		if err := pe.RunEager(); err != nil {
+			t.Fatal(err)
+		}
+		pf := fuse.NewProgram(nc.ctx)
+		build(pf, dist, frontier)
+		if err := pf.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wi, _ := distE.Entries()
+		gi, _ := dist.Entries()
+		wv := levels(distE)
+		gv := levels(dist)
+		if len(wi) != len(gi) {
+			t.Fatalf("%s: dist %d entries, want %d", nc.name, len(gi), len(wi))
+		}
+		for i := range wv {
+			if wv[i] != gv[i] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", nc.name, i, gv[i], wv[i])
+			}
+		}
+		fi, _ := frontierE.Entries()
+		ff, _ := frontier.Entries()
+		if len(fi) != len(ff) {
+			t.Fatalf("%s: frontier %d entries, want %d", nc.name, len(ff), len(fi))
+		}
+		for k := range fi {
+			if fi[k] != ff[k] {
+				t.Fatalf("%s: frontier entry %d at %d, want %d", nc.name, k, ff[k], fi[k])
+			}
+		}
+	}
+}
+
+func levels(v *grb.Vector[int32]) []int32 {
+	out := make([]int32, v.Size())
+	v.ForEach(func(i int, val int32) { out[i] = val })
+	return out
+}
+
+// TestFusedBailFallsBackEager: a structurally fused plan whose runtime
+// precondition fails (w1 not dense) must run the eager window, produce
+// identical results, and tag the span with the .bail suffix.
+func TestFusedBailFallsBackEager(t *testing.T) {
+	const n = 32
+	ctx := grb.NewGaloisBLASContext(2)
+	r := rand.New(rand.NewSource(9))
+	plus := func(a, b float64) float64 { return a + b }
+	times := func(a, b float64) float64 { return a * b }
+	w1 := sparseF64(n, r) // Sorted: FusedFoldScale requires fully dense
+	x := denseF64(n, r)
+	y := denseF64(n, r)
+	w2 := grb.NewVector[float64](n, grb.Dense)
+
+	build := func(p *fuse.Program, a, b, c, d *grb.Vector[float64]) {
+		fuse.EWiseAdd(p, a, fuse.NoMask(), nil, plus, a, b, grb.Desc{})
+		fuse.EWiseMult(p, d, fuse.NoMask(), nil, times, b, c, grb.Desc{Replace: true})
+	}
+	w1E, w2E := w1.Dup(), w2.Dup()
+	pe := fuse.NewProgram(ctx)
+	build(pe, w1E, x, y, w2E)
+	if err := pe.RunEager(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf := fuse.NewProgram(ctx)
+	build(pf, w1, x, y, w2)
+	pl := pf.Plan()
+	if len(pl.Steps) != 1 || !pl.Steps[0].Fused || pl.Steps[0].Name != "fold-scale" {
+		t.Fatalf("plan = %s, want one fused fold-scale step", pl)
+	}
+	tr := trace.New()
+	trace.Install(tr)
+	err := pl.Run()
+	trace.Install(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualF64(t, "bail w1", w1E, w1)
+	mustEqualF64(t, "bail w2", w2E, w2)
+	sum := tr.Summary()
+	if sum.Find(trace.CatFused, "fuse.fold-scale.bail") == nil {
+		t.Errorf("no fuse.fold-scale.bail span recorded; fused spans: %+v", sum.Find(trace.CatFused, "fuse.fold-scale"))
+	}
+	if sum.BytesElided != 0 {
+		t.Errorf("bailed window reported %d elided bytes, want 0", sum.BytesElided)
+	}
+}
+
+// TestElidedBytesReported: a fused BFS window must report elided
+// intermediate bytes through the fused-category span, routed into
+// Summary.BytesElided and kept out of Summary.Bytes.
+func TestElidedBytesReported(t *testing.T) {
+	const n = 64
+	ctx := grb.NewGaloisBLASContext(2)
+	r := rand.New(rand.NewSource(5))
+	A := boolMatrix(t, n, randEdges(n, 4*n, r))
+	dist := grb.NewVector[int32](n, grb.Dense)
+	dist.DenseFill(0)
+	frontier := grb.NewVector[bool](n, grb.List)
+	frontier.SetElement(1, true)
+
+	p := fuse.NewProgram(ctx)
+	fuse.AssignConstant(p, dist, fuse.StructOf(frontier), nil, int32(1), grb.Desc{})
+	fuse.VxM(p, frontier, fuse.ValueOf(dist).Comp(), nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true})
+
+	tr := trace.New()
+	trace.Install(tr)
+	err := p.Run()
+	trace.Install(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summary()
+	st := sum.Find(trace.CatFused, "fuse.bfs-expand")
+	if st == nil {
+		t.Fatal("no fuse.bfs-expand span recorded")
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("fused step reported %d elided bytes, want > 0", st.Bytes)
+	}
+	if sum.BytesElided != sum.CatBytes(trace.CatFused) {
+		t.Errorf("Summary.BytesElided = %d, want the fused-category total %d",
+			sum.BytesElided, sum.CatBytes(trace.CatFused))
+	}
+	if plan := sum.Find(trace.CatFused, "fuse.plan"); plan == nil {
+		t.Error("no fuse.plan span recorded")
+	}
+}
+
+// randEdges generates m deterministic random edges over n vertices.
+func randEdges(n, m int, r *rand.Rand) [][2]int {
+	out := make([][2]int, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		out = append(out, [2]int{u, v})
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+// Package fuse is the expression-DAG fusion compiler over grb: the
+// restructuring-compiler experiment the study's conclusion calls for.
+// Instead of executing each GraphBLAS call eagerly, an algorithm records
+// its round body as a small DAG of nodes (products, element-wise ops,
+// apply, select, assign, gather, reduce — with mask and accumulator
+// edges), a planner pattern-matches chains the bulk matrix API normally
+// forces to materialize intermediates for, and an executor lowers matched
+// windows onto the fused composite kernels in grb (fusedchains.go),
+// falling back to the ordinary eager calls for everything else.
+//
+// The contract is bit-identity: running a program fused produces exactly
+// the bytes eager execution would, on every executor and worker count
+// (internal/verify's fused differential suite enforces this across the
+// seeded corpus). Fusion changes which intermediates exist, never what
+// the program computes. Elided materializations are reported through
+// fused-category trace spans so the recovered fraction of the paper's
+// matrix-API gap is directly measurable.
+package fuse
+
+import (
+	"graphstudy/internal/grb"
+)
+
+// Kind classifies a DAG node by the grb operation it records.
+type Kind uint8
+
+const (
+	KAssign Kind = iota
+	KVxM
+	KMxV
+	KMxM
+	KEWiseAdd
+	KEWiseMult
+	KApply
+	KSelect
+	KGather
+	KReduce
+)
+
+// String returns the lowercase operation name used in plan listings.
+func (k Kind) String() string {
+	switch k {
+	case KAssign:
+		return "assign"
+	case KVxM:
+		return "vxm"
+	case KMxV:
+		return "mxv"
+	case KMxM:
+		return "mxm"
+	case KEWiseAdd:
+		return "ewiseadd"
+	case KEWiseMult:
+		return "ewisemult"
+	case KApply:
+		return "apply"
+	case KSelect:
+		return "select"
+	case KGather:
+		return "gather"
+	case KReduce:
+		return "reduce"
+	}
+	return "unknown"
+}
+
+// MaskKind classifies a node's mask edge.
+type MaskKind uint8
+
+const (
+	// MaskNone means the node writes unmasked.
+	MaskNone MaskKind = iota
+	// MaskStruct admits positions with any explicit entry in the source.
+	MaskStruct
+	// MaskValue admits positions whose explicit value is non-zero.
+	MaskValue
+)
+
+// MaskSpec is a lazy mask edge: it names the mask's source vector and
+// shape without building the bitmap. Masks must be materialized at node
+// execution time — the source typically mutates earlier in the same
+// program — and fused kernels never materialize them at all (that is much
+// of what they elide).
+type MaskSpec struct {
+	kind MaskKind
+	comp bool
+	src  any
+	mk   func() *grb.Mask
+}
+
+// NoMask is the absent mask edge.
+func NoMask() MaskSpec { return MaskSpec{} }
+
+// StructOf records a structural mask over v's explicit entries.
+func StructOf[T comparable](v *grb.Vector[T]) MaskSpec {
+	return MaskSpec{kind: MaskStruct, src: v, mk: func() *grb.Mask { return grb.StructMask(v) }}
+}
+
+// ValueOf records a value mask over v's non-zero explicit entries.
+func ValueOf[T comparable](v *grb.Vector[T]) MaskSpec {
+	return MaskSpec{kind: MaskValue, src: v, mk: func() *grb.Mask { return grb.ValueMask(v) }}
+}
+
+// Comp returns the complemented mask edge.
+func (m MaskSpec) Comp() MaskSpec {
+	m.comp = !m.comp
+	return m
+}
+
+// materialize builds the grb mask from the source's current contents.
+func (m MaskSpec) materialize() *grb.Mask {
+	if m.kind == MaskNone {
+		return nil
+	}
+	mask := m.mk()
+	if m.comp {
+		mask = mask.Comp()
+	}
+	return mask
+}
+
+// node is one recorded operation. The metadata fields (kind, out, ins,
+// mask, accum, replace, semiring) drive pattern matching and plan
+// listings; run executes the operation eagerly; payload carries the typed
+// operands into the generic-free planner via the fuser interfaces in
+// plan.go.
+type node struct {
+	id       int
+	kind     Kind
+	out      any
+	ins      []any
+	mask     MaskSpec
+	accum    bool
+	replace  bool
+	semiring string
+	run      func(*grb.Context) error
+	payload  any
+}
+
+// Program is a recorded expression DAG plus the context it will run on.
+// Nodes execute in recording order; the planner only ever replaces
+// contiguous windows with equivalent fused steps.
+type Program struct {
+	ctx   *grb.Context
+	nodes []*node
+	// temps lists vectors the caller declared program-local (see Temp).
+	// A slice probed linearly, never a map: plan construction must be
+	// deterministic and lintably iteration-order-free.
+	temps []any
+}
+
+// NewProgram returns an empty program that will execute on ctx.
+func NewProgram(ctx *grb.Context) *Program { return &Program{ctx: ctx} }
+
+// Temp declares vectors as program-local temporaries: dead after the
+// program unless a later node reads them. Patterns that elide an
+// intermediate entirely (the SpMV target of an accumulate, the improved
+// flags of a relaxation) only fire on declared temps — eliding a vector
+// the caller still holds would be observable.
+func (p *Program) Temp(vs ...any) {
+	p.temps = append(p.temps, vs...)
+}
+
+func (p *Program) isTemp(v any) bool {
+	for _, t := range p.temps {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Program) add(n *node) {
+	n.id = len(p.nodes)
+	p.nodes = append(p.nodes, n)
+}
+
+// Len returns the number of recorded nodes.
+func (p *Program) Len() int { return len(p.nodes) }
+
+// AssignConstant records w<mask> = value (grb.AssignConstant).
+func AssignConstant[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, accum grb.BinaryOp[T], value T, desc grb.Desc) {
+	p.add(&node{
+		kind: KAssign, out: w, mask: mask, accum: accum != nil, replace: desc.Replace,
+		payload: assignPayload[T]{w: w, value: value},
+		run: func(ctx *grb.Context) error {
+			return grb.AssignConstant(ctx, w, mask.materialize(), accum, value, desc)
+		},
+	})
+}
+
+// VxM records w<mask> = u ⊗ A (grb.VxM).
+func VxM[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, accum grb.BinaryOp[T], s grb.Semiring[T], u *grb.Vector[T], A *grb.Matrix[T], desc grb.Desc) {
+	p.add(&node{
+		kind: KVxM, out: w, ins: []any{u, A}, mask: mask, accum: accum != nil,
+		replace: desc.Replace, semiring: s.Name,
+		payload: vxmPayload[T]{w: w, u: u, A: A, s: s, desc: desc},
+		run: func(ctx *grb.Context) error {
+			return grb.VxM(ctx, w, mask.materialize(), accum, s, u, A, desc)
+		},
+	})
+}
+
+// MxV records w<mask> = A ⊗ u (grb.MxV). No pattern currently matches it;
+// it always executes eagerly.
+func MxV[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, accum grb.BinaryOp[T], s grb.Semiring[T], A *grb.Matrix[T], u *grb.Vector[T], desc grb.Desc) {
+	p.add(&node{
+		kind: KMxV, out: w, ins: []any{A, u}, mask: mask, accum: accum != nil,
+		replace: desc.Replace, semiring: s.Name,
+		run: func(ctx *grb.Context) error {
+			return grb.MxV(ctx, w, mask.materialize(), accum, s, A, u, desc)
+		},
+	})
+}
+
+// EWiseAdd records w<mask> = u ∪ v under op (grb.EWiseAdd).
+func EWiseAdd[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, accum grb.BinaryOp[T], op grb.BinaryOp[T], u, v *grb.Vector[T], desc grb.Desc) {
+	p.add(&node{
+		kind: KEWiseAdd, out: w, ins: []any{u, v}, mask: mask, accum: accum != nil,
+		replace: desc.Replace,
+		payload: ewisePayload[T]{w: w, u: u, v: v, op: op},
+		run: func(ctx *grb.Context) error {
+			return grb.EWiseAdd(ctx, w, mask.materialize(), accum, op, u, v, desc)
+		},
+	})
+}
+
+// EWiseMult records w<mask> = u ∩ v under op (grb.EWiseMult).
+func EWiseMult[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, accum grb.BinaryOp[T], op grb.BinaryOp[T], u, v *grb.Vector[T], desc grb.Desc) {
+	p.add(&node{
+		kind: KEWiseMult, out: w, ins: []any{u, v}, mask: mask, accum: accum != nil,
+		replace: desc.Replace,
+		payload: ewisePayload[T]{w: w, u: u, v: v, op: op},
+		run: func(ctx *grb.Context) error {
+			return grb.EWiseMult(ctx, w, mask.materialize(), accum, op, u, v, desc)
+		},
+	})
+}
+
+// Apply records w<mask> = op(u) (grb.Apply).
+func Apply[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, accum grb.BinaryOp[T], op grb.UnaryOp[T], u *grb.Vector[T], desc grb.Desc) {
+	p.add(&node{
+		kind: KApply, out: w, ins: []any{u}, mask: mask, accum: accum != nil,
+		replace: desc.Replace,
+		payload: applyPayload[T]{w: w, u: u, op: op},
+		run: func(ctx *grb.Context) error {
+			return grb.Apply(ctx, w, mask.materialize(), accum, op, u, desc)
+		},
+	})
+}
+
+// Select records w<mask> = entries of u where pred holds
+// (grb.SelectVector).
+func Select[T comparable](p *Program, w *grb.Vector[T], mask MaskSpec, pred grb.IndexedPredicate[T], u *grb.Vector[T], desc grb.Desc) {
+	p.add(&node{
+		kind: KSelect, out: w, ins: []any{u}, mask: mask, replace: desc.Replace,
+		payload: selectPayload[T]{w: w, u: u, pred: pred},
+		run: func(ctx *grb.Context) error {
+			return grb.SelectVector(ctx, w, mask.materialize(), pred, u, desc)
+		},
+	})
+}
+
+// Gather records w = u[indices] (grb.Gather), the extract-style node.
+func Gather[T comparable](p *Program, w *grb.Vector[T], u *grb.Vector[T], indices *grb.Vector[uint32], desc grb.Desc) {
+	p.add(&node{
+		kind: KGather, out: w, ins: []any{u, indices}, replace: desc.Replace,
+		run: func(ctx *grb.Context) error {
+			return grb.Gather(ctx, w, u, indices, desc)
+		},
+	})
+}
+
+// Scalar is the lazy result handle of a Reduce node; Value is meaningful
+// after the program ran.
+type Scalar[T any] struct {
+	val T
+	ok  bool
+}
+
+// Value returns the reduced value and whether the node has executed.
+func (s *Scalar[T]) Value() (T, bool) { return s.val, s.ok }
+
+// Reduce records a fold of u's explicit entries under the monoid
+// (grb.ReduceVector), returning a handle resolved at execution.
+func Reduce[T comparable](p *Program, m grb.Monoid[T], u *grb.Vector[T]) *Scalar[T] {
+	out := &Scalar[T]{}
+	p.add(&node{
+		kind: KReduce, out: out, ins: []any{u},
+		run: func(ctx *grb.Context) error {
+			out.val = grb.ReduceVector(ctx, m, u)
+			out.ok = true
+			return nil
+		},
+	})
+	return out
+}
+
+// MatRef is the lazy result handle of an MxM node.
+type MatRef[T any] struct {
+	M *grb.Matrix[T]
+}
+
+// MxM records C = A ⊗ B (grb.MxM), returning a handle resolved at
+// execution. Always eager; recorded so matrix-producing chains can live
+// in one program.
+func MxM[T comparable](p *Program, s grb.Semiring[T], a, b *grb.Matrix[T]) *MatRef[T] {
+	ref := &MatRef[T]{}
+	p.add(&node{
+		kind: KMxM, out: ref, ins: []any{a, b}, semiring: s.Name,
+		run: func(ctx *grb.Context) error {
+			m, err := grb.MxM(ctx, nil, s, a, b)
+			ref.M = m
+			return err
+		},
+	})
+	return ref
+}
+
+// payloads: the typed operand bundles pattern lowering needs. Each
+// implements one or more fuser interfaces (plan.go) so the planner can
+// stay free of type parameters.
+
+type assignPayload[T comparable] struct {
+	w     *grb.Vector[T]
+	value T
+}
+
+type vxmPayload[T comparable] struct {
+	w, u *grb.Vector[T]
+	A    *grb.Matrix[T]
+	s    grb.Semiring[T]
+	desc grb.Desc
+}
+
+type applyPayload[T comparable] struct {
+	w, u *grb.Vector[T]
+	op   grb.UnaryOp[T]
+}
+
+type ewisePayload[T comparable] struct {
+	w, u, v *grb.Vector[T]
+	op      grb.BinaryOp[T]
+}
+
+type selectPayload[T comparable] struct {
+	w, u *grb.Vector[T]
+	pred grb.IndexedPredicate[T]
+}
+
+func (ap assignPayload[T]) fuseExpand(vxmAny any) fusedRun {
+	vp, ok := vxmAny.(vxmPayload[bool])
+	if !ok {
+		return nil
+	}
+	dist, level := ap.w, ap.value
+	return func(ctx *grb.Context) (grb.FusedStats, bool, error) {
+		return grb.FusedAssignExpand(ctx, dist, level, vp.w, vp.A)
+	}
+}
+
+func (vp vxmPayload[T]) fuseVxMApply(applyAny any) fusedRun {
+	app, ok := applyAny.(applyPayload[T])
+	if !ok {
+		return nil
+	}
+	return func(ctx *grb.Context) (grb.FusedStats, bool, error) {
+		return grb.FusedVxMApply(ctx, vp.w, vp.s, vp.u, vp.A, app.op, vp.desc)
+	}
+}
+
+func (addP ewisePayload[T]) fuseFoldScale(multAny any) fusedRun {
+	mp, ok := multAny.(ewisePayload[T])
+	if !ok {
+		return nil
+	}
+	// w1 = addOp(w1, x); w2 = mulOp(x, y), x shared (checked structurally
+	// by the planner: addP.v == mp.u).
+	return func(ctx *grb.Context) (grb.FusedStats, bool, error) {
+		return grb.FusedFoldScale(ctx, addP.w, addP.op, mp.u, mp.v, mp.w, mp.op)
+	}
+}
+
+func (vp vxmPayload[T]) fuseRelax(multAny, addAny, selAny any) fusedRun {
+	mp, ok1 := multAny.(ewisePayload[T])
+	ap, ok2 := addAny.(ewisePayload[T])
+	sp, ok3 := selAny.(selectPayload[T])
+	if !ok1 || !ok2 || !ok3 {
+		return nil
+	}
+	return func(ctx *grb.Context) (grb.FusedStats, bool, error) {
+		return grb.FusedRelax(ctx, sp.w, ap.w, vp.s, vp.u, vp.A, mp.op, ap.op, sp.pred, vp.desc)
+	}
+}
+
+func (vp vxmPayload[T]) fuseAccum(addAny any) fusedRun {
+	ap, ok := addAny.(ewisePayload[T])
+	if !ok {
+		return nil
+	}
+	return func(ctx *grb.Context) (grb.FusedStats, bool, error) {
+		return grb.FusedVxMAccum(ctx, ap.w, ap.op, vp.s, vp.u, vp.A, vp.desc)
+	}
+}

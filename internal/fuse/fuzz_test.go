@@ -1,0 +1,190 @@
+// FuzzDagEquivalence builds random well-typed programs over a small pool
+// of float64 vectors and checks the fusion compiler's whole contract at
+// once: the plan is deterministic, it covers every node exactly once, and
+// running it produces bit-identical pool contents to the eager schedule —
+// whichever windows the planner happened to fuse or bail on.
+package fuse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphstudy/internal/fuse"
+	"graphstudy/internal/grb"
+)
+
+// fuzzOps interprets the byte stream as a program over the pool. Every
+// stream is well-typed by construction; indices wrap around the pool.
+func fuzzOps(p *fuse.Program, pool []*grb.Vector[float64], A *grb.Matrix[float64], data []byte) {
+	plus := func(a, b float64) float64 { return a + b }
+	times := func(a, b float64) float64 { return a * b }
+	minF := func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	lt := func(a, b float64) float64 {
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	vec := func(b byte) *grb.Vector[float64] { return pool[int(b)%len(pool)] }
+	const opBytes = 4
+	for len(data) >= opBytes {
+		op, b1, b2, b3 := data[0], data[1], data[2], data[3]
+		data = data[opBytes:]
+		w, u, v := vec(b1), vec(b2), vec(b3)
+		replace := grb.Desc{Replace: b3&1 == 1}
+		switch op % 8 {
+		case 0:
+			mask := fuse.NoMask()
+			if b2&1 == 1 {
+				mask = fuse.StructOf(u)
+			}
+			fuse.AssignConstant(p, w, mask, nil, float64(b3%16)/4, grb.Desc{})
+		case 1:
+			s := grb.PlusTimes[float64]()
+			if b2&2 == 2 {
+				s = grb.MinPlus[float64]()
+			}
+			fuse.VxM(p, w, fuse.NoMask(), nil, s, u, A, grb.Desc{Replace: true})
+		case 2:
+			var accum grb.BinaryOp[float64]
+			if b3&2 == 2 {
+				accum = plus
+			}
+			op := plus
+			if b3&4 == 4 {
+				op = minF
+			}
+			fuse.EWiseAdd(p, w, fuse.NoMask(), accum, op, u, v, replace)
+		case 3:
+			op := times
+			if b3&2 == 2 {
+				op = lt
+			}
+			fuse.EWiseMult(p, w, fuse.NoMask(), nil, op, u, v, grb.Desc{Replace: true})
+		case 4:
+			fuse.Apply(p, w, fuse.NoMask(), nil, func(x float64) float64 { return 0.5 * x }, u, replace)
+		case 5:
+			mask := fuse.NoMask()
+			if b3&2 == 2 {
+				mask = fuse.ValueOf(v)
+			}
+			thresh := float64(b3%32) / 2
+			fuse.Select(p, w, mask, func(x float64, _, _ int) bool { return x < thresh }, u, grb.Desc{Replace: true})
+		case 6:
+			fuse.Reduce(p, grb.PlusMonoid[float64](), u)
+		case 7:
+			s := grb.PlusTimes[float64]()
+			fuse.MxV(p, w, fuse.NoMask(), nil, s, A, u, replace)
+		}
+	}
+}
+
+// fuzzPool builds the deterministic vector pool: one fully dense, one
+// partially dense, one sorted, one list.
+func fuzzPool(n int, seed int64) []*grb.Vector[float64] {
+	r := rand.New(rand.NewSource(seed))
+	full := grb.NewVector[float64](n, grb.Dense)
+	full.DenseFill(0)
+	for i := 0; i < n; i++ {
+		full.SetElement(i, float64(1+r.Intn(32))/4)
+	}
+	part := grb.NewVector[float64](n, grb.Dense)
+	sorted := grb.NewVector[float64](n, grb.Sorted)
+	list := grb.NewVector[float64](n, grb.List)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			part.SetElement(i, float64(1+r.Intn(32))/4)
+		}
+		if r.Intn(3) == 0 {
+			sorted.SetElement(i, float64(1+r.Intn(32))/4)
+		}
+		if r.Intn(3) == 0 {
+			list.SetElement(i, float64(1+r.Intn(32))/4)
+		}
+	}
+	return []*grb.Vector[float64]{full, part, sorted, list}
+}
+
+func FuzzDagEquivalence(f *testing.F) {
+	// Seeds covering each fused pattern (given temps = pool[2], pool[3]):
+	// fold-scale (ewiseadd + ewisemult sharing x), spmv-apply (vxm + apply
+	// in place), spmv-accum (vxm into the sorted temp + fold), relax (the
+	// full four-node chain), plus an eager-only soup.
+	f.Add(byte(3), []byte{2, 0, 1, 0, 3, 2, 1, 1})
+	f.Add(byte(3), []byte{1, 0, 0, 0, 4, 0, 0, 1})
+	f.Add(byte(3), []byte{1, 2, 1, 0, 2, 0, 0, 2})
+	f.Add(byte(3), []byte{1, 2, 1, 2, 3, 3, 2, 0, 2, 0, 0, 6, 5, 1, 2, 3})
+	f.Add(byte(0), []byte{0, 0, 1, 5, 7, 1, 2, 0, 6, 2, 0, 0, 5, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, tempMask byte, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // bound program length
+		}
+		const n = 24
+		r := rand.New(rand.NewSource(99))
+		A := f64Matrix(t, n, randEdges(n, 3*n, r), func(k int) float64 { return float64(1+k%7) / 2 })
+		A.EnsureCSC()
+		ctx := grb.NewGaloisBLASContext(3)
+
+		poolE := fuzzPool(n, 1)
+		poolF := fuzzPool(n, 1)
+		declareTemps := func(p *fuse.Program, pool []*grb.Vector[float64]) {
+			for i := range pool {
+				if tempMask&(1<<uint(i)) != 0 {
+					p.Temp(pool[i])
+				}
+			}
+		}
+		pe := fuse.NewProgram(ctx)
+		declareTemps(pe, poolE)
+		fuzzOps(pe, poolE, A, data)
+		pf := fuse.NewProgram(ctx)
+		declareTemps(pf, poolF)
+		fuzzOps(pf, poolF, A, data)
+
+		// The two programs are structurally identical, so their plans must
+		// render identically — and cover every node exactly once.
+		plE, plF := pe.Plan(), pf.Plan()
+		if plE.String() != plF.String() {
+			t.Fatalf("plan nondeterminism:\n%s\nvs\n%s", plE, plF)
+		}
+		covered := 0
+		for i := range plF.Steps {
+			covered += len(plF.Steps[i].Nodes())
+		}
+		if covered != pf.Len() {
+			t.Fatalf("plan covers %d of %d nodes:\n%s", covered, pf.Len(), plF)
+		}
+
+		if err := pe.RunEager(); err != nil {
+			t.Fatal(err)
+		}
+		if err := plF.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range poolE {
+			if tempMask&(1<<uint(i)) != 0 {
+				// Declared temporaries are exactly the vectors fusion is
+				// licensed to leave unmaterialized; their contents are
+				// unobservable by contract.
+				continue
+			}
+			wi, wv := poolE[i].Entries()
+			gi, gv := poolF[i].Entries()
+			if len(wi) != len(gi) {
+				t.Fatalf("pool[%d]: %d entries, want %d\nplan:\n%s", i, len(gi), len(wi), plF)
+			}
+			for k := range wi {
+				if wi[k] != gi[k] || math.Float64bits(wv[k]) != math.Float64bits(gv[k]) {
+					t.Fatalf("pool[%d] entry %d: (%d,%x) want (%d,%x)\nplan:\n%s",
+						i, k, gi[k], math.Float64bits(gv[k]), wi[k], math.Float64bits(wv[k]), plF)
+				}
+			}
+		}
+	})
+}

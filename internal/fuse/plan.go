@@ -1,0 +1,436 @@
+package fuse
+
+import (
+	"fmt"
+	"strings"
+
+	"graphstudy/internal/grb"
+)
+
+// fusedRun executes a fused window. The bool reports whether the fused
+// kernel applied; false means a runtime precondition (representation,
+// density, aliasing) failed and the executor must fall back to the
+// window's eager nodes.
+type fusedRun func(*grb.Context) (grb.FusedStats, bool, error)
+
+// The fuser interfaces let the (non-generic) planner obtain a typed fused
+// closure from node payloads. A nil return means the payloads' element
+// types disagree and the window stays eager.
+type expandFuser interface{ fuseExpand(vxm any) fusedRun }
+type vxmApplyFuser interface{ fuseVxMApply(apply any) fusedRun }
+type foldScaleFuser interface{ fuseFoldScale(mult any) fusedRun }
+type relaxFuser interface {
+	fuseRelax(mult, add, sel any) fusedRun
+}
+type accumFuser interface{ fuseAccum(add any) fusedRun }
+
+// Step is one unit of a plan: either a single eager node or a fused
+// window of consecutive nodes.
+type Step struct {
+	Fused bool
+	// Name is the pattern name for fused steps, the node's operation for
+	// eager ones.
+	Name  string
+	nodes []*node
+	fused fusedRun
+}
+
+// Nodes returns the ids of the nodes this step covers.
+func (s *Step) Nodes() []int {
+	ids := make([]int, len(s.nodes))
+	for i, n := range s.nodes {
+		ids[i] = n.id
+	}
+	return ids
+}
+
+// Plan is a program's execution schedule: the node sequence partitioned
+// into eager and fused steps. Planning is purely structural — it inspects
+// node metadata and payload types, never vector contents — so the same
+// program always yields the same plan (the golden tests hold it to this).
+type Plan struct {
+	prog  *Program
+	Steps []Step
+}
+
+// Plan partitions the program into steps. At each position the matchers
+// run longest-pattern-first in a fixed order; the first match wins and
+// planning resumes after its window.
+func (p *Program) Plan() *Plan {
+	pl := &Plan{prog: p}
+	i := 0
+	for i < len(p.nodes) {
+		if st := p.matchAt(i); st != nil {
+			pl.Steps = append(pl.Steps, *st)
+			i += len(st.nodes)
+			continue
+		}
+		n := p.nodes[i]
+		pl.Steps = append(pl.Steps, Step{Name: n.kind.String(), nodes: []*node{n}})
+		i++
+	}
+	return pl
+}
+
+func (p *Program) matchAt(i int) *Step {
+	if st := p.matchRelax(i); st != nil {
+		return st
+	}
+	if st := p.matchBFSExpand(i); st != nil {
+		return st
+	}
+	if st := p.matchFoldScale(i); st != nil {
+		return st
+	}
+	if st := p.matchSpMVApply(i); st != nil {
+		return st
+	}
+	if st := p.matchSpMVAccum(i); st != nil {
+		return st
+	}
+	return nil
+}
+
+// readAfter reports whether v's contents are observable by nodes from
+// index `from` on: read as an input or mask source, or merged into by a
+// non-replace write (which keeps v's prior entries).
+func (p *Program) readAfter(from int, v any) bool {
+	for _, n := range p.nodes[from:] {
+		for _, in := range n.ins {
+			if in == v {
+				return true
+			}
+		}
+		if n.mask.src == v {
+			return true
+		}
+		if n.out == v && !n.replace {
+			return true
+		}
+	}
+	return false
+}
+
+// deadTemp reports whether v is a declared temporary whose value nothing
+// at or after index `from` observes — the license to never materialize it.
+func (p *Program) deadTemp(v any, from int) bool {
+	return p.isTemp(v) && !p.readAfter(from, v)
+}
+
+// unmasked is the plain-node shape every pattern operand must have.
+func unmasked(n *node) bool { return n.mask.kind == MaskNone && !n.accum }
+
+// matchRelax matches the 4-node delta-stepping light-relaxation chain:
+//
+//	q    = vxm(u ⊗ A, replace)              q a dead temp
+//	imp  = ewisemult(q, t, replace)         imp a dead temp
+//	t    = ewiseadd(t, q)
+//	next = select(q)<value(imp)> (replace)
+func (p *Program) matchRelax(i int) *Step {
+	if i+4 > len(p.nodes) {
+		return nil
+	}
+	vxm, mult, add, sel := p.nodes[i], p.nodes[i+1], p.nodes[i+2], p.nodes[i+3]
+	if vxm.kind != KVxM || mult.kind != KEWiseMult || add.kind != KEWiseAdd || sel.kind != KSelect {
+		return nil
+	}
+	if !unmasked(vxm) || !vxm.replace || !unmasked(mult) || !mult.replace ||
+		!unmasked(add) || add.replace || sel.accum || !sel.replace {
+		return nil
+	}
+	q := vxm.out
+	imp := mult.out
+	t := add.out
+	next := sel.out
+	if len(mult.ins) != 2 || mult.ins[0] != q || mult.ins[1] != t {
+		return nil
+	}
+	if len(add.ins) != 2 || add.ins[0] != t || add.ins[1] != q {
+		return nil
+	}
+	if len(sel.ins) != 1 || sel.ins[0] != q {
+		return nil
+	}
+	if sel.mask.kind != MaskValue || sel.mask.comp || sel.mask.src != imp {
+		return nil
+	}
+	if q == t || q == imp || imp == t || next == q || next == t || next == imp {
+		return nil
+	}
+	// q and imp are never materialized by the fused kernel; both must be
+	// dead beyond this window.
+	if !p.deadTemp(q, i+4) || !p.deadTemp(imp, i+4) {
+		return nil
+	}
+	rf, ok := vxm.payload.(relaxFuser)
+	if !ok {
+		return nil
+	}
+	run := rf.fuseRelax(mult.payload, add.payload, sel.payload)
+	if run == nil {
+		return nil
+	}
+	return &Step{Fused: true, Name: "relax", nodes: p.nodes[i : i+4], fused: run}
+}
+
+// matchBFSExpand matches the BFS round body:
+//
+//	assign(d<struct(f)> = level)
+//	f = vxm(f ⊗ A, lor_land)<!value(d)> (replace)
+func (p *Program) matchBFSExpand(i int) *Step {
+	if i+2 > len(p.nodes) {
+		return nil
+	}
+	asg, vxm := p.nodes[i], p.nodes[i+1]
+	if asg.kind != KAssign || vxm.kind != KVxM {
+		return nil
+	}
+	if asg.mask.kind != MaskStruct || asg.mask.comp || asg.accum || asg.replace {
+		return nil
+	}
+	if vxm.accum || !vxm.replace || vxm.semiring != "lor_land" {
+		return nil
+	}
+	d := asg.out
+	f := asg.mask.src
+	if d == f || vxm.out != f || len(vxm.ins) != 2 || vxm.ins[0] != f {
+		return nil
+	}
+	if vxm.mask.kind != MaskValue || !vxm.mask.comp || vxm.mask.src != d {
+		return nil
+	}
+	ef, ok := asg.payload.(expandFuser)
+	if !ok {
+		return nil
+	}
+	run := ef.fuseExpand(vxm.payload)
+	if run == nil {
+		return nil
+	}
+	return &Step{Fused: true, Name: "bfs-expand", nodes: p.nodes[i : i+2], fused: run}
+}
+
+// matchFoldScale matches PageRank's residual pair, two full-width passes
+// sharing input x:
+//
+//	w1 = ewiseadd(w1, x)
+//	w2 = ewisemult(x, y, replace)
+func (p *Program) matchFoldScale(i int) *Step {
+	if i+2 > len(p.nodes) {
+		return nil
+	}
+	add, mult := p.nodes[i], p.nodes[i+1]
+	if add.kind != KEWiseAdd || mult.kind != KEWiseMult {
+		return nil
+	}
+	if !unmasked(add) || add.replace || !unmasked(mult) || !mult.replace {
+		return nil
+	}
+	w1 := add.out
+	if len(add.ins) != 2 || add.ins[0] != w1 {
+		return nil
+	}
+	x := add.ins[1]
+	if x == w1 || len(mult.ins) != 2 || mult.ins[0] != x {
+		return nil
+	}
+	y := mult.ins[1]
+	w2 := mult.out
+	if w2 == w1 || w2 == x || w2 == y || w1 == y {
+		return nil
+	}
+	ff, ok := add.payload.(foldScaleFuser)
+	if !ok {
+		return nil
+	}
+	run := ff.fuseFoldScale(mult.payload)
+	if run == nil {
+		return nil
+	}
+	return &Step{Fused: true, Name: "fold-scale", nodes: p.nodes[i : i+2], fused: run}
+}
+
+// matchSpMVApply matches a product immediately re-mapped in place:
+//
+//	x = vxm(u ⊗ A, replace)
+//	x = apply(op(x), replace)
+func (p *Program) matchSpMVApply(i int) *Step {
+	if i+2 > len(p.nodes) {
+		return nil
+	}
+	vxm, app := p.nodes[i], p.nodes[i+1]
+	if vxm.kind != KVxM || app.kind != KApply {
+		return nil
+	}
+	if !unmasked(vxm) || !vxm.replace || !unmasked(app) || !app.replace {
+		return nil
+	}
+	x := vxm.out
+	if app.out != x || len(app.ins) != 1 || app.ins[0] != x {
+		return nil
+	}
+	vf, ok := vxm.payload.(vxmApplyFuser)
+	if !ok {
+		return nil
+	}
+	run := vf.fuseVxMApply(app.payload)
+	if run == nil {
+		return nil
+	}
+	return &Step{Fused: true, Name: "spmv-apply", nodes: p.nodes[i : i+2], fused: run}
+}
+
+// matchSpMVAccum matches a product folded into an accumulator vector via
+// a dead temporary:
+//
+//	q = vxm(u ⊗ A, replace)       q a dead temp
+//	t = ewiseadd(t, q)
+func (p *Program) matchSpMVAccum(i int) *Step {
+	if i+2 > len(p.nodes) {
+		return nil
+	}
+	vxm, add := p.nodes[i], p.nodes[i+1]
+	if vxm.kind != KVxM || add.kind != KEWiseAdd {
+		return nil
+	}
+	if !unmasked(vxm) || !vxm.replace || !unmasked(add) || add.replace {
+		return nil
+	}
+	q := vxm.out
+	t := add.out
+	if q == t || len(add.ins) != 2 || add.ins[0] != t || add.ins[1] != q {
+		return nil
+	}
+	if !p.deadTemp(q, i+2) {
+		return nil
+	}
+	af, ok := vxm.payload.(accumFuser)
+	if !ok {
+		return nil
+	}
+	run := af.fuseAccum(add.payload)
+	if run == nil {
+		return nil
+	}
+	return &Step{Fused: true, Name: "spmv-accum", nodes: p.nodes[i : i+2], fused: run}
+}
+
+// namer assigns stable display names (v0, v1, ... / A0, A1, ... / r0 for
+// result handles) by first appearance in node order. A linear-probed
+// slice, not a map: String output must be byte-deterministic.
+type namer struct {
+	keys  []any
+	names []string
+	vecs  int
+	mats  int
+	refs  int
+}
+
+func (nm *namer) name(v any) string {
+	if v == nil {
+		return "_"
+	}
+	for i, k := range nm.keys {
+		if k == v {
+			return nm.names[i]
+		}
+	}
+	var s string
+	switch v.(type) {
+	case *grb.Matrix[bool], *grb.Matrix[int32], *grb.Matrix[int64],
+		*grb.Matrix[uint32], *grb.Matrix[uint64], *grb.Matrix[float32], *grb.Matrix[float64]:
+		s = fmt.Sprintf("A%d", nm.mats)
+		nm.mats++
+	case *Scalar[bool], *Scalar[int32], *Scalar[int64],
+		*Scalar[uint32], *Scalar[uint64], *Scalar[float32], *Scalar[float64],
+		*MatRef[bool], *MatRef[int32], *MatRef[int64],
+		*MatRef[uint32], *MatRef[uint64], *MatRef[float32], *MatRef[float64]:
+		s = fmt.Sprintf("r%d", nm.refs)
+		nm.refs++
+	default:
+		s = fmt.Sprintf("v%d", nm.vecs)
+		nm.vecs++
+	}
+	nm.keys = append(nm.keys, v)
+	nm.names = append(nm.names, s)
+	return s
+}
+
+func (nm *namer) describeMask(m MaskSpec) string {
+	if m.kind == MaskNone {
+		return ""
+	}
+	shape := "struct"
+	if m.kind == MaskValue {
+		shape = "value"
+	}
+	comp := ""
+	if m.comp {
+		comp = "!"
+	}
+	return fmt.Sprintf(" mask=%s%s(%s)", comp, shape, nm.name(m.src))
+}
+
+func (nm *namer) describe(n *node) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d %s out=%s", n.id, n.kind, nm.name(n.out))
+	if len(n.ins) > 0 {
+		b.WriteString(" ins=[")
+		for i, in := range n.ins {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(nm.name(in))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteString(nm.describeMask(n.mask))
+	if n.semiring != "" {
+		fmt.Fprintf(&b, " semiring=%s", n.semiring)
+	}
+	if n.accum {
+		b.WriteString(" accum")
+	}
+	if n.replace {
+		b.WriteString(" replace")
+	}
+	return b.String()
+}
+
+// String renders the program and its schedule in a stable textual form,
+// the format the planner golden tests snapshot.
+func (pl *Plan) String() string {
+	var b strings.Builder
+	nm := &namer{}
+	b.WriteString("nodes:\n")
+	for _, n := range pl.prog.nodes {
+		b.WriteString("  ")
+		b.WriteString(nm.describe(n))
+		b.WriteByte('\n')
+	}
+	if len(pl.prog.temps) > 0 {
+		b.WriteString("temps:")
+		for _, t := range pl.prog.temps {
+			b.WriteByte(' ')
+			b.WriteString(nm.name(t))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("plan:\n")
+	for i := range pl.Steps {
+		st := &pl.Steps[i]
+		mode := "eager"
+		if st.Fused {
+			mode = "fused"
+		}
+		fmt.Fprintf(&b, "  %s %s [", mode, st.Name)
+		for j, n := range st.nodes {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "n%d", n.id)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

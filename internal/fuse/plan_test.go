@@ -1,0 +1,260 @@
+// Planner golden tests: planning is purely structural, so the same program
+// must always produce byte-identical plan listings. Each case snapshots
+// Plan.String() against testdata/<name>.golden; regenerate with
+//
+//	go test ./internal/fuse -run TestPlanGolden -update
+package fuse_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphstudy/internal/fuse"
+	"graphstudy/internal/grb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func boolMatrix(tb testing.TB, n int, edges [][2]int) *grb.Matrix[bool] {
+	tb.Helper()
+	rows := make([]int, len(edges))
+	cols := make([]int, len(edges))
+	vals := make([]bool, len(edges))
+	for k, e := range edges {
+		rows[k], cols[k], vals[k] = e[0], e[1], true
+	}
+	m, err := grb.BuildMatrix(n, n, rows, cols, vals, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func f64Matrix(tb testing.TB, n int, edges [][2]int, w func(k int) float64) *grb.Matrix[float64] {
+	tb.Helper()
+	rows := make([]int, len(edges))
+	cols := make([]int, len(edges))
+	vals := make([]float64, len(edges))
+	for k, e := range edges {
+		rows[k], cols[k], vals[k] = e[0], e[1], w(k)
+	}
+	m, err := grb.BuildMatrix(n, n, rows, cols, vals, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+var testEdges = [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}, {2, 1}}
+
+// planPrograms enumerates the golden cases. Each builder records a program
+// without running it — planning never looks at vector contents.
+func planPrograms(tb testing.TB, ctx *grb.Context) map[string]*fuse.Program {
+	tb.Helper()
+	const n = 4
+	plus := func(a, b float64) float64 { return a + b }
+	times := func(a, b float64) float64 { return a * b }
+	minF := func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	lt := func(a, b float64) float64 {
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	out := map[string]*fuse.Program{}
+
+	{
+		// The BFS round body: masked assign + complement-masked expansion.
+		A := boolMatrix(tb, n, testEdges)
+		dist := grb.NewVector[int32](n, grb.Dense)
+		frontier := grb.NewVector[bool](n, grb.List)
+		p := fuse.NewProgram(ctx)
+		fuse.AssignConstant(p, dist, fuse.StructOf(frontier), nil, int32(1), grb.Desc{})
+		fuse.VxM(p, frontier, fuse.ValueOf(dist).Comp(), nil, grb.LorLand(), frontier, A, grb.Desc{Replace: true})
+		out["bfs_round"] = p
+	}
+	{
+		// The residual pagerank iteration: fold+scale pair, then the
+		// product re-scaled in place.
+		A := f64Matrix(tb, n, testEdges, func(int) float64 { return 1 })
+		pr := grb.NewVector[float64](n, grb.Dense)
+		res := grb.NewVector[float64](n, grb.Dense)
+		contrib := grb.NewVector[float64](n, grb.Dense)
+		invdeg := grb.NewVector[float64](n, grb.Dense)
+		p := fuse.NewProgram(ctx)
+		fuse.EWiseAdd(p, pr, fuse.NoMask(), nil, plus, pr, res, grb.Desc{})
+		fuse.EWiseMult(p, contrib, fuse.NoMask(), nil, times, res, invdeg, grb.Desc{Replace: true})
+		fuse.VxM(p, res, fuse.NoMask(), nil, grb.PlusTimes[float64](), contrib, A, grb.Desc{Replace: true})
+		fuse.Apply(p, res, fuse.NoMask(), nil, func(x float64) float64 { return 0.85 * x }, res, grb.Desc{Replace: true})
+		out["pr_round"] = p
+	}
+	{
+		// The delta-stepping light relaxation: both intermediates declared
+		// dead temporaries.
+		A := f64Matrix(tb, n, testEdges, func(k int) float64 { return float64(k + 1) })
+		t := grb.NewVector[float64](n, grb.Dense)
+		cur := grb.NewVector[float64](n, grb.Sorted)
+		tReq := grb.NewVector[float64](n, grb.Sorted)
+		improved := grb.NewVector[float64](n, grb.Sorted)
+		next := grb.NewVector[float64](n, grb.Sorted)
+		p := fuse.NewProgram(ctx)
+		p.Temp(tReq, improved)
+		fuse.VxM(p, tReq, fuse.NoMask(), nil, grb.MinPlus[float64](), cur, A, grb.Desc{Replace: true})
+		fuse.EWiseMult(p, improved, fuse.NoMask(), nil, lt, tReq, t, grb.Desc{Replace: true})
+		fuse.EWiseAdd(p, t, fuse.NoMask(), nil, minF, t, tReq, grb.Desc{})
+		fuse.Select(p, next, fuse.ValueOf(improved), func(v float64, _, _ int) bool { return v < 8 }, tReq, grb.Desc{Replace: true})
+		out["sssp_relax"] = p
+	}
+	{
+		// The heavy-edge phase: product folded through a dead temporary.
+		A := f64Matrix(tb, n, testEdges, func(k int) float64 { return float64(k + 1) })
+		t := grb.NewVector[float64](n, grb.Dense)
+		tB := grb.NewVector[float64](n, grb.Sorted)
+		tReq := grb.NewVector[float64](n, grb.Sorted)
+		p := fuse.NewProgram(ctx)
+		p.Temp(tReq)
+		fuse.VxM(p, tReq, fuse.NoMask(), nil, grb.MinPlus[float64](), tB, A, grb.Desc{Replace: true})
+		fuse.EWiseAdd(p, t, fuse.NoMask(), nil, minF, t, tReq, grb.Desc{})
+		out["sssp_heavy"] = p
+	}
+	{
+		// The same product+fold shape WITHOUT the temp declaration: the
+		// intermediate is observable, so the window must stay eager.
+		A := f64Matrix(tb, n, testEdges, func(k int) float64 { return float64(k + 1) })
+		t := grb.NewVector[float64](n, grb.Dense)
+		tB := grb.NewVector[float64](n, grb.Sorted)
+		tReq := grb.NewVector[float64](n, grb.Sorted)
+		p := fuse.NewProgram(ctx)
+		fuse.VxM(p, tReq, fuse.NoMask(), nil, grb.MinPlus[float64](), tB, A, grb.Desc{Replace: true})
+		fuse.EWiseAdd(p, t, fuse.NoMask(), nil, minF, t, tReq, grb.Desc{})
+		out["nofuse_live_temp"] = p
+	}
+	{
+		// A masked product feeding the fold: the vxm's mask breaks the
+		// spmv-accum shape even though the temp is dead.
+		A := f64Matrix(tb, n, testEdges, func(k int) float64 { return float64(k + 1) })
+		t := grb.NewVector[float64](n, grb.Dense)
+		tB := grb.NewVector[float64](n, grb.Sorted)
+		tReq := grb.NewVector[float64](n, grb.Sorted)
+		p := fuse.NewProgram(ctx)
+		p.Temp(tReq)
+		fuse.VxM(p, tReq, fuse.ValueOf(t), nil, grb.MinPlus[float64](), tB, A, grb.Desc{Replace: true})
+		fuse.EWiseAdd(p, t, fuse.NoMask(), nil, minF, t, tReq, grb.Desc{})
+		out["nofuse_masked_vxm"] = p
+	}
+	{
+		// An accumulator on the fold: accum edges always stay eager.
+		A := f64Matrix(tb, n, testEdges, func(int) float64 { return 1 })
+		t := grb.NewVector[float64](n, grb.Dense)
+		tB := grb.NewVector[float64](n, grb.Sorted)
+		tReq := grb.NewVector[float64](n, grb.Sorted)
+		p := fuse.NewProgram(ctx)
+		p.Temp(tReq)
+		fuse.VxM(p, tReq, fuse.NoMask(), nil, grb.PlusTimes[float64](), tB, A, grb.Desc{Replace: true})
+		fuse.EWiseAdd(p, t, fuse.NoMask(), plus, plus, t, tReq, grb.Desc{})
+		out["nofuse_accum"] = p
+	}
+	{
+		// Node kinds no pattern covers (product handles, gather, reduce):
+		// every step eager, result handles named r0/r1.
+		A := f64Matrix(tb, n, testEdges, func(int) float64 { return 1 })
+		u := grb.NewVector[float64](n, grb.Dense)
+		w := grb.NewVector[float64](n, grb.Dense)
+		g := grb.NewVector[float64](n, grb.Sorted)
+		idx := grb.NewVector[uint32](n, grb.Dense)
+		p := fuse.NewProgram(ctx)
+		fuse.MxV(p, w, fuse.NoMask(), nil, grb.PlusTimes[float64](), A, u, grb.Desc{Replace: true})
+		fuse.MxM(p, grb.PlusTimes[float64](), A, A)
+		fuse.Gather(p, g, w, idx, grb.Desc{Replace: true})
+		fuse.Reduce(p, grb.PlusMonoid[float64](), g)
+		out["eager_only"] = p
+	}
+	return out
+}
+
+func TestPlanGolden(t *testing.T) {
+	ctx := grb.NewGaloisBLASContext(2)
+	progs := planPrograms(t, ctx)
+	for name, p := range progs {
+		name, p := name, p
+		t.Run(name, func(t *testing.T) {
+			got := p.Plan().String()
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestPlanDeterministic: re-planning the same program yields the same
+// schedule and listing.
+func TestPlanDeterministic(t *testing.T) {
+	ctx := grb.NewGaloisBLASContext(2)
+	for name, p := range planPrograms(t, ctx) {
+		a, b := p.Plan().String(), p.Plan().String()
+		if a != b {
+			t.Errorf("%s: two plans of one program differ:\n%s\nvs\n%s", name, a, b)
+		}
+	}
+}
+
+// TestPlanFusedShapes pins the structural outcome of the core patterns
+// independently of the golden bytes.
+func TestPlanFusedShapes(t *testing.T) {
+	ctx := grb.NewGaloisBLASContext(2)
+	progs := planPrograms(t, ctx)
+	wantFused := map[string][]string{
+		"bfs_round":         {"bfs-expand"},
+		"pr_round":          {"fold-scale", "spmv-apply"},
+		"sssp_relax":        {"relax"},
+		"sssp_heavy":        {"spmv-accum"},
+		"nofuse_live_temp":  {},
+		"nofuse_masked_vxm": {},
+		"nofuse_accum":      {},
+		"eager_only":        {},
+	}
+	for name, want := range wantFused {
+		pl := progs[name].Plan()
+		var got []string
+		covered := 0
+		for i := range pl.Steps {
+			if pl.Steps[i].Fused {
+				got = append(got, pl.Steps[i].Name)
+				covered += len(pl.Steps[i].Nodes())
+			} else {
+				covered++
+			}
+		}
+		if covered != progs[name].Len() {
+			t.Errorf("%s: plan covers %d nodes, program has %d", name, covered, progs[name].Len())
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: fused steps %v, want %v", name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: fused steps %v, want %v", name, got, want)
+				break
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"graphstudy/internal/galois"
@@ -22,16 +23,20 @@ import (
 // more architecture-tuned kernel in the library). BenchmarkAblationFusedBFS
 // quantifies how much of the LS-GB bfs gap this one kernel recovers.
 //
-// dist must be dense, zero meaning unvisited, with the source already
-// stamped (the bfs convention: source holds 1). nextLevel is the level for
-// vertices discovered by this step. The returned vector is the next
-// frontier.
+// dist must be Dense, zero meaning unvisited, with the source already
+// stamped (the bfs convention: source holds 1); a sparse dist is an error.
+// The kernel deliberately writes levels into the caller's dist — that is
+// the whole point of the fusion — but it never changes the vector's
+// representation behind the caller's back (the alias-defense rule every
+// kernel follows: mutate outputs only in the documented way, snapshot
+// everything else). nextLevel is the level for vertices discovered by this
+// step. The returned vector is the next frontier.
 func FusedBFSStep(ctx *Context, dist *Vector[int32], frontier *Vector[bool], A *Matrix[bool], nextLevel int32) (*Vector[bool], error) {
 	if dist.n != A.NRows() || frontier.n != A.NRows() {
 		return nil, errDim("FusedBFSStep", dist.n, A.NRows())
 	}
 	if dist.rep != Dense {
-		dist.Convert(Dense)
+		return nil, fmt.Errorf("grb: FusedBFSStep needs a Dense dist, got %v (the kernel stamps levels in place and will not convert the caller's vector)", dist.rep)
 	}
 	fIdx, _ := frontier.Entries()
 	c := perfmodel.Get()

@@ -1,0 +1,66 @@
+package grb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFusedBFSStepDistContract pins the FusedBFSStep aliasing contract: the
+// kernel stamps levels into the caller's dist in place (that is the fusion)
+// but must never convert the caller's vector to another representation
+// behind its back. A non-Dense dist is rejected with a clear error and left
+// untouched.
+func TestFusedBFSStepDistContract(t *testing.T) {
+	ctx := NewGaloisBLASContext(2)
+	A, err := BuildMatrix(4, 4, []int{0, 1, 2}, []int{1, 2, 3}, []bool{true, true, true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := NewVector[bool](4, List)
+	frontier.SetElement(0, true)
+
+	// A sparse dist errors and stays bit-for-bit as it was.
+	dist := NewVector[int32](4, Sorted)
+	dist.SetElement(0, 1)
+	dist.SetElement(3, 7)
+	wi, wv := dist.Entries()
+	if _, err := FusedBFSStep(ctx, dist, frontier, A, 2); err == nil {
+		t.Fatal("FusedBFSStep accepted a Sorted dist; the contract requires Dense")
+	} else if !strings.Contains(err.Error(), "Dense") {
+		t.Fatalf("error %q should name the Dense requirement", err)
+	}
+	if dist.Rep() != Sorted {
+		t.Fatalf("rejected dist converted to %v; must be left untouched", dist.Rep())
+	}
+	gi, gv := dist.Entries()
+	if len(gi) != len(wi) {
+		t.Fatalf("rejected dist has %d entries, had %d", len(gi), len(wi))
+	}
+	for k := range wi {
+		if gi[k] != wi[k] || gv[k] != wv[k] {
+			t.Fatalf("rejected dist entry %d = (%d,%d), had (%d,%d)", k, gi[k], gv[k], wi[k], wv[k])
+		}
+	}
+
+	// A Dense dist is updated in place — same backing vector, same rep —
+	// and the discovered neighbor carries the next level.
+	dense := NewVector[int32](4, Dense)
+	dense.DenseFill(0)
+	dense.SetElement(0, 1)
+	next, err := FusedBFSStep(ctx, dense, frontier, A, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Rep() != Dense {
+		t.Fatalf("dist rep changed to %v", dense.Rep())
+	}
+	if v, ok := dense.ExtractElement(1); !ok || v != 2 {
+		t.Fatalf("dist[1] = %d,%v; want the stamped level 2", v, ok)
+	}
+	if next.NVals() != 1 {
+		t.Fatalf("next frontier has %d entries, want 1", next.NVals())
+	}
+	if v, ok := next.ExtractElement(1); !ok || !v {
+		t.Fatalf("next frontier missing vertex 1 (got %v,%v)", v, ok)
+	}
+}

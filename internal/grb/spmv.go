@@ -28,14 +28,7 @@ func VxM[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 		return errDim("VxM mask", mask.n, w.n)
 	}
 	u = unalias(w, u)
-	usePull := A.HasCSC() && (u.rep == Dense && u.NVals() > A.nrows/16 ||
-		mask != nil && !mask.Complement && mask.Count() < u.NVals())
-	switch desc.Force {
-	case HintPush:
-		usePull = false
-	case HintPull:
-		usePull = true
-	}
+	usePull := vxmUsePull(mask, u, A, desc)
 	op := "grb.VxM.push"
 	if usePull {
 		op = "grb.VxM.pull"
@@ -97,6 +90,23 @@ func MxV[T any](ctx *Context, w *Vector[T], mask *Mask, accum BinaryOp[T], s Sem
 	sp.Bytes = entryBytes[T](len(e.idx))
 	mergeIntoVector(w, e, accum, desc.Replace)
 	return nil
+}
+
+// vxmUsePull is VxM's kernel-selection heuristic, split out so the fused
+// composite kernels (fusedchains.go) pick the exact same kernel as an eager
+// VxM would for the same inputs. Float addition folds in a different order
+// under push vs pull, so fused results stay bit-identical to eager only if
+// this choice is shared.
+func vxmUsePull[T any](mask *Mask, u *Vector[T], A *Matrix[T], desc Desc) bool {
+	usePull := A.HasCSC() && (u.rep == Dense && u.NVals() > A.nrows/16 ||
+		mask != nil && !mask.Complement && mask.Count() < u.NVals())
+	switch desc.Force {
+	case HintPush:
+		usePull = false
+	case HintPull:
+		usePull = true
+	}
+	return usePull
 }
 
 // spmvPush is the SAXPY kernel. For VxM (alongRows=true) it expands row

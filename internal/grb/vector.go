@@ -77,6 +77,13 @@ func (v *Vector[T]) Rep() Rep { return v.rep }
 // Slot identifies the vector in the performance model's address space.
 func (v *Vector[T]) Slot() uint32 { return v.slot }
 
+// FullyDense reports whether v is in the Dense representation with every
+// position explicit. The in-place fused kernels require it: they update
+// value slots from parallel blocks without touching the presence bitmap
+// (two blocks may share a bitmap word, so presence writes cannot be done
+// from disjoint index ranges race-free).
+func (v *Vector[T]) FullyDense() bool { return v.rep == Dense && v.ndense == v.n }
+
 // NVals returns the number of explicit entries, the analog of
 // GrB_Vector_nvals.
 func (v *Vector[T]) NVals() int {

@@ -83,6 +83,9 @@ func TestGolden(t *testing.T) {
 		// matching below asserts the rule stays silent there.
 		{"gostmt-exempt", "gostmt", "gostmt_exempt", "graphstudy/internal/service/zfixture/exempt"},
 		{"tracespan", "tracespan", "tracespan", "graphstudy/internal/lagraph/zfixture/tracespan"},
+		// The fusion executor's bail path is the one place a CatFused
+		// span is easy to leak; the fixture pins that shape.
+		{"tracespan-fuse", "tracespan", "tracespan_fuse", "graphstudy/internal/fuse/zfixture/tracespan"},
 		{"errcheck", "errcheck", "errcheck", "graphstudy/internal/store/zfixture/errcheck"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,57 @@
+// Package tracespan_fuse seeds tracespan violations in fusion-executor
+// shape: CatFused spans opened around a fused step that leak when the
+// kernel bails to the eager fallback. The fusion subsystem's byte
+// accounting (Summary.BytesElided) is computed entirely from ended
+// spans, so a leaked fused span silently under-reports elision.
+package tracespan_fuse
+
+import "graphstudy/internal/trace"
+
+// BailLeak mirrors a buggy executor: the span is ended on the fused
+// success path but forgotten when the kernel bails to eager.
+func BailLeak(applied bool, elided int64) error {
+	sp := trace.Begin(trace.CatFused, "fuse.fold-scale")
+	if !applied {
+		return nil // want tracespan "not ended on the path to this return"
+	}
+	sp.Bytes = elided
+	sp.End()
+	return nil
+}
+
+// PlanDiscarded drops the plan span on the floor.
+func PlanDiscarded() {
+	trace.Begin(trace.CatFused, "fuse.plan") // want tracespan "result discarded"
+}
+
+// StepLoopLeak ends the per-step span only for fused steps; eager
+// iterations leave it open.
+func StepLoopLeak(fused []bool) {
+	for _, isFused := range fused {
+		sp := trace.Begin(trace.CatFused, "fuse.step") // want tracespan "may leave its block"
+		if isFused {
+			sp.End()
+		}
+	}
+}
+
+// GoodBail is the executor's actual shape: deferred End covers both the
+// fused path and the bail path, with the op renamed before End fires.
+func GoodBail(applied bool, elided int64) error {
+	sp := trace.Begin(trace.CatFused, "fuse.relax")
+	defer sp.End()
+	if !applied {
+		sp.Op = "fuse.relax.bail"
+		return nil
+	}
+	sp.Bytes = elided
+	return nil
+}
+
+// GoodPlan is the unconditional straight-line plan span.
+func GoodPlan(nodes, fusedSteps int) {
+	sp := trace.Begin(trace.CatFused, "fuse.plan")
+	sp.NNZIn = int64(nodes)
+	sp.NNZOut = int64(fusedSteps)
+	sp.End()
+}

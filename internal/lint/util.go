@@ -14,6 +14,7 @@ const galoisPkg = "graphstudy/internal/galois"
 // they run on. The determinism rules apply here.
 var kernelPkgs = []string{
 	"graphstudy/internal/grb",
+	"graphstudy/internal/fuse",
 	"graphstudy/internal/lagraph",
 	"graphstudy/internal/lonestar",
 	galoisPkg,

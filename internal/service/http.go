@@ -56,6 +56,7 @@ type RunResponse struct {
 //	POST /v1/run      run a spec (sync by default, async on request)
 //	GET  /v1/jobs/{id} poll a job
 //	GET  /v1/jobs/{id}/trace fetch the job's Chrome trace JSON (profiling mode)
+//	GET  /v1/apps     list the workload registry (apps × systems × variants)
 //	GET  /v1/graphs   list the input catalog
 //	GET  /v1/datasets list the dataset store (residency, sizes, refcounts)
 //	GET  /healthz     liveness
@@ -64,6 +65,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/apps", s.handleApps)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -140,6 +142,14 @@ func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
 	if err != nil {
 		return zero, err
 	}
+	variant, err := core.ParseVariant(req.Variant)
+	if err != nil {
+		return zero, err
+	}
+	if !core.ValidVariant(app, sys, variant) {
+		return zero, fmt.Errorf("service: variant %q is not valid for %v on %v (see GET /v1/apps)",
+			variant, app, sys)
+	}
 	in, err := s.resolveInput(req.Graph)
 	if err != nil {
 		return zero, err
@@ -172,7 +182,7 @@ func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
 	}
 
 	return core.RunSpec{
-		App: app, System: sys, Variant: core.Variant(req.Variant),
+		App: app, System: sys, Variant: variant,
 		Input: in, Scale: scale, Threads: threads, Timeout: timeout,
 	}, nil
 }
@@ -212,6 +222,34 @@ func (s *Server) serveJobTrace(w http.ResponseWriter, r *http.Request, job *Job)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	http.ServeFile(w, r, job.TracePath)
+}
+
+// AppEntry is one row of the GET /v1/apps registry: a workload on a
+// runtime plus every variant the pair accepts (the empty default
+// variant is implied and omitted).
+type AppEntry struct {
+	App      string   `json:"app"`
+	System   string   `json:"system"`
+	Variants []string `json:"variants,omitempty"`
+}
+
+// handleApps lists the runnable (app, system) pairs and their accepted
+// non-default variants, so clients can discover e.g. the fused-grb
+// column without hardcoding the registry.
+func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
+	var entries []AppEntry
+	for _, app := range core.Apps() {
+		for _, sys := range core.Systems() {
+			e := AppEntry{App: app.String(), System: sys.String()}
+			for _, v := range core.Variants() {
+				if core.ValidVariant(app, sys, v) {
+					e.Variants = append(e.Variants, string(v))
+				}
+			}
+			entries = append(entries, e)
+		}
+	}
+	writeJSON(w, map[string]any{"apps": entries})
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, _ *http.Request) {

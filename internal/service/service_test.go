@@ -429,6 +429,12 @@ func TestBadRequests(t *testing.T) {
 		{App: "bfs", System: "ls", Graph: "rmat22", Scale: "huge"},
 		{App: "bfs", System: "ls", Graph: "rmat22", Timeout: "not-a-duration"},
 		{App: "bfs", Graph: "rmat22"},
+		// Unknown and misapplied variants are rejected up front, before
+		// a job is admitted.
+		{App: "bfs", System: "gb", Graph: "rmat22", Variant: "warp-speed"},
+		{App: "bfs", System: "ls", Graph: "rmat22", Variant: "fused"},
+		{App: "cc", System: "gb", Graph: "rmat22", Variant: "fused"},
+		{App: "bfs", System: "gb", Graph: "rmat22", Variant: "gb-res"},
 	}
 	for _, c := range cases {
 		code, _, _ := post(t, ts.URL, c)
@@ -522,5 +528,72 @@ func TestNoTraceWithoutDir(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("trace without dir: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAppsRegistryAndFusedRun: GET /v1/apps advertises the variant
+// registry (including the fused-grb column), and a fused run served over
+// HTTP produces the same digest as the eager harness run — the service
+// path composes with the fusion subsystem.
+func TestAppsRegistryAndFusedRun(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var reg struct {
+		Apps []AppEntry `json:"apps"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/apps", &reg); code != http.StatusOK {
+		t.Fatalf("apps: status %d", code)
+	}
+	if want := len(core.Apps()) * len(core.Systems()); len(reg.Apps) != want {
+		t.Fatalf("registry has %d entries, want %d", len(reg.Apps), want)
+	}
+	variantsOf := func(app, sys string) []string {
+		for _, e := range reg.Apps {
+			if e.App == app && e.System == sys {
+				return e.Variants
+			}
+		}
+		t.Fatalf("registry missing %s/%s", app, sys)
+		return nil
+	}
+	has := func(vs []string, v string) bool {
+		for _, x := range vs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, sys := range []string{"SS", "GB"} {
+		for _, app := range []string{"bfs", "pr", "sssp"} {
+			if !has(variantsOf(app, sys), "fused") {
+				t.Errorf("%s/%s does not advertise the fused variant", app, sys)
+			}
+		}
+	}
+	if has(variantsOf("bfs", "LS"), "fused") {
+		t.Error("bfs/LS advertises fused; fusion is GraphBLAS-only")
+	}
+	if !has(variantsOf("pr", "GB"), "gb-res") {
+		t.Error("pr/GB lost the gb-res variant")
+	}
+
+	// One fused run through the whole serving stack; BFS's fused digest is
+	// bit-identical to the eager default.
+	code, rr, _ := post(t, ts.URL, RunRequest{
+		App: "bfs", System: "gb", Variant: "fused", Graph: "rmat22", Scale: "test",
+	})
+	if code != http.StatusOK || rr.Outcome != "ok" {
+		t.Fatalf("fused run: status %d outcome %q error %q", code, rr.Outcome, rr.Error)
+	}
+	in, _ := gen.ByName("rmat22")
+	want := core.Run(core.RunSpec{
+		App: core.BFS, System: core.GB, Input: in, Scale: gen.ScaleTest, Threads: 4,
+	})
+	if d := fmt.Sprintf("%x", want.Check); rr.Digest != d {
+		t.Fatalf("served fused digest %s != eager harness digest %s", rr.Digest, d)
 	}
 }

@@ -38,8 +38,13 @@ type Summary struct {
 	// Rounds counts CatRound spans with Round >= 1 (init phases are
 	// tagged round 0 and excluded).
 	Rounds int
-	// Bytes is the total bytes materialized across all spans.
+	// Bytes is the total bytes materialized across all spans. CatFused
+	// spans are excluded: their Bytes field counts eliminated
+	// materializations and accumulates in BytesElided instead.
 	Bytes int64
+	// BytesElided is the total intermediate bytes the fusion planner
+	// avoided materializing (sum of CatFused span Bytes).
+	BytesElided int64
 	// RoundTotal is the summed duration of all CatRound spans including
 	// init; for a single traced run it should tile the wall time.
 	RoundTotal time.Duration
@@ -89,7 +94,11 @@ func (t *Trace) Summary() *Summary {
 	}
 	for _, st := range merged {
 		s.Ops = append(s.Ops, *st)
-		s.Bytes += st.Bytes
+		if st.Cat == CatFused {
+			s.BytesElided += st.Bytes
+		} else {
+			s.Bytes += st.Bytes
+		}
 		if st.Cat == CatRound {
 			s.RoundTotal += st.Total
 		}
@@ -152,8 +161,8 @@ func (s *Summary) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "rounds=%d bytes=%d round-time=%s events=%d dropped=%d\n",
-		s.Rounds, s.Bytes, round(s.RoundTotal), s.Events, s.Dropped)
+	_, err := fmt.Fprintf(w, "rounds=%d bytes=%d bytes-elided=%d round-time=%s events=%d dropped=%d\n",
+		s.Rounds, s.Bytes, s.BytesElided, round(s.RoundTotal), s.Events, s.Dropped)
 	return err
 }
 

@@ -37,6 +37,12 @@ const (
 	CatRegion
 	// CatLoop is a galois ForEach worklist loop.
 	CatLoop
+	// CatFused is a fusion-compiler step (internal/fuse): one span per
+	// planned step, tagging the fusion decision. For fused steps Bytes
+	// holds the intermediate bytes *elided* (materializations the eager
+	// schedule would have allocated), not bytes written — Summary rolls
+	// them into BytesElided instead of Bytes.
+	CatFused
 )
 
 // String returns the category name used in Chrome trace output.
@@ -50,6 +56,8 @@ func (c Cat) String() string {
 		return "region"
 	case CatLoop:
 		return "loop"
+	case CatFused:
+		return "fused"
 	}
 	return "unknown"
 }

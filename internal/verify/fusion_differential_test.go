@@ -1,0 +1,106 @@
+// Fused differential tests: the lazy-DAG "fused" variant (internal/fuse)
+// must be bit-identical to its eager grb sibling — same digest, same
+// rendered answer, same round count — on every graph of the adversarial
+// family, on both GraphBLAS runtimes, and at every worker count. This is
+// the enforcement arm of the fusion subsystem's contract: fusion changes
+// which intermediates exist, never what the program computes.
+package verify_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graphstudy/internal/core"
+)
+
+// fusedPairs lists each fused workload with the eager variant it must
+// reproduce exactly. FusedPageRank ports the residual formulation, so its
+// reference is gb-res, not the default (dangling-redistribution) pagerank.
+func fusedPairs() []struct {
+	app   core.App
+	eager core.Variant
+} {
+	return []struct {
+		app   core.App
+		eager core.Variant
+	}{
+		{core.BFS, core.VDefault},
+		{core.PR, core.VGBRes},
+		{core.SSSP, core.VDefault},
+	}
+}
+
+func checkFusedPair(t *testing.T, eager, fused core.Result) {
+	t.Helper()
+	label := fmt.Sprintf("%v/%v", fused.Spec.App, fused.Spec.System)
+	if fused.Check != eager.Check {
+		t.Errorf("%s: fused digest %x != eager (%s) digest %x",
+			label, fused.Check, core.Label(eager.Spec.System, eager.Spec.Variant), eager.Check)
+	}
+	if fused.Value != eager.Value {
+		t.Errorf("%s: fused answer %q != eager answer %q", label, fused.Value, eager.Value)
+	}
+	if fused.Rounds != eager.Rounds {
+		t.Errorf("%s: fused rounds %d != eager rounds %d", label, fused.Rounds, eager.Rounds)
+	}
+}
+
+// TestFusedDifferential sweeps the full graph family on both GraphBLAS
+// runtimes: every fused plan's output must be indistinguishable from the
+// eager schedule's.
+func TestFusedDifferential(t *testing.T) {
+	cases := diffCases()
+	if len(cases) < 40 {
+		t.Fatalf("graph family shrank to %d cases", len(cases))
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mk, cleanup := runOn(t, "fusediff-"+tc.name, tc.g)
+			defer cleanup()
+			for _, pair := range fusedPairs() {
+				for _, sys := range []core.System{core.SS, core.GB} {
+					eager := mustRun(t, mk(pair.app, sys, pair.eager))
+					fused := mustRun(t, mk(pair.app, sys, core.VFused))
+					checkFusedPair(t, eager, fused)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedDifferentialWorkers re-runs a cross-section of the family at
+// worker counts 1, 2, and 4: the fused digest must be worker-invariant and
+// equal to the eager digest at the same count. (The PR 4 blocking
+// discipline makes eager results worker-invariant; fused kernels inherit
+// the same obligation.)
+func TestFusedDifferentialWorkers(t *testing.T) {
+	cases := diffCases()
+	// Every 5th graph keeps the sweep cheap while crossing all shapes
+	// (random, power-law, disconnected, structured, degenerate).
+	for i := 0; i < len(cases); i += 5 {
+		tc := cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			mk, cleanup := runOn(t, "fuseworkers-"+tc.name, tc.g)
+			defer cleanup()
+			for _, pair := range fusedPairs() {
+				var ref core.Result
+				for wi, workers := range []int{1, 2, 4} {
+					eSpec := mk(pair.app, core.GB, pair.eager)
+					eSpec.Threads = workers
+					fSpec := mk(pair.app, core.GB, core.VFused)
+					fSpec.Threads = workers
+					eager := mustRun(t, eSpec)
+					fused := mustRun(t, fSpec)
+					checkFusedPair(t, eager, fused)
+					if wi == 0 {
+						ref = fused
+					} else if fused.Check != ref.Check {
+						t.Errorf("%v fused: digest %x at %d workers != %x at 1 worker",
+							pair.app, fused.Check, workers, ref.Check)
+					}
+				}
+			}
+		})
+	}
+}

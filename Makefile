@@ -24,7 +24,7 @@ test:
 RACE_PKGS = ./internal/service/... ./internal/core/... ./internal/store/... \
 	./internal/trace/... ./internal/verify/... ./internal/galois/... \
 	./internal/grb/... ./internal/fuse/... ./internal/lagraph/... \
-	./internal/loadgen/...
+	./internal/adapt/... ./internal/loadgen/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -33,7 +33,7 @@ race:
 # alias, and digest-stability suites under the race detector at a fixed
 # worker count, plus a does-it-run pass over the SpMV scaling benchmark.
 test-parallel:
-	$(GO) test ./internal/grb ./internal/verify ./internal/fuse -race -grb.workers=4
+	$(GO) test ./internal/grb ./internal/verify ./internal/fuse ./internal/adapt -race -grb.workers=4
 	$(GO) test ./internal/grb -run '^$$' -bench SpMV -benchtime 1x
 
 # Short fuzzing pass over every untrusted-input decoder. Go allows one fuzz
@@ -48,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGSG2$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGraph$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzDagEquivalence$$' -fuzztime $(FUZZTIME) ./internal/fuse/
+	$(GO) test -run '^$$' -fuzz '^FuzzAdaptEquivalence$$' -fuzztime $(FUZZTIME) ./internal/adapt/
 
 # The vet gate is pinned to an explicit analyzer list so a toolchain
 # change can never silently drop a check this repo relies on (copylocks
@@ -87,7 +88,7 @@ check: build vet lint
 # columns get a 10x + 1s floor so CI noise cannot trip them.
 # bench-baseline rewrites the committed baseline — run it (and commit the
 # diff) when a change legitimately moves the numbers.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_8.json
 BENCH_FRESH ?= BENCH_fresh.json
 BENCH_SCENARIO ?= smoke
 

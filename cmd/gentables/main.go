@@ -13,6 +13,9 @@
 // cmd/graphbench for the serving half and `make bench-gate` for the gate).
 // The extra experiment `fusion` compares eager grb, fused grb, and Lonestar
 // on the ported workloads, reporting the bytes the fusion planner elided.
+// The extra experiment `adapt` compares static push, static pull, and the
+// adaptive decision engine on the round-based workloads (plus an adaptive
+// thread sweep), with the engine's decision mix read from the trace.
 package main
 
 import (
@@ -169,6 +172,18 @@ func main() {
 			fatal(err)
 		}
 		emit("fusion", t)
+	}
+	if wanted["adapt"] {
+		t, err := bench.AdaptTable(cfg, note)
+		if err != nil {
+			fatal(err)
+		}
+		emit("adapt", t)
+		points, err := bench.AdaptThreadsScaling(cfg, bench.Figure2Threads(8), note)
+		if err != nil {
+			fatal(err)
+		}
+		emit("adapt-threads", bench.AdaptThreadsTable(points))
 	}
 	if wanted["bench"] {
 		ks, err := bench.BenchKernels(cfg, note)

@@ -1,0 +1,252 @@
+package adapt
+
+import (
+	"testing"
+
+	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
+)
+
+// trajectory feeds densities (as nvals over n=1000) through a fresh
+// engine and returns it.
+func trajectory(t *testing.T, cfg Config, densities []float64) *Engine {
+	t.Helper()
+	const n = 1000
+	e := NewEngine(n, cfg)
+	for _, d := range densities {
+		e.Decide(int(d * n))
+	}
+	return e
+}
+
+func TestDirectionThresholds(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEngine(1000, cfg)
+	if d := e.Decide(5); d.Direction != Push {
+		t.Fatalf("density 0.005 decided %v, want push", d.Direction)
+	}
+	if d := e.Decide(100); d.Direction != Pull {
+		t.Fatalf("density 0.1 decided %v, want pull", d.Direction)
+	}
+	// Inside the band the previous direction sticks.
+	if d := e.Decide(30); d.Direction != Pull {
+		t.Fatalf("density 0.03 after pull decided %v, want pull (hysteresis)", d.Direction)
+	}
+	if d := e.Decide(10); d.Direction != Push {
+		t.Fatalf("density 0.01 decided %v, want push (β edge inclusive)", d.Direction)
+	}
+	if d := e.Decide(30); d.Direction != Push {
+		t.Fatalf("density 0.03 after push decided %v, want push (hysteresis)", d.Direction)
+	}
+}
+
+func TestRepLadder(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, c := range []struct {
+		density float64
+		want    grb.Rep
+	}{
+		{0.0001, grb.List},
+		{0.001, grb.List},
+		{0.01, grb.Sorted},
+		{0.1, grb.Bitmap},
+		{0.5, grb.Dense},
+		{1.0, grb.Dense},
+	} {
+		e := NewEngine(10000, cfg)
+		if d := e.Decide(int(c.density * 10000)); d.Rep != c.want {
+			t.Errorf("first decision at density %v: rep %v, want %v", c.density, d.Rep, c.want)
+		}
+	}
+}
+
+// TestHysteresisMonotone is the satellite property: on any monotone
+// density trajectory the direction switches at most once (the first
+// decision seeds the state and is not a switch).
+func TestHysteresisMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	up := []float64{0.001, 0.004, 0.008, 0.02, 0.04, 0.06, 0.2, 0.5, 0.9}
+	down := make([]float64, len(up))
+	for i, d := range up {
+		down[len(up)-1-i] = d
+	}
+	for name, traj := range map[string][]float64{"increasing": up, "decreasing": down} {
+		e := trajectory(t, cfg, traj)
+		if s := e.DirSwitches(); s > 1 {
+			t.Errorf("%s trajectory: %d direction switches, want <= 1", name, s)
+		}
+		// The rep ladder may pass through every band, but monotone density
+		// can never revisit one: at most len(Reps())-1 switches.
+		if s := e.RepSwitches(); s > len(grb.Reps())-1 {
+			t.Errorf("%s trajectory: %d rep switches, want <= %d", name, s, len(grb.Reps())-1)
+		}
+	}
+}
+
+// TestHysteresisOscillation is the adversarial half: a density jittering
+// inside the (β, α) band never switches direction, and jitter around a
+// single threshold switches at most once — the off-by-one trap the
+// thresholds must not fall into.
+func TestHysteresisOscillation(t *testing.T) {
+	cfg := DefaultConfig()
+
+	// Oscillate strictly inside the hysteresis band (β=0.01, α=0.05).
+	inBand := make([]float64, 40)
+	for i := range inBand {
+		if i%2 == 0 {
+			inBand[i] = 0.012
+		} else {
+			inBand[i] = 0.048
+		}
+	}
+	if s := trajectory(t, cfg, inBand).DirSwitches(); s != 0 {
+		t.Errorf("in-band oscillation: %d direction switches, want 0", s)
+	}
+
+	// Jitter around α only (never dipping to β): once pulled, stays pulled.
+	nearAlpha := make([]float64, 40)
+	for i := range nearAlpha {
+		if i%2 == 0 {
+			nearAlpha[i] = 0.049
+		} else {
+			nearAlpha[i] = 0.051
+		}
+	}
+	if s := trajectory(t, cfg, nearAlpha).DirSwitches(); s > 1 {
+		t.Errorf("near-α jitter: %d direction switches, want <= 1", s)
+	}
+
+	// Jitter around a rep band edge (B2=0.02, Hyst widens [0.002,0.02) to
+	// [0.001,0.03)): stays in Sorted, zero rep switches after seeding.
+	nearB2 := make([]float64, 40)
+	for i := range nearB2 {
+		if i%2 == 0 {
+			nearB2[i] = 0.018
+		} else {
+			nearB2[i] = 0.022
+		}
+	}
+	if s := trajectory(t, cfg, nearB2).RepSwitches(); s != 0 {
+		t.Errorf("near-band-edge jitter: %d rep switches, want 0", s)
+	}
+
+	// Full-band traversals are genuine regime changes: the switch count
+	// must track the traversal count, not exceed it.
+	traversals := make([]float64, 0, 40)
+	for i := 0; i < 10; i++ {
+		traversals = append(traversals, 0.005, 0.5)
+	}
+	if s := trajectory(t, cfg, traversals).DirSwitches(); s > 19 {
+		t.Errorf("full traversals: %d switches for 19 band crossings", s)
+	}
+}
+
+func TestForcedDecisions(t *testing.T) {
+	base := DefaultConfig()
+	for _, dir := range Directions() {
+		for _, rep := range grb.Reps() {
+			e := NewEngine(1000, base.Force(dir, rep))
+			for _, nv := range []int{1, 100, 900} {
+				d := e.Decide(nv)
+				if d.Direction != dir || d.Rep != rep {
+					t.Fatalf("forced (%v,%v) decided (%v,%v) at nvals=%d", dir, rep, d.Direction, d.Rep, nv)
+				}
+			}
+			// Forcing is an override, not a different engine: the
+			// free-running state keeps evolving underneath.
+			if e.Rounds() != 3 {
+				t.Fatalf("forced engine rounds = %d, want 3", e.Rounds())
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Alpha: 0.01, Beta: 0.05, B1: 0.1, B2: 0.2, B3: 0.3}, // α < β
+		{Alpha: 0.05, Beta: 0.01, B1: 0.3, B2: 0.2, B3: 0.1}, // bands descending
+		{Alpha: 0.05, Beta: 0.01, B1: 0.1, B2: 0.2, B3: 0.3, Hyst: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestDecisionSpans(t *testing.T) {
+	tr := trace.New()
+	trace.Install(tr)
+	defer trace.Install(nil)
+
+	e := NewEngine(1000, DefaultConfig())
+	e.Decide(1)   // push, list
+	e.Decide(300) // pull, dense
+	s := tr.Summary()
+
+	for _, op := range []string{"adapt.direction.push", "adapt.direction.pull", "adapt.rep.list", "adapt.rep.dense"} {
+		st := s.Find(trace.CatAdapt, op)
+		if st == nil || st.Count != 1 {
+			t.Fatalf("span %q: %+v, want exactly one", op, st)
+		}
+	}
+	// The density tag (ppm) makes each decision auditable from the trace.
+	if st := s.Find(trace.CatAdapt, "adapt.direction.pull"); st.NNZIn != 300 || st.NNZOut != 1000 || st.Items != 300000 {
+		t.Fatalf("pull span tags = nnzin %d nnzout %d items %d, want 300/1000/300000", st.NNZIn, st.NNZOut, st.Items)
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	ar := NewArena[uint32](64)
+	v := ar.Get(grb.Sorted)
+	v.SetElement(3, 7)
+	v.SetElement(9, 1)
+	ar.Put(v)
+
+	w := ar.Get(grb.Sorted)
+	if w != v {
+		t.Fatalf("Get after Put did not recycle the pooled vector")
+	}
+	if w.NVals() != 0 {
+		t.Fatalf("recycled vector has %d stale entries", w.NVals())
+	}
+	if gets, hits := ar.Stats(); gets != 2 || hits != 1 {
+		t.Fatalf("stats = %d gets %d hits, want 2/1", gets, hits)
+	}
+
+	// Pools are per-rep: a pooled Sorted vector never serves a Dense Get.
+	ar.Put(w)
+	d := ar.Get(grb.Dense)
+	if d == w {
+		t.Fatalf("Dense Get returned the pooled Sorted vector")
+	}
+	if d.Rep() != grb.Dense {
+		t.Fatalf("Dense Get returned rep %v", d.Rep())
+	}
+
+	// Wrong-dimension vectors are dropped, not pooled.
+	ar.Put(grb.NewVector[uint32](8, grb.List))
+	if l := ar.Get(grb.List); l.Size() != 64 {
+		t.Fatalf("arena served a vector of dimension %d", l.Size())
+	}
+}
+
+func TestArenaBitmapReuse(t *testing.T) {
+	// A recycled Bitmap vector must have a clean presence bitmap, or the
+	// next round's frontier would report phantom entries.
+	ar := NewArena[bool](128)
+	v := ar.Get(grb.Bitmap)
+	for i := 0; i < 100; i += 3 {
+		v.SetElement(i, true)
+	}
+	ar.Put(v)
+	w := ar.Get(grb.Bitmap)
+	if w != v || w.NVals() != 0 {
+		t.Fatalf("recycled bitmap vector: same=%v nvals=%d", w == v, w.NVals())
+	}
+	if _, ok := w.ExtractElement(3); ok {
+		t.Fatalf("recycled bitmap vector has a stale presence bit")
+	}
+}

@@ -1,0 +1,56 @@
+package adapt
+
+import "graphstudy/internal/grb"
+
+// Arena pools per-round scratch vectors for one run. Round loops
+// allocate the same shapes every round (a next-frontier, a relax
+// result, an improved flag vector); without pooling each becomes
+// per-round garbage, and at high worker counts the collector's share of
+// the round dominates the barrier cost. The arena keeps one free list
+// per representation so a recycled Dense vector keeps its full-width
+// buffers and a recycled list vector keeps its entry capacity.
+//
+// The arena is owned by a single round loop and is not safe for
+// concurrent use; it lives exactly as long as the run and is released
+// wholesale when the run returns.
+type Arena[T any] struct {
+	n    int
+	free map[grb.Rep][]*grb.Vector[T]
+
+	gets, hits int
+}
+
+// NewArena returns an empty arena for vectors of dimension n.
+func NewArena[T any](n int) *Arena[T] {
+	return &Arena[T]{n: n, free: make(map[grb.Rep][]*grb.Vector[T])}
+}
+
+// Get returns an empty vector of dimension n in the given
+// representation, recycling a pooled one when available.
+func (a *Arena[T]) Get(rep grb.Rep) *grb.Vector[T] {
+	a.gets++
+	if s := a.free[rep]; len(s) > 0 {
+		v := s[len(s)-1]
+		s[len(s)-1] = nil
+		a.free[rep] = s[:len(s)-1]
+		a.hits++
+		return v
+	}
+	return grb.NewVector[T](a.n, rep)
+}
+
+// Put clears v and returns it to the pool under its current
+// representation. The caller must not retain v afterwards. Vectors of
+// the wrong dimension are dropped rather than poisoning the pool.
+func (a *Arena[T]) Put(v *grb.Vector[T]) {
+	if v == nil || v.Size() != a.n {
+		return
+	}
+	v.Clear()
+	a.free[v.Rep()] = append(a.free[v.Rep()], v)
+}
+
+// Stats reports how many Gets were served and how many of those reused
+// a pooled vector — the arena's effectiveness measure (after the first
+// round of a loop the hit rate should be 100%).
+func (a *Arena[T]) Stats() (gets, hits int) { return a.gets, a.hits }

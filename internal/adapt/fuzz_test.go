@@ -1,0 +1,90 @@
+package adapt
+
+import (
+	"sort"
+	"testing"
+
+	"graphstudy/internal/grb"
+)
+
+// FuzzAdaptEquivalence drives random density trajectories through the
+// engine and applies every representation decision to a live vector,
+// checking the metamorphic invariant the adaptive round loops depend
+// on: promotion/demotion is invisible — the entry set survives any
+// decision sequence bit for bit, and the direction state machine never
+// escapes its hysteresis bounds.
+//
+// The input bytes split in two: the first half seeds the vector's
+// entries, the second half is the density trajectory (one byte per
+// round, scaled to [0, 1]).
+func FuzzAdaptEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xff, 0x00, 0xff, 0x80, 0x10})
+	f.Add([]byte{7, 7, 7, 7, 1, 2, 3, 4, 5, 6, 250, 0, 250, 0})
+	f.Add([]byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 256
+		half := len(data) / 2
+		seed, traj := data[:half], data[half:]
+
+		v := grb.NewVector[uint32](n, grb.List)
+		ref := map[int]uint32{}
+		for k, b := range seed {
+			i := (int(b)*7 + k) % n
+			val := uint32(b) + 1
+			v.SetElement(i, val)
+			ref[i] = val
+		}
+		want := make([]int, 0, len(ref))
+		for i := range ref {
+			want = append(want, i)
+		}
+		sort.Ints(want)
+
+		e := NewEngine(n, DefaultConfig())
+		prevDir := e.Direction()
+		crossings := 0
+		prevZone := 0 // -1 push zone, +1 pull zone, 0 band
+		for _, b := range traj {
+			nvals := int(b) * n / 255
+			dec := e.Decide(nvals)
+
+			// Decisions must round-trip the vector's content exactly.
+			v.Convert(dec.Rep)
+			if v.Rep() != dec.Rep {
+				t.Fatalf("convert to %v left rep %v", dec.Rep, v.Rep())
+			}
+			if v.NVals() != len(ref) {
+				t.Fatalf("rep %v: nvals %d, want %d", dec.Rep, v.NVals(), len(ref))
+			}
+			is, vs := v.Entries()
+			if len(is) != len(want) {
+				t.Fatalf("rep %v: %d entries, want %d", dec.Rep, len(is), len(want))
+			}
+			for k, i := range is {
+				if i != want[k] || vs[k] != ref[i] {
+					t.Fatalf("rep %v entry %d: (%d,%d), want (%d,%d)", dec.Rep, k, i, vs[k], want[k], ref[want[k]])
+				}
+			}
+
+			// Direction can only change on a genuine threshold crossing.
+			zone := 0
+			if dec.Density >= e.cfg.Alpha {
+				zone = 1
+			} else if dec.Density <= e.cfg.Beta {
+				zone = -1
+			}
+			if dec.Direction != prevDir && zone == prevZone && zone != 0 {
+				t.Fatalf("direction flipped to %v without leaving zone %d (density %v)", dec.Direction, zone, dec.Density)
+			}
+			if zone != 0 && zone != prevZone {
+				crossings++
+			}
+			prevDir, prevZone = dec.Direction, zone
+		}
+		if e.DirSwitches() > crossings {
+			t.Fatalf("%d direction switches exceed %d zone crossings", e.DirSwitches(), crossings)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphstudy/internal/adapt"
+	"graphstudy/internal/core"
+	"graphstudy/internal/galois"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/trace"
+)
+
+// adaptCell is one row of the adapt experiment: a round-based workload
+// and graph measured under static push, static pull, and the
+// free-running decision engine.
+type adaptCell struct {
+	app   core.App
+	graph string
+}
+
+// adaptCells covers all four adaptive workloads on RMAT (the shape the
+// direction switch was designed for: frontiers balloon, then drain)
+// plus the road-sourced pair, whose high-diameter frontiers stay far
+// sparser and exercise the push-leaning side of the thresholds.
+func adaptCells() []adaptCell {
+	return []adaptCell{
+		{core.BFS, "rmat22"},
+		{core.PR, "rmat22"},
+		{core.SSSP, "rmat22"},
+		{core.CC, "rmat22"},
+		{core.BFS, "road-USA-W"},
+		{core.SSSP, "road-USA-W"},
+	}
+}
+
+// adaptRun is one traced measurement of an adapt-table column.
+type adaptRun struct {
+	res core.Result
+	// pullRounds/rounds and promotions are read off the decision spans,
+	// so the table doubles as an observability smoke test: a cell whose
+	// trace records no decisions would show 0/0.
+	pullRounds int64
+	rounds     int64
+	promotions int64
+}
+
+// adaptTraceStats extracts the decision mix from a run's span summary.
+func adaptTraceStats(sum *trace.Summary) (pullRounds, rounds, promotions int64) {
+	for _, d := range adapt.Directions() {
+		if st := sum.Find(trace.CatAdapt, "adapt.direction."+d.String()); st != nil {
+			rounds += st.Count
+			if d == adapt.Pull {
+				pullRounds += st.Count
+			}
+		}
+	}
+	for _, r := range []string{"sorted", "bitmap", "dense"} {
+		if st := sum.Find(trace.CatAdapt, "adapt.rep."+r); st != nil {
+			promotions += st.Count
+		}
+	}
+	return
+}
+
+// AdaptTable runs `gentables -exp adapt`: for each round-based workload
+// it reports static push, static pull, and the free-running engine side
+// by side, with the engine's decision mix (pull rounds out of total,
+// rounds spent in a promoted representation) read from the trace. The
+// digests of all three columns are cross-checked — the direction switch
+// is an optimization, never a semantic choice, and a row that broke
+// that is marked rather than silently averaged in.
+func AdaptTable(cfg Config, progress func(string)) (*Table, error) {
+	t := NewTable("Adaptive direction/representation: static push vs static pull vs engine",
+		"app", "graph", "push ms", "pull ms", "adaptive ms", "pull rounds", "promoted", "digest")
+	run := func(c adaptCell, acfg adapt.Config) (adaptRun, error) {
+		if progress != nil {
+			progress(fmt.Sprintf("adapt %v/%s", c.app, c.graph))
+		}
+		in, err := gen.ByName(c.graph)
+		if err != nil {
+			return adaptRun{}, err
+		}
+		release, err := cfg.lease(c.graph, cfg.Scale)
+		if err != nil {
+			return adaptRun{}, err
+		}
+		defer release()
+		res := core.Run(core.RunSpec{
+			App: c.app, System: core.GB, Variant: core.VAdaptive, Input: in,
+			Scale: cfg.Scale, Threads: cfg.Threads, Timeout: cfg.Timeout,
+			Adapt: &acfg, Trace: trace.New(),
+		})
+		if res.Outcome != core.OK {
+			return adaptRun{}, fmt.Errorf("bench: adapt cell %v/%s: outcome %v (err %v)",
+				c.app, c.graph, res.Outcome, res.Err)
+		}
+		pull, rounds, promo := adaptTraceStats(res.Trace)
+		return adaptRun{res: res, pullRounds: pull, rounds: rounds, promotions: promo}, nil
+	}
+	ms := func(r adaptRun) string { return fmt.Sprintf("%.2f", float64(r.res.Elapsed)/1e6) }
+	base := adapt.DefaultConfig()
+	for _, c := range adaptCells() {
+		push, err := run(c, base.ForceDir(adapt.Push))
+		if err != nil {
+			return nil, err
+		}
+		pull, err := run(c, base.ForceDir(adapt.Pull))
+		if err != nil {
+			return nil, err
+		}
+		auto, err := run(c, base)
+		if err != nil {
+			return nil, err
+		}
+		digest := "ok"
+		if auto.res.Check != push.res.Check || auto.res.Check != pull.res.Check {
+			digest = fmt.Sprintf("MISMATCH push %x pull %x auto %x",
+				push.res.Check, pull.res.Check, auto.res.Check)
+		}
+		t.AddRow(c.app.String(), c.graph,
+			ms(push), ms(pull), ms(auto),
+			fmt.Sprintf("%d/%d", auto.pullRounds, auto.rounds),
+			fmt.Sprint(auto.promotions),
+			digest)
+	}
+	t.AddNote("pull rounds counts the engine's adapt.direction.pull spans out of all decisions; promoted counts rounds the frontier left List rep")
+	t.AddNote("digest checks push == pull == adaptive bit for bit (pr at the quantized digest); the direction switch must never change an answer")
+	return t, nil
+}
+
+// AdaptThreadsScaling sweeps the adaptive BFS variant over thread
+// counts on RMAT: the decision engine itself is serial (one Decide per
+// round), so the modeled speedup must track the plain kernel sweep —
+// a flat series here means the adaptive loop serialized something.
+func AdaptThreadsScaling(cfg Config, threads []int, progress func(string)) ([]ThreadsPoint, error) {
+	const graphName = "rmat22"
+	in, err := gen.ByName(graphName)
+	if err != nil {
+		return nil, err
+	}
+	release, err := cfg.lease(graphName, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var points []ThreadsPoint
+	for _, th := range threads {
+		if progress != nil {
+			progress(fmt.Sprintf("adapt-threads bfs/adaptive/%s t=%d", graphName, th))
+		}
+		spec := core.RunSpec{App: core.BFS, System: core.GB, Variant: core.VAdaptive,
+			Input: in, Scale: cfg.Scale, Threads: th, Timeout: cfg.Timeout}
+		var res core.Result
+		stats := galois.CollectStats(func() { res = core.Run(spec) })
+		points = append(points, ThreadsPoint{
+			Threads:     th,
+			Result:      res,
+			ModeledTime: stats.ModeledTime(barrierCost),
+			Regions:     stats.Regions,
+		})
+	}
+	return points, nil
+}
+
+// AdaptThreadsTable renders the adaptive thread sweep with the same
+// columns as the plain threads experiment so the two are read side by
+// side.
+func AdaptThreadsTable(points []ThreadsPoint) *Table {
+	tab := NewTable("Threads scaling: adaptive bfs on galoisblas, graph rmat22",
+		"threads", "wall", "model Mwork", "model speedup", "regions")
+	for _, p := range points {
+		if p.Result.Outcome != core.OK {
+			tab.AddRow(fmt.Sprint(p.Threads), p.Result.Outcome.String(), "-", "-", "-")
+			continue
+		}
+		tab.AddRow(
+			fmt.Sprint(p.Threads),
+			core.Elapsed(p.Result.Elapsed),
+			fmt.Sprintf("%.1f", float64(p.ModeledTime)/1e6),
+			fmt.Sprintf("%.2fx", ModeledSpeedup(points, p.Threads)),
+			fmt.Sprint(p.Regions),
+		)
+	}
+	tab.AddNote("the decision engine is serial per round; modeled speedup tracking the plain sweep shows it adds no parallel bottleneck")
+	return tab
+}

@@ -43,6 +43,15 @@ func benchCells() []benchCell {
 	for _, app := range []core.App{core.BFS, core.SSSP} {
 		cells = append(cells, benchCell{app, core.GB, core.VFused, "road-USA-W"})
 	}
+	// The adaptive column: the runtime decision engine on the same RMAT
+	// rows, so a regression in the direction/representation switch (or a
+	// digest drift against the eager rows above) trips the gate.
+	for _, app := range []core.App{core.BFS, core.PR, core.SSSP, core.CC} {
+		cells = append(cells, benchCell{app, core.GB, core.VAdaptive, "rmat22"})
+	}
+	for _, app := range []core.App{core.BFS, core.SSSP} {
+		cells = append(cells, benchCell{app, core.GB, core.VAdaptive, "road-USA-W"})
+	}
 	return cells
 }
 

@@ -133,11 +133,12 @@ const (
 	VGBSort   Variant = "gb-sort"   // tc: SandiaDot on the degree-sorted graph
 	VGBLL     Variant = "gb-ll"     // tc: triangle listing in GraphBLAS
 	VFused    Variant = "fused"     // bfs/pr/sssp: lazy-DAG GraphBLAS with fusion
+	VAdaptive Variant = "adaptive"  // bfs/pr/sssp/cc: runtime direction+rep adaptation
 )
 
 // Variants lists every named variant.
 func Variants() []Variant {
-	return []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL, VFused}
+	return []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL, VFused, VAdaptive}
 }
 
 // ParseVariant converts a variant name; the empty string is the default.
@@ -172,6 +173,8 @@ func ValidVariant(a App, s System, v Variant) bool {
 		return a == TC && s != LS
 	case VFused:
 		return (a == BFS || a == PR || a == SSSP) && s != LS
+	case VAdaptive:
+		return (a == BFS || a == PR || a == SSSP || a == CC) && s != LS
 	}
 	return false
 }

@@ -50,8 +50,10 @@ func TestLabelAllPairs(t *testing.T) {
 			t.Fatalf("Label(%v, default) = %q, want %q", sys, got, want)
 		}
 	}
-	// Named variants label as themselves regardless of system.
-	for _, v := range []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL} {
+	// Named variants label as themselves regardless of system. Iterating
+	// the registry (not a hand-written slice) means a newly added variant
+	// can never silently skip this round-trip.
+	for _, v := range Variants() {
 		if got := Label(LS, v); got != string(v) {
 			t.Fatalf("Label(LS, %q) = %q", v, got)
 		}
@@ -103,6 +105,12 @@ func TestValidVariantRegistry(t *testing.T) {
 		{CC, GB, VLSSV, false},
 		{TC, SS, VGBSort, true},
 		{TC, LS, VGBSort, false},
+		{BFS, GB, VAdaptive, true},
+		{CC, SS, VAdaptive, true},
+		{PR, GB, VAdaptive, true},
+		{SSSP, SS, VAdaptive, true},
+		{BFS, LS, VAdaptive, false}, // adaptation lives in the matrix API
+		{TC, GB, VAdaptive, false},  // tc has no round loop to adapt
 	}
 	for _, c := range cases {
 		if got := ValidVariant(c.app, c.sys, c.v); got != c.want {

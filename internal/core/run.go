@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphstudy/internal/adapt"
 	"graphstudy/internal/gen"
 	"graphstudy/internal/grb"
 	"graphstudy/internal/lagraph"
@@ -33,6 +34,18 @@ type RunSpec struct {
 	// Installation is global (like perfmodel), so traced runs must not
 	// execute concurrently with other runs.
 	Trace *trace.Trace
+	// Adapt overrides the adaptive variant's decision thresholds; nil uses
+	// adapt.DefaultConfig(). The metamorphic equivalence suite injects
+	// forced decisions through it. Ignored by every other variant.
+	Adapt *adapt.Config
+}
+
+// adaptConfig resolves the spec's adaptive config.
+func adaptConfig(spec RunSpec) adapt.Config {
+	if spec.Adapt != nil {
+		return *spec.Adapt
+	}
+	return adapt.DefaultConfig()
 }
 
 // Result is the outcome of one run.
@@ -170,8 +183,15 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 			return "", 0, 0, err
 		}
 		bfs := lagraph.BFS
-		if spec.Variant == VFused {
+		switch spec.Variant {
+		case VFused:
 			bfs = lagraph.FusedBFS
+		case VAdaptive:
+			cfg := adaptConfig(spec)
+			bfs = func(ctx *grb.Context, A *grb.Matrix[bool], src int) (*grb.Vector[int32], int, error) {
+				dist, rounds, _, err := lagraph.AdaptiveBFS(ctx, A, src, cfg)
+				return dist, rounds, err
+			}
 		}
 		dist, r, err := bfs(ctx, p.ABool, int(p.Src))
 		if err != nil {
@@ -199,7 +219,14 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 			if err != nil {
 				return "", 0, 0, err
 			}
-			f, r, err := lagraph.CCFastSV(ctx, p.ASymU32)
+			fastsv := lagraph.CCFastSV
+			if spec.Variant == VAdaptive {
+				cfg := adaptConfig(spec)
+				fastsv = func(ctx *grb.Context, A *grb.Matrix[uint32]) (*grb.Vector[uint32], int, error) {
+					return lagraph.AdaptiveCC(ctx, A, cfg)
+				}
+			}
+			f, r, err := fastsv(ctx, p.ASymU32)
 			if err != nil {
 				return "", 0, r, err
 			}
@@ -249,6 +276,10 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 			// The fused DAG port of the residual formulation; its digest
 			// matches gb-res bit for bit (the fused differential suite).
 			r, err = lagraph.FusedPageRank(ctx, p.AFloat, opt)
+		case VAdaptive:
+			// The adaptive port of the same formulation; digest-compatible
+			// with gb-res under the quantized rank check.
+			r, err = lagraph.AdaptivePageRank(ctx, p.AFloat, opt, adaptConfig(spec))
 		default:
 			r, err = lagraph.PageRank(ctx, p.AFloat, opt)
 		}
@@ -276,8 +307,17 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 			return "", 0, 0, err
 		}
 		sssp32, sssp64 := lagraph.SSSP[uint32], lagraph.SSSP[uint64]
-		if spec.Variant == VFused {
+		switch spec.Variant {
+		case VFused:
 			sssp32, sssp64 = lagraph.FusedSSSP[uint32], lagraph.FusedSSSP[uint64]
+		case VAdaptive:
+			cfg := adaptConfig(spec)
+			sssp32 = func(ctx *grb.Context, A *grb.Matrix[uint32], src int, delta uint32) (lagraph.SSSPResult[uint32], error) {
+				return lagraph.AdaptiveSSSP(ctx, A, src, delta, cfg)
+			}
+			sssp64 = func(ctx *grb.Context, A *grb.Matrix[uint64], src int, delta uint64) (lagraph.SSSPResult[uint64], error) {
+				return lagraph.AdaptiveSSSP(ctx, A, src, delta, cfg)
+			}
 		}
 		// The study switches to 64-bit distances for eukarya only.
 		if p.In.BigDelta {

@@ -1,0 +1,199 @@
+package grb
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The Bitmap representation is the adaptive engine's mid-density rung:
+// entry lists like List plus a full-width presence bitmap. These tests
+// pin its two contracts — promotion/demotion round-trips preserve the
+// entry set exactly, and the presence bitmap never drifts from the
+// entry lists no matter which path mutated them.
+
+func TestBitmapRepMembership(t *testing.T) {
+	v := NewVector[uint32](100, Bitmap)
+	for _, i := range []int{5, 99, 0, 42} {
+		v.SetElement(i, uint32(i+1))
+	}
+	if v.NVals() != 4 {
+		t.Fatalf("NVals = %d, want 4", v.NVals())
+	}
+	// Overwrite must not duplicate: the bitmap rejects the append.
+	v.SetElement(42, 7)
+	if v.NVals() != 4 {
+		t.Fatalf("overwrite duplicated: NVals = %d", v.NVals())
+	}
+	if got, ok := v.ExtractElement(42); !ok || got != 7 {
+		t.Fatalf("ExtractElement(42) = %d,%v", got, ok)
+	}
+	if _, ok := v.ExtractElement(43); ok {
+		t.Fatal("absent index reported present")
+	}
+	v.RemoveElement(99)
+	if _, ok := v.ExtractElement(99); ok || v.NVals() != 3 {
+		t.Fatal("RemoveElement left the presence bit or entry")
+	}
+	// Re-adding after removal must append again, not silently no-op.
+	v.SetElement(99, 1)
+	if got, ok := v.ExtractElement(99); !ok || got != 1 || v.NVals() != 4 {
+		t.Fatalf("re-add after remove: %d,%v nvals=%d", got, ok, v.NVals())
+	}
+}
+
+// TestBitmapRepRoundTrips drives every promotion/demotion path through
+// Bitmap and demands the entry set and ascending iteration order
+// survive bit for bit — the invariant that lets the adaptive engine
+// convert a live frontier between rounds.
+func TestBitmapRepRoundTrips(t *testing.T) {
+	seed := func() *Vector[int64] {
+		v := NewVector[int64](40, Bitmap)
+		for _, i := range []int{39, 0, 17, 3, 24} {
+			v.SetElement(i, int64(i)*3+1)
+		}
+		return v
+	}
+	wantIdx := []int{0, 3, 17, 24, 39}
+	wantVals := []int64{1, 10, 52, 73, 118}
+	for _, mid := range Reps() {
+		for _, back := range Reps() {
+			v := seed()
+			v.Convert(mid)
+			v.Convert(back)
+			v.Convert(Bitmap)
+			if v.NVals() != len(wantIdx) {
+				t.Fatalf("%v->%v->bitmap: nvals %d", mid, back, v.NVals())
+			}
+			is, vs := v.Entries()
+			if !reflect.DeepEqual(is, wantIdx) || !reflect.DeepEqual(vs, wantVals) {
+				t.Fatalf("%v->%v->bitmap: entries %v %v", mid, back, is, vs)
+			}
+			// The bitmap must agree with the lists after every round-trip:
+			// membership answers come from it, values from the lists.
+			for i := 0; i < 40; i++ {
+				_, ok := v.ExtractElement(i)
+				want := false
+				for _, wi := range wantIdx {
+					if wi == i {
+						want = true
+					}
+				}
+				if ok != want {
+					t.Fatalf("%v->%v->bitmap: membership(%d) = %v, want %v", mid, back, i, ok, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBitmapRepMergeProperty randomly interleaves mutations and
+// conversions, checking the presence bitmap never drifts from the entry
+// lists (the failure mode of a kernel writing idx/vals directly).
+func TestBitmapRepMergeProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 96
+		v := NewVector[uint32](n, Bitmap)
+		ref := map[int]uint32{}
+		for k, op := range ops {
+			i := int(op) % n
+			switch op % 5 {
+			case 0, 1, 2:
+				v.SetElement(i, uint32(k))
+				ref[i] = uint32(k)
+			case 3:
+				v.RemoveElement(i)
+				delete(ref, i)
+			case 4:
+				v.Convert(Reps()[int(op/5)%len(Reps())])
+				v.Convert(Bitmap)
+			}
+		}
+		if v.NVals() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			got, ok := v.ExtractElement(i)
+			want, wok := ref[i]
+			if ok != wok || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitmapRepKernelOutput runs the masked BFS step with the output
+// vector in Bitmap rep on every context: mergeIntoVector's fast path
+// must rebuild the presence bitmap, not leave it stale.
+func TestBitmapRepKernelOutput(t *testing.T) {
+	n := 300
+	A := pathMatrix5ByScaling(n)
+	s := PlusTimes[float64]()
+	for name, ctx := range parallelContexts() {
+		u := aliasTestVector(n)
+		want := NewVector[float64](n, Sorted)
+		if err := MxV(NewSerialContext(), want, nil, nil, s, A, u, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		w := NewVector[float64](n, Bitmap)
+		w.SetElement(7, 123) // stale entry Replace must fully clear
+		if err := MxV(ctx, w, nil, nil, s, A, u, Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualVectors(t, "bitmap-kernel-output/"+name, want, w)
+		// Membership goes through the bitmap: spot-check against want.
+		for i := 0; i < n; i++ {
+			_, wantOK := want.ExtractElement(i)
+			if _, ok := w.ExtractElement(i); ok != wantOK {
+				t.Fatalf("%s: membership(%d) = %v, want %v", name, i, ok, wantOK)
+			}
+		}
+	}
+}
+
+// TestAliasBitmapPromotion is the PR-4-style alias defense for the new
+// rep: a kernel holds its unalias snapshot of a Bitmap frontier while
+// the merge rewrites the original — the snapshot must own its presence
+// bitmap (Dup deep-copies it), or the promotion corrupts the read side.
+func TestAliasBitmapPromotion(t *testing.T) {
+	n := 400
+	A := pathMatrix5ByScaling(n)
+	s := PlusTimes[float64]()
+	for name, ctx := range parallelContexts() {
+		u := NewVector[float64](n, Bitmap)
+		for i := 0; i < n; i += 3 {
+			u.SetElement(i, float64(i)*1.25+0.5)
+		}
+		want := NewVector[float64](n, Sorted)
+		if err := MxV(NewSerialContext(), want, nil, nil, s, A, u.Dup(), Desc{Replace: true}); err != nil {
+			t.Fatal(err)
+		}
+		for _, hint := range []KernelHint{HintPush, HintPull} {
+			w := u.Dup()
+			if err := MxV(ctx, w, nil, nil, s, A, w, Desc{Replace: true, Force: hint}); err != nil {
+				t.Fatal(err)
+			}
+			mustEqualVectors(t, "bitmap-alias-promote/"+name, want, w)
+		}
+	}
+}
+
+// TestBitmapDupIndependence pins the Dup fix the adaptive engine relies
+// on: a Bitmap vector's clone must not share the presence bitmap.
+func TestBitmapDupIndependence(t *testing.T) {
+	v := NewVector[int32](64, Bitmap)
+	v.SetElement(10, 1)
+	d := v.Dup()
+	d.SetElement(11, 2)
+	d.RemoveElement(10)
+	if _, ok := v.ExtractElement(10); !ok {
+		t.Fatal("Dup shares the presence bitmap: remove leaked to original")
+	}
+	if _, ok := v.ExtractElement(11); ok {
+		t.Fatal("Dup shares the presence bitmap: add leaked to original")
+	}
+}

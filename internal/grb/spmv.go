@@ -165,7 +165,16 @@ func spmvPush[T any](ctx *Context, mask *Mask, s Semiring[T], u *Vector[T], A *M
 				if !mask.allows(int(j)) {
 					continue
 				}
-				a.add(j, s.Mul(x, vals[e2]), s.Add.Op)
+				// Operand order follows the operation: VxM multiplies
+				// u(i)*A(i,j), MxV multiplies A(i,j)*u(j). Non-commutative
+				// semirings (min_second) depend on it.
+				var p T
+				if alongRows {
+					p = s.Mul(x, vals[e2])
+				} else {
+					p = s.Mul(vals[e2], x)
+				}
+				a.add(j, p, s.Add.Op)
 				if c != nil {
 					c.Store(0, perfmodel.KAux, int(j), 8)
 				}

@@ -72,6 +72,14 @@ func mergeIntoVector[T any](w *Vector[T], e entryList[T], accum BinaryOp[T], rep
 		if w.rep == Sorted {
 			sortEntries(w.idx, w.vals)
 		}
+		if w.rep == Bitmap {
+			if w.present == nil {
+				w.present = newBitmap(w.n)
+			}
+			for _, ix := range w.idx {
+				w.present.set(int(ix))
+			}
+		}
 		if c != nil {
 			c.StoreRange(w.slot, perfmodel.KVecIdx, 0, len(e.idx), 4)
 			c.StoreRange(w.slot, perfmodel.KVecVals, 0, len(e.idx), 8)

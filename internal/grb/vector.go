@@ -24,6 +24,12 @@ const (
 	// List stores explicit entries unordered (GaloisBLAS's "unordered
 	// list"), the cheapest representation to append to.
 	List
+	// Bitmap stores explicit entries as unordered (index, value) lists like
+	// List, plus a presence bitmap of the full index width. Membership tests
+	// and duplicate-free appends are O(1) without densifying the values —
+	// the mid-density frontier representation GraphBLAST-style direction
+	// optimization promotes into between the sparse lists and Dense.
+	Bitmap
 )
 
 func (r Rep) String() string {
@@ -34,23 +40,31 @@ func (r Rep) String() string {
 		return "sorted"
 	case List:
 		return "list"
+	case Bitmap:
+		return "bitmap"
 	}
 	return fmt.Sprintf("Rep(%d)", int(r))
 }
 
+// Reps lists every vector representation in promotion-ladder order
+// (cheapest-to-append first, densest last).
+func Reps() []Rep { return []Rep{List, Sorted, Bitmap, Dense} }
+
 // Vector is a sparse vector of dimension n with explicit entries in one of
-// three representations. Entries absent from the structure are "no value"
+// four representations. Entries absent from the structure are "no value"
 // (not zero). Vectors are not safe for concurrent mutation.
 type Vector[T any] struct {
 	n   int
 	rep Rep
 
-	// Dense representation.
+	// Dense representation: value slot per index plus presence bitmap.
+	// The Bitmap representation reuses present (with the entry lists
+	// below) but leaves dense nil.
 	dense   []T
 	present bitmap
 	ndense  int
 
-	// Sorted / List representations.
+	// Sorted / List / Bitmap representations.
 	idx  []int32
 	vals []T
 
@@ -63,6 +77,9 @@ func NewVector[T any](n int, rep Rep) *Vector[T] {
 	v := &Vector[T]{n: n, rep: rep, slot: perfmodel.NewSlot()}
 	if rep == Dense {
 		v.dense = make([]T, n)
+		v.present = newBitmap(n)
+	}
+	if rep == Bitmap {
 		v.present = newBitmap(n)
 	}
 	return v
@@ -106,6 +123,9 @@ func (v *Vector[T]) Clear() {
 		v.ndense = 0
 		return
 	}
+	if v.rep == Bitmap && len(v.idx) > 0 {
+		v.present.reset()
+	}
 	v.idx = v.idx[:0]
 	v.vals = v.vals[:0]
 }
@@ -143,6 +163,19 @@ func (v *Vector[T]) SetElement(i int, value T) {
 		}
 		v.idx = append(v.idx, int32(i))
 		v.vals = append(v.vals, value)
+	case Bitmap:
+		if !v.present.get(i) {
+			v.present.set(i)
+			v.idx = append(v.idx, int32(i))
+			v.vals = append(v.vals, value)
+			return
+		}
+		for k, ix := range v.idx {
+			if ix == int32(i) {
+				v.vals[k] = value
+				return
+			}
+		}
 	}
 }
 
@@ -164,6 +197,15 @@ func (v *Vector[T]) ExtractElement(i int) (T, bool) {
 			return v.vals[p], true
 		}
 	case List:
+		for k, ix := range v.idx {
+			if ix == int32(i) {
+				return v.vals[k], true
+			}
+		}
+	case Bitmap:
+		if !v.present.get(i) {
+			return zero, false
+		}
 		for k, ix := range v.idx {
 			if ix == int32(i) {
 				return v.vals[k], true
@@ -199,11 +241,25 @@ func (v *Vector[T]) RemoveElement(i int) {
 				return
 			}
 		}
+	case Bitmap:
+		if !v.present.get(i) {
+			return
+		}
+		v.present.clear(i)
+		for k, ix := range v.idx {
+			if ix == int32(i) {
+				last := len(v.idx) - 1
+				v.idx[k], v.vals[k] = v.idx[last], v.vals[last]
+				v.idx = v.idx[:last]
+				v.vals = v.vals[:last]
+				return
+			}
+		}
 	}
 }
 
 // ForEach calls fn for every explicit entry. Iteration order is ascending
-// for Dense and Sorted and unspecified for List.
+// for Dense and Sorted and unspecified for List and Bitmap.
 func (v *Vector[T]) ForEach(fn func(i int, val T)) {
 	switch v.rep {
 	case Dense:
@@ -220,6 +276,8 @@ func (v *Vector[T]) Dup() *Vector[T] {
 	out := &Vector[T]{n: v.n, rep: v.rep, ndense: v.ndense, slot: perfmodel.NewSlot()}
 	if v.dense != nil {
 		out.dense = append([]T(nil), v.dense...)
+	}
+	if v.present != nil {
 		out.present = v.present.clone()
 	}
 	if v.idx != nil {
@@ -244,10 +302,15 @@ func (v *Vector[T]) Convert(rep Rep) {
 		sp.Bytes = int64(v.n)*elemBytes[T]() + int64(v.n+7)/8
 		defer sp.End()
 		dense := make([]T, v.n)
-		present := newBitmap(v.n)
+		present := v.present // Bitmap already tracks presence exactly
+		if v.rep != Bitmap {
+			present = newBitmap(v.n)
+		}
 		for k, ix := range v.idx {
 			dense[ix] = v.vals[k]
-			present.set(int(ix))
+			if v.rep != Bitmap {
+				present.set(int(ix))
+			}
 		}
 		v.dense, v.present, v.ndense = dense, present, len(v.idx)
 		v.idx, v.vals = nil, nil
@@ -259,7 +322,24 @@ func (v *Vector[T]) Convert(rep Rep) {
 			vals = append(vals, v.dense[i])
 		})
 		v.idx, v.vals = idx, vals
-		v.dense, v.present, v.ndense = nil, nil, 0
+		if rep == Bitmap {
+			// The Dense bitmap is exactly the Bitmap presence set; keep it.
+			v.dense, v.ndense = nil, 0
+		} else {
+			v.dense, v.present, v.ndense = nil, nil, 0
+		}
+	case rep == Bitmap:
+		// List/Sorted -> Bitmap: entry lists stay, presence is rebuilt.
+		v.present = newBitmap(v.n)
+		for _, ix := range v.idx {
+			v.present.set(int(ix))
+		}
+	case v.rep == Bitmap:
+		// Bitmap -> List/Sorted: entry lists stay, presence is dropped.
+		v.present = nil
+		if rep == Sorted {
+			sortEntries(v.idx, v.vals)
+		}
 	case v.rep == List && rep == Sorted:
 		sortEntries(v.idx, v.vals)
 	case v.rep == Sorted && rep == List:
@@ -308,7 +388,7 @@ func (v *Vector[T]) DenseFill(value T) {
 func (v *Vector[T]) Entries() ([]int, []T) {
 	is := make([]int, 0, v.NVals())
 	vs := make([]T, 0, v.NVals())
-	if v.rep == List {
+	if v.rep == List || v.rep == Bitmap {
 		tmp := v.Dup()
 		tmp.Convert(Sorted)
 		tmp.ForEach(func(i int, val T) {

@@ -6,7 +6,9 @@ import (
 	"testing/quick"
 )
 
-func repsUnderTest() []Rep { return []Rep{Dense, Sorted, List} }
+// repsUnderTest iterates the registry so a newly added representation is
+// automatically pulled through every vector contract test.
+func repsUnderTest() []Rep { return Reps() }
 
 func TestVectorSetExtract(t *testing.T) {
 	for _, rep := range repsUnderTest() {

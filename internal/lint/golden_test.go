@@ -86,6 +86,10 @@ func TestGolden(t *testing.T) {
 		// The fusion executor's bail path is the one place a CatFused
 		// span is easy to leak; the fixture pins that shape.
 		{"tracespan-fuse", "tracespan", "tracespan_fuse", "graphstudy/internal/fuse/zfixture/tracespan"},
+		// The adaptive engine's emit helper gates tag writes on
+		// sp.Enabled(); the fixture pins that an early return inside the
+		// gate (skipping End) is caught.
+		{"tracespan-adapt", "tracespan", "tracespan_adapt", "graphstudy/internal/adapt/zfixture/tracespan"},
 		{"errcheck", "errcheck", "errcheck", "graphstudy/internal/store/zfixture/errcheck"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,52 @@
+// Package tracespan_adapt seeds tracespan violations in the adaptive
+// decision engine's shape: CatAdapt spans are the only evidence of
+// which (direction, rep) cell a round ran in, and the equivalence
+// suite's reachability checks count them. A leaked decision span makes
+// a forced cell look unreached (or double-counted) without changing a
+// single result bit — exactly the kind of silent observability rot the
+// analyzer exists to catch.
+package tracespan_adapt
+
+import "graphstudy/internal/trace"
+
+// EnabledGateLeak is the engine's emit helper gone wrong: bailing out
+// when no trace is installed skips End, so the span never closes on the
+// disabled path.
+func EnabledGateLeak(round int, nvals, n int64) {
+	sp := trace.Begin(trace.CatAdapt, "adapt.direction.push")
+	if !sp.Enabled() {
+		return // want tracespan "not ended on the path to this return"
+	}
+	sp.Round = round
+	sp.NNZIn = nvals
+	sp.NNZOut = n
+	sp.End()
+}
+
+// DecisionDiscarded drops the rep span on the floor.
+func DecisionDiscarded() {
+	trace.Begin(trace.CatAdapt, "adapt.rep.bitmap") // want tracespan "result discarded"
+}
+
+// RoundLoopLeak ends the per-round decision span only when the
+// direction switched; steady-state rounds leave it open.
+func RoundLoopLeak(switched []bool) {
+	for _, didSwitch := range switched {
+		sp := trace.Begin(trace.CatAdapt, "adapt.direction.pull") // want tracespan "may leave its block"
+		if didSwitch {
+			sp.End()
+		}
+	}
+}
+
+// GoodEmit is the engine's actual shape: tags are set only when a trace
+// is installed, but End runs unconditionally.
+func GoodEmit(round int, nvals, n int64) {
+	sp := trace.Begin(trace.CatAdapt, "adapt.rep.dense")
+	if sp.Enabled() {
+		sp.Round = round
+		sp.NNZIn = nvals
+		sp.NNZOut = n
+	}
+	sp.End()
+}

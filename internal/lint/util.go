@@ -15,6 +15,7 @@ const galoisPkg = "graphstudy/internal/galois"
 var kernelPkgs = []string{
 	"graphstudy/internal/grb",
 	"graphstudy/internal/fuse",
+	"graphstudy/internal/adapt",
 	"graphstudy/internal/lagraph",
 	"graphstudy/internal/lonestar",
 	galoisPkg,

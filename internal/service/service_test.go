@@ -435,6 +435,8 @@ func TestBadRequests(t *testing.T) {
 		{App: "bfs", System: "ls", Graph: "rmat22", Variant: "fused"},
 		{App: "cc", System: "gb", Graph: "rmat22", Variant: "fused"},
 		{App: "bfs", System: "gb", Graph: "rmat22", Variant: "gb-res"},
+		{App: "bfs", System: "ls", Graph: "rmat22", Variant: "adaptive"},
+		{App: "tc", System: "gb", Graph: "rmat22", Variant: "adaptive"},
 	}
 	for _, c := range cases {
 		code, _, _ := post(t, ts.URL, c)
@@ -573,9 +575,20 @@ func TestAppsRegistryAndFusedRun(t *testing.T) {
 				t.Errorf("%s/%s does not advertise the fused variant", app, sys)
 			}
 		}
+		for _, app := range []string{"bfs", "pr", "sssp", "cc"} {
+			if !has(variantsOf(app, sys), "adaptive") {
+				t.Errorf("%s/%s does not advertise the adaptive variant", app, sys)
+			}
+		}
 	}
 	if has(variantsOf("bfs", "LS"), "fused") {
 		t.Error("bfs/LS advertises fused; fusion is GraphBLAS-only")
+	}
+	if has(variantsOf("bfs", "LS"), "adaptive") {
+		t.Error("bfs/LS advertises adaptive; direction switching is GraphBLAS-only")
+	}
+	if has(variantsOf("tc", "GB"), "adaptive") {
+		t.Error("tc/GB advertises adaptive; TC has no round loop to adapt")
 	}
 	if !has(variantsOf("pr", "GB"), "gb-res") {
 		t.Error("pr/GB lost the gb-res variant")

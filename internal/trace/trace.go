@@ -43,6 +43,13 @@ const (
 	// schedule would have allocated), not bytes written — Summary rolls
 	// them into BytesElided instead of Bytes.
 	CatFused
+	// CatAdapt is a runtime-adaptation decision (internal/adapt): one span
+	// per direction or representation choice, named for the outcome
+	// ("adapt.direction.pull", "adapt.rep.bitmap"). NNZIn carries the
+	// frontier nvals, NNZOut the vector dimension, and Items the measured
+	// density in parts per million, so every decision is auditable per
+	// round from the trace alone.
+	CatAdapt
 )
 
 // String returns the category name used in Chrome trace output.
@@ -58,6 +65,8 @@ func (c Cat) String() string {
 		return "loop"
 	case CatFused:
 		return "fused"
+	case CatAdapt:
+		return "adapt"
 	}
 	return "unknown"
 }

@@ -1,0 +1,250 @@
+// Adaptive metamorphic equivalence suite: the runtime decision layer
+// (internal/adapt) picks push vs. pull and the frontier representation
+// per round, and none of it may show in the results. Three relations are
+// enforced across the adversarial graph family:
+//
+//  1. the free-running engine is bit-identical to the same loop with the
+//     direction pinned to static push and static pull, at every worker
+//     count (the GraphBLAST direction switch is an optimization, not a
+//     semantic choice);
+//  2. every (direction, rep) cell of the decision matrix is reachable by
+//     forced injection and produces the same digest — including the new
+//     Bitmap representation;
+//  3. the adaptive variant stays anchored to the existing differential
+//     web: its digest equals the static reference variant's.
+//
+// PageRank folds floats in direction-dependent order, so its equality
+// holds at core's quantized digest (the same tolerance the cross-system
+// suite relies on); bfs/sssp/cc fold with order-insensitive monoids and
+// are bit-identical outright.
+package verify_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graphstudy/internal/adapt"
+	"graphstudy/internal/core"
+	"graphstudy/internal/grb"
+	"graphstudy/internal/trace"
+)
+
+// adaptCases lists the adaptive workloads with the static variant each
+// must reproduce. PR's reference is gb-res: AdaptivePageRank ports the
+// residual formulation, like the fused variant.
+func adaptCases() []struct {
+	app core.App
+	ref core.Variant
+	// exactValue is false for PR, whose rendered float sums may differ
+	// in the last printed digit between fold orders; its digest (already
+	// quantized) is the comparison that matters.
+	exactValue bool
+} {
+	return []struct {
+		app        core.App
+		ref        core.Variant
+		exactValue bool
+	}{
+		{core.BFS, core.VDefault, true},
+		{core.PR, core.VGBRes, false},
+		{core.SSSP, core.VDefault, true},
+		{core.CC, core.VDefault, true},
+	}
+}
+
+// adaptSpec builds an adaptive RunSpec with the given decision config.
+func adaptSpec(mk func(core.App, core.System, core.Variant) core.RunSpec,
+	app core.App, sys core.System, workers int, cfg adapt.Config) core.RunSpec {
+	spec := mk(app, sys, core.VAdaptive)
+	spec.Threads = workers
+	spec.Adapt = &cfg
+	return spec
+}
+
+func checkAdaptCell(t *testing.T, label string, want, got core.Result, exactValue bool) {
+	t.Helper()
+	if got.Check != want.Check {
+		t.Errorf("%s: digest %x != %x", label, got.Check, want.Check)
+	}
+	if exactValue && got.Value != want.Value {
+		t.Errorf("%s: answer %q != %q", label, got.Value, want.Value)
+	}
+}
+
+// TestAdaptiveEquivalence sweeps the full graph family on both
+// GraphBLAS runtimes at worker counts 1, 2, and 4: the free-running
+// engine, static push, and static pull must all produce the same bits,
+// and must equal the static reference variant. This is the acceptance
+// gate of the adaptive subsystem.
+func TestAdaptiveEquivalence(t *testing.T) {
+	cases := diffCases()
+	if len(cases) < 40 {
+		t.Fatalf("graph family shrank to %d cases", len(cases))
+	}
+	base := adapt.DefaultConfig()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mk, cleanup := runOn(t, "adaptdiff-"+tc.name, tc.g)
+			defer cleanup()
+			for _, ac := range adaptCases() {
+				for _, sys := range []core.System{core.SS, core.GB} {
+					ref := mustRun(t, mk(ac.app, sys, ac.ref))
+					// SS is the static-schedule runtime: one worker count
+					// suffices. GB work-steals, so sweep 1/2/4.
+					workerCounts := []int{2}
+					if sys == core.GB {
+						workerCounts = []int{1, 2, 4}
+					}
+					var first core.Result
+					for wi, workers := range workerCounts {
+						auto := mustRun(t, adaptSpec(mk, ac.app, sys, workers, base))
+						push := mustRun(t, adaptSpec(mk, ac.app, sys, workers, base.ForceDir(adapt.Push)))
+						pull := mustRun(t, adaptSpec(mk, ac.app, sys, workers, base.ForceDir(adapt.Pull)))
+
+						label := fmt.Sprintf("%v/%v/w%d", ac.app, sys, workers)
+						checkAdaptCell(t, label+" adaptive-vs-ref", ref, auto, ac.exactValue)
+						checkAdaptCell(t, label+" static-push", auto, push, ac.exactValue)
+						checkAdaptCell(t, label+" static-pull", auto, pull, ac.exactValue)
+						if push.Rounds != auto.Rounds || pull.Rounds != auto.Rounds {
+							t.Errorf("%s: rounds diverge: auto %d push %d pull %d",
+								label, auto.Rounds, push.Rounds, pull.Rounds)
+						}
+						if wi == 0 {
+							first = auto
+						} else if auto.Check != first.Check {
+							t.Errorf("%v/%v: digest %x at %d workers != %x at %d",
+								ac.app, sys, auto.Check, workers, first.Check, workerCounts[0])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveDecisionMatrix is the forced-injection half: every
+// (direction, representation) cell must be reachable — proven from the
+// decision spans in the trace — and must produce the free-running
+// digest. Eight cells per workload, including Bitmap, the rep that
+// exists only for this engine.
+func TestAdaptiveDecisionMatrix(t *testing.T) {
+	cases := diffCases()
+	base := adapt.DefaultConfig()
+	// A cross-section of shapes; the full-corpus sweep above already
+	// covers the auto engine everywhere.
+	for i := 0; i < len(cases); i += 9 {
+		tc := cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			mk, cleanup := runOn(t, "adaptmatrix-"+tc.name, tc.g)
+			defer cleanup()
+			for _, ac := range adaptCases() {
+				auto := mustRun(t, adaptSpec(mk, ac.app, core.GB, 2, base))
+				for _, dir := range adapt.Directions() {
+					for _, rep := range grb.Reps() {
+						spec := adaptSpec(mk, ac.app, core.GB, 2, base.Force(dir, rep))
+						spec.Trace = trace.New()
+						got := mustRun(t, spec)
+						label := fmt.Sprintf("%v forced (%v,%v)", ac.app, dir, rep)
+						checkAdaptCell(t, label, auto, got, ac.exactValue)
+						if got.Rounds != auto.Rounds {
+							t.Errorf("%s: rounds %d != auto rounds %d", label, got.Rounds, auto.Rounds)
+						}
+						// Reachability: the trace must show every decision
+						// landed in the forced cell and none elsewhere.
+						dirSpans, repSpans := 0, 0
+						for _, d := range adapt.Directions() {
+							st := got.Trace.Find(trace.CatAdapt, "adapt.direction."+d.String())
+							if st == nil {
+								continue
+							}
+							if d != dir {
+								t.Errorf("%s: stray decision span adapt.direction.%v", label, d)
+							}
+							dirSpans += int(st.Count)
+						}
+						for _, r := range grb.Reps() {
+							st := got.Trace.Find(trace.CatAdapt, "adapt.rep."+r.String())
+							if st == nil {
+								continue
+							}
+							if r != rep {
+								t.Errorf("%s: stray decision span adapt.rep.%v", label, r)
+							}
+							repSpans += int(st.Count)
+						}
+						if dirSpans == 0 || repSpans == 0 {
+							t.Errorf("%s: cell unreached (%d direction spans, %d rep spans)",
+								label, dirSpans, repSpans)
+						}
+						if dirSpans != repSpans {
+							t.Errorf("%s: %d direction spans != %d rep spans", label, dirSpans, repSpans)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveDecisionsObservable pins the observability contract on
+// the free-running engine: structured shapes whose frontier densities
+// are known force known decisions, and the spans carry the density.
+func TestAdaptiveDecisionsObservable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		idx  string // diffCases name
+		op   string // span that must appear in an auto BFS run
+	}{
+		// path-48: every frontier is one vertex, density 1/48 < α — the
+		// engine must never pull.
+		{"sparse-pushes", "path-48", "adapt.direction.push"},
+		// complete-12: the first frontier is already 1/12 > α dense — the
+		// engine must pull immediately.
+		{"dense-pulls", "complete-12", "adapt.direction.pull"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var g *diffCase
+			for _, c := range diffCases() {
+				if c.name == tc.idx {
+					c := c
+					g = &c
+					break
+				}
+			}
+			if g == nil {
+				t.Fatalf("graph %s missing from family", tc.idx)
+			}
+			mk, cleanup := runOn(t, "adaptobs-"+g.name, g.g)
+			defer cleanup()
+			spec := adaptSpec(mk, core.BFS, core.GB, 2, adapt.DefaultConfig())
+			spec.Trace = trace.New()
+			res := mustRun(t, spec)
+			st := res.Trace.Find(trace.CatAdapt, tc.op)
+			if st == nil || st.Count == 0 {
+				t.Fatalf("auto run on %s recorded no %s spans", g.name, tc.op)
+			}
+			// Every decision span carries the frontier density audit trail.
+			if st.NNZOut == 0 {
+				t.Fatalf("%s spans missing the dimension tag", tc.op)
+			}
+			// The two decision kinds are emitted in lockstep, one pair per
+			// adapted round.
+			var dirTotal, repTotal int64
+			for _, d := range adapt.Directions() {
+				if s := res.Trace.Find(trace.CatAdapt, "adapt.direction."+d.String()); s != nil {
+					dirTotal += s.Count
+				}
+			}
+			for _, r := range grb.Reps() {
+				if s := res.Trace.Find(trace.CatAdapt, "adapt.rep."+r.String()); s != nil {
+					repTotal += s.Count
+				}
+			}
+			if dirTotal == 0 || dirTotal != repTotal {
+				t.Fatalf("decision spans out of lockstep: %d direction, %d rep", dirTotal, repTotal)
+			}
+		})
+	}
+}

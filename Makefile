@@ -47,8 +47,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEdgeList$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGSG2$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGraph$$' -fuzztime $(FUZZTIME) ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadDeltaLog$$' -fuzztime $(FUZZTIME) ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzDagEquivalence$$' -fuzztime $(FUZZTIME) ./internal/fuse/
 	$(GO) test -run '^$$' -fuzz '^FuzzAdaptEquivalence$$' -fuzztime $(FUZZTIME) ./internal/adapt/
+	$(GO) test -run '^$$' -fuzz '^FuzzIncrementalEquivalence$$' -fuzztime $(FUZZTIME) ./internal/verify/
 
 # The vet gate is pinned to an explicit analyzer list so a toolchain
 # change can never silently drop a check this repo relies on (copylocks
@@ -88,7 +90,7 @@ check: build vet lint
 # columns get a 10x + 1s floor so CI noise cannot trip them.
 # bench-baseline rewrites the committed baseline — run it (and commit the
 # diff) when a change legitimately moves the numbers.
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_9.json
 BENCH_FRESH ?= BENCH_fresh.json
 BENCH_SCENARIO ?= smoke
 

@@ -16,6 +16,9 @@
 // The extra experiment `adapt` compares static push, static pull, and the
 // adaptive decision engine on the round-based workloads (plus an adaptive
 // thread sweep), with the engine's decision mix read from the trace.
+// The extra experiment `incr` compares from-scratch, cold, and warm
+// incremental runs over a deterministic streaming-mutation lineage, with
+// the warm path's touched set read from the CatDelta spans.
 package main
 
 import (
@@ -184,6 +187,13 @@ func main() {
 			fatal(err)
 		}
 		emit("adapt-threads", bench.AdaptThreadsTable(points))
+	}
+	if wanted["incr"] {
+		t, err := bench.IncrTable(cfg, note)
+		if err != nil {
+			fatal(err)
+		}
+		emit("incr", t)
 	}
 	if wanted["bench"] {
 		ks, err := bench.BenchKernels(cfg, note)

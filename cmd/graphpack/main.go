@@ -10,17 +10,24 @@
 //	graphpack -store dir verify [name...]       # recompute checksums + full decode
 //	graphpack -store dir gen <graph> [scale]    # generate a suite graph into the store
 //	graphpack -store dir rm <name>              # remove a dataset (GCs unshared objects)
+//	graphpack -store dir append <name> <op>...  # commit a mutation batch to the delta log
+//	graphpack -store dir compact <name>         # fold pending deltas into the base object
 //
 // Import sniffs the input format (GSG2, GSG1, %%MatrixMarket, else
 // whitespace edge list); -format overrides. Stored objects are
 // content-addressed GSG2 files with per-section CRC32 checksums, so verify
 // detects any single flipped byte on disk.
+//
+// Append ops are "add:src,dst[,w]" (weight defaults to 1) or "del:src,dst";
+// the whole argument list commits as one atomic batch at a single new epoch.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"graphstudy/internal/gen"
 	"graphstudy/internal/store"
@@ -35,7 +42,9 @@ commands:
   ls
   verify [name...]
   gen <graph> [test|bench]
-  rm <name>`)
+  rm <name>
+  append <name> <add:src,dst[,w] | del:src,dst>...
+  compact <name>`)
 	os.Exit(2)
 }
 
@@ -67,6 +76,10 @@ func main() {
 		cmdGen(st, args)
 	case "rm":
 		cmdRm(st, args)
+	case "append":
+		cmdAppend(st, args)
+	case "compact":
+		cmdCompact(st, args)
 	default:
 		fmt.Fprintf(os.Stderr, "graphpack: unknown command %q\n", cmd)
 		usage()
@@ -108,10 +121,14 @@ func cmdLs(st *store.Store, _ []string) {
 		fmt.Println("(empty store)")
 		return
 	}
-	fmt.Printf("%-24s %10s %12s %8s  %-16s %s\n", "NAME", "NODES", "EDGES", "SIZE", "SHA256", "FILE")
+	fmt.Printf("%-24s %10s %12s %8s %7s  %-16s %s\n", "NAME", "NODES", "EDGES", "SIZE", "EPOCH", "SHA256", "FILE")
 	for _, e := range entries {
-		fmt.Printf("%-24s %10d %12d %8s  %-16s %s\n",
-			e.Name, e.Nodes, e.Edges, store.FormatBytes(e.Bytes), e.SHA256[:16], e.File)
+		epochs := "-"
+		if top, err := st.Epoch(e.Name); err == nil && top > 0 {
+			epochs = fmt.Sprintf("%d..%d", e.BaseEpoch, top)
+		}
+		fmt.Printf("%-24s %10d %12d %8s %7s  %-16s %s\n",
+			e.Name, e.Nodes, e.Edges, store.FormatBytes(e.Bytes), epochs, e.SHA256[:16], e.File)
 	}
 }
 
@@ -179,6 +196,67 @@ func cmdRm(st *store.Store, args []string) {
 		fatal(err)
 	}
 	fmt.Printf("removed %s\n", args[0])
+}
+
+// cmdAppend commits one mutation batch to a dataset's delta log. All ops
+// land together at a single new epoch — the unit snapshots and incremental
+// runs address.
+func cmdAppend(st *store.Store, args []string) {
+	if len(args) < 2 {
+		fatal(fmt.Errorf("append wants <name> <add:src,dst[,w] | del:src,dst>..."))
+	}
+	ops := make([]store.DeltaOp, 0, len(args)-1)
+	for _, a := range args[1:] {
+		op, err := parseOp(a)
+		if err != nil {
+			fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	epoch, err := st.AppendDelta(args[0], ops)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("appended %d ops to %s at epoch %d\n", len(ops), args[0], epoch)
+}
+
+// parseOp decodes one CLI mutation op: "add:src,dst[,w]" or "del:src,dst".
+func parseOp(s string) (store.DeltaOp, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok || (kind != "add" && kind != "del") {
+		return store.DeltaOp{}, fmt.Errorf("bad op %q: want add:src,dst[,w] or del:src,dst", s)
+	}
+	fields := strings.Split(rest, ",")
+	if kind == "del" && len(fields) != 2 || kind == "add" && (len(fields) < 2 || len(fields) > 3) {
+		return store.DeltaOp{}, fmt.Errorf("bad op %q: wrong field count", s)
+	}
+	var v [3]uint64
+	v[2] = 1 // default weight
+	for i, f := range fields {
+		n, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return store.DeltaOp{}, fmt.Errorf("bad op %q: %v", s, err)
+		}
+		v[i] = n
+	}
+	return store.DeltaOp{
+		Del: kind == "del", Src: uint32(v[0]), Dst: uint32(v[1]), W: uint32(v[2]),
+	}, nil
+}
+
+// cmdCompact folds a dataset's pending delta batches into a fresh base
+// object; the old object is GC'd when unshared, and history below the new
+// base epoch stops being addressable.
+func cmdCompact(st *store.Store, args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("compact wants <name>"))
+	}
+	e, err := st.Compact(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compacted %s: base epoch %d, %d nodes, %d edges, %s\n",
+		e.Name, e.BaseEpoch, e.Nodes, e.Edges, store.FormatBytes(e.Bytes))
 }
 
 // restFlags returns the arguments after the first n positionals, for

@@ -107,7 +107,14 @@ func BenchKernels(cfg Config, progress func(string)) ([]KernelBench, error) {
 			Check:       fmt.Sprintf("%x", res.Check),
 		})
 	}
-	return out, nil
+	// The incremental column rides its own deterministic mutation lineage
+	// (cold epoch-1 and warm epoch-2 cells per workload), so regressions in
+	// the streaming-delta path move a gated number too.
+	incr, err := incrBenchRows(cfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, incr...), nil
 }
 
 // BenchTable renders the kernel rows as an aligned table.

@@ -159,8 +159,10 @@ func TestBenchKernelsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a) != len(benchCells()) || len(a) != len(b) {
-		t.Fatalf("cell counts: %d and %d, want %d", len(a), len(b), len(benchCells()))
+	// The static cell grid plus the cold+warm incremental pair per workload.
+	want := len(benchCells()) + 2*len(incrBenchApps)
+	if len(a) != want || len(a) != len(b) {
+		t.Fatalf("cell counts: %d and %d, want %d", len(a), len(b), want)
 	}
 	for i := range a {
 		if a[i].Check == "" {

@@ -134,11 +134,17 @@ const (
 	VGBLL     Variant = "gb-ll"     // tc: triangle listing in GraphBLAS
 	VFused    Variant = "fused"     // bfs/pr/sssp: lazy-DAG GraphBLAS with fusion
 	VAdaptive Variant = "adaptive"  // bfs/pr/sssp/cc: runtime direction+rep adaptation
+	// VIncremental answers for the current snapshot of a mutating graph by
+	// reusing the previous snapshot's result plus the edge delta
+	// (RunSpec.Mutation). Falls back to from-scratch — with an auditable
+	// delta.fallback trace span — whenever reuse is unsound; either way the
+	// digest matches the from-scratch run on the same snapshot.
+	VIncremental Variant = "incremental" // bfs/cc/pr: delta reuse across snapshots
 )
 
 // Variants lists every named variant.
 func Variants() []Variant {
-	return []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL, VFused, VAdaptive}
+	return []Variant{VLSSV, VLSSoA, VLSNoTile, VGBRes, VGBSort, VGBLL, VFused, VAdaptive, VIncremental}
 }
 
 // ParseVariant converts a variant name; the empty string is the default.
@@ -175,6 +181,8 @@ func ValidVariant(a App, s System, v Variant) bool {
 		return (a == BFS || a == PR || a == SSSP) && s != LS
 	case VAdaptive:
 		return (a == BFS || a == PR || a == SSSP || a == CC) && s != LS
+	case VIncremental:
+		return (a == BFS || a == CC || a == PR) && s != LS
 	}
 	return false
 }

@@ -38,6 +38,11 @@ type RunSpec struct {
 	// adapt.DefaultConfig(). The metamorphic equivalence suite injects
 	// forced decisions through it. Ignored by every other variant.
 	Adapt *adapt.Config
+	// Mutation, for the incremental variant, identifies the mutation
+	// lineage the input snapshot belongs to and resolves epoch-to-epoch
+	// deltas; nil runs from scratch without keeping state. Ignored by every
+	// other variant.
+	Mutation *MutationView
 }
 
 // adaptConfig resolves the spec's adaptive config.
@@ -182,6 +187,13 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 		if err != nil {
 			return "", 0, 0, err
 		}
+		if spec.Variant == VIncremental {
+			levels, r, err := runIncrementalBFS(ctx, p, spec)
+			if err != nil {
+				return "", 0, r, err
+			}
+			return summarizeLevels(levels), checksum32(levels), r, nil
+		}
 		bfs := lagraph.BFS
 		switch spec.Variant {
 		case VFused:
@@ -218,6 +230,13 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 			ctx, err := grbContext(spec.System, spec.Threads, stop)
 			if err != nil {
 				return "", 0, 0, err
+			}
+			if spec.Variant == VIncremental {
+				labels, r, err := runIncrementalCC(ctx, p, spec)
+				if err != nil {
+					return "", 0, r, err
+				}
+				return summarizeComponents(labels), componentCheck(labels), r, nil
 			}
 			fastsv := lagraph.CCFastSV
 			if spec.Variant == VAdaptive {
@@ -266,6 +285,14 @@ func dispatch(p *Prepared, spec RunSpec, stop *atomic.Bool) (value string, check
 		ctx, err := grbContext(spec.System, spec.Threads, stop)
 		if err != nil {
 			return "", 0, 0, err
+		}
+		if spec.Variant == VIncremental {
+			pr, r, err := runIncrementalPR(ctx, p, spec)
+			if err != nil {
+				return "", 0, r, err
+			}
+			ranks := lagraph.Ranks(pr)
+			return summarizeRanks(ranks), rankCheck(ranks), r, nil
 		}
 		opt := lagraph.DefaultPageRankOptions()
 		var r *grb.Vector[float64]

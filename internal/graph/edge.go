@@ -1,0 +1,24 @@
+package graph
+
+import "sort"
+
+// Edge is one directed edge as a value: the currency of the streaming
+// mutation path (delta batches, snapshot diffs, incremental frontier
+// seeds). W is ignored by unweighted consumers.
+type Edge struct {
+	Src, Dst, W uint32
+}
+
+// SortEdges orders edges lexicographically by (Src, Dst, W) in place, the
+// canonical order mutation consumers rely on for determinism.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		if es[i].Dst != es[j].Dst {
+			return es[i].Dst < es[j].Dst
+		}
+		return es[i].W < es[j].W
+	})
+}

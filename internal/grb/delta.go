@@ -1,0 +1,76 @@
+package grb
+
+import "sort"
+
+// Delta helpers for the incremental algorithm variants (lagraph
+// incremental.go): seeding a frontier from mutation endpoints, and pinning
+// kernel choice so a masked recomputation stays bit-identical to the
+// unmasked from-scratch run it shortcuts.
+
+// VxMKernelHint returns the Force hint matching the kernel an *unmasked*
+// VxM over (u, A) would select. Incremental variants recompute only a
+// masked subset of an operation the from-scratch run executes unmasked.
+// Both kernels produce mask-independent values per allowed output — push
+// accumulates every allowed position in fixed block order, pull's column
+// dots are self-contained — but only under the same kernel: the add monoid
+// folds in kernel-specific order, so a mask that flips the heuristic
+// (vxmUsePull counts mask entries) would change float results. Forcing the
+// unmasked choice removes the mask from the decision entirely.
+func VxMKernelHint[T any](u *Vector[T], A *Matrix[T]) KernelHint {
+	if vxmUsePull(nil, u, A, Desc{}) {
+		return HintPull
+	}
+	return HintPush
+}
+
+// MinHop returns the (min, hop) semiring of dynamic BFS relaxation:
+// multiply yields the *vector* operand plus one and ignores the matrix
+// value entirely, so hop counts relax over any numeric adjacency matrix —
+// in particular the weight matrix the prepare stage already built — without
+// casting the pattern to a unit-valued matrix first. Saturates at the
+// type's maximum so "unreachable" stays unreachable.
+func MinHop[T Number]() Semiring[T] {
+	inf := MaxValue[T]()
+	return Semiring[T]{
+		Name: "min_hop",
+		Add:  MinMonoid[T](),
+		Mul: func(a, _ T) T {
+			if a == inf {
+				return inf
+			}
+			c := a + 1
+			if c < a { // integer overflow clamps to inf
+				return inf
+			}
+			return c
+		},
+	}
+}
+
+// DeltaFrontier builds a Sorted vector from candidate (index, value) pairs,
+// keeping the minimum value per index. It is the seed-frontier constructor
+// of dynamic BFS: each mutated edge proposes an improved level for its
+// destination, duplicates resolve by min, and the Sorted rep makes the
+// resulting iteration order deterministic regardless of the order the
+// candidates arrived in.
+func DeltaFrontier[T Number](n int, idx []int, vals []T) *Vector[T] {
+	best := make(map[int]T, len(idx))
+	for k, i := range idx {
+		v := vals[k]
+		if cur, ok := best[i]; !ok || v < cur {
+			best[i] = v
+		}
+	}
+	keys := make([]int, 0, len(best))
+	for i := range best {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	w := NewVector[T](n, Sorted)
+	// Ascending inserts keep Sorted's SetElement an O(1) append, and the
+	// sorted drain keeps map iteration order out of the build entirely.
+	for _, i := range keys {
+		w.SetElement(i, best[i])
+	}
+	return w
+}

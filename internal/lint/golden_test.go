@@ -90,6 +90,10 @@ func TestGolden(t *testing.T) {
 		// sp.Enabled(); the fixture pins that an early return inside the
 		// gate (skipping End) is caught.
 		{"tracespan-adapt", "tracespan", "tracespan_adapt", "graphstudy/internal/adapt/zfixture/tracespan"},
+		// The incremental algorithms' warm/fallback story is told entirely
+		// in CatDelta spans; the fixture pins the seed emitter's early
+		// return, a discarded fallback marker, and a per-iteration leak.
+		{"tracespan-delta", "tracespan", "tracespan_delta", "graphstudy/internal/lagraph/zfixture/tracespan_delta"},
 		{"errcheck", "errcheck", "errcheck", "graphstudy/internal/store/zfixture/errcheck"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,53 @@
+// Package tracespan_delta seeds tracespan violations in the streaming
+// mutation subsystem's shape: CatDelta spans are the only evidence of
+// whether an incremental run took the warm path (delta.bfs.seed,
+// delta.cc.touched, delta.pr.dirty) or fell back to from-scratch
+// (delta.fallback), and the snapshot-differential suite asserts on their
+// presence. A leaked delta span makes a warm run look like a fallback (or
+// vice versa) without changing a single result bit — silent observability
+// rot in exactly the layer whose correctness story depends on the trace.
+package tracespan_delta
+
+import "graphstudy/internal/trace"
+
+// SeedGateLeak is the incremental-BFS seed emitter gone wrong: the
+// empty-frontier early return skips End, so cold epochs leave the seed
+// span open.
+func SeedGateLeak(nadds, nseeds int64) {
+	sp := trace.Begin(trace.CatDelta, "delta.bfs.seed")
+	sp.NNZIn = nadds
+	if nseeds == 0 {
+		return // want tracespan "not ended on the path to this return"
+	}
+	sp.NNZOut = nseeds
+	sp.End()
+}
+
+// FallbackDiscarded drops the fallback marker on the floor, so a
+// from-scratch recomputation is indistinguishable from a warm hit.
+func FallbackDiscarded() {
+	trace.Begin(trace.CatDelta, "delta.fallback") // want tracespan "result discarded"
+}
+
+// DirtyLoopLeak ends the per-iteration dirty-set span only on iterations
+// that grew the set; steady-state iterations leave it open.
+func DirtyLoopLeak(grew []bool) {
+	for _, g := range grew {
+		sp := trace.Begin(trace.CatDelta, "delta.pr.dirty") // want tracespan "may leave its block"
+		if g {
+			sp.End()
+		}
+	}
+}
+
+// GoodEmit is the subsystem's actual shape: tags are set only when a
+// trace is installed, but End runs unconditionally (deferred, so the
+// union-find walk between Begin and End cannot skip it).
+func GoodEmit(nadds, merged int64) {
+	sp := trace.Begin(trace.CatDelta, "delta.cc.touched")
+	defer sp.End()
+	if sp.Enabled() {
+		sp.NNZIn = nadds
+		sp.NNZOut = merged
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"graphstudy/internal/core"
 	"graphstudy/internal/gen"
+	"graphstudy/internal/store"
 )
 
 // RunRequest is the POST /v1/run body.
@@ -28,6 +29,11 @@ type RunRequest struct {
 	// Async returns 202 + a job ID immediately instead of waiting; poll
 	// GET /v1/jobs/{id}.
 	Async bool `json:"async,omitempty"`
+	// Epoch pins the run to a mutation snapshot of a stored dataset: the
+	// input resolves to Graph's state after delta batch Epoch (0 = the
+	// imported base). Requires a dataset store. The "incremental" variant
+	// requires an epoch — it is what the run advances to.
+	Epoch *uint64 `json:"epoch,omitempty"`
 }
 
 // RunResponse reports one run, in both sync and job-poll responses.
@@ -58,6 +64,9 @@ type RunResponse struct {
 //	GET  /v1/jobs/{id}/trace fetch the job's Chrome trace JSON (profiling mode)
 //	GET  /v1/apps     list the workload registry (apps × systems × variants)
 //	GET  /v1/graphs   list the input catalog
+//	POST /v1/graphs/{name}/edges   append a mutation batch (streaming ingest)
+//	POST /v1/graphs/{name}/compact fold pending deltas into the base object
+//	GET  /v1/graphs/{name}/epoch   report a dataset's mutation epochs
 //	GET  /v1/datasets list the dataset store (residency, sizes, refcounts)
 //	GET  /healthz     liveness
 //	GET  /metrics     metrics JSON
@@ -67,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/apps", s.handleApps)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/v1/graphs/", s.handleGraphOps)
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/metrics", s.reg)
@@ -150,9 +160,23 @@ func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
 		return zero, fmt.Errorf("service: variant %q is not valid for %v on %v (see GET /v1/apps)",
 			variant, app, sys)
 	}
-	in, err := s.resolveInput(req.Graph)
+	graphName := req.Graph
+	if req.Epoch != nil {
+		if s.cfg.Registry == nil {
+			return zero, fmt.Errorf("service: \"epoch\" requires a dataset store (server started without one)")
+		}
+		graphName = store.SnapshotName(req.Graph, *req.Epoch)
+	}
+	in, err := s.resolveInput(graphName)
 	if err != nil {
 		return zero, err
+	}
+	var mut *core.MutationView
+	if variant == core.VIncremental {
+		if req.Epoch == nil {
+			return zero, fmt.Errorf("service: variant %q requires \"epoch\" naming the snapshot to advance to", variant)
+		}
+		mut = s.cfg.Registry.MutationView(req.Graph, *req.Epoch)
 	}
 	scale := gen.ScaleBench
 	if req.Scale != "" {
@@ -184,6 +208,7 @@ func (s *Server) specFromRequest(req RunRequest) (core.RunSpec, error) {
 	return core.RunSpec{
 		App: app, System: sys, Variant: variant,
 		Input: in, Scale: scale, Threads: threads, Timeout: timeout,
+		Mutation: mut,
 	}, nil
 }
 

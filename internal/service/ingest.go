@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"graphstudy/internal/store"
+)
+
+// EdgeOp is one streamed mutation in an ingest batch: an upsert of edge
+// (src, dst) with weight w, or — when del is set — a deletion.
+type EdgeOp struct {
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+	W   uint32 `json:"w,omitempty"`
+	Del bool   `json:"del,omitempty"`
+}
+
+// IngestRequest is the POST /v1/graphs/{name}/edges body. Ops apply in
+// order as one atomic batch: the whole batch lands at a single new epoch
+// or not at all.
+type IngestRequest struct {
+	Ops []EdgeOp `json:"ops"`
+}
+
+// IngestResponse reports the epoch the batch committed at.
+type IngestResponse struct {
+	Graph string `json:"graph"`
+	Epoch uint64 `json:"epoch"`
+	Ops   int    `json:"ops"`
+}
+
+// EpochResponse reports a dataset's mutation epochs: the top (latest)
+// epoch and the base epoch already folded into the stored object.
+type EpochResponse struct {
+	Graph     string `json:"graph"`
+	Epoch     uint64 `json:"epoch"`
+	BaseEpoch uint64 `json:"baseEpoch"`
+}
+
+// CompactResponse reports the base object after folding pending deltas.
+type CompactResponse struct {
+	Graph     string `json:"graph"`
+	BaseEpoch uint64 `json:"baseEpoch"`
+	Nodes     uint32 `json:"nodes"`
+	Edges     uint64 `json:"edges"`
+}
+
+// handleGraphOps routes the per-dataset mutation endpoints under
+// /v1/graphs/{name}/... (the exact /v1/graphs path — the catalog listing —
+// is registered separately and never reaches here).
+func (s *Server) handleGraphOps(w http.ResponseWriter, r *http.Request) {
+	name, op, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/v1/graphs/"), "/")
+	if name == "" {
+		httpError(w, http.StatusNotFound, "want /v1/graphs/{name}/{edges|compact|epoch}")
+		return
+	}
+	if s.cfg.Registry == nil {
+		httpError(w, http.StatusServiceUnavailable,
+			"no dataset store attached; streaming ingest disabled")
+		return
+	}
+	switch op {
+	case "edges":
+		s.handleIngest(w, r, name)
+	case "compact":
+		s.handleCompact(w, r, name)
+	case "epoch":
+		s.handleEpoch(w, r, name)
+	default:
+		httpError(w, http.StatusNotFound, "want /v1/graphs/{name}/{edges|compact|epoch}")
+	}
+}
+
+// handleIngest appends one mutation batch to a stored dataset's delta log.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if _, err := s.cfg.Registry.Epoch(name); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: want at least one op in \"ops\"")
+		return
+	}
+	ops := make([]store.DeltaOp, len(req.Ops))
+	for i, op := range req.Ops {
+		ops[i] = store.DeltaOp{Del: op.Del, Src: op.Src, Dst: op.Dst, W: op.W}
+	}
+	epoch, err := s.cfg.Registry.Append(name, ops)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.reg.Counter("ingest_batches").Inc()
+	s.reg.Counter("ingest_ops").Add(int64(len(ops)))
+	writeJSON(w, IngestResponse{Graph: name, Epoch: epoch, Ops: len(ops)})
+}
+
+// handleCompact folds a dataset's pending deltas into a fresh base object.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	e, err := s.cfg.Registry.Compact(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.reg.Counter("compactions").Inc()
+	writeJSON(w, CompactResponse{
+		Graph: name, BaseEpoch: e.BaseEpoch, Nodes: e.Nodes, Edges: e.Edges,
+	})
+}
+
+// handleEpoch reports a dataset's current top and base mutation epochs.
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	top, err := s.cfg.Registry.Epoch(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	base := uint64(0)
+	if e, ok := s.cfg.Registry.Lookup(name); ok {
+		base = e.BaseEpoch
+	}
+	writeJSON(w, EpochResponse{Graph: name, Epoch: top, BaseEpoch: base})
+}

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/store"
+)
+
+func u64p(v uint64) *uint64 { return &v }
+
+// postJSON posts body to url and decodes the JSON response into out.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestStreamingIngestEndToEnd drives the full mutation lifecycle over HTTP:
+// import a base, stream delta batches, run incremental algorithms pinned to
+// snapshot epochs against from-scratch oracles on the same snapshots,
+// compact, and run again — every digest must agree at every step.
+func TestStreamingIngestEndToEnd(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	edges := make([][3]uint32, 0, 2*n)
+	for i := uint32(0); i < n; i++ {
+		edges = append(edges, [3]uint32{i, (i + 1) % n, i%7 + 1})
+		if i%3 == 0 {
+			edges = append(edges, [3]uint32{i, (i + 11) % n, 2})
+		}
+	}
+	if _, err := st.Put("svc-mut", graph.FromWeightedEdges(n, edges), nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := store.NewRegistry(store.RegistryConfig{Store: st})
+	// Caching off so every run truly re-executes (warm incremental state and
+	// the post-compaction snapshot path both get exercised, not replayed).
+	srv := New(Config{Workers: 2, QueueDepth: 16, CacheSize: -1, Registry: reg})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		for _, name := range []string{"svc-mut", store.SnapshotName("svc-mut", 1), store.SnapshotName("svc-mut", 2)} {
+			core.DropPrepared(name, gen.ScaleTest)
+			gen.DropCached(name, gen.ScaleTest)
+		}
+		core.ResetIncremental("svc-mut")
+	})
+
+	var er EpochResponse
+	if code := getJSON(t, ts.URL+"/v1/graphs/svc-mut/epoch", &er); code != http.StatusOK || er.Epoch != 0 || er.BaseEpoch != 0 {
+		t.Fatalf("fresh epoch = %+v (status %d), want 0/0", er, code)
+	}
+
+	var ir IngestResponse
+	code := postJSON(t, ts.URL+"/v1/graphs/svc-mut/edges", IngestRequest{Ops: []EdgeOp{
+		{Src: 0, Dst: 16, W: 1},
+		{Src: 16, Dst: 3, W: 4},
+		{Src: 7, Dst: 21, W: 2},
+	}}, &ir)
+	if code != http.StatusOK || ir.Epoch != 1 || ir.Ops != 3 {
+		t.Fatalf("ingest batch 1: status %d resp %+v", code, ir)
+	}
+
+	// Incremental runs at epoch 1 vs from-scratch oracles on the same
+	// snapshot. PR's oracle is gb-res — the same residual formulation the
+	// incremental path advances, so digests must be bit-identical.
+	oracle := map[string]string{"bfs": "", "cc": "", "pr": "gb-res"}
+	digest1 := map[string]string{}
+	for _, app := range []string{"bfs", "cc", "pr"} {
+		c1, inc, _ := post(t, ts.URL, RunRequest{
+			App: app, System: "ss", Variant: "incremental", Graph: "svc-mut",
+			Epoch: u64p(1), Scale: "test", Threads: 2,
+		})
+		c2, ref, _ := post(t, ts.URL, RunRequest{
+			App: app, System: "ss", Variant: oracle[app], Graph: "svc-mut",
+			Epoch: u64p(1), Scale: "test", Threads: 2,
+		})
+		if c1 != http.StatusOK || inc.Outcome != "ok" {
+			t.Fatalf("%s incremental @1: status %d outcome %q error %q", app, c1, inc.Outcome, inc.Error)
+		}
+		if c2 != http.StatusOK || ref.Outcome != "ok" {
+			t.Fatalf("%s oracle @1: status %d outcome %q error %q", app, c2, ref.Outcome, ref.Error)
+		}
+		if inc.Digest == "" || inc.Digest != ref.Digest || inc.Value != ref.Value {
+			t.Fatalf("%s @1: incremental %q/%q vs oracle %q/%q",
+				app, inc.Digest, inc.Value, ref.Digest, ref.Value)
+		}
+		digest1[app] = inc.Digest
+	}
+
+	// Batch 2 includes a delete; the incremental path must fall back to
+	// from-scratch internally and still agree with the oracle.
+	code = postJSON(t, ts.URL+"/v1/graphs/svc-mut/edges", IngestRequest{Ops: []EdgeOp{
+		{Del: true, Src: 0, Dst: 1},
+		{Src: 4, Dst: 29, W: 9},
+	}}, &ir)
+	if code != http.StatusOK || ir.Epoch != 2 {
+		t.Fatalf("ingest batch 2: status %d resp %+v", code, ir)
+	}
+	c1, inc, _ := post(t, ts.URL, RunRequest{
+		App: "bfs", System: "ss", Variant: "incremental", Graph: "svc-mut",
+		Epoch: u64p(2), Scale: "test", Threads: 2,
+	})
+	c2, ref, _ := post(t, ts.URL, RunRequest{
+		App: "bfs", System: "ss", Graph: "svc-mut", Epoch: u64p(2), Scale: "test", Threads: 2,
+	})
+	if c1 != http.StatusOK || c2 != http.StatusOK || inc.Digest == "" || inc.Digest != ref.Digest {
+		t.Fatalf("bfs @2: incremental %q (%q) vs oracle %q (%q)", inc.Digest, inc.Error, ref.Digest, ref.Error)
+	}
+	if inc.Digest == digest1["bfs"] {
+		t.Fatal("bfs digest did not change across a mutation that rewires the ring")
+	}
+	bfs2 := inc.Digest
+
+	// Compact, then re-run at the (now base) epoch: same answer through the
+	// compacted object.
+	var cr CompactResponse
+	if code := postJSON(t, ts.URL+"/v1/graphs/svc-mut/compact", struct{}{}, &cr); code != http.StatusOK || cr.BaseEpoch != 2 {
+		t.Fatalf("compact: status %d resp %+v", code, cr)
+	}
+	if code := getJSON(t, ts.URL+"/v1/graphs/svc-mut/epoch", &er); code != http.StatusOK || er.Epoch != 2 || er.BaseEpoch != 2 {
+		t.Fatalf("post-compaction epoch = %+v (status %d), want 2/2", er, code)
+	}
+	c1, inc, _ = post(t, ts.URL, RunRequest{
+		App: "bfs", System: "ss", Variant: "incremental", Graph: "svc-mut",
+		Epoch: u64p(2), Scale: "test", Threads: 2,
+	})
+	if c1 != http.StatusOK || inc.Outcome != "ok" || inc.Digest != bfs2 {
+		t.Fatalf("bfs @2 after compaction: status %d outcome %q digest %q want %q",
+			c1, inc.Outcome, inc.Digest, bfs2)
+	}
+
+	m := metricsSnapshot(t, ts.URL)
+	if metricInt(t, m, "ingest_batches") != 2 || metricInt(t, m, "ingest_ops") != 5 {
+		t.Fatalf("ingest metrics: batches=%d ops=%d, want 2/5",
+			metricInt(t, m, "ingest_batches"), metricInt(t, m, "ingest_ops"))
+	}
+	if metricInt(t, m, "compactions") != 1 {
+		t.Fatal("compaction not visible in /metrics")
+	}
+}
+
+// TestIngestAndEpochErrors pins the mutation API's failure envelope.
+func TestIngestAndEpochErrors(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("svc-err", graph.FromWeightedEdges(4, [][3]uint32{
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1},
+	}), nil); err != nil {
+		t.Fatal(err)
+	}
+	reg := store.NewRegistry(store.RegistryConfig{Store: st})
+	srv := New(Config{Workers: 1, QueueDepth: 4, CacheSize: -1, Registry: reg})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	t.Cleanup(func() {
+		core.DropPrepared("svc-err", gen.ScaleTest)
+		gen.DropCached("svc-err", gen.ScaleTest)
+	})
+
+	// Unknown dataset, snapshot names, empty batches, wrong methods.
+	if code := postJSON(t, ts.URL+"/v1/graphs/no-such/edges",
+		IngestRequest{Ops: []EdgeOp{{Src: 0, Dst: 1}}}, nil); code != http.StatusNotFound {
+		t.Fatalf("ingest to unknown dataset: status %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs/svc-err%23e1/edges",
+		IngestRequest{Ops: []EdgeOp{{Src: 0, Dst: 1}}}, nil); code != http.StatusNotFound {
+		t.Fatalf("ingest to snapshot name: status %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs/svc-err/edges", IngestRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/graphs/svc-err/edges", &map[string]any{}); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET edges: status %d, want 405", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs/no-such/compact", struct{}{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("compact unknown: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/graphs/svc-err/bogus", &map[string]any{}); code != http.StatusNotFound {
+		t.Fatalf("bogus subresource: status %d, want 404", code)
+	}
+
+	// Incremental without an epoch is a spec error, not a run error.
+	code, _, _ := post(t, ts.URL, RunRequest{
+		App: "bfs", System: "ss", Variant: "incremental", Graph: "svc-err", Scale: "test",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("incremental without epoch: status %d, want 400", code)
+	}
+
+	// An epoch past the log resolves as an input, then fails at load time.
+	code, rr, _ := post(t, ts.URL, RunRequest{
+		App: "bfs", System: "ss", Graph: "svc-err", Epoch: u64p(99), Scale: "test",
+	})
+	if code != http.StatusOK || rr.Outcome != core.ERR.String() {
+		t.Fatalf("epoch past log: status %d outcome %q, want ok-status err-outcome", code, rr.Outcome)
+	}
+}
+
+// TestEpochWithoutRegistry pins the no-store error for epoch-pinned runs.
+func TestEpochWithoutRegistry(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, _ := post(t, ts.URL, RunRequest{
+		App: "bfs", System: "ss", Graph: "rmat22", Epoch: u64p(1), Scale: "test",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("epoch without store: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/graphs/rmat22/edges",
+		IngestRequest{Ops: []EdgeOp{{Src: 0, Dst: 1}}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest without store: status %d, want 503", code)
+	}
+}

@@ -1,0 +1,380 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"graphstudy/internal/graph"
+)
+
+// deltaTestBase is a small weighted graph with a self-loop and room to grow.
+func deltaTestBase() *graph.Graph {
+	b := graph.NewBuilder(6, true)
+	for _, e := range [][3]uint32{
+		{0, 1, 5}, {0, 2, 3}, {1, 2, 7}, {2, 3, 1}, {3, 0, 2}, {4, 4, 9},
+	} {
+		b.AddEdge(e[0], e[1], e[2])
+	}
+	return b.BuildDedup(graph.KeepFirst)
+}
+
+// weightedEdges lists a graph's edges with weights in CSR order.
+func weightedEdges(g *graph.Graph) []graph.Edge {
+	var out []graph.Edge
+	for u := uint32(0); u < g.NumNodes; u++ {
+		for e := g.RowPtr[u]; e < g.RowPtr[u+1]; e++ {
+			out = append(out, graph.Edge{Src: u, Dst: g.ColIdx[e], W: g.Wt[e]})
+		}
+	}
+	return out
+}
+
+func putDeltaBase(t *testing.T, st *Store, name string) {
+	t.Helper()
+	if _, err := st.Put(name, deltaTestBase(), map[string]string{"origin": "delta-test"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendDeltaEpochsAndRoundtrip(t *testing.T) {
+	st := openTestStore(t)
+	putDeltaBase(t, st, "mut")
+
+	if e, err := st.Epoch("mut"); err != nil || e != 0 {
+		t.Fatalf("fresh dataset epoch = %d, %v; want 0", e, err)
+	}
+	b1 := []DeltaOp{{Src: 1, Dst: 3, W: 4}, {Del: true, Src: 0, Dst: 2}}
+	b2 := []DeltaOp{{Src: 5, Dst: 0, W: 8}}
+	if e, err := st.AppendDelta("mut", b1); err != nil || e != 1 {
+		t.Fatalf("first append epoch = %d, %v; want 1", e, err)
+	}
+	if e, err := st.AppendDelta("mut", b2); err != nil || e != 2 {
+		t.Fatalf("second append epoch = %d, %v; want 2", e, err)
+	}
+	if e, err := st.Epoch("mut"); err != nil || e != 2 {
+		t.Fatalf("epoch after appends = %d, %v; want 2", e, err)
+	}
+
+	// A reopened store must decode the same batches from disk.
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st2.Deltas("mut", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DeltaBatch{{Epoch: 1, Ops: b1}, {Epoch: 2, Ops: b2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded batches = %+v, want %+v", got, want)
+	}
+
+	// Partial ranges select by (from, to].
+	if got, err := st2.Deltas("mut", 1, 2); err != nil || len(got) != 1 || got[0].Epoch != 2 {
+		t.Fatalf("Deltas(1,2] = %+v, %v", got, err)
+	}
+	if got, err := st2.Deltas("mut", 2, 2); err != nil || len(got) != 0 {
+		t.Fatalf("Deltas(2,2] = %+v, %v; want empty", got, err)
+	}
+	// Ranges past the log or inverted are errors.
+	if _, err := st2.Deltas("mut", 0, 3); err == nil {
+		t.Fatal("Deltas beyond top epoch: want error")
+	}
+	if _, err := st2.Deltas("mut", 2, 1); err == nil {
+		t.Fatal("inverted Deltas range: want error")
+	}
+}
+
+func TestAppendDeltaValidation(t *testing.T) {
+	st := openTestStore(t)
+	putDeltaBase(t, st, "mut")
+
+	if _, err := st.AppendDelta("absent", []DeltaOp{{Src: 0, Dst: 1}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("append to absent dataset: %v, want ErrNotFound", err)
+	}
+	if _, err := st.AppendDelta("mut", nil); err == nil {
+		t.Fatal("empty batch: want error")
+	}
+	if _, err := st.AppendDelta("mut", []DeltaOp{{Src: ^uint32(0), Dst: 1}}); err == nil {
+		t.Fatal("endpoint at uint32 max: want error")
+	}
+	if e, err := st.Epoch("mut"); err != nil || e != 0 {
+		t.Fatalf("rejected batches must not advance the epoch: %d, %v", e, err)
+	}
+}
+
+func TestSnapshotMaterialization(t *testing.T) {
+	st := openTestStore(t)
+	putDeltaBase(t, st, "mut")
+	if _, err := st.AppendDelta("mut", []DeltaOp{
+		{Src: 1, Dst: 3, W: 4},      // new edge
+		{Del: true, Src: 0, Dst: 2}, // delete existing
+		{Src: 0, Dst: 1, W: 50},     // weight rewrite
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendDelta("mut", []DeltaOp{
+		{Src: 7, Dst: 0, W: 1}, // node growth: 6 -> 8
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 0 is the untouched base.
+	g0, err := st.Snapshot("mut", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.NumNodes != 6 || g0.NumEdges() != 6 {
+		t.Fatalf("epoch-0 snapshot shape %d/%d", g0.NumNodes, g0.NumEdges())
+	}
+
+	g1, err := st.Snapshot("mut", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes != 6 || g1.NumEdges() != 6 { // +1 new, -1 deleted
+		t.Fatalf("epoch-1 snapshot shape %d/%d", g1.NumNodes, g1.NumEdges())
+	}
+	wantEdges := map[[2]uint32]uint32{
+		{0, 1}: 50, {1, 2}: 7, {1, 3}: 4, {2, 3}: 1, {3, 0}: 2, {4, 4}: 9,
+	}
+	for _, e := range weightedEdges(g1) {
+		if w, ok := wantEdges[[2]uint32{e.Src, e.Dst}]; !ok || w != e.W {
+			t.Fatalf("epoch-1 snapshot has unexpected edge %v", e)
+		}
+		delete(wantEdges, [2]uint32{e.Src, e.Dst})
+	}
+	if len(wantEdges) != 0 {
+		t.Fatalf("epoch-1 snapshot missing edges %v", wantEdges)
+	}
+
+	g2, err := st.Snapshot("mut", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes != 8 {
+		t.Fatalf("epoch-2 snapshot did not grow: n=%d, want 8", g2.NumNodes)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Snapshot("mut", 9); err == nil {
+		t.Fatal("snapshot past top epoch: want error")
+	}
+}
+
+// TestCompactByteIdentity is the compaction contract: after folding the log,
+// the stored object must be byte-for-byte the object a fresh import of the
+// same net edge set produces — same GSG2 bytes, same content hash, so the
+// two are indistinguishable on disk. The schedule stresses the cases where
+// a sloppier materialization would diverge: self-loops, parallel-edge
+// upserts (last weight wins), and delete-then-readd inside one batch.
+func TestCompactByteIdentity(t *testing.T) {
+	st := openTestStore(t)
+	putDeltaBase(t, st, "mut")
+
+	if _, err := st.AppendDelta("mut", []DeltaOp{
+		{Src: 2, Dst: 2, W: 6},      // self-loop
+		{Src: 1, Dst: 3, W: 9},      // new edge...
+		{Src: 1, Dst: 3, W: 2},      // ...upserted again in the same batch
+		{Del: true, Src: 3, Dst: 0}, // delete...
+		{Src: 3, Dst: 0, W: 11},     // ...then re-add: survives with new weight
+		{Del: true, Src: 4, Dst: 4}, // delete the base self-loop
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendDelta("mut", []DeltaOp{{Del: true, Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := st.Snapshot("mut", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := st.Get("mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ce, err := st.Compact("mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.BaseEpoch != 2 {
+		t.Fatalf("compacted BaseEpoch = %d, want 2", ce.BaseEpoch)
+	}
+
+	// Fresh import of the same net edge set, same metadata, into a second
+	// store: the content hash must collide exactly.
+	st2 := openTestStore(t)
+	b := graph.NewBuilder(snap.NumNodes, true)
+	for _, e := range weightedEdges(snap) {
+		b.AddEdge(e.Src, e.Dst, e.W)
+	}
+	fe, err := st2.Put("fresh", b.BuildDedup(graph.KeepFirst), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.SHA256 != fe.SHA256 {
+		t.Fatalf("compacted object %s != fresh import %s", ce.SHA256[:16], fe.SHA256[:16])
+	}
+	cb, err := os.ReadFile(st.Dir() + "/" + ce.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(st2.Dir() + "/" + fe.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, fb) {
+		t.Fatal("compacted GSG2 bytes differ from fresh import")
+	}
+
+	// The log is gone, the epoch holds, and post-compaction life goes on:
+	// snapshots at the new base work, pre-base history is refused, and the
+	// next append lands at epoch 3.
+	if _, err := os.Stat(st.deltaPath("mut")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("delta log still present after compaction: %v", err)
+	}
+	if e, err := st.Epoch("mut"); err != nil || e != 2 {
+		t.Fatalf("epoch after compaction = %d, %v; want 2", e, err)
+	}
+	if _, err := st.Deltas("mut", 0, 2); !errors.Is(err, ErrEpochCompacted) {
+		t.Fatalf("pre-base Deltas: %v, want ErrEpochCompacted", err)
+	}
+	if _, err := st.Snapshot("mut", 1); !errors.Is(err, ErrEpochCompacted) {
+		t.Fatalf("pre-base Snapshot: %v, want ErrEpochCompacted", err)
+	}
+	if e, err := st.AppendDelta("mut", []DeltaOp{{Src: 0, Dst: 5, W: 1}}); err != nil || e != 3 {
+		t.Fatalf("append after compaction: epoch %d, %v; want 3", e, err)
+	}
+
+	// Compacting with nothing pending is a no-op.
+	before, _ := st.Compact("mut")
+	again, err := st.Compact("mut")
+	if err != nil || again.SHA256 != before.SHA256 || again.BaseEpoch != before.BaseEpoch {
+		t.Fatalf("idempotent compaction broke: %+v vs %+v (%v)", again, before, err)
+	}
+}
+
+// TestCompactCrashSkipsStaleBatches simulates the crash window between
+// manifest commit and log truncation: stale batches at or below the new
+// BaseEpoch must be skipped on reload, and new appends must continue above.
+func TestCompactCrashSkipsStaleBatches(t *testing.T) {
+	st := openTestStore(t)
+	putDeltaBase(t, st, "mut")
+	if _, err := st.AppendDelta("mut", []DeltaOp{{Src: 1, Dst: 4, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	logBytes, err := os.ReadFile(st.deltaPath("mut"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Compact("mut"); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": the pre-compaction log reappears while the manifest already
+	// says BaseEpoch 1.
+	if err := os.WriteFile(st.deltaPath("mut"), logBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, err := st2.Epoch("mut"); err != nil || e != 1 {
+		t.Fatalf("epoch with stale log = %d, %v; want 1 (stale batch skipped)", e, err)
+	}
+	if e, err := st2.AppendDelta("mut", []DeltaOp{{Src: 2, Dst: 5, W: 3}}); err != nil || e != 2 {
+		t.Fatalf("append over stale log: epoch %d, %v; want 2", e, err)
+	}
+}
+
+func TestPutSupersedesDeltaLog(t *testing.T) {
+	st := openTestStore(t)
+	putDeltaBase(t, st, "mut")
+	if _, err := st.AppendDelta("mut", []DeltaOp{{Src: 0, Dst: 3, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-importing the dataset discards pending history: epoch restarts.
+	putDeltaBase(t, st, "mut")
+	if e, err := st.Epoch("mut"); err != nil || e != 0 {
+		t.Fatalf("epoch after re-Put = %d, %v; want 0", e, err)
+	}
+	if _, err := os.Stat(st.deltaPath("mut")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("delta log survived a re-Put")
+	}
+}
+
+func TestReadDeltaLogRejectsCorruption(t *testing.T) {
+	var good []byte
+	good = append(good, deltaMagic...)
+	good = appendDeltaRecord(good, DeltaBatch{Epoch: 1, Ops: []DeltaOp{{Src: 1, Dst: 2, W: 3}}})
+	good = appendDeltaRecord(good, DeltaBatch{Epoch: 2, Ops: []DeltaOp{{Del: true, Src: 1, Dst: 2}}})
+
+	if batches, err := ReadDeltaLog(bytes.NewReader(good)); err != nil || len(batches) != 2 {
+		t.Fatalf("clean log: %v, %d batches", err, len(batches))
+	}
+
+	// Every single-byte flip anywhere in the log must fail decoding: either
+	// the magic, a structural check, or a CRC catches it. (A flip can only
+	// be silent if it produces an equally-valid log, which none can here.)
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x40
+		if _, err := ReadDeltaLog(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped byte %d went undetected", i)
+		}
+	}
+	// Truncation at a record boundary is a valid shorter log — a torn tail
+	// write is indistinguishable from the batch never committing. Every
+	// OTHER truncation must fail: a partial record is never silently kept.
+	rec1End := 4 + 12 + deltaOpLen + 4 // magic + header + one op + crc
+	boundaries := map[int]bool{4: true, rec1End: true}
+	for cut := 1; cut < len(good); cut++ {
+		_, err := ReadDeltaLog(bytes.NewReader(good[:cut]))
+		if boundaries[cut] {
+			if err != nil {
+				t.Fatalf("boundary truncation to %d bytes should decode: %v", cut, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", cut)
+		}
+	}
+
+	// Structurally invalid logs built from whole cloth.
+	bad := func(b DeltaBatch) []byte {
+		out := append([]byte(nil), deltaMagic...)
+		return appendDeltaRecord(out, b)
+	}
+	for name, log := range map[string][]byte{
+		"epoch-zero":   bad(DeltaBatch{Epoch: 0, Ops: []DeltaOp{{Src: 1, Dst: 2}}}),
+		"endpoint-max": bad(DeltaBatch{Epoch: 1, Ops: []DeltaOp{{Src: ^uint32(0), Dst: 2}}}),
+		"no-magic":     {1, 2, 3},
+		"wrong-magic":  append([]byte("GDL9"), good[4:]...),
+	} {
+		if _, err := ReadDeltaLog(bytes.NewReader(log)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// Non-monotone epochs.
+	mono := append([]byte(nil), deltaMagic...)
+	mono = appendDeltaRecord(mono, DeltaBatch{Epoch: 5, Ops: []DeltaOp{{Src: 1, Dst: 2}}})
+	mono = appendDeltaRecord(mono, DeltaBatch{Epoch: 5, Ops: []DeltaOp{{Src: 2, Dst: 3}}})
+	if _, err := ReadDeltaLog(bytes.NewReader(mono)); err == nil {
+		t.Error("repeated epoch: want error")
+	}
+}
+
+func TestValidNameRejectsSnapshotReservedChar(t *testing.T) {
+	st := openTestStore(t)
+	if _, err := st.Put("road#e3", deltaTestBase(), nil); err == nil {
+		t.Fatal("name with '#': want error")
+	}
+}

@@ -79,6 +79,54 @@ func FuzzReadGSG2(f *testing.F) {
 	})
 }
 
+// FuzzReadDeltaLog hammers the GDL1 streaming-mutation log decoder:
+// arbitrary bytes must decode or error cleanly, never panic or allocate
+// op arrays unjustified by bytes actually present, and anything that does
+// decode must re-encode to a log that decodes identically (so the decoder
+// only accepts states the writer can produce).
+func FuzzReadDeltaLog(f *testing.F) {
+	var valid []byte
+	valid = append(valid, deltaMagic...)
+	valid = appendDeltaRecord(valid, DeltaBatch{Epoch: 1, Ops: []DeltaOp{
+		{Src: 0, Dst: 1, W: 7}, {Del: true, Src: 2, Dst: 2},
+	}})
+	valid = appendDeltaRecord(valid, DeltaBatch{Epoch: 4, Ops: []DeltaOp{{Src: 3, Dst: 0, W: 1}}})
+	f.Add(valid)
+	for _, i := range []int{0, 5, 13, len(valid) - 2} {
+		c := append([]byte{}, valid...)
+		c[i] ^= 0x10
+		f.Add(c)
+	}
+	f.Add(valid[:len(valid)-3])
+	f.Add(append(append([]byte{}, valid...), 0xff))
+	f.Add([]byte(deltaMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		batches, err := ReadDeltaLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		reenc := []byte(deltaMagic)
+		for _, b := range batches {
+			if len(b.Ops) == 0 || len(b.Ops) > maxDeltaOps {
+				t.Fatalf("decoded batch at epoch %d with %d ops", b.Epoch, len(b.Ops))
+			}
+			reenc = appendDeltaRecord(reenc, b)
+		}
+		again, err := ReadDeltaLog(bytes.NewReader(reenc))
+		if err != nil {
+			t.Fatalf("re-encoded accepted log failed to decode: %v", err)
+		}
+		if len(again) != len(batches) {
+			t.Fatalf("roundtrip changed batch count: %d -> %d", len(batches), len(again))
+		}
+	})
+}
+
 // FuzzReadGraph hammers the sniffing front door with every format's bytes,
 // so the dispatcher and all four decoders share one fuzz surface.
 func FuzzReadGraph(f *testing.F) {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -53,11 +55,18 @@ type regEntry struct {
 	name     string
 	sc       gen.Scale
 	external bool
+	snapshot bool   // key is a SnapshotName (pinned epoch view)
+	epoch    uint64 // snapshot entries: the pinned epoch
 
 	ready chan struct{} // closed once g/err are set
 	g     *graph.Graph
 	err   error
 	done  bool // set under Registry.mu when ready closes
+	// baseEpoch is the store BaseEpoch of the object this graph decoded
+	// from (external entries; 0 otherwise). Published before ready closes,
+	// so snapshot materialization can read it after the wait without
+	// re-consulting the (possibly since-compacted) manifest.
+	baseEpoch uint64
 
 	bytes    int64
 	refs     int
@@ -115,6 +124,31 @@ func (r *Registry) Input(name string) (*gen.Input, error) {
 		return in, nil
 	}
 	r.mu.Unlock()
+	if base, epoch, ok := ParseSnapshotName(name); ok {
+		if r.store == nil || !r.store.Has(base) {
+			return nil, fmt.Errorf("store: snapshot %q: unknown base dataset %q", name, base)
+		}
+		be, _ := r.store.Lookup(base)
+		in := gen.NewExternal(name, be.Weighted, func(gen.Scale) *graph.Graph {
+			// Acquire seeds the build memo; this path only runs if a caller
+			// bypassed the registry, so rebuild straight from the store.
+			g, err := r.store.Snapshot(base, epoch)
+			if err != nil {
+				panic(fmt.Sprintf("store: snapshot %q must be resolved through Registry.Acquire: %v", name, err))
+			}
+			g.SortAdjacency()
+			g.BuildIn()
+			return g
+		})
+		r.mu.Lock()
+		if prev, ok := r.inputs[name]; ok {
+			in = prev
+		} else {
+			r.inputs[name] = in
+		}
+		r.mu.Unlock()
+		return in, nil
+	}
 	if r.store == nil || !r.store.Has(name) {
 		return nil, fmt.Errorf("store: unknown graph %q (not a suite name, not in the dataset store)", name)
 	}
@@ -148,9 +182,15 @@ func (r *Registry) Input(name string) (*gen.Input, error) {
 // keys by.
 func (r *Registry) Acquire(name string, sc gen.Scale) (*Handle, error) {
 	var in *gen.Input
-	external := false
+	external, snapshot := false, false
+	var snapEpoch uint64
 	if i, err := gen.ByName(name); err == nil {
 		in = i
+	} else if base, epoch, ok := ParseSnapshotName(name); ok {
+		if r.store == nil || !r.store.Has(base) {
+			return nil, fmt.Errorf("store: snapshot %q: unknown base dataset %q", name, base)
+		}
+		external, snapshot, snapEpoch = true, true, epoch
 	} else if r.store != nil && r.store.Has(name) {
 		external = true
 	} else {
@@ -175,15 +215,27 @@ func (r *Registry) Acquire(name string, sc gen.Scale) (*Handle, error) {
 	}
 	e := &regEntry{
 		key: key, name: name, sc: sc, external: external,
+		snapshot: snapshot, epoch: snapEpoch,
 		ready: make(chan struct{}), refs: 1, lastUsed: r.tickLocked(),
 	}
 	r.entries[key] = e
 	r.mu.Unlock()
 
-	g, fromDisk, err := r.load(in, name, key, sc, external)
+	var g *graph.Graph
+	var fromDisk bool
+	var baseEpoch uint64
+	var err error
+	if snapshot {
+		base, _, _ := ParseSnapshotName(name)
+		g, fromDisk, err = r.loadSnapshot(base, snapEpoch, sc, name)
+		baseEpoch = snapEpoch
+	} else {
+		g, fromDisk, baseEpoch, err = r.load(in, name, key, sc, external)
+	}
 
 	r.mu.Lock()
 	e.g, e.err = g, err
+	e.baseEpoch = baseEpoch
 	e.done = true
 	if err != nil {
 		// Failed loads leave the table so the next acquire retries; waiters
@@ -206,27 +258,32 @@ func (r *Registry) Acquire(name string, sc gen.Scale) (*Handle, error) {
 	return &Handle{g: g, r: r, e: e}, nil
 }
 
-// load materializes a graph outside the registry lock.
-func (r *Registry) load(in *gen.Input, name, key string, sc gen.Scale, external bool) (*graph.Graph, bool, error) {
+// load materializes a graph outside the registry lock. For external
+// datasets the manifest is consulted before the object is decoded: if a
+// concurrent compaction swaps the object in between, the recorded
+// baseEpoch is older than the bytes, which only makes later snapshot
+// materialization fall back to disk (never silently skip batches).
+func (r *Registry) load(in *gen.Input, name, key string, sc gen.Scale, external bool) (*graph.Graph, bool, uint64, error) {
 	if external {
+		e, _ := r.store.Lookup(name)
 		g, _, err := r.store.Get(name)
 		if err != nil {
-			return nil, false, err
+			return nil, false, 0, err
 		}
 		g.SortAdjacency()
 		g.BuildIn()
 		// Seed the build memo so core.Prepare(in, sc) reuses this object.
 		g = gen.SetCached(name, sc, g)
-		return g, true, nil
+		return g, true, e.BaseEpoch, nil
 	}
 	if r.store != nil {
 		if g, _, err := r.store.Get(key); err == nil {
 			g.SortAdjacency()
 			g.BuildIn()
 			g = gen.SetCached(name, sc, g)
-			return g, true, nil
+			return g, true, 0, nil
 		} else if !errors.Is(err, ErrNotFound) {
-			return nil, false, err
+			return nil, false, 0, err
 		}
 	}
 	g := in.Build(sc) // generates and memoizes in gen
@@ -238,10 +295,48 @@ func (r *Registry) load(in *gen.Input, name, key string, sc gen.Scale, external 
 			"archetype": in.Archetype,
 		}
 		if _, err := r.store.Put(key, g, meta); err != nil {
-			return nil, false, fmt.Errorf("store: persisting generated %q: %w", key, err)
+			return nil, false, 0, fmt.Errorf("store: persisting generated %q: %w", key, err)
 		}
 	}
-	return g, false, nil
+	return g, false, 0, nil
+}
+
+// loadSnapshot materializes one epoch-pinned view of a mutating dataset.
+// The base is acquired through the registry first, which (a) reuses a
+// resident base instead of re-decoding it and (b) holds a lease so the
+// budget cannot evict the base mid-materialization. Deltas are applied on
+// top of the leased base; if the log range predates the base object's
+// epoch (a compaction won a race, or the epoch is historical), the
+// snapshot rebuilds from disk instead.
+func (r *Registry) loadSnapshot(base string, epoch uint64, sc gen.Scale, snapName string) (*graph.Graph, bool, error) {
+	bh, err := r.Acquire(base, sc)
+	if err != nil {
+		return nil, false, err
+	}
+	defer bh.Release()
+	var g *graph.Graph
+	batches, err := r.store.Deltas(base, bh.e.baseEpoch, epoch)
+	switch {
+	case err == nil && len(batches) == 0:
+		// The snapshot IS the base; share the resident object. (Its bytes
+		// are charged to both entries — over-counting, never under.)
+		g = bh.Graph()
+	case err == nil:
+		g = MaterializeDeltas(bh.Graph(), batches)
+		g.SortAdjacency()
+		g.BuildIn()
+	case errors.Is(err, ErrEpochCompacted):
+		g, err = r.store.Snapshot(base, epoch)
+		if err != nil {
+			return nil, false, err
+		}
+		g.SortAdjacency()
+		g.BuildIn()
+	default:
+		return nil, false, err
+	}
+	g = gen.SetCached(snapName, sc, g)
+	return g, true, nil
 }
 
 // tickLocked advances the LRU clock. Callers hold r.mu.
@@ -324,6 +419,142 @@ func (r *Registry) RegisterMetrics(m *metrics.Registry) {
 		defer r.mu.Unlock()
 		return int64(len(r.entries))
 	})
+}
+
+// SnapshotName renders the registry key for an epoch-pinned view of a
+// mutating dataset. The '#' is reserved by validName, so a snapshot name
+// can never collide with a stored dataset or suite graph.
+func SnapshotName(base string, epoch uint64) string {
+	return fmt.Sprintf("%s#e%d", base, epoch)
+}
+
+// ParseSnapshotName splits a SnapshotName back into (base, epoch). ok is
+// false for anything that is not exactly base + "#e" + decimal digits.
+func ParseSnapshotName(name string) (base string, epoch uint64, ok bool) {
+	i := strings.LastIndex(name, "#e")
+	if i <= 0 || i+2 >= len(name) {
+		return "", 0, false
+	}
+	epoch, err := strconv.ParseUint(name[i+2:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], epoch, true
+}
+
+// Append appends one mutation batch to a stored dataset's delta log and
+// returns the epoch it committed as. Resident graphs are untouched: the
+// base object's bytes have not changed, and epoch-pinned snapshots are
+// immutable by construction.
+func (r *Registry) Append(name string, ops []DeltaOp) (uint64, error) {
+	if r.store == nil {
+		return 0, errors.New("store: registry has no backing store; streaming ingest disabled")
+	}
+	if _, _, ok := ParseSnapshotName(name); ok {
+		return 0, fmt.Errorf("store: cannot append to snapshot %q; append to its base dataset", name)
+	}
+	return r.store.AppendDelta(name, ops)
+}
+
+// Epoch returns a stored dataset's current top epoch.
+func (r *Registry) Epoch(name string) (uint64, error) {
+	if r.store == nil {
+		return 0, errors.New("store: registry has no backing store")
+	}
+	return r.store.Epoch(name)
+}
+
+// Lookup exposes the backing store's manifest entry for a dataset.
+func (r *Registry) Lookup(name string) (Entry, bool) {
+	if r.store == nil {
+		return Entry{}, false
+	}
+	return r.store.Lookup(name)
+}
+
+// Compact folds a dataset's pending deltas into a fresh base object, then
+// invalidates the registry's resident view of the bare name: an idle
+// resident base is dropped (with its gen/core caches) so the next acquire
+// decodes the new object; a leased one is re-keyed to an unreachable
+// tombstone so existing handles stay valid while future acquires miss.
+// Epoch-pinned snapshot entries stay resident untouched — their logical
+// content is compaction-invariant.
+func (r *Registry) Compact(name string) (Entry, error) {
+	if r.store == nil {
+		return Entry{}, errors.New("store: registry has no backing store")
+	}
+	if _, _, ok := ParseSnapshotName(name); ok {
+		return Entry{}, fmt.Errorf("store: cannot compact snapshot %q; compact its base dataset", name)
+	}
+	ne, err := r.store.Compact(name)
+	if err != nil {
+		return Entry{}, err
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok && e.done {
+		if e.refs == 0 {
+			delete(r.entries, name)
+			r.bytes -= e.bytes
+			gen.DropCached(e.name, e.sc)
+			core.DropPrepared(e.name, e.sc)
+		} else {
+			// Live leases keep the old object; hide it from future acquires.
+			stale := fmt.Sprintf("%s#stale%d", name, r.tickLocked())
+			delete(r.entries, name)
+			e.key = stale
+			r.entries[stale] = e
+			gen.DropCached(e.name, e.sc)
+			core.DropPrepared(e.name, e.sc)
+		}
+	}
+	r.mu.Unlock()
+	return ne, nil
+}
+
+// MutationView builds the core-facing view of a dataset's mutation lineage
+// for incremental runs: deltas resolve through the store's log, classified
+// to net adds/deletes. Returns nil when the registry has no backing store.
+func (r *Registry) MutationView(base string, epoch uint64) *core.MutationView {
+	if r.store == nil {
+		return nil
+	}
+	return &core.MutationView{
+		Base:  base,
+		Epoch: epoch,
+		Deltas: func(from, to uint64) ([]graph.Edge, []graph.Edge, bool) {
+			batches, err := r.store.Deltas(base, from, to)
+			if err != nil {
+				return nil, nil, false
+			}
+			adds, dels := NetDeltas(batches)
+			return adds, dels, true
+		},
+	}
+}
+
+// NetDeltas reduces a batch sequence to its net effect per edge: the last
+// op on each (src, dst) wins. The classification is sound rather than
+// minimal — an upsert matching the pre-existing edge still reports as an
+// add (a superset of the true dirty set), and an add-then-delete of a
+// previously absent edge still reports as a delete (forcing a from-scratch
+// fallback); both err toward recomputation, never toward staleness.
+func NetDeltas(batches []DeltaBatch) (adds, dels []graph.Edge) {
+	last := map[uint64]DeltaOp{}
+	for _, b := range batches {
+		for _, op := range b.Ops {
+			last[uint64(op.Src)<<32|uint64(op.Dst)] = op
+		}
+	}
+	for _, op := range last {
+		if op.Del {
+			dels = append(dels, graph.Edge{Src: op.Src, Dst: op.Dst})
+		} else {
+			adds = append(adds, graph.Edge{Src: op.Src, Dst: op.Dst, W: op.W})
+		}
+	}
+	graph.SortEdges(adds)
+	graph.SortEdges(dels)
+	return adds, dels
 }
 
 // DatasetInfo is one row of the /v1/datasets listing: the on-disk entry (if

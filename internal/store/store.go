@@ -36,6 +36,10 @@ type Entry struct {
 	Edges    uint64            `json:"edges"`
 	Weighted bool              `json:"weighted"`
 	Meta     map[string]string `json:"meta,omitempty"`
+	// BaseEpoch is the mutation epoch folded into this object: 0 for a fresh
+	// import, the top epoch at compaction time afterwards. Delta-log batches
+	// at or below it are already part of the object's bytes.
+	BaseEpoch uint64 `json:"baseEpoch,omitempty"`
 }
 
 type manifest struct {
@@ -51,6 +55,12 @@ type Store struct {
 	dir string
 	mu  sync.Mutex
 	m   manifest
+
+	// deltaMu serializes the streaming-mutation path (delta.go): log
+	// appends, compaction, and the pending-batch cache. It is the outer
+	// lock: holders may take mu (via Put/Lookup), never the reverse.
+	deltaMu sync.Mutex
+	deltas  map[string][]DeltaBatch
 }
 
 // Open opens (creating if needed) a dataset store rooted at dir.
@@ -58,7 +68,11 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, m: manifest{Version: manifestVersion, Datasets: map[string]Entry{}}}
+	s := &Store{
+		dir:    dir,
+		m:      manifest{Version: manifestVersion, Datasets: map[string]Entry{}},
+		deltas: map[string][]DeltaBatch{},
+	}
 	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if errors.Is(err, os.ErrNotExist) {
 		return s, nil
@@ -83,8 +97,26 @@ func (s *Store) Dir() string { return s.dir }
 
 // Put encodes g as a GSG2 object and binds name to it in the manifest,
 // replacing any previous binding. The object file's name is derived from the
-// SHA-256 of its content, so identical graphs are stored once.
+// SHA-256 of its content, so identical graphs are stored once. A fresh Put
+// supersedes any pending mutation history: the dataset's delta log (if any)
+// is discarded and its epoch restarts at 0.
 func (s *Store) Put(name string, g *graph.Graph, meta map[string]string) (Entry, error) {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	e, err := s.putAtEpochLocked(name, g, meta, 0)
+	if err != nil {
+		return Entry{}, err
+	}
+	if err := os.Remove(s.deltaPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return Entry{}, fmt.Errorf("store: discarding stale delta log: %w", err)
+	}
+	s.deltas[name] = nil
+	return e, nil
+}
+
+// putAtEpochLocked is Put's body, minus delta-log handling, with the
+// BaseEpoch stamp compaction needs. Callers hold s.deltaMu (not s.mu).
+func (s *Store) putAtEpochLocked(name string, g *graph.Graph, meta map[string]string, epoch uint64) (Entry, error) {
 	if err := validName(name); err != nil {
 		return Entry{}, err
 	}
@@ -120,14 +152,15 @@ func (s *Store) Put(name string, g *graph.Graph, meta map[string]string) (Entry,
 	}
 
 	e := Entry{
-		Name:     name,
-		File:     objRel,
-		Bytes:    info.Size(),
-		SHA256:   sum,
-		Nodes:    g.NumNodes,
-		Edges:    g.NumEdges(),
-		Weighted: g.Weighted(),
-		Meta:     meta,
+		Name:      name,
+		File:      objRel,
+		Bytes:     info.Size(),
+		SHA256:    sum,
+		Nodes:     g.NumNodes,
+		Edges:     g.NumEdges(),
+		Weighted:  g.Weighted(),
+		Meta:      meta,
+		BaseEpoch: epoch,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -346,6 +379,9 @@ func validName(name string) error {
 	}
 	if strings.ContainsAny(name, "/\\\n") {
 		return fmt.Errorf("store: dataset name %q contains path or control characters", name)
+	}
+	if strings.Contains(name, "#") {
+		return fmt.Errorf("store: dataset name %q contains '#' (reserved for snapshot keys)", name)
 	}
 	return nil
 }

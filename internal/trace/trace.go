@@ -50,6 +50,14 @@ const (
 	// density in parts per million, so every decision is auditable per
 	// round from the trace alone.
 	CatAdapt
+	// CatDelta is an incremental-computation step over a mutation delta
+	// (internal/lagraph incremental variants): one span per reuse decision
+	// or delta-scoped phase, named for what was reused or recomputed
+	// ("delta.bfs.seed", "delta.cc.touched", "delta.pr.dirty",
+	// "delta.fallback"). NNZIn carries the delta size driving the step,
+	// NNZOut the work actually redone, so the trace alone shows how much of
+	// a run the delta path saved.
+	CatDelta
 )
 
 // String returns the category name used in Chrome trace output.
@@ -67,6 +75,8 @@ func (c Cat) String() string {
 		return "fused"
 	case CatAdapt:
 		return "adapt"
+	case CatDelta:
+		return "delta"
 	}
 	return "unknown"
 }

@@ -1,0 +1,474 @@
+// Snapshot-differential tests for the incremental variant: a mutating
+// graph is advanced through a randomized schedule of edge batches, and at
+// every epoch the incremental run (which reuses the previous epoch's
+// answer plus the delta) must produce exactly the digest of a from-scratch
+// run on the same snapshot. Delete batches and node growth exercise the
+// fallback path; the trace's CatDelta spans are asserted so the suite
+// proves the warm path actually ran where it should have (a suite that
+// silently fell back every epoch would prove nothing).
+package verify_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"graphstudy/internal/core"
+	"graphstudy/internal/gen"
+	"graphstudy/internal/graph"
+	"graphstudy/internal/trace"
+)
+
+// mutOp is one scheduled mutation (upsert or delete of a directed edge).
+type mutOp struct {
+	del bool
+	e   graph.Edge
+}
+
+// edgeKey packs a directed edge endpoint pair.
+func edgeKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// mutSchedule is a base graph plus per-epoch mutation batches, with every
+// epoch's full edge set precomputed so snapshots and net deltas are
+// derived from one source of truth.
+type mutSchedule struct {
+	name   string
+	baseN  uint32
+	states []map[uint64]uint32 // states[e] = edge set as of epoch e
+	hasDel []bool              // hasDel[e] = batch e contained a delete
+	numN   []uint32            // numN[e] = node count of snapshot e
+	snaps  []*gen.Input
+}
+
+// buildSchedule derives snapshots from a base edge map and batches. The
+// snapshot builder mirrors the store's materialization rule: sorted net
+// edge set through Builder.BuildDedup(KeepFirst), node count grown to the
+// max surviving endpoint.
+func buildSchedule(t testing.TB, name string, baseN uint32, base []mutOp, batches [][]mutOp) *mutSchedule {
+	t.Helper()
+	s := &mutSchedule{name: name, baseN: baseN}
+	cur := map[uint64]uint32{}
+	apply := func(ops []mutOp) bool {
+		del := false
+		for _, op := range ops {
+			if op.del {
+				delete(cur, edgeKey(op.e.Src, op.e.Dst))
+				del = true
+			} else {
+				cur[edgeKey(op.e.Src, op.e.Dst)] = op.e.W
+			}
+		}
+		return del
+	}
+	apply(base)
+	for e := 0; e <= len(batches); e++ {
+		if e > 0 {
+			s.hasDel = append(s.hasDel, apply(batches[e-1]))
+		} else {
+			s.hasDel = append(s.hasDel, false)
+		}
+		st := make(map[uint64]uint32, len(cur))
+		n := baseN
+		for k, w := range cur {
+			st[k] = w
+			if u := uint32(k>>32) + 1; u > n {
+				n = u
+			}
+			if v := uint32(k) + 1; v > n {
+				n = v
+			}
+		}
+		s.states = append(s.states, st)
+		s.numN = append(s.numN, n)
+		g := snapGraph(n, st)
+		in := gen.NewExternal(fmt.Sprintf("incr-%s-e%d", name, e), true,
+			func(gen.Scale) *graph.Graph { return g })
+		// Pin the bfs source to vertex 0 (the road-network rule) so source
+		// drift across epochs doesn't mask the warm path under test; the
+		// source-change fallback gets its own dedicated case below.
+		in.RoadNetwork = true
+		s.snaps = append(s.snaps, in)
+	}
+	return s
+}
+
+func snapGraph(n uint32, st map[uint64]uint32) *graph.Graph {
+	var es []graph.Edge
+	for k, w := range st {
+		es = append(es, graph.Edge{Src: uint32(k >> 32), Dst: uint32(k), W: w})
+	}
+	graph.SortEdges(es)
+	b := graph.NewBuilder(n, true)
+	b.Reserve(len(es))
+	for _, e := range es {
+		b.AddEdge(e.Src, e.Dst, e.W)
+	}
+	return b.BuildDedup(graph.KeepFirst)
+}
+
+// view builds the MutationView for epoch e: net deltas are computed by
+// comparing precomputed epoch states, exactly the classification the
+// store's registry performs over its delta log.
+func (s *mutSchedule) view(lineage string, e int) *core.MutationView {
+	return &core.MutationView{
+		Base:  lineage,
+		Epoch: uint64(e),
+		Deltas: func(from, to uint64) (adds, dels []graph.Edge, ok bool) {
+			if from > to || to >= uint64(len(s.states)) {
+				return nil, nil, false
+			}
+			fs, ts := s.states[from], s.states[to]
+			for k, w := range ts {
+				if ow, present := fs[k]; !present || ow != w {
+					adds = append(adds, graph.Edge{Src: uint32(k >> 32), Dst: uint32(k), W: w})
+				}
+			}
+			for k, w := range fs {
+				if _, present := ts[k]; !present {
+					dels = append(dels, graph.Edge{Src: uint32(k >> 32), Dst: uint32(k), W: w})
+				}
+			}
+			graph.SortEdges(adds)
+			graph.SortEdges(dels)
+			return adds, dels, true
+		},
+	}
+}
+
+func (s *mutSchedule) cleanup() {
+	for _, in := range s.snaps {
+		core.DropPrepared(in.Name, gen.ScaleTest)
+	}
+}
+
+// expectWarm reports whether the incremental run at epoch e should reuse
+// epoch e-1's state rather than fall back: a prior epoch exists, the batch
+// was additions-only, and the node count did not change.
+func (s *mutSchedule) expectWarm(e int) bool {
+	return e > 0 && !s.hasDel[e] && s.numN[e] == s.numN[e-1]
+}
+
+// randOps generates count upserts among n vertices (self-loops, duplicate
+// endpoints, and weight rewrites of existing edges all allowed).
+func randOps(r *rand.Rand, n uint32, count int) []mutOp {
+	ops := make([]mutOp, 0, count)
+	for i := 0; i < count; i++ {
+		ops = append(ops, mutOp{e: graph.Edge{
+			Src: uint32(r.Intn(int(n))),
+			Dst: uint32(r.Intn(int(n))),
+			W:   uint32(1 + r.Intn(255)),
+		}})
+	}
+	return ops
+}
+
+// delSome converts existing edges into delete ops.
+func delSome(r *rand.Rand, st map[uint64]uint32, count int) []mutOp {
+	var keys []uint64
+	for k := range st {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	var ops []mutOp
+	for i := 0; i < count; i++ {
+		k := keys[r.Intn(len(keys))]
+		ops = append(ops, mutOp{del: true, e: graph.Edge{Src: uint32(k >> 32), Dst: uint32(k)}})
+	}
+	return ops
+}
+
+// incrSchedules is the randomized corpus: several shapes and sizes, each
+// with additions-only epochs, one delete epoch, and (for one schedule)
+// a node-growth epoch — so every fallback trigger appears at least once.
+func incrSchedules(t testing.TB) []*mutSchedule {
+	var out []*mutSchedule
+
+	// Sparse random lineage.
+	r := rand.New(rand.NewSource(7001))
+	base := randOps(r, 48, 96)
+	cur := map[uint64]uint32{}
+	for _, op := range base {
+		cur[edgeKey(op.e.Src, op.e.Dst)] = op.e.W
+	}
+	batches := [][]mutOp{
+		randOps(r, 48, 8),
+		randOps(r, 48, 6),
+		delSome(r, cur, 5), // fallback: deletions
+		randOps(r, 48, 8),
+		randOps(r, 48, 4),
+	}
+	out = append(out, buildSchedule(t, "er48", 48, base, batches))
+
+	// Dense small lineage: the pagerank dirty set blows past n/2 fast,
+	// exercising the full-recompute switch inside the warm path.
+	r = rand.New(rand.NewSource(7002))
+	base = randOps(r, 12, 60)
+	batches = [][]mutOp{
+		randOps(r, 12, 10),
+		randOps(r, 12, 10),
+		randOps(r, 12, 6),
+	}
+	out = append(out, buildSchedule(t, "dense12", 12, base, batches))
+
+	// Disconnected lineage whose additions bridge components over time:
+	// the incremental cc union path does real merging work.
+	r = rand.New(rand.NewSource(7003))
+	var blocks []mutOp
+	for b := uint32(0); b < 4; b++ {
+		for _, op := range randOps(r, 8, 20) {
+			op.e.Src += b * 8
+			op.e.Dst += b * 8
+			blocks = append(blocks, op)
+		}
+	}
+	bridge := func(u, v uint32) []mutOp {
+		return []mutOp{{e: graph.Edge{Src: u, Dst: v, W: 1}}}
+	}
+	batches = [][]mutOp{
+		bridge(3, 11),
+		bridge(19, 27),
+		append(bridge(5, 21), randOps(r, 32, 4)...),
+	}
+	out = append(out, buildSchedule(t, "blocks4x8", 32, blocks, batches))
+
+	// Node-growth lineage: an added edge lands beyond the current node
+	// count, so the snapshot grows and the incremental run must fall back.
+	r = rand.New(rand.NewSource(7004))
+	base = randOps(r, 20, 40)
+	batches = [][]mutOp{
+		randOps(r, 20, 5),
+		{{e: graph.Edge{Src: 3, Dst: 26, W: 9}}}, // fallback: n 20 -> 27
+		randOps(r, 27, 6),
+	}
+	out = append(out, buildSchedule(t, "grow20", 20, base, batches))
+
+	return out
+}
+
+// incrApps maps each incremental-capable app to its from-scratch oracle
+// variant: the incremental pagerank replays the residual formulation, so
+// its oracle is gb-res, not the default pagerank.
+var incrApps = []struct {
+	app    core.App
+	oracle core.Variant
+	span   string // the CatDelta span the warm path must emit
+}{
+	{core.BFS, core.VDefault, "delta.bfs.seed"},
+	{core.CC, core.VDefault, "delta.cc.touched"},
+	{core.PR, core.VGBRes, "delta.pr.dirty"},
+}
+
+// lineageSeq is a process-wide counter keeping incremental state lineages
+// distinct across subtests and fuzz iterations.
+var lineageSeq atomic.Uint64
+
+// runLineage drives one schedule through one (system, threads) flavor,
+// checking every epoch's incremental digest against the from-scratch
+// oracle and the trace against the expected warm/fallback decision.
+func runLineage(t *testing.T, s *mutSchedule, sys core.System, threads int) {
+	t.Helper()
+	for _, ac := range incrApps {
+		lineage := fmt.Sprintf("%s-%v-%v-t%d-%d", s.name, ac.app, sys, threads, lineageSeq.Add(1))
+		for e := range s.snaps {
+			tr := trace.New()
+			incr := core.Run(core.RunSpec{
+				App: ac.app, System: sys, Variant: core.VIncremental,
+				Input: s.snaps[e], Scale: gen.ScaleTest, Threads: threads,
+				Trace: tr, Mutation: s.view(lineage, e),
+			})
+			if incr.Outcome != core.OK {
+				t.Fatalf("%s e%d %v/%v incremental: outcome %v err %v",
+					s.name, e, ac.app, sys, incr.Outcome, incr.Err)
+			}
+			oracle := core.Run(core.RunSpec{
+				App: ac.app, System: sys, Variant: ac.oracle,
+				Input: s.snaps[e], Scale: gen.ScaleTest, Threads: threads,
+			})
+			if oracle.Outcome != core.OK {
+				t.Fatalf("%s e%d %v/%v oracle: outcome %v err %v",
+					s.name, e, ac.app, sys, oracle.Outcome, oracle.Err)
+			}
+			if incr.Check != oracle.Check || incr.Value != oracle.Value {
+				t.Errorf("%s e%d %v/%v t%d: incremental (%q, %#x) != scratch (%q, %#x)",
+					s.name, e, ac.app, sys, threads, incr.Value, incr.Check, oracle.Value, oracle.Check)
+			}
+			sum := tr.Summary()
+			fellBack := sum.Find(trace.CatDelta, "delta.fallback") != nil
+			if want := !s.expectWarm(e); fellBack != want {
+				t.Errorf("%s e%d %v/%v t%d: fallback span present=%v, want %v",
+					s.name, e, ac.app, sys, threads, fellBack, want)
+			}
+			if s.expectWarm(e) && sum.Find(trace.CatDelta, ac.span) == nil {
+				t.Errorf("%s e%d %v/%v t%d: warm epoch missing %s span",
+					s.name, e, ac.app, sys, threads, ac.span)
+			}
+		}
+	}
+}
+
+// TestIncrementalSnapshotDifferential is the main differential matrix:
+// every schedule, both GraphBLAS systems, several worker counts.
+func TestIncrementalSnapshotDifferential(t *testing.T) {
+	scheds := incrSchedules(t)
+	defer func() {
+		for _, s := range scheds {
+			s.cleanup()
+		}
+	}()
+	for si, s := range scheds {
+		threadSets := []int{2}
+		if si == 0 {
+			// Worker-count sweep on the first schedule only: the state cache
+			// keys by thread count, so each count is an independent lineage.
+			threadSets = []int{1, 2, 4}
+		}
+		for _, sys := range []core.System{core.SS, core.GB} {
+			for _, threads := range threadSets {
+				t.Run(fmt.Sprintf("%s/%v/t%d", s.name, sys, threads), func(t *testing.T) {
+					runLineage(t, s, sys, threads)
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalSameEpochReplay: re-requesting an epoch the state already
+// reflects must take the warm path with an empty delta and reproduce the
+// stored answer exactly.
+func TestIncrementalSameEpochReplay(t *testing.T) {
+	s := incrSchedules(t)[0]
+	defer s.cleanup()
+	lineage := fmt.Sprintf("replay-%d", lineageSeq.Add(1))
+	spec := func(e int, tr *trace.Trace) core.RunSpec {
+		return core.RunSpec{
+			App: core.PR, System: core.SS, Variant: core.VIncremental,
+			Input: s.snaps[e], Scale: gen.ScaleTest, Threads: 2,
+			Trace: tr, Mutation: s.view(lineage, e),
+		}
+	}
+	first := core.Run(spec(1, nil))
+	if first.Outcome != core.OK {
+		t.Fatalf("first run: %v %v", first.Outcome, first.Err)
+	}
+	tr := trace.New()
+	again := core.Run(spec(1, tr))
+	if again.Outcome != core.OK {
+		t.Fatalf("replay run: %v %v", again.Outcome, again.Err)
+	}
+	if again.Check != first.Check || again.Value != first.Value {
+		t.Errorf("same-epoch replay diverged: (%q, %#x) != (%q, %#x)",
+			again.Value, again.Check, first.Value, first.Check)
+	}
+	if tr.Summary().Find(trace.CatDelta, "delta.fallback") != nil {
+		t.Errorf("same-epoch replay fell back; want warm no-op path")
+	}
+}
+
+// TestIncrementalSourceChangeFallsBack: bfs state is keyed to the source
+// vertex; when the snapshot's source moves, the warm path is unsound and
+// the run must fall back (and still match scratch).
+func TestIncrementalSourceChangeFallsBack(t *testing.T) {
+	// Epoch 0: vertex 1 is the hub. Epoch 1: vertex 2 overtakes it, moving
+	// the max-out-degree source.
+	base := []mutOp{}
+	for v := uint32(3); v < 9; v++ {
+		base = append(base, mutOp{e: graph.Edge{Src: 1, Dst: v, W: 1}})
+	}
+	base = append(base, mutOp{e: graph.Edge{Src: 2, Dst: 3, W: 1}}, mutOp{e: graph.Edge{Src: 0, Dst: 1, W: 1}})
+	var grab []mutOp
+	for v := uint32(4); v < 16; v++ {
+		grab = append(grab, mutOp{e: graph.Edge{Src: 2, Dst: v, W: 1}})
+	}
+	s := buildSchedule(t, "srcmove", 16, base, [][]mutOp{grab})
+	defer s.cleanup()
+	for _, in := range s.snaps {
+		in.RoadNetwork = false // let the source follow max out-degree
+	}
+	lineage := fmt.Sprintf("srcmove-%d", lineageSeq.Add(1))
+	for e := 0; e < 2; e++ {
+		tr := trace.New()
+		incr := core.Run(core.RunSpec{
+			App: core.BFS, System: core.GB, Variant: core.VIncremental,
+			Input: s.snaps[e], Scale: gen.ScaleTest, Threads: 2,
+			Trace: tr, Mutation: s.view(lineage, e),
+		})
+		oracle := core.Run(core.RunSpec{
+			App: core.BFS, System: core.GB, Variant: core.VDefault,
+			Input: s.snaps[e], Scale: gen.ScaleTest, Threads: 2,
+		})
+		if incr.Outcome != core.OK || oracle.Outcome != core.OK {
+			t.Fatalf("e%d outcomes: incr %v (%v), oracle %v (%v)", e, incr.Outcome, incr.Err, oracle.Outcome, oracle.Err)
+		}
+		if incr.Check != oracle.Check {
+			t.Errorf("e%d digest mismatch after source move: %#x != %#x", e, incr.Check, oracle.Check)
+		}
+		if fell := tr.Summary().Find(trace.CatDelta, "delta.fallback") != nil; fell != true {
+			t.Errorf("e%d: expected fallback (epoch 0 cold, epoch 1 source moved), got warm", e)
+		}
+	}
+}
+
+// FuzzIncrementalEquivalence: fuzzed base graph + fuzzed addition batch;
+// the warm incremental run at epoch 1 must match the from-scratch oracle
+// digest for every app. The encoding is 1 byte n, then 3-byte (src, dst,
+// weight) triples — first half base edges, second half the delta.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 1, 1, 2, 2, 2, 3, 3, 0, 4, 5, 4, 7, 1})
+	f.Add([]byte{3, 0, 0, 5, 0, 1, 1, 1, 2, 9, 2, 0, 3})
+	f.Add([]byte{16, 1, 2, 3})
+	f.Add([]byte{1, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 || len(data) > 256 {
+			t.Skip()
+		}
+		n := uint32(data[0])
+		if n == 0 || n > 48 {
+			t.Skip()
+		}
+		body := data[1:]
+		triples := len(body) / 3
+		var base, delta []mutOp
+		for i := 0; i < triples; i++ {
+			op := mutOp{e: graph.Edge{
+				Src: uint32(body[3*i]) % n,
+				Dst: uint32(body[3*i+1]) % n,
+				W:   uint32(body[3*i+2]%255) + 1,
+			}}
+			if i < (triples+1)/2 {
+				base = append(base, op)
+			} else {
+				delta = append(delta, op)
+			}
+		}
+		s := buildSchedule(t, fmt.Sprintf("fuzz-%d", lineageSeq.Add(1)), n, base, [][]mutOp{delta})
+		defer s.cleanup()
+		lineage := s.name
+		for _, ac := range incrApps {
+			for e := 0; e < 2; e++ {
+				incr := core.Run(core.RunSpec{
+					App: ac.app, System: core.SS, Variant: core.VIncremental,
+					Input: s.snaps[e], Scale: gen.ScaleTest, Threads: 1,
+					Mutation: s.view(lineage, e),
+				})
+				oracle := core.Run(core.RunSpec{
+					App: ac.app, System: core.SS, Variant: ac.oracle,
+					Input: s.snaps[e], Scale: gen.ScaleTest, Threads: 1,
+				})
+				if incr.Outcome != oracle.Outcome {
+					t.Fatalf("e%d %v: outcome %v (%v) vs oracle %v (%v)",
+						e, ac.app, incr.Outcome, incr.Err, oracle.Outcome, oracle.Err)
+				}
+				if incr.Outcome != core.OK {
+					continue
+				}
+				if incr.Check != oracle.Check || incr.Value != oracle.Value {
+					t.Fatalf("e%d %v: incremental (%q, %#x) != scratch (%q, %#x)",
+						e, ac.app, incr.Value, incr.Check, oracle.Value, oracle.Check)
+				}
+			}
+		}
+	})
+}

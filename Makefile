@@ -6,8 +6,8 @@
 
 GO ?= go
 
-.PHONY: build test race test-parallel check vet lint fmt fuzz-smoke clean \
-	bench-fresh bench-gate bench-baseline
+.PHONY: build test race test-parallel check vet lint lint-stale \
+	lint-fixtures fmt fuzz-smoke clean bench-fresh bench-gate bench-baseline
 
 build:
 	$(GO) build ./...
@@ -64,11 +64,27 @@ vet:
 
 # graphlint (cmd/graphlint) enforces the invariants go vet cannot see:
 # deterministic map handling in kernels, disjoint writes in galois loop
-# bodies, no stray goroutines, span Begin/End pairing, checked errors in
+# bodies, no stray goroutines, lease/arena/span release on every CFG
+# path, context threading, semiring operand order, checked errors in
 # the persistence layers. Zero findings is the bar; licensed exceptions
-# carry //lint:ignore <rule> <reason> in the source.
+# carry //lint:ignore <rule> <reason> in the source. The content-keyed
+# cache makes a re-lint of an unchanged tree near-instant; delete the
+# file (or set LINT_CACHE=) to force a cold run.
+LINT_CACHE ?= .graphlint.cache
+
 lint:
-	$(GO) run ./cmd/graphlint ./...
+	$(GO) run ./cmd/graphlint -cache "$(LINT_CACHE)" ./...
+
+# Reports //lint:ignore directives that no longer suppress anything —
+# run after fixing a finding to retire its suppression.
+lint-stale:
+	$(GO) run ./cmd/graphlint -stale ./...
+
+# Asserts every analyzer in the suite has a firing golden fixture and
+# that all fixtures (firing and clean) still match; CI runs this so a
+# new rule cannot land untested.
+lint-fixtures:
+	$(GO) test ./internal/lint/ -run 'TestGolden|TestFixtureCoverage' -count=1
 
 # Lint fixtures deliberately contain code gofmt and vet would object to;
 # they live under testdata/, which the go tool skips, and are excluded

@@ -238,12 +238,18 @@ func AdaptiveSSSP[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int, del
 			err := func() error {
 				dec := eng.Decide(tmasked.NVals())
 				tmasked.Convert(dec.Rep)
+				// Scratch returns to the arena on the error returns below
+				// too, not just the success path (the deferred puts run
+				// after SelectVector, so improvedMask's view of improved
+				// stays valid for exactly as long as it is read).
 				tReq := ar.Get(grb.Sorted)
+				defer ar.Put(tReq)
 				if err := grb.VxM(ctx, tReq, nil, nil, grb.MinPlus[T](), tmasked, AL,
 					grb.Desc{Replace: true, Force: dec.Direction.Hint()}); err != nil {
 					return err
 				}
 				improved := ar.Get(grb.Sorted)
+				defer ar.Put(improved)
 				lt := func(a, b T) T {
 					if a < b {
 						return 1
@@ -259,10 +265,9 @@ func AdaptiveSSSP[T grb.Number](ctx *grb.Context, A *grb.Matrix[T], src int, del
 				}
 				next := ar.Get(grb.Sorted)
 				if err := grb.SelectVector(ctx, next, improvedMask, func(v T, _, _ int) bool { return v < upper }, tReq, grb.Desc{Replace: true}); err != nil {
+					ar.Put(next)
 					return err
 				}
-				ar.Put(improved)
-				ar.Put(tReq)
 				ar.Put(tmasked)
 				tmasked = next
 				return nil

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const (
+	adaptPkg = "graphstudy/internal/adapt"
+	grbPkg   = "graphstudy/internal/grb"
+)
+
+// arenaSpec: scratch vectors taken from an adapt.Arena must flow back
+// via Put. The round loops rotate frontiers through the arena, and a
+// vector that escapes the Get/Put cycle silently defeats the reuse the
+// arena exists for — the free list just grows a hole.
+//
+// The legitimate rotate pattern
+//
+//	next := ar.Get(rep)
+//	...
+//	ar.Put(frontier)
+//	frontier = next
+//
+// carries an obligation across the loop back edge held by `frontier`
+// and discharges it on the next iteration; the engine's alias-set move
+// semantics keep it quiet, while dropping a still-obligated vector on
+// the floor (overwrite or exit) still reports.
+var arenaSpec = &obligSpec{
+	class:    "arena",
+	noun:     "arena vector",
+	verbPast: "put back",
+	verbDo:   "put it back",
+	isResource: func(t types.Type) bool {
+		if _, ok := t.(*types.Pointer); !ok {
+			return false
+		}
+		return namedIn(t, grbPkg, "Vector")
+	},
+	source: func(info *types.Info, call *ast.CallExpr) (int, int, bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "Get" || !fromPkg(fn, adaptPkg) {
+			return 0, 0, false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !namedIn(sig.Recv().Type(), adaptPkg, "Arena") {
+			return 0, 0, false
+		}
+		return 0, -1, true
+	},
+	release: func(info *types.Info, call *ast.CallExpr) ast.Expr {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "Put" || !fromPkg(fn, adaptPkg) {
+			return nil
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !namedIn(sig.Recv().Type(), adaptPkg, "Arena") {
+			return nil
+		}
+		if len(call.Args) == 0 {
+			return nil
+		}
+		return call.Args[0]
+	},
+}
+
+// ArenaPair proves Arena.Get/Put pairing along all paths: scratch taken
+// from the arena is returned before the function exits, with rotation
+// across loop iterations and helper discharge both recognized.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "adapt.Arena scratch must be returned via Put on all paths; rotation through loop-carried variables is proven, leaks are not",
+	Run:  func(p *Pass) { runObligAnalyzer(p, arenaSpec) },
+}

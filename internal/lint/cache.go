@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The lint cache makes `graphlint ./...` incremental: each package's
+// diagnostics are stored under a content key hashing the package's own
+// source files, the keys of its in-module transitive imports (the
+// interprocedural summaries reach across package boundaries, so a
+// callee edit must invalidate its callers), the analyzer suite, go.mod,
+// and the toolchain version. Keys are computed from file bytes alone —
+// a warm all-hit run never parses, type-checks, or analyzes anything,
+// which is what makes the warm path measurably faster than the cold
+// one. On any miss the whole requested set is re-analyzed (type-check
+// cost dominates and the summary index wants every package in view)
+// and every entry is refreshed.
+
+// cacheFormat versions the entry encoding; bump it when the diagnostic
+// shape or key recipe changes so old caches miss instead of lying.
+const cacheFormat = 1
+
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+type cacheFile struct {
+	Format  int                   `json:"format"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// Cache is a content-keyed store of per-package diagnostics. Hits and
+// Misses count Lookup outcomes since Open, for tests and -v reporting.
+type Cache struct {
+	path    string
+	entries map[string]cacheEntry
+	Hits    int
+	Misses  int
+}
+
+// OpenCache loads the cache file at path. A missing, unreadable, or
+// wrong-format file yields an empty cache — the cache is an
+// accelerator, never a correctness dependency.
+func OpenCache(path string) *Cache {
+	c := &Cache{path: path, entries: map[string]cacheEntry{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f cacheFile
+	if json.Unmarshal(data, &f) != nil || f.Format != cacheFormat || f.Entries == nil {
+		return c
+	}
+	c.entries = f.Entries
+	return c
+}
+
+// Save writes the cache back to its file, creating parent directories
+// as needed.
+func (c *Cache) Save() error {
+	if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cacheFile{Format: cacheFormat, Entries: c.entries}, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.path, data, 0o644)
+}
+
+// lookup returns the cached diagnostics for path if stored under key.
+func (c *Cache) lookup(path, key string) ([]Diagnostic, bool) {
+	e, ok := c.entries[path]
+	if !ok || e.Key != key {
+		c.Misses++
+		return nil, false
+	}
+	c.Hits++
+	if e.Diags == nil {
+		return []Diagnostic{}, true
+	}
+	return e.Diags, true
+}
+
+func (c *Cache) store(path, key string, diags []Diagnostic) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	c.entries[path] = cacheEntry{Key: key, Diags: diags}
+}
+
+// keyer computes per-package content keys without type-checking:
+// file bytes are hashed directly and imports are discovered with an
+// imports-only parse.
+type keyer struct {
+	l     *Loader
+	base  string // suite + toolchain + go.mod component
+	memo  map[string]string
+	stack map[string]bool
+}
+
+func newKeyer(l *Loader, analyzers []*Analyzer) (*keyer, error) {
+	h := sha256.New()
+	io.WriteString(h, "format\x00"+strconv.Itoa(cacheFormat)+"\x00")
+	io.WriteString(h, runtime.Version()+"\x00")
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	io.WriteString(h, strings.Join(names, ",")+"\x00")
+	mod, err := os.ReadFile(filepath.Join(l.ModRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	h.Write(mod)
+	return &keyer{
+		l:     l,
+		base:  hex.EncodeToString(h.Sum(nil)),
+		memo:  map[string]string{},
+		stack: map[string]bool{},
+	}, nil
+}
+
+// key returns the content key for an in-module import path.
+func (k *keyer) key(path string) (string, error) {
+	if v, ok := k.memo[path]; ok {
+		return v, nil
+	}
+	if k.stack[path] {
+		return "", fmt.Errorf("lint: import cycle through %s", path)
+	}
+	k.stack[path] = true
+	defer delete(k.stack, path)
+
+	dir := filepath.Join(k.l.ModRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, k.l.ModPath), "/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && lintableFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	io.WriteString(h, k.base+"\x00"+path+"\x00")
+	depSet := map[string]bool{}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		io.WriteString(h, name+"\x00")
+		h.Write(data)
+		io.WriteString(h, "\x00")
+		f, err := parser.ParseFile(token.NewFileSet(), name, data, parser.ImportsOnly)
+		if err != nil {
+			return "", err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == k.l.ModPath || strings.HasPrefix(p, k.l.ModPath+"/") {
+				depSet[p] = true
+			}
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for p := range depSet {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		dk, err := k.key(dep)
+		if err != nil {
+			return "", err
+		}
+		io.WriteString(h, dep+"\x00"+dk+"\x00")
+	}
+
+	v := hex.EncodeToString(h.Sum(nil))
+	k.memo[path] = v
+	return v, nil
+}
+
+// LintWithCache loads and lints the packages at the given import
+// paths, consulting cache when non-nil. Diagnostics come back
+// relativized to the module root (so cached and fresh output agree
+// across checkouts) and sorted. When every package hits, nothing is
+// loaded at all; on any miss the whole set is re-analyzed and the
+// cache refreshed. The caller owns Save.
+func LintWithCache(l *Loader, paths []string, analyzers []*Analyzer, cache *Cache) ([]Diagnostic, error) {
+	keys := map[string]string{}
+	if cache != nil {
+		k, err := newKeyer(l, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		allHit := true
+		var cached []Diagnostic
+		for _, path := range paths {
+			key, err := k.key(path)
+			if err != nil {
+				return nil, err
+			}
+			keys[path] = key
+		}
+		// Lookups after all keys are computed, so hit/miss counts are
+		// consistent even if a key computation fails midway.
+		for _, path := range paths {
+			diags, ok := cache.lookup(path, keys[path])
+			if !ok {
+				allHit = false
+				continue
+			}
+			cached = append(cached, diags...)
+		}
+		if allHit {
+			sortDiags(cached)
+			return cached, nil
+		}
+	}
+
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := Run(pkgs, analyzers)
+	Relativize(diags, l.ModRoot)
+
+	if cache != nil {
+		// Group by package directory (every diagnostic, including the
+		// directive findings, is positioned in its package's files).
+		byDir := map[string][]Diagnostic{}
+		for _, d := range diags {
+			byDir[filepath.Dir(d.Pos.Filename)] = append(byDir[filepath.Dir(d.Pos.Filename)], d)
+		}
+		for _, pkg := range pkgs {
+			rel, err := filepath.Rel(l.ModRoot, pkg.Dir)
+			if err != nil {
+				return nil, err
+			}
+			cache.store(pkg.Path, keys[pkg.Path], byDir[rel])
+		}
+	}
+	return diags, nil
+}

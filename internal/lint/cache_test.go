@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCacheWarmFaster is the cache acceptance criterion: a warm run
+// over an unchanged tree serves every package from the cache (zero
+// misses, no loading or analysis) and is measurably faster than the
+// cold run that populated it.
+func TestCacheWarmFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	cachePath := filepath.Join(t.TempDir(), "graphlint.cache")
+
+	coldLoader := newTestLoader(t)
+	paths, err := coldLoader.PackagePaths()
+	if err != nil {
+		t.Fatalf("PackagePaths: %v", err)
+	}
+
+	cold := OpenCache(cachePath)
+	start := time.Now()
+	coldDiags, err := LintWithCache(coldLoader, paths, Suite(), cold)
+	coldDur := time.Since(start)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if cold.Hits != 0 || cold.Misses != len(paths) {
+		t.Errorf("cold run: %d hits / %d misses, want 0 / %d", cold.Hits, cold.Misses, len(paths))
+	}
+	if err := cold.Save(); err != nil {
+		t.Fatalf("saving cache: %v", err)
+	}
+
+	// Fresh loader and cache: the warm run may reuse nothing in memory.
+	warmLoader := newTestLoader(t)
+	warm := OpenCache(cachePath)
+	start = time.Now()
+	warmDiags, err := LintWithCache(warmLoader, paths, Suite(), warm)
+	warmDur := time.Since(start)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warm.Misses != 0 || warm.Hits != len(paths) {
+		t.Errorf("warm run: %d hits / %d misses, want %d / 0", warm.Hits, warm.Misses, len(paths))
+	}
+	if !reflect.DeepEqual(coldDiags, warmDiags) {
+		t.Errorf("warm diagnostics differ from cold:\ncold: %v\nwarm: %v", coldDiags, warmDiags)
+	}
+	// The warm path only hashes file bytes; the cold path type-checks
+	// the module. 2x is a deliberately loose floor for CI noise — in
+	// practice the gap is one-to-two orders of magnitude.
+	if warmDur*2 >= coldDur {
+		t.Errorf("warm run %v is not measurably faster than cold run %v", warmDur, coldDur)
+	}
+}
+
+// TestCacheInvalidation: editing any file of a dependency package must
+// change the keys of every package importing it — the interprocedural
+// summaries make callee edits visible in caller diagnostics.
+func TestCacheInvalidation(t *testing.T) {
+	loader := newTestLoader(t)
+	mk, err := newKeyer(loader, Suite())
+	if err != nil {
+		t.Fatalf("newKeyer: %v", err)
+	}
+	depPath := loader.ModPath + "/internal/grb"
+	userPath := loader.ModPath + "/internal/lagraph"
+	depKey1, err := mk.key(depPath)
+	if err != nil {
+		t.Fatalf("key(%s): %v", depPath, err)
+	}
+	userKey1, err := mk.key(userPath)
+	if err != nil {
+		t.Fatalf("key(%s): %v", userPath, err)
+	}
+
+	// First, determinism: a fresh keyer over the unchanged tree
+	// reproduces both keys …
+	mk2, err := newKeyer(loader, Suite())
+	if err != nil {
+		t.Fatalf("newKeyer: %v", err)
+	}
+	if k, _ := mk2.key(depPath); k != depKey1 {
+		t.Errorf("key(%s) not deterministic: %s vs %s", depPath, k, depKey1)
+	}
+	if k, _ := mk2.key(userPath); k != userKey1 {
+		t.Errorf("key(%s) not deterministic", userPath)
+	}
+
+	// … and a keyer over a modified copy of the dependency flips both
+	// the dependency's key and the importer's key.
+	tmp := t.TempDir()
+	if err := copyTree(loader.ModRoot, tmp); err != nil {
+		t.Fatalf("copying module: %v", err)
+	}
+	victim := filepath.Join(tmp, "internal", "grb", "spmv.go")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatalf("reading %s: %v", victim, err)
+	}
+	if err := os.WriteFile(victim, append(data, []byte("\n// cache-test edit\n")...), 0o644); err != nil {
+		t.Fatalf("editing copy: %v", err)
+	}
+	editedLoader, err := NewLoader(tmp)
+	if err != nil {
+		t.Fatalf("NewLoader(copy): %v", err)
+	}
+	mk3, err := newKeyer(editedLoader, Suite())
+	if err != nil {
+		t.Fatalf("newKeyer(copy): %v", err)
+	}
+	depKey2, err := mk3.key(depPath)
+	if err != nil {
+		t.Fatalf("key(copy %s): %v", depPath, err)
+	}
+	userKey2, err := mk3.key(userPath)
+	if err != nil {
+		t.Fatalf("key(copy %s): %v", userPath, err)
+	}
+	if depKey2 == depKey1 {
+		t.Error("editing a grb file did not change the grb key")
+	}
+	if userKey2 == userKey1 {
+		t.Error("editing a grb file did not change the lagraph key (summaries cross packages; importers must invalidate)")
+	}
+}
+
+// copyTree copies the non-test Go source layout (go files + go.mod)
+// needed by the keyer; other files are irrelevant to key computation.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if rel != "." && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if filepath.Base(rel) != "go.mod" && !lintableFile(d.Name()) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+}

@@ -1,0 +1,495 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the control-flow half of the dataflow engine: it lowers
+// one function body to a graph of basic blocks. The obligation analysis
+// (obligation.go) and the dominance-based rules run over this graph, so
+// the builder's contract is completeness over Go's statement forms —
+// labeled break/continue, goto, switch fallthrough, select, and
+// terminating calls (panic, os.Exit, log.Fatal*) all shape the graph —
+// rather than any optimization-grade block merging. Function-size
+// graphs are tiny; clarity wins over compactness.
+
+// CFGBlock is one basic block: a straight-line run of statements (and
+// branch-condition expressions) with edges to its successors.
+type CFGBlock struct {
+	Index int
+	Nodes []ast.Node
+	Succs []CFGEdge
+}
+
+// CFGEdge is one control transfer. When Cond is non-nil the edge is
+// taken exactly when Cond evaluates to (!Neg); the obligation analysis
+// uses this to kill error-path obligations (`if err != nil { return }`
+// cannot leak a handle the acquire never produced).
+type CFGEdge struct {
+	To   *CFGBlock
+	Cond ast.Expr
+	Neg  bool
+}
+
+// CFG is the control-flow graph of one function body. Entry is
+// Blocks[0]; Exit is a synthetic block every return and the fall-off
+// end of the body flow into. Blocks ending in a terminating call
+// (panic, os.Exit) have no successors at all: paths that die with the
+// process carry no obligations.
+type CFG struct {
+	Blocks []*CFGBlock
+	Exit   *CFGBlock
+	// Defers lists every defer statement in the body, in source order.
+	// Deferred calls run on all exits, so path analyses treat them as
+	// exit-time effects rather than block-local ones.
+	Defers []*ast.DeferStmt
+}
+
+// labelInfo tracks one function label: the block a goto jumps to, and
+// the break/continue targets when the label names a loop/switch/select.
+type labelInfo struct {
+	target *CFGBlock // goto destination (start of the labeled statement)
+	brk    *CFGBlock
+	cont   *CFGBlock
+}
+
+type loopFrame struct {
+	label string
+	brk   *CFGBlock // nil when the frame is a switch/select (no continue)
+	cont  *CFGBlock
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	info   *types.Info
+	cur    *CFGBlock
+	labels map[string]*labelInfo
+	frames []loopFrame
+	// nextCase is the body block of the following case clause while a
+	// switch clause body is being built; fallthrough edges go there.
+	nextCase *CFGBlock
+	// pendingLabel is set while lowering `L: for ...` so the loop
+	// builder can register L's break/continue targets.
+	pendingLabel string
+}
+
+// BuildCFG lowers a function body to its control-flow graph. info may
+// be nil; it is used only to recognize terminating calls precisely.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: map[string]*labelInfo{},
+	}
+	entry := b.block()
+	b.cfg.Exit = b.block()
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit, nil, false)
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) block() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock, cond ast.Expr, neg bool) {
+	from.Succs = append(from.Succs, CFGEdge{To: to, Cond: cond, Neg: neg})
+}
+
+// add appends a node to the current block, opening a dangling block if
+// control already left (so syntactically unreachable code still gets
+// lowered and scanned).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.block()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// label returns (creating if needed) the info record for a label name,
+// so forward gotos can pre-create their target block.
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{target: b.block()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) findFrame(label string, wantCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if wantCont && f.cont == nil {
+			continue // switch/select frames have no continue target
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, li.target, nil, false)
+		}
+		b.cur = li.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit, nil, false)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, s.Tag == nil, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, false, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	default:
+		// Straight-line statement: expression, assignment, declaration,
+		// inc/dec, send, go, empty.
+		b.add(s)
+		if es, ok := s.(*ast.ExprStmt); ok && isTerminatingCall(b.info, es.X) {
+			b.cur = nil // panic/exit: control never leaves this block
+		}
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(name, false); f != nil && f.brk != nil {
+			b.edge(b.cur, f.brk, nil, false)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(name, true); f != nil {
+			b.edge(b.cur, f.cont, nil, false)
+		}
+	case token.GOTO:
+		if name != "" {
+			b.edge(b.cur, b.label(name).target, nil, false)
+		}
+	case token.FALLTHROUGH:
+		if b.nextCase != nil {
+			b.edge(b.cur, b.nextCase, nil, false)
+		}
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.block()
+	b.edge(cond, then, s.Cond, false)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	if s.Else == nil {
+		after := b.block()
+		b.edge(cond, after, s.Cond, true)
+		if thenEnd != nil {
+			b.edge(thenEnd, after, nil, false)
+		}
+		b.cur = after
+		return
+	}
+
+	els := b.block()
+	b.edge(cond, els, s.Cond, true)
+	b.cur = els
+	b.stmt(s.Else)
+	elseEnd := b.cur
+	if thenEnd == nil && elseEnd == nil {
+		b.cur = nil
+		return
+	}
+	after := b.block()
+	if thenEnd != nil {
+		b.edge(thenEnd, after, nil, false)
+	}
+	if elseEnd != nil {
+		b.edge(elseEnd, after, nil, false)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.block()
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false)
+	}
+	after := b.block()
+	cont := header
+	var post *CFGBlock
+	if s.Post != nil {
+		post = b.block()
+		cont = post
+	}
+
+	b.cur = header
+	if s.Cond != nil {
+		b.add(s.Cond)
+		body := b.block()
+		b.edge(b.cur, body, s.Cond, false)
+		b.edge(b.cur, after, s.Cond, true)
+		b.cur = body
+	}
+	// `for {}` has no exit edge from the header: only break leaves.
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: cont})
+	if label != "" {
+		li := b.label(label)
+		li.brk, li.cont = after, cont
+	}
+	b.stmt(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if b.cur != nil {
+		b.edge(b.cur, cont, nil, false)
+	}
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		if b.cur != nil {
+			b.edge(b.cur, header, nil, false)
+		}
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	header := b.block()
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false)
+	}
+	// The RangeStmt node itself carries the range expression and the
+	// per-iteration key/value bindings; it lives in the header so both
+	// are visible on every iteration path.
+	header.Nodes = append(header.Nodes, s)
+	body := b.block()
+	after := b.block()
+	b.edge(header, body, nil, false)
+	b.edge(header, after, nil, false)
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: header})
+	if label != "" {
+		li := b.label(label)
+		li.brk, li.cont = after, header
+	}
+	b.cur = body
+	b.stmt(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false)
+	}
+	b.cur = after
+}
+
+// switchBody lowers the clause list shared by switch and type switch.
+// tagless exposes single-expression case conditions on the clause edges
+// (`switch { case err != nil: ... }` participates in error-path kills).
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, tagless bool, _ *CFGBlock) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	if head == nil {
+		head = b.block()
+		b.cur = head
+	}
+	after := b.block()
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*CFGBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.block()
+		var cond ast.Expr
+		if tagless && len(cc.List) == 1 {
+			cond = cc.List[0]
+		}
+		b.edge(head, blocks[i], cond, false)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after, nil, false)
+	}
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	if label != "" {
+		li := b.label(label)
+		li.brk = after
+	}
+	savedNext := b.nextCase
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(clauses) {
+			b.nextCase = blocks[i+1]
+		} else {
+			b.nextCase = nil
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after, nil, false)
+		}
+	}
+	b.nextCase = savedNext
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	if head == nil {
+		head = b.block()
+		b.cur = head
+	}
+	after := b.block()
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	if label != "" {
+		li := b.label(label)
+		li.brk = after
+	}
+	reached := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.block()
+		b.edge(head, blk, nil, false)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after, nil, false)
+			reached = true
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// select{} (or all clauses terminating) never reaches the join; keep
+	// the join block for breaks but mark fall-through dead only when no
+	// clause and no break can reach it.
+	_ = reached
+	b.cur = after
+}
+
+// isTerminatingCall reports whether e is a call that never returns:
+// the panic builtin, os.Exit, runtime.Goexit, or log.Fatal*. Blocks
+// ending in one get no successors, so obligation analyses do not demand
+// releases on paths that die with the process.
+func isTerminatingCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if info == nil {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if info == nil {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	}
+	return false
+}

@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// The CFG tests mark program points with `_ = "name"` statements and
+// assert graph facts about them: reachability from the entry, whether
+// the exit is reachable from them, and dominance. A final consistency
+// pass quick-checks the dominator tree against its definition on every
+// fixture: a dominates b exactly when deleting a from the graph cuts
+// every entry→b path.
+
+const cfgFixture = `package fix
+
+func labeledBreak() {
+outer:
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j == 5 {
+				_ = "beforeBreak"
+				break outer
+			}
+			_ = "inner"
+		}
+		_ = "outerTail"
+	}
+	_ = "afterOuter"
+}
+
+func labeledContinue() {
+loop:
+	for i := 0; i < 10; i++ {
+		for {
+			_ = "body"
+			continue loop
+		}
+		_ = "deadTail"
+	}
+	_ = "after"
+}
+
+func switchFallthrough(x int) {
+	switch x {
+	case 0:
+		_ = "caseZero"
+		fallthrough
+	case 1:
+		_ = "caseOne"
+	case 2:
+		_ = "caseTwo"
+		return
+	default:
+		_ = "caseDefault"
+	}
+	_ = "afterSwitch"
+}
+
+func earlyReturnForSelect(ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			if v == 0 {
+				_ = "beforeReturn"
+				return
+			}
+			_ = "gotValue"
+		default:
+			_ = "idle"
+		}
+		_ = "loopTail"
+	}
+}
+
+func deferredRelease(f func()) {
+	_ = "beforeDefer"
+	defer f()
+	if f != nil {
+		return
+	}
+	_ = "tail"
+}
+
+func gotoShape(x int) {
+	if x > 0 {
+		goto done
+	}
+	_ = "slowPath"
+done:
+	_ = "done"
+}
+
+func panicPath(err error) {
+	if err != nil {
+		_ = "fatal"
+		panic(err)
+	}
+	_ = "ok"
+}
+
+func foreverWithBreak(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			_ = "stopping"
+		default:
+		}
+		if stop == nil {
+			break
+		}
+		_ = "spin"
+	}
+	_ = "afterForever"
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			_ = "negative"
+			continue
+		}
+		s += x
+	}
+	_ = "afterRange"
+	return s
+}
+
+func deadAfterReturn() int {
+	return 1
+	_ = "deadCode"
+}
+`
+
+// cfgFor builds the CFG of the named function in the fixture.
+func cfgFor(t *testing.T, name string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", cfgFixture, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return BuildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatalf("no function %q in fixture", name)
+	return nil
+}
+
+// markBlock returns the block containing the `_ = "name"` marker, or -1.
+func markBlock(c *CFG, name string) int {
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			lit, ok := as.Rhs[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				continue
+			}
+			if s, err := strconv.Unquote(lit.Value); err == nil && s == name {
+				return b.Index
+			}
+		}
+	}
+	return -1
+}
+
+// reachesExit reports whether the exit block is reachable from block i.
+func reachesExit(c *CFG, i int) bool {
+	seen := make([]bool, len(c.Blocks))
+	var dfs func(b *CFGBlock) bool
+	dfs = func(b *CFGBlock) bool {
+		if b == c.Exit {
+			return true
+		}
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if dfs(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(c.Blocks[i])
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		fn          string
+		reachable   []string // markers reachable from entry
+		unreachable []string // markers lowered but not reachable
+		noExitFrom  []string // reachable markers from which exit is unreachable
+		dom         [][2]string
+		notDom      [][2]string
+	}{
+		{
+			fn:        "labeledBreak",
+			reachable: []string{"beforeBreak", "inner", "outerTail", "afterOuter"},
+			dom: [][2]string{
+				{"beforeBreak", "beforeBreak"},
+			},
+			// The labeled break jumps past outerTail, so the break point
+			// does not dominate it; and neither inner marker dominates
+			// the join after the loops.
+			notDom: [][2]string{
+				{"beforeBreak", "outerTail"},
+				{"inner", "afterOuter"},
+			},
+		},
+		{
+			fn:          "labeledContinue",
+			reachable:   []string{"body", "after"},
+			unreachable: []string{"deadTail"},
+		},
+		{
+			fn:        "switchFallthrough",
+			reachable: []string{"caseZero", "caseOne", "caseTwo", "caseDefault", "afterSwitch"},
+			// fallthrough: caseZero flows into caseOne's block, but
+			// caseOne is also entered directly, so caseZero must not
+			// dominate it; caseTwo returns, so the join is reached from
+			// the other clauses only.
+			notDom: [][2]string{
+				{"caseZero", "caseOne"},
+				{"caseTwo", "afterSwitch"},
+			},
+		},
+		{
+			fn:        "earlyReturnForSelect",
+			reachable: []string{"beforeReturn", "gotValue", "idle", "loopTail"},
+			// Every marker can reach the exit, but only through the one
+			// return: the loop itself has no exit edge, so the return
+			// block dominates nothing outside itself and no marker
+			// dominates the exit-reaching return.
+			dom:    [][2]string{{"beforeReturn", "beforeReturn"}},
+			notDom: [][2]string{{"loopTail", "beforeReturn"}, {"idle", "loopTail"}},
+		},
+		{
+			fn:        "deferredRelease",
+			reachable: []string{"beforeDefer", "tail"},
+			dom:       [][2]string{{"beforeDefer", "tail"}},
+		},
+		{
+			fn:        "gotoShape",
+			reachable: []string{"slowPath", "done"},
+			notDom:    [][2]string{{"slowPath", "done"}},
+		},
+		{
+			fn:         "panicPath",
+			reachable:  []string{"fatal", "ok"},
+			noExitFrom: []string{"fatal"},
+			notDom:     [][2]string{{"fatal", "ok"}},
+		},
+		{
+			fn:        "foreverWithBreak",
+			reachable: []string{"stopping", "spin", "afterForever"},
+			notDom:    [][2]string{{"spin", "afterForever"}},
+		},
+		{
+			fn:        "rangeLoop",
+			reachable: []string{"negative", "afterRange"},
+			notDom:    [][2]string{{"negative", "afterRange"}},
+		},
+		{
+			fn:          "deadAfterReturn",
+			unreachable: []string{"deadCode"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.fn, func(t *testing.T) {
+			c := cfgFor(t, tc.fn)
+			reach := c.Reachable()
+			dom := c.Dominators()
+
+			get := func(name string) int {
+				i := markBlock(c, name)
+				if i < 0 {
+					t.Fatalf("marker %q not lowered into any block", name)
+				}
+				return i
+			}
+			for _, m := range tc.reachable {
+				if !reach[get(m)] {
+					t.Errorf("marker %q should be reachable from entry", m)
+				}
+			}
+			for _, m := range tc.unreachable {
+				if reach[get(m)] {
+					t.Errorf("marker %q should be unreachable", m)
+				}
+			}
+			for _, m := range tc.noExitFrom {
+				if reachesExit(c, get(m)) {
+					t.Errorf("exit should be unreachable from marker %q", m)
+				}
+			}
+			for _, p := range tc.dom {
+				if !dom.Dominates(get(p[0]), get(p[1])) {
+					t.Errorf("%q should dominate %q", p[0], p[1])
+				}
+			}
+			for _, p := range tc.notDom {
+				if dom.Dominates(get(p[0]), get(p[1])) {
+					t.Errorf("%q should not dominate %q", p[0], p[1])
+				}
+			}
+		})
+	}
+}
+
+// reachableAvoiding computes reachability from the entry with block
+// `avoid` deleted from the graph — the ground truth dominance is
+// checked against.
+func reachableAvoiding(c *CFG, avoid int) []bool {
+	reach := make([]bool, len(c.Blocks))
+	var dfs func(b *CFGBlock)
+	dfs = func(b *CFGBlock) {
+		if b.Index == avoid || reach[b.Index] {
+			return
+		}
+		reach[b.Index] = true
+		for _, e := range b.Succs {
+			dfs(e.To)
+		}
+	}
+	if c.Blocks[0].Index != avoid {
+		dfs(c.Blocks[0])
+	}
+	return reach
+}
+
+// TestDominanceConsistency quick-checks the dominator tree against its
+// definition on every fixture function: for all reachable a, b with
+// a != b, Dominates(a, b) must equal "b is unreachable once a is
+// deleted". This pins the CHK implementation to first principles.
+func TestDominanceConsistency(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", cfgFixture, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		c := BuildCFG(fd.Body, nil)
+		reach := c.Reachable()
+		dom := c.Dominators()
+		for a := range c.Blocks {
+			if !reach[a] {
+				continue
+			}
+			cut := reachableAvoiding(c, a)
+			for b := range c.Blocks {
+				if !reach[b] || a == b {
+					continue
+				}
+				want := !cut[b]
+				if a == 0 {
+					want = true // deleting the entry is degenerate; entry dominates all
+				}
+				if got := dom.Dominates(a, b); got != want {
+					t.Errorf("%s: Dominates(%d, %d) = %v, want %v", fd.Name.Name, a, b, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflow enforces context threading in the layers that own
+// cancellation: core (the run engine), lagraph (round loops), and
+// service (request handling). Two defect shapes:
+//
+//  1. A function takes a context.Context and never uses it — callers
+//     believe their deadline propagates; it is dropped on the floor.
+//     (An intentionally unused context is spelled `_ context.Context`.)
+//  2. A function that HAS a context in scope manufactures a fresh root
+//     with context.Background()/TODO(), cutting the caller's deadline
+//     out of everything downstream.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "core/lagraph/service functions receiving a context.Context must thread it, not drop it or replace it with Background/TODO",
+	Applies: inPkgs(
+		"graphstudy/internal/core",
+		"graphstudy/internal/lagraph",
+		"graphstudy/internal/service",
+	),
+	Run: runCtxFlow,
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var ctxParams []*ast.Ident
+			for _, fld := range fd.Type.Params.List {
+				for _, id := range fld.Names {
+					if id.Name == "_" {
+						continue
+					}
+					if obj := info.Defs[id]; obj != nil && isContextType(obj.Type()) {
+						ctxParams = append(ctxParams, id)
+					}
+				}
+			}
+			if len(ctxParams) == 0 {
+				continue
+			}
+			for _, id := range ctxParams {
+				obj := info.Defs[id]
+				used := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if u, ok := n.(*ast.Ident); ok && info.Uses[u] == obj {
+						used = true
+					}
+					return !used
+				})
+				if !used {
+					p.Reportf(id.Pos(), "context parameter %q is dropped: thread it into downstream calls or rename it to _", id.Name)
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					p.Reportf(call.Pos(), "context.%s called while %q is in scope: thread the caller's context instead of starting a new root", fn.Name(), ctxParams[0].Name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package lint
+
+// Dominance and reachability over the CFG. The spanflow/leasebalance
+// rules phrase "this release covers that exit" as dominance questions,
+// and the CFG tests cross-check the two: a dominates b exactly when
+// deleting a cuts every entry→b path.
+
+// DomTree holds immediate dominators for the blocks reachable from
+// entry. Unreachable blocks have idom -1 and dominate nothing.
+type DomTree struct {
+	idom  []int
+	reach []bool
+}
+
+// Reachable returns, per block index, whether the block is reachable
+// from the entry block.
+func (c *CFG) Reachable() []bool {
+	reach := make([]bool, len(c.Blocks))
+	var dfs func(b *CFGBlock)
+	dfs = func(b *CFGBlock) {
+		if reach[b.Index] {
+			return
+		}
+		reach[b.Index] = true
+		for _, e := range b.Succs {
+			dfs(e.To)
+		}
+	}
+	if len(c.Blocks) > 0 {
+		dfs(c.Blocks[0])
+	}
+	return reach
+}
+
+// postorder returns the reachable blocks in depth-first postorder.
+func (c *CFG) postorder() []*CFGBlock {
+	seen := make([]bool, len(c.Blocks))
+	var order []*CFGBlock
+	var dfs func(b *CFGBlock)
+	dfs = func(b *CFGBlock) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			dfs(e.To)
+		}
+		order = append(order, b)
+	}
+	if len(c.Blocks) > 0 {
+		dfs(c.Blocks[0])
+	}
+	return order
+}
+
+// Dominators computes the dominator tree with the Cooper–Harvey–Kennedy
+// iterative algorithm over reverse postorder. Function-size graphs make
+// the O(n²) worst case irrelevant.
+func (c *CFG) Dominators() *DomTree {
+	n := len(c.Blocks)
+	d := &DomTree{idom: make([]int, n), reach: c.Reachable()}
+	for i := range d.idom {
+		d.idom[i] = -1
+	}
+	if n == 0 {
+		return d
+	}
+
+	post := c.postorder()
+	// rpoNum[b] = position of b in reverse postorder; entry gets 0.
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range post {
+		rpoNum[b.Index] = len(post) - 1 - i
+	}
+	preds := make([][]int, n)
+	for _, b := range c.Blocks {
+		if !d.reach[b.Index] {
+			continue
+		}
+		for _, e := range b.Succs {
+			preds[e.To.Index] = append(preds[e.To.Index], b.Index)
+		}
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = d.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+
+	entry := c.Blocks[0].Index
+	d.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder: walk post backwards, skipping the entry.
+		for i := len(post) - 1; i >= 0; i-- {
+			b := post[i].Index
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[b] {
+				if d.idom[p] == -1 {
+					continue // predecessor not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[entry] = -1 // the entry has no immediate dominator
+	return d
+}
+
+// Dominates reports whether block a dominates block b: every path from
+// the entry to b passes through a. Every reachable block dominates
+// itself; nothing dominates an unreachable block.
+func (d *DomTree) Dominates(a, b int) bool {
+	if !d.reach[a] || !d.reach[b] {
+		return false
+	}
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = d.idom[b]
+	}
+	return false
+}

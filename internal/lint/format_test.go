@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func formatTestDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:  token.Position{Filename: "internal/grb/spmv.go", Line: 42, Column: 7},
+			Rule: "semorder",
+			Msg:  "both arms multiply in the same order",
+		},
+		{
+			Pos:  token.Position{Filename: "internal/lagraph/bfs.go", Line: 9, Column: 2},
+			Rule: "arenapair",
+			Msg:  "arena vector \"v\" may leak",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, formatTestDiags()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d elements, want 2", len(got))
+	}
+	if got[0]["rule"] != "semorder" || got[0]["line"] != float64(42) {
+		t.Errorf("first element mismatch: %v", got[0])
+	}
+
+	// No findings must encode as [], not null: consumers index into it.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty run encodes as %q, want []", s)
+	}
+}
+
+// TestWriteSARIF validates the SARIF 2.1.0 envelope: schema URI,
+// version, a tool driver whose rule table resolves every result's
+// ruleId, and physical locations carrying the position.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, formatTestDiags(), Suite()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif") || !strings.Contains(log.Schema, "2.1.0") {
+		t.Errorf("$schema does not name SARIF 2.1.0: %q", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "graphlint" {
+		t.Errorf("driver name = %q, want graphlint", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %q has no shortDescription", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range Suite() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("suite analyzer %q missing from driver rules", a.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result ruleId %q does not resolve in the driver rule table", res.RuleID)
+		}
+		if res.Level != "warning" {
+			t.Errorf("result level = %q, want warning", res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Error("result has empty message")
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/grb/spmv.go" {
+		t.Errorf("artifact URI = %q", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v, want 42:7", loc.Region)
+	}
+}

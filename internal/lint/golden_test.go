@@ -73,28 +73,42 @@ func TestGolden(t *testing.T) {
 		rule    string
 		fixture string
 		asPath  string // synthetic in-module path that fixes the rule's scope
+		clean   bool   // fixture has no wants: asserts the rule stays silent
 	}{
-		{"maprange", "maprange", "maprange", "graphstudy/internal/grb/zfixture/maprange"},
-		{"nondet", "nondet", "nondet", "graphstudy/internal/lonestar/zfixture/nondet"},
-		{"sharedwrite", "sharedwrite", "sharedwrite", "graphstudy/internal/grb/zfixture/sharedwrite"},
-		{"gostmt", "gostmt", "gostmt", "graphstudy/internal/lagraph/zfixture/gostmt"},
+		{"maprange", "maprange", "maprange", "graphstudy/internal/grb/zfixture/maprange", false},
+		{"nondet", "nondet", "nondet", "graphstudy/internal/lonestar/zfixture/nondet", false},
+		{"sharedwrite", "sharedwrite", "sharedwrite", "graphstudy/internal/grb/zfixture/sharedwrite", false},
+		{"gostmt", "gostmt", "gostmt", "graphstudy/internal/lagraph/zfixture/gostmt", false},
 		// Same rule, loaded under an exempt path: the fixture launches
 		// bare goroutines and has no want comments, so the generic
 		// matching below asserts the rule stays silent there.
-		{"gostmt-exempt", "gostmt", "gostmt_exempt", "graphstudy/internal/service/zfixture/exempt"},
-		{"tracespan", "tracespan", "tracespan", "graphstudy/internal/lagraph/zfixture/tracespan"},
+		{"gostmt-exempt", "gostmt", "gostmt_exempt", "graphstudy/internal/service/zfixture/exempt", true},
+		{"tracespan", "tracespan", "tracespan", "graphstudy/internal/lagraph/zfixture/tracespan", false},
 		// The fusion executor's bail path is the one place a CatFused
 		// span is easy to leak; the fixture pins that shape.
-		{"tracespan-fuse", "tracespan", "tracespan_fuse", "graphstudy/internal/fuse/zfixture/tracespan"},
+		{"tracespan-fuse", "tracespan", "tracespan_fuse", "graphstudy/internal/fuse/zfixture/tracespan", false},
 		// The adaptive engine's emit helper gates tag writes on
 		// sp.Enabled(); the fixture pins that an early return inside the
 		// gate (skipping End) is caught.
-		{"tracespan-adapt", "tracespan", "tracespan_adapt", "graphstudy/internal/adapt/zfixture/tracespan"},
+		{"tracespan-adapt", "tracespan", "tracespan_adapt", "graphstudy/internal/adapt/zfixture/tracespan", false},
 		// The incremental algorithms' warm/fallback story is told entirely
 		// in CatDelta spans; the fixture pins the seed emitter's early
 		// return, a discarded fallback marker, and a per-iteration leak.
-		{"tracespan-delta", "tracespan", "tracespan_delta", "graphstudy/internal/lagraph/zfixture/tracespan_delta"},
-		{"errcheck", "errcheck", "errcheck", "graphstudy/internal/store/zfixture/errcheck"},
+		{"tracespan-delta", "tracespan", "tracespan_delta", "graphstudy/internal/lagraph/zfixture/tracespan_delta", false},
+		{"errcheck", "errcheck", "errcheck", "graphstudy/internal/store/zfixture/errcheck", false},
+		// Dataflow analyzers: each has a firing fixture and a _clean
+		// twin whose correct-but-tricky shapes (defer, rotate, helper
+		// release, handoff returns) must stay silent.
+		{"leasebalance", "leasebalance", "leasebalance", "graphstudy/internal/store/zfixture/leasebalance", false},
+		{"leasebalance-clean", "leasebalance", "leasebalance_clean", "graphstudy/internal/store/zfixture/leaseclean", true},
+		{"arenapair", "arenapair", "arenapair", "graphstudy/internal/lagraph/zfixture/arenapair", false},
+		{"arenapair-clean", "arenapair", "arenapair_clean", "graphstudy/internal/lagraph/zfixture/arenaclean", true},
+		{"spanflow", "spanflow", "spanflow", "graphstudy/internal/lagraph/zfixture/spanflow", false},
+		{"spanflow-clean", "spanflow", "spanflow_clean", "graphstudy/internal/lagraph/zfixture/spanclean", true},
+		{"ctxflow", "ctxflow", "ctxflow", "graphstudy/internal/core/zfixture/ctxflow", false},
+		{"ctxflow-clean", "ctxflow", "ctxflow_clean", "graphstudy/internal/core/zfixture/ctxclean", true},
+		{"semorder", "semorder", "semorder", "graphstudy/internal/grb/zfixture/semorder", false},
+		{"semorder-clean", "semorder", "semorder_clean", "graphstudy/internal/grb/zfixture/semclean", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -109,8 +123,11 @@ func TestGolden(t *testing.T) {
 			}
 			diags := Run([]*Package{pkg}, []*Analyzer{an})
 			wants := parseWants(t, dir)
-			if len(wants) == 0 && tc.fixture != "gostmt_exempt" {
+			if len(wants) == 0 && !tc.clean {
 				t.Fatal("fixture has no want annotations; the test would pass vacuously")
+			}
+			if len(wants) > 0 && tc.clean {
+				t.Fatal("clean fixture carries want annotations; drop the flag or the wants")
 			}
 
 			for _, d := range diags {
@@ -191,5 +208,35 @@ func TestRepoClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, Suite()) {
 		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+// TestFixtureCoverage asserts every analyzer in the suite has at least
+// one firing golden fixture: a `// want <rule> ...` annotation somewhere
+// under testdata/src. A rule without a firing fixture is a rule whose
+// regressions nothing would catch.
+func TestFixtureCoverage(t *testing.T) {
+	covered := make(map[string]bool)
+	root := filepath.Join("testdata", "src")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range wantRe.FindAllStringSubmatch(string(data), -1) {
+			covered[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixtures: %v", err)
+	}
+	for _, an := range Suite() {
+		if !covered[an.Name] {
+			t.Errorf("analyzer %q has no firing fixture under %s", an.Name, root)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"fmt"
+	"go/token"
 	"strings"
 )
 
@@ -20,13 +22,51 @@ type ignoreKey struct {
 	rule string
 }
 
-type ignoreSet map[ignoreKey]bool
+// ignoreDirective is one well-formed //lint:ignore with its position
+// and whether it suppressed anything this run — the input to stale
+// detection.
+type ignoreDirective struct {
+	pos  token.Position
+	rule string
+	used bool
+}
+
+type ignoreSet map[ignoreKey]*ignoreDirective
 
 // suppresses reports whether d is covered by a directive on its line or
-// the line above.
+// the line above, marking the directive used if so.
 func (s ignoreSet) suppresses(d Diagnostic) bool {
-	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] ||
-		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Rule}]
+	for _, key := range []ignoreKey{
+		{d.Pos.Filename, d.Pos.Line, d.Rule},
+		{d.Pos.Filename, d.Pos.Line - 1, d.Rule},
+	} {
+		if dir := s[key]; dir != nil {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// stale returns a diagnostic for every directive that suppressed
+// nothing: the finding it once silenced is gone, so the directive is
+// dead weight that would mask a future regression at the same spot.
+// Only meaningful after a run of the FULL suite — under a rule subset
+// an unused directive may simply belong to a rule that didn't run.
+func (s ignoreSet) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s {
+		if dir.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  dir.pos,
+			Rule: "staleignore",
+			Msg: fmt.Sprintf("//lint:ignore %s suppresses nothing: the finding it silenced is gone; delete the directive",
+				dir.rule),
+		})
+	}
+	return out
 }
 
 // collectIgnores scans a package's comments for //lint:ignore
@@ -53,7 +93,7 @@ func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 					})
 					continue
 				}
-				set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = &ignoreDirective{pos: pos, rule: fields[0]}
 			}
 		}
 	}

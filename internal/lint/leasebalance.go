@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const storePkg = "graphstudy/internal/store"
+
+// namedIn reports whether t is (a pointer to) the named type
+// pkgPath.name, looking through generic instantiation.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && fromPkg(obj, pkgPath)
+}
+
+// leaseSpec: a registry lease is created by any store call whose first
+// result is a *store.Handle (Acquire today, including PR 9's recursive
+// snapshot base pins taken inside loadSnapshot) and discharged by
+// Handle.Release. Release is idempotent, so double-release is not a
+// defect class; unreleased-on-some-path is.
+var leaseSpec = &obligSpec{
+	class:    "lease",
+	noun:     "lease",
+	verbPast: "released",
+	verbDo:   "release it",
+	isResource: func(t types.Type) bool {
+		return namedIn(t, storePkg, "Handle")
+	},
+	source: func(info *types.Info, call *ast.CallExpr) (int, int, bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || !fromPkg(fn, storePkg) {
+			return 0, 0, false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return 0, 0, false
+		}
+		if !namedIn(sig.Results().At(0).Type(), storePkg, "Handle") {
+			return 0, 0, false
+		}
+		errRes := -1
+		if last := sig.Results().Len() - 1; last > 0 && types.Identical(sig.Results().At(last).Type(), errorType) {
+			errRes = last
+		}
+		return 0, errRes, true
+	},
+	release: func(info *types.Info, call *ast.CallExpr) ast.Expr {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "Release" || !fromPkg(fn, storePkg) {
+			return nil
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		return sel.X
+	},
+}
+
+// LeaseBalance proves the registry lease invariant PR 9 made
+// load-bearing: every lease acquired from a store.Registry is released
+// on every path out of the acquiring function — including error
+// returns — or provably handed to a helper whose summary releases it.
+var LeaseBalance = &Analyzer{
+	Name: "leasebalance",
+	Doc:  "store.Registry leases must be released on all paths (dataflow-proven, including error returns and helper discharge)",
+	Run:  func(p *Pass) { runObligAnalyzer(p, leaseSpec) },
+}

@@ -23,8 +23,11 @@ func (d Diagnostic) String() string {
 
 // Pass is the per-(analyzer, package) context handed to Analyzer.Run.
 type Pass struct {
-	Fset  *token.FileSet
-	Pkg   *Package
+	Fset *token.FileSet
+	Pkg  *Package
+	// Index is the cross-package function index and interprocedural
+	// summary cache shared by every analyzer in one Run.
+	Index *Index
 	rule  string
 	diags *[]Diagnostic
 }
@@ -52,6 +55,20 @@ type Analyzer struct {
 // malformed directive, and returns the result sorted by position then
 // rule. It is deterministic: same inputs, same output order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkgs, analyzers, false)
+}
+
+// RunStale is Run plus stale-directive detection: it additionally
+// reports (rule "staleignore") every //lint:ignore directive that
+// suppressed no finding. It always runs the FULL suite — staleness is
+// undecidable under a rule subset, where an unused directive may
+// belong to a rule that simply didn't run.
+func RunStale(pkgs []*Package) []Diagnostic {
+	return run(pkgs, Suite(), true)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, stale bool) []Diagnostic {
+	idx := NewIndex(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores, bad := collectIgnores(pkg)
@@ -60,7 +77,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if a.Applies != nil && !a.Applies(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, rule: a.Name, diags: &pkgDiags}
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Index: idx, rule: a.Name, diags: &pkgDiags}
 			a.Run(pass)
 		}
 		for _, d := range pkgDiags {
@@ -69,7 +86,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		diags = append(diags, bad...)
+		if stale {
+			diags = append(diags, ignores.stale()...)
+		}
 	}
+	sortDiags(diags)
+	return diags
+}
+
+// sortDiags orders diagnostics by position then rule, the output
+// contract shared by fresh and cache-served runs.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -83,7 +110,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // Relativize rewrites diagnostic filenames relative to root (typically

@@ -1,0 +1,1090 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The obligation analysis is the dataflow half of the engine: an
+// acquire→release pairing proof over the CFG. A source call (Acquire,
+// Arena.Get, trace.Begin) creates an obligation bound to the variable
+// receiving it; assignments move the binding between variables
+// (alias-set semantics); a release call (Release, Put, End) through any
+// alias discharges it; and escapes — returning the value, storing it
+// into a field/slice/map/channel, or handing it to code the analysis
+// cannot see — transfer the obligation out of scope silently. What the
+// analysis reports is the remainder: paths to a return or to the end of
+// the function on which an obligation may still be live, values
+// overwritten while still owing their release, and source results that
+// are discarded outright.
+//
+// Error correlation keeps the err-return idiom quiet: for
+// `h, err := acquire()`, edges taken only when err != nil kill the
+// obligation, because on those paths the acquire produced nothing.
+// Paths that die with the process (panic, os.Exit) carry no
+// obligations at all — their blocks have no exit edges.
+//
+// Interprocedural precision comes from summaries (summary.go): passing
+// an obligated value to a helper consults the callee's computed effect.
+// A helper that releases its parameter on every path discharges the
+// obligation at the call site; a helper that only reads it leaves the
+// obligation live; anything else (unknown callee, conditional release,
+// stores) is an escape.
+
+// obligSpec describes one obligation class: how resources of the class
+// are created, released, and recognized by type.
+type obligSpec struct {
+	class    string // summary cache key, stable
+	noun     string // for messages: "lease", "arena vector", "span"
+	verbPast string // "released", "put back", "ended"
+	verbDo   string // "release it", "put it back", "end it"
+
+	// isResource reports whether t is (a pointer to) the tracked type.
+	isResource func(t types.Type) bool
+	// source: when call creates a resource, the result index holding it
+	// and the index of a paired error result (-1 if none).
+	source func(info *types.Info, call *ast.CallExpr) (res, errRes int, ok bool)
+	// release: when call releases a resource, the expression holding it
+	// (the receiver for h.Release()/sp.End(), the argument for
+	// ar.Put(v)); nil otherwise.
+	release func(info *types.Info, call *ast.CallExpr) ast.Expr
+}
+
+// oblig is one obligation instance: the resource created by one source
+// statement (or seeded for one parameter during summary computation).
+type oblig struct {
+	id     int
+	name   string
+	pos    token.Pos
+	errObj types.Object // paired error result, nil if none
+
+	seedParam int // -2: real source; -1: receiver seed; >=0: param seed
+
+	// Flags recorded during the final pass, consumed by summaries.
+	released   bool
+	deferred   bool
+	escaped    bool
+	liveExit   bool
+	returnedAt map[int]bool
+}
+
+// obState is the per-program-point dataflow fact: for each obligation,
+// the set of variables that may hold it. An absent/empty set means the
+// obligation is discharged or escaped on every path reaching here.
+type obState struct {
+	holders map[*oblig]map[types.Object]bool
+}
+
+func newObState() *obState { return &obState{holders: map[*oblig]map[types.Object]bool{}} }
+
+func (s *obState) clone() *obState {
+	c := newObState()
+	for o, vars := range s.holders {
+		if len(vars) == 0 {
+			continue
+		}
+		m := make(map[types.Object]bool, len(vars))
+		for v := range vars {
+			m[v] = true
+		}
+		c.holders[o] = m
+	}
+	return c
+}
+
+// join unions src into s and reports whether s changed.
+func (s *obState) join(src *obState) bool {
+	changed := false
+	for o, vars := range src.holders {
+		dst := s.holders[o]
+		for v := range vars {
+			if dst == nil {
+				dst = map[types.Object]bool{}
+				s.holders[o] = dst
+			}
+			if !dst[v] {
+				dst[v] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (s *obState) live(o *oblig) bool { return len(s.holders[o]) > 0 }
+
+func (s *obState) holds(o *oblig, v types.Object) bool { return s.holders[o][v] }
+
+func (s *obState) addHolder(o *oblig, v types.Object) {
+	if s.holders[o] == nil {
+		s.holders[o] = map[types.Object]bool{}
+	}
+	s.holders[o][v] = true
+}
+
+func (s *obState) drop(o *oblig) { delete(s.holders, o) }
+
+// reportFn receives diagnostics from the final pass; nil during summary
+// computation.
+type reportFn func(pos token.Pos, format string, args ...any)
+
+type seedParam struct {
+	obj types.Object
+	idx int // -1 receiver, >=0 parameter index
+}
+
+// obligEngine analyzes one function body.
+type obligEngine struct {
+	pkg    *Package
+	idx    *Index
+	spec   *obligSpec
+	body   *ast.BlockStmt
+	cfg    *CFG
+	report reportFn
+
+	obligs []*oblig
+	byNode map[ast.Node]*oblig
+	// exitVars holds variables whose obligations are discharged at every
+	// exit by a deferred release.
+	exitVars map[types.Object]bool
+	// bodyPos/bodyEnd is the analyzed body's extent. An obligation held
+	// at exit by a variable declared OUTSIDE it (a captured variable in
+	// a closure) has escaped to the enclosing scope, not leaked.
+	bodyPos, bodyEnd token.Pos
+	// namedResults are the function's named result objects, in order;
+	// a naked return escapes obligations they hold.
+	namedResults []types.Object
+
+	final bool
+}
+
+// runObligation analyzes body under spec. seeds pre-loads obligations
+// for resource-typed parameters (summary mode); report receives
+// diagnostics (analysis mode). Returns the obligation records with
+// their final-pass flags for summary derivation.
+func runObligation(pkg *Package, idx *Index, spec *obligSpec, body *ast.BlockStmt,
+	seeds []seedParam, namedResults []types.Object, report reportFn) []*oblig {
+
+	e := &obligEngine{
+		pkg: pkg, idx: idx, spec: spec, body: body,
+		cfg:          BuildCFG(body, pkg.Info),
+		report:       report,
+		byNode:       map[ast.Node]*oblig{},
+		exitVars:     map[types.Object]bool{},
+		namedResults: namedResults,
+		bodyPos:      body.Pos(), bodyEnd: body.End(),
+	}
+
+	entry := newObState()
+	for _, sp := range seeds {
+		o := &oblig{
+			id: len(e.obligs), name: sp.obj.Name(), pos: sp.obj.Pos(),
+			seedParam: sp.idx, returnedAt: map[int]bool{},
+		}
+		e.obligs = append(e.obligs, o)
+		entry.addHolder(o, sp.obj)
+	}
+	e.collectSources()
+	if len(e.obligs) == 0 && !e.hasBareSource() {
+		return nil
+	}
+
+	reach := e.cfg.Reachable()
+	ins := make([]*obState, len(e.cfg.Blocks))
+	ins[0] = entry
+
+	// Fixpoint: forward may-analysis over the reachable blocks.
+	work := []int{0}
+	inWork := map[int]bool{0: true}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		b := e.cfg.Blocks[bi]
+		out := ins[bi].clone()
+		e.transfer(out, b)
+		for _, edge := range b.Succs {
+			succ := edge.To.Index
+			st := out.clone()
+			e.applyEdge(st, edge)
+			if ins[succ] == nil {
+				ins[succ] = newObState()
+			}
+			if ins[succ].join(st) && !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+
+	// Final pass: re-run transfers on the fixed in-states with flag
+	// recording and reporting enabled, in block order for determinism.
+	e.final = true
+	for _, b := range e.cfg.Blocks {
+		if !reach[b.Index] || ins[b.Index] == nil {
+			continue
+		}
+		st := ins[b.Index].clone()
+		e.transfer(st, b)
+		// Fall-off exit: an edge to Exit not produced by a return
+		// statement (returns report themselves during transfer).
+		for _, edge := range b.Succs {
+			if edge.To != e.cfg.Exit {
+				continue
+			}
+			if n := len(b.Nodes); n > 0 {
+				if _, isRet := b.Nodes[n-1].(*ast.ReturnStmt); isRet {
+					continue
+				}
+			}
+			e.reportLive(st, token.NoPos, false)
+		}
+	}
+	return e.obligs
+}
+
+// collectSources pre-creates obligation records for every source call
+// bound by an assignment or declaration, so ids are deterministic.
+// hasBareSource reports whether any block contains a source call whose
+// result is discarded outright (a bare expression statement). Such a
+// call creates no obligation record, but the engine must still run its
+// reporting pass to flag the discard.
+func (e *obligEngine) hasBareSource() bool {
+	for _, b := range e.cfg.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+				if _, _, isSrc := e.sourceCall(call); isSrc {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (e *obligEngine) collectSources() {
+	info := e.pkg.Info
+	var nodes []ast.Node
+	for _, b := range e.cfg.Blocks {
+		nodes = append(nodes, b.Nodes...)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+	for _, n := range nodes {
+		var lhs []ast.Expr
+		var rhs ast.Expr
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				continue
+			}
+			lhs, rhs = x.Lhs, x.Rhs[0]
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || len(gd.Specs) != 1 {
+				continue
+			}
+			vs, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 1 {
+				continue
+			}
+			for _, id := range vs.Names {
+				lhs = append(lhs, id)
+			}
+			rhs = vs.Values[0]
+		default:
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		res, errRes, ok := e.sourceCall(call)
+		if !ok {
+			continue
+		}
+		o := &oblig{
+			id: len(e.obligs), pos: n.Pos(), seedParam: -2,
+			returnedAt: map[int]bool{},
+		}
+		if res < len(lhs) {
+			if id, ok := lhs[res].(*ast.Ident); ok {
+				o.name = id.Name
+			}
+		}
+		if errRes >= 0 && errRes < len(lhs) {
+			if id, ok := lhs[errRes].(*ast.Ident); ok && id.Name != "_" {
+				o.errObj = usedObj(info, id)
+			}
+		}
+		e.obligs = append(e.obligs, o)
+		e.byNode[n] = o
+	}
+}
+
+// sourceCall reports whether call creates a resource of this class:
+// either a direct spec source or an in-module helper whose summary says
+// a result carries a fresh obligation.
+func (e *obligEngine) sourceCall(call *ast.CallExpr) (res, errRes int, ok bool) {
+	if res, errRes, ok = e.spec.source(e.pkg.Info, call); ok {
+		return res, errRes, true
+	}
+	if fn := calleeFunc(e.pkg.Info, call); fn != nil {
+		if ret := e.idx.returnsObligation(e.spec, fn); ret >= 0 {
+			errRes := -1
+			if sig, ok := fn.Type().(*types.Signature); ok {
+				last := sig.Results().Len() - 1
+				if last >= 0 && last != ret && types.Identical(sig.Results().At(last).Type(), errorType) {
+					errRes = last
+				}
+			}
+			return ret, errRes, true
+		}
+	}
+	return 0, 0, false
+}
+
+// applyEdge kills obligations along branch edges that prove them void:
+// the error result non-nil (the acquire failed) or the resource itself
+// nil.
+func (e *obligEngine) applyEdge(st *obState, edge CFGEdge) {
+	if edge.Cond == nil {
+		return
+	}
+	obj, eq, ok := nilCompare(e.pkg.Info, edge.Cond)
+	if !ok {
+		return
+	}
+	// eq: cond is `x == nil`. On the edge, cond holds iff !edge.Neg.
+	isNil := eq != edge.Neg
+	for _, o := range e.obligs {
+		if !st.live(o) {
+			continue
+		}
+		if o.errObj != nil && obj == o.errObj && !isNil {
+			st.drop(o) // err != nil on this edge: nothing was acquired
+		}
+		if isNil && st.holds(o, obj) {
+			st.drop(o) // the resource is nil on this edge
+		}
+	}
+}
+
+// nilCompare decodes `x == nil` / `x != nil` where x is an identifier.
+func nilCompare(info *types.Info, cond ast.Expr) (obj types.Object, eq, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false, false
+	}
+	id, isIdent := x.(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	obj = usedObj(info, id)
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, be.Op == token.EQL, true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil" && info.Uses[id] == nil
+}
+
+// transfer runs the block's nodes over st in place.
+func (e *obligEngine) transfer(st *obState, b *CFGBlock) {
+	for _, n := range b.Nodes {
+		e.node(st, n)
+	}
+}
+
+func (e *obligEngine) node(st *obState, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		e.assign(st, x)
+	case *ast.DeclStmt:
+		e.declStmt(st, x)
+	case *ast.ReturnStmt:
+		e.ret(st, x)
+	case *ast.DeferStmt:
+		e.deferStmt(st, x)
+	case *ast.RangeStmt:
+		e.scanExpr(st, x.X)
+		for _, lv := range []ast.Expr{x.Key, x.Value} {
+			if id, ok := lv.(*ast.Ident); ok {
+				e.removeHolder(st, usedObj(e.pkg.Info, id), lv.Pos())
+			}
+		}
+	case *ast.ExprStmt:
+		e.exprStmt(st, x)
+	case *ast.SendStmt:
+		e.scanExpr(st, x.Chan)
+		e.escapeIfHolder(st, x.Value)
+		e.scanExpr(st, x.Value)
+	case *ast.GoStmt:
+		// The goroutine outlives this path's reasoning: every holder the
+		// call can see escapes.
+		e.escapeCallArgs(st, x.Call)
+	case *ast.IncDecStmt:
+		e.scanExpr(st, x.X)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	case ast.Expr:
+		e.scanExpr(st, x)
+	case ast.Stmt:
+		ast.Inspect(x, func(m ast.Node) bool {
+			if expr, ok := m.(ast.Expr); ok {
+				e.scanExpr(st, expr)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (e *obligEngine) exprStmt(st *obState, x *ast.ExprStmt) {
+	if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+		if _, _, isSrc := e.sourceCall(call); isSrc {
+			for _, a := range call.Args {
+				e.scanExpr(st, a)
+			}
+			if e.final && e.report != nil {
+				e.report(x.Pos(), "%s result is discarded: the %s can never be %s",
+					callName(e.pkg.Info, call), e.spec.noun, e.spec.verbPast)
+			}
+			return
+		}
+	}
+	e.scanExpr(st, x.X)
+}
+
+func (e *obligEngine) declStmt(st *obState, x *ast.DeclStmt) {
+	gd, ok := x.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if o := e.byNode[x]; o != nil && len(vs.Values) == 1 {
+			e.bindSource(st, o, identList(vs.Names), ast.Unparen(vs.Values[0]).(*ast.CallExpr))
+			continue
+		}
+		var lhs []ast.Expr
+		for _, id := range vs.Names {
+			lhs = append(lhs, id)
+		}
+		e.assignPairs(st, lhs, vs.Values, x.Pos())
+	}
+}
+
+func identList(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (e *obligEngine) assign(st *obState, a *ast.AssignStmt) {
+	if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+		// Compound assignment (+=, …): reads and writes scalars only.
+		for _, r := range a.Rhs {
+			e.scanExpr(st, r)
+		}
+		return
+	}
+	if o := e.byNode[a]; o != nil {
+		e.bindSource(st, o, a.Lhs, ast.Unparen(a.Rhs[0]).(*ast.CallExpr))
+		return
+	}
+	e.assignPairs(st, a.Lhs, a.Rhs, a.Pos())
+}
+
+// bindSource executes a source-call assignment: scan the call's own
+// arguments, overwrite the targets, then bind the fresh obligation.
+func (e *obligEngine) bindSource(st *obState, o *oblig, lhs []ast.Expr, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		e.scanExpr(st, a)
+	}
+	res, _, _ := e.sourceCall(call)
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			e.removeHolder(st, usedObj(e.pkg.Info, id), l.Pos())
+		}
+	}
+	st.drop(o) // re-creation in a loop: prior instance state is superseded
+	var resObj types.Object
+	if res < len(lhs) {
+		if id, ok := lhs[res].(*ast.Ident); ok && id.Name != "_" {
+			resObj = usedObj(e.pkg.Info, id)
+		}
+	}
+	if resObj == nil {
+		if e.final && e.report != nil {
+			e.report(o.pos, "%s result is discarded: the %s can never be %s",
+				callName(e.pkg.Info, call), e.spec.noun, e.spec.verbPast)
+		}
+		return
+	}
+	st.addHolder(o, resObj)
+}
+
+// assignPairs handles ordinary (non-source) assignments: value
+// transfers between tracked variables, escapes into heap locations,
+// overwrite leaks.
+func (e *obligEngine) assignPairs(st *obState, lhs, rhs []ast.Expr, pos token.Pos) {
+	type move struct {
+		o  *oblig
+		to types.Object
+	}
+	var moves []move
+
+	paired := len(lhs) == len(rhs)
+	for i, r := range rhs {
+		rid, _ := ast.Unparen(r).(*ast.Ident)
+		var robj types.Object
+		if rid != nil {
+			robj = usedObj(e.pkg.Info, rid)
+		}
+		holderRHS := false
+		if robj != nil {
+			for _, o := range e.obligs {
+				if !st.holds(o, robj) {
+					continue
+				}
+				holderRHS = true
+				if paired {
+					if lid, ok := ast.Unparen(lhs[i]).(*ast.Ident); ok && lid.Name != "_" {
+						if lobj := usedObj(e.pkg.Info, lid); lobj != nil {
+							moves = append(moves, move{o, lobj})
+							continue
+						}
+					}
+					// Heap destination (field, index, deref) or blank:
+					// the value escapes our scope.
+					e.markEscape(st, o)
+				} else {
+					e.markEscape(st, o)
+				}
+			}
+		}
+		if !holderRHS {
+			e.scanExpr(st, r)
+		}
+	}
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			e.removeHolder(st, usedObj(e.pkg.Info, id), pos)
+		} else {
+			e.scanExpr(st, l)
+		}
+	}
+	for _, m := range moves {
+		st.addHolder(m.o, m.to)
+	}
+}
+
+// markEscape transfers the obligation out of the analysis' scope —
+// someone else owns the release now.
+func (e *obligEngine) markEscape(st *obState, o *oblig) {
+	if e.final {
+		o.escaped = true
+	}
+	st.drop(o)
+}
+
+// removeHolder drops v from every obligation's alias set; an
+// obligation left with no holders was overwritten before its release
+// and is reported as a leak.
+func (e *obligEngine) removeHolder(st *obState, v types.Object, pos token.Pos) {
+	if v == nil {
+		return
+	}
+	for _, o := range e.obligs {
+		if !st.holds(o, v) {
+			continue
+		}
+		delete(st.holders[o], v)
+		if len(st.holders[o]) == 0 {
+			st.drop(o)
+			if e.final && e.report != nil && o.seedParam == -2 {
+				e.report(pos, "%s %q (from line %d) is overwritten before being %s: the previous value leaks",
+					e.spec.noun, o.name, e.line(o.pos), e.spec.verbPast)
+			}
+		}
+	}
+}
+
+func (e *obligEngine) ret(st *obState, r *ast.ReturnStmt) {
+	if len(r.Results) == 0 && len(e.namedResults) > 0 {
+		// Naked return: named results escape to the caller.
+		for i, obj := range e.namedResults {
+			for _, o := range e.obligs {
+				if st.holds(o, obj) {
+					if e.final {
+						o.returnedAt[i] = true
+					}
+					st.drop(o)
+				}
+			}
+		}
+	}
+	for i, res := range r.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			if obj := usedObj(e.pkg.Info, id); obj != nil {
+				transferred := false
+				for _, o := range e.obligs {
+					if st.holds(o, obj) {
+						if e.final {
+							o.returnedAt[i] = true
+						}
+						st.drop(o)
+						transferred = true
+					}
+				}
+				if transferred {
+					continue
+				}
+			}
+		}
+		if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+			if _, _, isSrc := e.sourceCall(call); isSrc {
+				// `return acquire()`: the obligation transfers whole to
+				// the caller.
+				for _, a := range call.Args {
+					e.scanExpr(st, a)
+				}
+				continue
+			}
+		}
+		e.scanExpr(st, res)
+	}
+	if e.final {
+		e.reportLive(st, r.Pos(), true)
+	}
+}
+
+// reportLive flags every obligation still live in st at an exit. An
+// obligation covered by a deferred release is fine; one held by a
+// variable declared outside the analyzed body (a closure capture) has
+// escaped to the enclosing scope; everything else is a leak, reported
+// at pos (a return statement) or at the obligation's creation site
+// (fall-off exit, pos == NoPos).
+func (e *obligEngine) reportLive(st *obState, pos token.Pos, atReturn bool) {
+	for _, o := range e.obligs {
+		if !st.live(o) || e.coveredByDefer(st, o) {
+			continue
+		}
+		if o.seedParam == -2 && e.heldByCapture(st, o) {
+			if e.final {
+				o.escaped = true
+			}
+			continue
+		}
+		o.liveExit = true
+		if e.report == nil {
+			continue
+		}
+		if atReturn {
+			e.report(pos, "%s %q (from line %d) is not %s on the path to this return; %s on every path or use defer",
+				e.spec.noun, o.name, e.line(o.pos), e.spec.verbPast, e.spec.verbDo)
+		} else {
+			e.report(o.pos, "%s %q may reach the end of the function without being %s; %s on every path or use defer",
+				e.spec.noun, o.name, e.spec.verbPast, e.spec.verbDo)
+		}
+	}
+}
+
+// heldByCapture reports whether any holder of o is a variable declared
+// outside the analyzed body — at exit the value survives in the
+// captured variable, owned by the enclosing function.
+func (e *obligEngine) heldByCapture(st *obState, o *oblig) bool {
+	for v := range st.holders[o] {
+		if v.Pos() < e.bodyPos || v.Pos() > e.bodyEnd {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *obligEngine) coveredByDefer(st *obState, o *oblig) bool {
+	for v := range st.holders[o] {
+		if e.exitVars[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *obligEngine) deferStmt(st *obState, d *ast.DeferStmt) {
+	// defer v.Release() / defer ar.Put(v): the value is captured at the
+	// defer statement and released on every exit.
+	if res := e.spec.release(e.pkg.Info, d.Call); res != nil {
+		if v := holderIdentObj(e.pkg.Info, res); v != nil {
+			e.exitVars[v] = true
+			for _, o := range e.obligs {
+				if st.holds(o, v) {
+					if e.final {
+						o.released, o.deferred = true, true
+					}
+					st.drop(o)
+				}
+			}
+			return
+		}
+	}
+	// defer func() { …; v.End() }(): releases whatever v holds at exit.
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if res := e.spec.release(e.pkg.Info, call); res != nil {
+				if v := holderIdentObj(e.pkg.Info, res); v != nil {
+					e.exitVars[v] = true
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			for _, o := range e.obligs {
+				for v := range st.holders[o] {
+					if e.exitVars[v] && e.final {
+						o.released, o.deferred = true, true
+					}
+				}
+			}
+			return
+		}
+	}
+	// Any other deferred call: treat like a normal call at exit time;
+	// conservative argument effects apply now.
+	e.call(st, d.Call)
+}
+
+// escapeIfHolder escapes obligations held by a bare identifier used in
+// an owning position (channel send, composite literal element).
+func (e *obligEngine) escapeIfHolder(st *obState, expr ast.Expr) {
+	v := holderIdentObj(e.pkg.Info, expr)
+	if v == nil {
+		return
+	}
+	for _, o := range e.obligs {
+		if st.holds(o, v) {
+			e.markEscape(st, o)
+		}
+	}
+}
+
+// escapeCallArgs escapes every holder visible to a call (go statements,
+// where the callee runs beyond this path's reasoning).
+func (e *obligEngine) escapeCallArgs(st *obState, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		e.escapeIfHolder(st, a)
+		e.scanExpr(st, a)
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		e.captureEscape(st, lit, true)
+	}
+}
+
+// scanExpr walks an expression for calls, closures, and composite
+// literals that affect obligations. Bare identifier reads are neutral.
+func (e *obligEngine) scanExpr(st *obState, expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			e.captureEscape(st, x, false)
+			return false
+		case *ast.CallExpr:
+			e.call(st, x)
+			return false
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				e.escapeIfHolder(st, el)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				// &v outside a call argument: an alias we cannot track.
+				e.escapeIfHolder(st, x.X)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// call applies one call's semantics: release, source-in-expression, or
+// per-argument callee effects.
+func (e *obligEngine) call(st *obState, call *ast.CallExpr) {
+	info := e.pkg.Info
+
+	// Release through any alias discharges the obligation.
+	if res := e.spec.release(info, call); res != nil {
+		for _, a := range call.Args {
+			if a != res {
+				e.scanExpr(st, a)
+			}
+		}
+		if v := holderIdentObj(info, res); v != nil {
+			for _, o := range e.obligs {
+				if st.holds(o, v) {
+					if e.final {
+						o.released = true
+					}
+					st.drop(o)
+				}
+			}
+			return
+		}
+		e.scanExpr(st, res)
+		return
+	}
+
+	// Receiver effects for method calls on a holder.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if v := holderIdentObj(info, sel.X); v != nil {
+			eff := e.idx.callEffect(e.spec, e.pkg, call, -1)
+			e.applyEffect(st, v, eff, call)
+		}
+	}
+
+	// Argument effects.
+	sig := calleeSignature(info, call)
+	for i, a := range call.Args {
+		if v := holderIdentObj(info, a); v != nil {
+			held := false
+			for _, o := range e.obligs {
+				if st.holds(o, v) {
+					held = true
+					break
+				}
+			}
+			if held {
+				eff := e.idx.callEffect(e.spec, e.pkg, call, paramIndex(sig, i))
+				e.applyEffect(st, v, eff, call)
+				continue
+			}
+		}
+		// Source call nested directly as an argument: the callee owns it
+		// only if it provably releases it.
+		if inner, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+			if _, _, isSrc := e.sourceCall(inner); isSrc {
+				for _, ia := range inner.Args {
+					e.scanExpr(st, ia)
+				}
+				eff := e.idx.callEffect(e.spec, e.pkg, call, paramIndex(sig, i))
+				if eff == effReads && e.final && e.report != nil {
+					e.report(a.Pos(), "%s created inline is passed to %s, which does not %s: the %s leaks",
+						e.spec.noun, callName(info, call), e.spec.verbDo, e.spec.noun)
+				}
+				continue
+			}
+		}
+		e.scanExpr(st, a)
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		e.captureEscape(st, lit, false)
+	}
+}
+
+func (e *obligEngine) applyEffect(st *obState, v types.Object, eff effect, call *ast.CallExpr) {
+	switch eff {
+	case effReleases:
+		for _, o := range e.obligs {
+			if st.holds(o, v) {
+				if e.final {
+					o.released = true
+				}
+				st.drop(o)
+			}
+		}
+	case effReads:
+		// Neutral: the obligation stays with the caller.
+	default:
+		for _, o := range e.obligs {
+			if st.holds(o, v) {
+				e.markEscape(st, o)
+			}
+		}
+	}
+	_ = call
+}
+
+// captureEscape applies a closure's effect on the obligations of the
+// variables it captures: a read-only closure is neutral; anything else
+// escapes them (async executes the closure's releases at unknowable
+// times, so a releasing capture is an escape too, never a discharge).
+func (e *obligEngine) captureEscape(st *obState, lit *ast.FuncLit, forceEscape bool) {
+	free := freeResourceVars(e.pkg, e.spec, lit)
+	for _, v := range free {
+		held := false
+		for _, o := range e.obligs {
+			if st.holds(o, v) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			continue
+		}
+		eff := effUnknown
+		if !forceEscape {
+			eff = e.idx.closureEffect(e.spec, e.pkg, lit, v)
+		}
+		if eff == effReads {
+			continue
+		}
+		for _, o := range e.obligs {
+			if st.holds(o, v) {
+				e.markEscape(st, o)
+			}
+		}
+	}
+}
+
+func (e *obligEngine) line(pos token.Pos) int {
+	return e.pkg.Fset.Position(pos).Line
+}
+
+// holderIdentObj resolves expr to the object of a bare identifier (or
+// &ident), the only shapes the alias sets track.
+func holderIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	expr = ast.Unparen(expr)
+	if ue, ok := expr.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		expr = ast.Unparen(ue.X)
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return usedObj(info, id)
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// paramIndex maps argument position i to the callee's parameter index,
+// folding variadic tails onto the last parameter. -2 when unknown.
+func paramIndex(sig *types.Signature, i int) int {
+	if sig == nil {
+		return -2
+	}
+	n := sig.Params().Len()
+	if n == 0 {
+		return -2
+	}
+	if i >= n {
+		if sig.Variadic() {
+			return n - 1
+		}
+		return -2
+	}
+	return i
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return recvTypeName(sig.Recv().Type()) + "." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "the call"
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// runObligAnalyzer runs spec over every function and function literal
+// of the package independently (a closure's obligations are its own).
+func runObligAnalyzer(p *Pass, spec *obligSpec) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var named []types.Object
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body == nil {
+					return true
+				}
+				body = x.Body
+				named = namedResultObjs(p.Pkg.Info, x.Type)
+			case *ast.FuncLit:
+				body = x.Body
+				named = namedResultObjs(p.Pkg.Info, x.Type)
+			default:
+				return true
+			}
+			runObligation(p.Pkg, p.Index, spec, body, nil, named, p.Reportf)
+			return true
+		})
+	}
+}
+
+func namedResultObjs(info *types.Info, ft *ast.FuncType) []types.Object {
+	if ft.Results == nil {
+		return nil
+	}
+	var objs []types.Object
+	named := false
+	for _, fld := range ft.Results.List {
+		if len(fld.Names) == 0 {
+			objs = append(objs, nil)
+			continue
+		}
+		for _, id := range fld.Names {
+			named = true
+			objs = append(objs, usedObj(info, id))
+		}
+	}
+	if !named {
+		return nil
+	}
+	return objs
+}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// semorder enforces the semiring operand-order discipline in kernel
+// packages — the exact class of PR 8's spmvPush bug, where both
+// orientations multiplied u(j)*A(i,j) and non-commutative semirings
+// (min_second) silently computed the wrong thing.
+//
+// `Mul` is a struct field of grb.Semiring, so there is no *types.Func
+// to key on; calls are recognized structurally (a .Mul selector on a
+// Semiring-typed value) and each operand is chased through local
+// definition chains — x := uVals[k], uVals from u.Entries(), vals from
+// A.Row(i), range variables — to the matrix/vector parameter it reads
+// from. Two rules over the chased origins:
+//
+//  1. Orientation branches: when both arms of an if/else on a bare
+//     boolean flag call Mul on the same two distinct origins, the arms
+//     must multiply in OPPOSITE order — the whole point of the branch
+//     is that the operand roles swap with the orientation. Same order
+//     in both arms is the spmvPush bug, restated structurally.
+//  2. Matrix×matrix: outside orientation branches, when both operands
+//     root in distinct matrix parameters, the multiply must follow the
+//     parameter declaration order (A before B). C = A·B kernels have
+//     no orientation excuse for swapping.
+//
+// Vector×matrix calls outside orientation branches are skipped: the
+// correct order there depends on which product the caller asked for,
+// which is not decidable from the call site.
+var SemOrder = &Analyzer{
+	Name:    "semorder",
+	Doc:     "kernel semiring Mul operand order: opposite across orientation branches, parameter order for matrix-matrix products",
+	Applies: inPkgs(kernelPkgs...),
+	Run:     runSemOrder,
+}
+
+func isMatVecType(t types.Type) bool {
+	return namedIn(t, grbPkg, "Matrix") || namedIn(t, grbPkg, "Vector")
+}
+
+func isMatrixType(t types.Type) bool {
+	return namedIn(t, grbPkg, "Matrix")
+}
+
+func isVectorType(t types.Type) bool {
+	return namedIn(t, grbPkg, "Vector")
+}
+
+// matVecPair reports whether exactly one of the two origins is a
+// matrix and the other a vector — the only combination where an
+// orientation flag swaps operand roles. Matrix-matrix products keep
+// one canonical order in every strategy branch (rule 2 covers them),
+// so bool branches over them (hash-vs-dense accumulators and the like)
+// carry no swap obligation.
+func matVecPair(a, b types.Object) bool {
+	return (isMatrixType(a.Type()) && isVectorType(b.Type())) ||
+		(isVectorType(a.Type()) && isMatrixType(b.Type()))
+}
+
+// isMulCall recognizes s.Mul(a, b) where s is grb.Semiring-typed.
+func isMulCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Mul" || len(call.Args) != 2 {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return namedIn(tv.Type, grbPkg, "Semiring")
+}
+
+// semDefs maps each local variable to the expressions assigned to it
+// anywhere in the function (flow-insensitive; the chase requires all
+// of them to reach the same root).
+type semDefs map[types.Object][]ast.Expr
+
+func collectSemDefs(info *types.Info, body *ast.BlockStmt) semDefs {
+	defs := semDefs{}
+	record := func(id *ast.Ident, e ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		if obj := usedObj(info, id); obj != nil {
+			defs[obj] = append(defs[obj], e)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE && x.Tok != token.ASSIGN {
+				return true
+			}
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, l := range x.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						record(id, x.Rhs[i])
+					}
+				}
+			} else if len(x.Rhs) == 1 {
+				// Multi-value: every target chases through the one call
+				// (uIdx, uVals := u.Entries() both root in u).
+				for _, l := range x.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						record(id, x.Rhs[0])
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, lv := range []ast.Expr{x.Key, x.Value} {
+				if lv == nil {
+					continue
+				}
+				if id, ok := ast.Unparen(lv).(*ast.Ident); ok {
+					record(id, x.X)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i, id := range x.Names {
+					record(id, x.Values[i])
+				}
+			} else if len(x.Values) == 1 {
+				for _, id := range x.Names {
+					record(id, x.Values[0])
+				}
+			}
+		}
+		return true
+	})
+	return defs
+}
+
+// chaseOrigin resolves an operand expression to the matrix/vector
+// variable it ultimately reads from, or nil when the chain is
+// ambiguous or leaves the tracked shapes.
+func chaseOrigin(info *types.Info, defs semDefs, e ast.Expr, depth int) types.Object {
+	if depth > 32 || e == nil {
+		return nil
+	}
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := usedObj(info, x)
+		if obj == nil {
+			return nil
+		}
+		if exprs := defs[obj]; len(exprs) > 0 {
+			var root types.Object
+			for _, d := range exprs {
+				r := chaseOrigin(info, defs, d, depth+1)
+				if r == nil || (root != nil && r != root) {
+					root = nil
+					break
+				}
+				root = r
+			}
+			if root != nil {
+				return root
+			}
+		}
+		if isMatVecType(obj.Type()) {
+			return obj
+		}
+		return nil
+	case *ast.IndexExpr:
+		return chaseOrigin(info, defs, x.X, depth+1)
+	case *ast.StarExpr:
+		return chaseOrigin(info, defs, x.X, depth+1)
+	case *ast.SelectorExpr:
+		// Field read (ud.dense): chase the base. Package-qualified
+		// identifiers have no origin.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := usedObj(info, id).(*types.PkgName); isPkg {
+				return nil
+			}
+		}
+		return chaseOrigin(info, defs, x.X, depth+1)
+	case *ast.CallExpr:
+		// Method call on a matrix/vector (A.Row, u.Entries, A.Dup,
+		// A.ExtractElement): the result reads from the receiver.
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && isMatVecType(tv.Type) {
+				return chaseOrigin(info, defs, sel.X, depth+1)
+			}
+		}
+		// Conversions like T(v) pass the value through.
+		if len(x.Args) == 1 {
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				return chaseOrigin(info, defs, x.Args[0], depth+1)
+			}
+		}
+		return nil
+	case *ast.TypeAssertExpr:
+		return chaseOrigin(info, defs, x.X, depth+1)
+	}
+	return nil
+}
+
+// boolFlagCond decodes an orientation condition: a bare identifier of
+// boolean type, possibly negated. Returns the flag's name.
+func boolFlagCond(info *types.Info, cond ast.Expr) (string, bool) {
+	cond = ast.Unparen(cond)
+	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		cond = ast.Unparen(ue.X)
+	}
+	id, ok := cond.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := usedObj(info, id)
+	if obj == nil {
+		return "", false
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// mulCallsIn collects the Mul calls lexically inside n (closures
+// included: kernels run their inner loops inside galois closures).
+func mulCallsIn(info *types.Info, n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && isMulCall(info, call) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+func runSemOrder(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			defs := collectSemDefs(info, fd.Body)
+			origins := func(call *ast.CallExpr) (a, b types.Object) {
+				return chaseOrigin(info, defs, call.Args[0], 0),
+					chaseOrigin(info, defs, call.Args[1], 0)
+			}
+
+			// Parameter declaration positions for rule 2.
+			paramPos := map[types.Object]int{}
+			pos := 0
+			for _, fld := range fd.Type.Params.List {
+				for _, id := range fld.Names {
+					if obj := info.Defs[id]; obj != nil {
+						paramPos[obj] = pos
+					}
+					pos++
+				}
+			}
+
+			// Rule 1: orientation branches must swap operand order.
+			consumed := map[*ast.CallExpr]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok || ifs.Else == nil {
+					return true
+				}
+				elseBlk, ok := ifs.Else.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				flag, ok := boolFlagCond(info, ifs.Cond)
+				if !ok {
+					return true
+				}
+				thenMuls := mulCallsIn(info, ifs.Body)
+				elseMuls := mulCallsIn(info, elseBlk)
+				for _, tm := range thenMuls {
+					t1, t2 := origins(tm)
+					if t1 == nil || t2 == nil || t1 == t2 || !matVecPair(t1, t2) {
+						continue
+					}
+					for _, em := range elseMuls {
+						e1, e2 := origins(em)
+						switch {
+						case t1 == e1 && t2 == e2:
+							consumed[tm], consumed[em] = true, true
+							p.Reportf(em.Pos(), "both arms of the %q orientation branch multiply (%s-element, %s-element) in the same order; the orientations must use opposite operand order (non-commutative semirings depend on it)",
+								flag, t1.Name(), t2.Name())
+						case t1 == e2 && t2 == e1:
+							consumed[tm], consumed[em] = true, true // correct swap
+						}
+					}
+				}
+				return true
+			})
+
+			// Rule 2: matrix-matrix products follow parameter order.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isMulCall(info, call) || consumed[call] {
+					return true
+				}
+				o1, o2 := origins(call)
+				if o1 == nil || o2 == nil || o1 == o2 {
+					return true
+				}
+				p1, ok1 := paramPos[o1]
+				p2, ok2 := paramPos[o2]
+				if !ok1 || !ok2 || !isMatrixType(o1.Type()) || !isMatrixType(o2.Type()) {
+					return true
+				}
+				if p1 > p2 {
+					p.Reportf(call.Pos(), "semiring Mul multiplies %s-element before %s-element, but parameter %s is declared before %s: matrix-matrix kernels must multiply in parameter order",
+						o1.Name(), o2.Name(), o2.Name(), o1.Name())
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// spanSpec: trace spans opened by trace.Begin / (*Trace).Begin must be
+// ended on every path. This is the dataflow re-basing of the tracespan
+// rule: instead of lexical block positions, the obligation engine walks
+// the CFG, so Ends reached through helper calls (summaries), early
+// returns, and error paths are all proven rather than pattern-matched.
+// The PR 3/7/9 leaked-span bugs were all of the shape "one path out of
+// a multi-branch function skips End" — exactly a path property.
+var spanSpec = &obligSpec{
+	class:    "span",
+	noun:     "span",
+	verbPast: "ended",
+	verbDo:   "end it",
+	isResource: func(t types.Type) bool {
+		return namedIn(t, tracePkg, "Span")
+	},
+	source: func(info *types.Info, call *ast.CallExpr) (int, int, bool) {
+		fn := calleeFunc(info, call)
+		if fn == nil || !strings.HasPrefix(fn.Name(), "Begin") || !fromPkg(fn, tracePkg) {
+			return 0, 0, false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 || !namedIn(sig.Results().At(0).Type(), tracePkg, "Span") {
+			return 0, 0, false
+		}
+		return 0, -1, true
+	},
+	release: func(info *types.Info, call *ast.CallExpr) ast.Expr {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "End" || !fromPkg(fn, tracePkg) {
+			return nil
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		return sel.X
+	},
+}
+
+// SpanFlow proves trace.Begin/End pairing over the CFG, across helper
+// calls and early returns. It runs alongside the lexical tracespan
+// rule; the two overlap on simple shapes but spanflow alone follows
+// obligations through helpers and error-path joins.
+var SpanFlow = &Analyzer{
+	Name: "spanflow",
+	Doc:  "trace spans must be ended on all CFG paths; helper discharge is recognized via summaries (dataflow version of tracespan)",
+	Run:  func(p *Pass) { runObligAnalyzer(p, spanSpec) },
+}

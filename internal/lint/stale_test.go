@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStaleIgnore pins both halves of stale detection on one fixture:
+// the directive covering a live finding stays quiet, the one covering
+// nothing is reported, and the live finding itself stays suppressed.
+func TestStaleIgnore(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "staleignore"),
+		"graphstudy/internal/lagraph/zfixture/staleignore")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunStale([]*Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 stale report: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "staleignore" {
+		t.Errorf("rule = %q, want staleignore: %s", d.Rule, d)
+	}
+	if !strings.Contains(d.Msg, "gostmt") || !strings.Contains(d.Msg, "suppresses nothing") {
+		t.Errorf("message does not identify the dead directive: %s", d)
+	}
+	if d.Pos.Line != 17 {
+		t.Errorf("stale report at line %d, want 17 (the dead directive): %s", d.Pos.Line, d)
+	}
+}
+
+// TestRepoNoStaleIgnores is the directive audit as a test: every
+// //lint:ignore in the module must still suppress a live finding.
+func TestRepoNoStaleIgnores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader := newTestLoader(t)
+	paths, err := loader.PackagePaths()
+	if err != nil {
+		t.Fatalf("PackagePaths: %v", err)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, d := range RunStale(pkgs) {
+		t.Errorf("stale or live finding in repo: %s", d)
+	}
+}

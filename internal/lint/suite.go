@@ -4,7 +4,12 @@ package lint
 // what cmd/graphlint and `make lint` run; the golden tests run each
 // member against its seeded-violation fixture.
 func Suite() []*Analyzer {
-	return []*Analyzer{MapRange, NonDet, SharedWrite, GoStmt, TraceSpan, ErrCheck}
+	return []*Analyzer{
+		// PR 5 syntactic/type-based rules.
+		MapRange, NonDet, SharedWrite, GoStmt, TraceSpan, ErrCheck,
+		// Dataflow rules over the CFG/obligation engine.
+		LeaseBalance, ArenaPair, SpanFlow, CtxFlow, SemOrder,
+	}
 }
 
 // ByName returns the named analyzer from the suite, or nil.

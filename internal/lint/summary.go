@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The interprocedural layer. PRs 7–9 moved releases into small helpers
+// (loadSnapshot releasing the recursive base pin, closeRound returning
+// arena scratch), so a purely intraprocedural obligation analysis would
+// either miss leaks (treat every call as a release) or drown in false
+// positives (treat every call as a leak). The middle path is effect
+// summaries: for each (function, obligation class) pair the Index
+// answers one question — what does this callee do to a resource-typed
+// argument? — with one of three answers.
+//
+//   effReleases  the callee discharges the obligation on every path;
+//                passing the value IS the release.
+//   effReads     the callee never releases and never stores the value;
+//                the obligation stays with the caller.
+//   effUnknown   anything else — conditional release, stores, external
+//                code. The obligation escapes at the call site: not
+//                reported, not proven.
+//
+// Summaries are computed by running the same obligation engine over the
+// callee's body with its resource-typed parameters seeded as
+// obligations, memoized per (func, class), with recursion broken by an
+// in-progress sentinel that answers effUnknown. The Index also answers
+// the dual question — does this helper RETURN a fresh obligation? — so
+// wrappers around Acquire are sources at their call sites.
+
+type effect int
+
+const (
+	effUnknown effect = iota
+	effReads
+	effReleases
+)
+
+type sumKey struct {
+	fn    *types.Func
+	class string
+}
+
+// funcSummary is one (function, class) effect record.
+type funcSummary struct {
+	// effects maps parameter index (-1 = receiver) to the callee's
+	// effect on a resource passed there. Missing index: effUnknown.
+	effects map[int]effect
+	// returns is the result index carrying a fresh obligation the
+	// caller must discharge, or -1.
+	returns int
+}
+
+var unknownSummary = &funcSummary{effects: map[int]effect{}, returns: -1}
+
+type indexedFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// Index is the cross-package function index and summary cache shared by
+// all obligation analyzers in one Run.
+type Index struct {
+	funcs      map[*types.Func]*indexedFunc
+	sums       map[sumKey]*funcSummary
+	inProgress map[sumKey]bool
+
+	closureKeys map[*ast.FuncLit]map[string]map[types.Object]effect
+}
+
+// NewIndex builds the function index over every loaded package.
+func NewIndex(pkgs []*Package) *Index {
+	x := &Index{
+		funcs:       map[*types.Func]*indexedFunc{},
+		sums:        map[sumKey]*funcSummary{},
+		inProgress:  map[sumKey]bool{},
+		closureKeys: map[*ast.FuncLit]map[string]map[types.Object]effect{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					x.funcs[fn] = &indexedFunc{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// summary computes (memoized) the effect summary of fn for spec's class.
+func (x *Index) summary(spec *obligSpec, fn *types.Func) *funcSummary {
+	// Generic instantiations share the origin's body.
+	fn = fn.Origin()
+	key := sumKey{fn, spec.class}
+	if s := x.sums[key]; s != nil {
+		return s
+	}
+	if x.inProgress[key] {
+		return unknownSummary // recursion: no proof either way
+	}
+	inf := x.funcs[fn]
+	if inf == nil {
+		// Out-of-module (stdlib) callee. Methods on the resource type
+		// itself never exist out of module; everything else is opaque.
+		x.sums[key] = unknownSummary
+		return unknownSummary
+	}
+	x.inProgress[key] = true
+	defer delete(x.inProgress, key)
+
+	sig, _ := fn.Type().(*types.Signature)
+	var seeds []seedParam
+	if sig != nil {
+		if recv := sig.Recv(); recv != nil && spec.isResource(recv.Type()) {
+			if obj := recvObj(inf.pkg.Info, inf.decl); obj != nil {
+				seeds = append(seeds, seedParam{obj: obj, idx: -1})
+			}
+		}
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			if spec.isResource(params.At(i).Type()) {
+				seeds = append(seeds, seedParam{obj: params.At(i), idx: i})
+			}
+		}
+	}
+
+	s := &funcSummary{effects: map[int]effect{}, returns: -1}
+	if len(seeds) > 0 {
+		named := namedResultObjs(inf.pkg.Info, inf.decl.Type)
+		obligs := runObligation(inf.pkg, x, spec, inf.decl.Body, seeds, named, nil)
+		for _, o := range obligs {
+			if o.seedParam == -2 {
+				continue
+			}
+			s.effects[o.seedParam] = seedEffect(o)
+		}
+	}
+	s.returns = x.returnedSource(spec, inf)
+	x.sums[key] = s
+	return s
+}
+
+// seedEffect classifies one seeded parameter's fate. For a parameter,
+// staying live to the exit is the normal read-only case — the caller
+// keeps the obligation — so liveExit alone means effReads; released on
+// every path (never live at an exit, never escaped, never passed on)
+// means effReleases; any mixture is effUnknown.
+func seedEffect(o *oblig) effect {
+	if o.escaped || len(o.returnedAt) > 0 {
+		return effUnknown
+	}
+	switch {
+	case o.released && !o.liveExit:
+		return effReleases
+	case !o.released:
+		return effReads
+	default:
+		return effUnknown // released on some paths, live on others
+	}
+}
+
+// returnedSource reports the result index at which fn returns a fresh
+// obligation of spec's class (a wrapper around the source), or -1. Two
+// shapes count: `return source(...)` directly, and a tracked local
+// created by a source and returned at a consistent index.
+func (x *Index) returnedSource(spec *obligSpec, inf *indexedFunc) int {
+	ret := -1
+	consistent := true
+	ast.Inspect(inf.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns are not this function's
+		}
+		r, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range r.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if idx, _, ok := spec.source(inf.pkg.Info, call); ok {
+				// `return r.Acquire(...)` — single-result position only
+				// (a multi-value source fills the whole return).
+				at := i + idx
+				if len(r.Results) == 1 && i == 0 {
+					at = idx
+				}
+				if ret == -1 {
+					ret = at
+				} else if ret != at {
+					consistent = false
+				}
+			}
+		}
+		return true
+	})
+	if !consistent {
+		return -1
+	}
+	if ret >= 0 {
+		return ret
+	}
+
+	// Tracked-local shape: run the engine (no seeds) and look for a
+	// source obligation whose only fate is being returned.
+	named := namedResultObjs(inf.pkg.Info, inf.decl.Type)
+	obligs := runObligation(inf.pkg, x, spec, inf.decl.Body, nil, named, nil)
+	for _, o := range obligs {
+		if o.seedParam != -2 || o.escaped || len(o.returnedAt) != 1 {
+			continue
+		}
+		for i := range o.returnedAt {
+			if ret == -1 {
+				ret = i
+			} else if ret != i {
+				consistent = false
+			}
+		}
+	}
+	if !consistent {
+		return -1
+	}
+	return ret
+}
+
+// recvObj resolves the receiver identifier object of a method decl.
+func recvObj(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	names := decl.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return info.Defs[names[0]]
+}
+
+// returnsObligation reports the result index at which calling fn
+// creates a fresh obligation of spec's class, or -1.
+func (x *Index) returnsObligation(spec *obligSpec, fn *types.Func) int {
+	return x.summary(spec, fn).returns
+}
+
+// callEffect answers: what does this call do to a resource passed at
+// paramIdx (-1 receiver, -2 unknown position)?
+func (x *Index) callEffect(spec *obligSpec, pkg *Package, call *ast.CallExpr, paramIdx int) effect {
+	if paramIdx == -2 {
+		return effUnknown
+	}
+	// Builtins: len/cap/print/println read; append/copy re-home the
+	// value somewhere the analysis cannot see.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "print", "println", "delete":
+				return effReads
+			default:
+				return effUnknown
+			}
+		}
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return effUnknown // function-typed value, field call: opaque
+	}
+	if paramIdx == -1 {
+		// Methods on the resource type itself that are not the release
+		// (the engine intercepts the release before asking): accessors.
+		// In-module ones get a real summary; a missing body means an
+		// interface method on the resource, treated as a read.
+		if x.funcs[fn.Origin()] == nil && fn.Type() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && spec.isResource(sig.Recv().Type()) {
+				return effReads
+			}
+		}
+	}
+	s := x.summary(spec, fn)
+	if eff, ok := s.effects[paramIdx]; ok {
+		return eff
+	}
+	// The callee has a body but the parameter is not resource-typed
+	// (interface{}, fmt-style): opaque.
+	if inf := x.funcs[fn.Origin()]; inf != nil && paramIdx >= 0 {
+		if sig, ok := fn.Type().(*types.Signature); ok && paramIdx < sig.Params().Len() {
+			if !spec.isResource(sig.Params().At(paramIdx).Type()) {
+				return effUnknown
+			}
+		}
+	}
+	return effUnknown
+}
+
+// closureEffect answers what executing lit does to the obligation held
+// by captured variable v: analyzed once per (lit, class) by seeding the
+// free resource-typed variables and running the engine over the body.
+func (x *Index) closureEffect(spec *obligSpec, pkg *Package, lit *ast.FuncLit, v types.Object) effect {
+	byClass := x.closureKeys[lit]
+	if byClass == nil {
+		byClass = map[string]map[types.Object]effect{}
+		x.closureKeys[lit] = byClass
+	}
+	effs := byClass[spec.class]
+	if effs == nil {
+		effs = map[types.Object]effect{}
+		byClass[spec.class] = effs
+		free := freeResourceVars(pkg, spec, lit)
+		var seeds []seedParam
+		for i, obj := range free {
+			seeds = append(seeds, seedParam{obj: obj, idx: i})
+		}
+		if len(seeds) > 0 {
+			obligs := runObligation(pkg, x, spec, lit.Body, seeds, namedResultObjs(pkg.Info, lit.Type), nil)
+			for _, o := range obligs {
+				if o.seedParam >= 0 && o.seedParam < len(free) {
+					effs[free[o.seedParam]] = seedEffect(o)
+				}
+			}
+		}
+	}
+	if eff, ok := effs[v]; ok {
+		return eff
+	}
+	return effReads // v not free in the lit: the closure cannot touch it
+}
+
+// freeResourceVars lists, in deterministic order, the resource-typed
+// variables used inside lit but declared outside it.
+func freeResourceVars(pkg *Package, spec *obligSpec, lit *ast.FuncLit) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if !spec.isResource(obj.Type()) {
+			return true
+		}
+		// Declared outside the literal's extent = captured.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,55 @@
+// Package arenapair seeds violations of the arenapair rule: arena
+// scratch vectors that can leave the Get/Put cycle.
+package arenapair
+
+import (
+	"errors"
+
+	"graphstudy/internal/adapt"
+	"graphstudy/internal/grb"
+)
+
+var errFixture = errors.New("fixture")
+
+// LeakOnErr is the adaptive-SSSP bug shape this PR fixed: scratch is
+// put back on the success path only.
+func LeakOnErr(ar *adapt.Arena[float64], fail bool) error {
+	v := ar.Get(grb.Sorted)
+	if fail {
+		return errFixture // want arenapair "not put back on the path to this return"
+	}
+	ar.Put(v)
+	return nil
+}
+
+// Discarded never binds the vector at all.
+func Discarded(ar *adapt.Arena[float64]) {
+	ar.Get(grb.Sorted) // want arenapair "result is discarded"
+}
+
+// Overwritten re-gets into the same variable while the first vector is
+// still out.
+func Overwritten(ar *adapt.Arena[float64]) {
+	v := ar.Get(grb.Sorted)
+	v = ar.Get(grb.Dense) // want arenapair "overwritten before being put back"
+	ar.Put(v)
+}
+
+// FallsOff takes scratch and never returns it.
+func FallsOff(ar *adapt.Arena[float64], sink *int) {
+	v := ar.Get(grb.Sorted) // want arenapair "may reach the end of the function without being put back"
+	*sink = v.NVals()
+}
+
+// CaptureLeak leaks inside an immediately-invoked closure, the round
+// loop shape from the adaptive engine.
+func CaptureLeak(ar *adapt.Arena[float64], fail bool) error {
+	return func() error {
+		v := ar.Get(grb.Sorted)
+		if fail {
+			return errFixture // want arenapair "not put back on the path to this return"
+		}
+		ar.Put(v)
+		return nil
+	}()
+}

@@ -1,0 +1,85 @@
+// Package arenapairclean holds only correct arena usage; the golden
+// test asserts the arenapair rule stays silent here — most importantly
+// on the loop-carried rotate pattern the adaptive engine uses.
+package arenapairclean
+
+import (
+	"errors"
+
+	"graphstudy/internal/adapt"
+	"graphstudy/internal/grb"
+)
+
+var errFixture = errors.New("fixture")
+
+// step only reads its arguments; its summary must be effReads, not an
+// escape, or the rotate below would go silent for the wrong reason.
+func step(dst, src *grb.Vector[float64]) {
+	if src.NVals() > 0 {
+		dst.SetElement(0, 1)
+	}
+}
+
+// GoodRotate is the adaptive frontier rotation: the obligation crosses
+// the loop back edge held by frontier and is discharged next iteration.
+func GoodRotate(ar *adapt.Arena[float64], rounds int) {
+	frontier := ar.Get(grb.Sorted)
+	for i := 0; i < rounds; i++ {
+		next := ar.Get(grb.Sorted)
+		step(next, frontier)
+		ar.Put(frontier)
+		frontier = next
+	}
+	ar.Put(frontier)
+}
+
+// GoodDefer pairs Get with a deferred Put.
+func GoodDefer(ar *adapt.Arena[float64]) int {
+	v := ar.Get(grb.Dense)
+	defer ar.Put(v)
+	return v.NVals()
+}
+
+// GoodErrPaths puts back on the error return too, the fixed adaptive
+// shape.
+func GoodErrPaths(ar *adapt.Arena[float64], fail bool) error {
+	v := ar.Get(grb.Sorted)
+	if fail {
+		ar.Put(v)
+		return errFixture
+	}
+	ar.Put(v)
+	return nil
+}
+
+// GoodCaptureRotate rotates through a captured variable: inside the
+// closure the new vector escapes into cur (owned by the enclosing
+// function), and the enclosing function puts cur back on every exit.
+func GoodCaptureRotate(ar *adapt.Arena[float64], fail bool) error {
+	cur := ar.Get(grb.Sorted)
+	err := func() error {
+		next := ar.Get(grb.Sorted)
+		if fail {
+			ar.Put(next)
+			return errFixture
+		}
+		ar.Put(cur)
+		cur = next
+		return nil
+	}()
+	ar.Put(cur)
+	return err
+}
+
+// drain releases its argument on every path; callers hand the vector
+// over.
+func drain(ar *adapt.Arena[float64], v *grb.Vector[float64]) {
+	v.Clear()
+	ar.Put(v)
+}
+
+// GoodHelper discharges through the helper.
+func GoodHelper(ar *adapt.Arena[float64]) {
+	v := ar.Get(grb.Sorted)
+	drain(ar, v)
+}

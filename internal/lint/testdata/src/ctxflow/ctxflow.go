@@ -1,0 +1,36 @@
+// Package ctxflow seeds violations of the ctxflow rule: contexts
+// accepted and then dropped, or replaced with fresh roots.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Dropped accepts a context and never touches it; callers believe
+// their deadline propagates.
+func Dropped(ctx context.Context, n int) int { // want ctxflow "is dropped"
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// NewRoot has the caller's context in scope but starts a fresh root
+// for the downstream call.
+func NewRoot(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return work(context.Background()) // want ctxflow "thread the caller's context"
+}
+
+// TODORoot is the same defect with context.TODO.
+func TODORoot(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return work(context.TODO()) // want ctxflow "thread the caller's context"
+}

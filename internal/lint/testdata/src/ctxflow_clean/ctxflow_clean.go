@@ -1,0 +1,49 @@
+// Package ctxflowclean holds only correct context threading; the
+// golden test asserts the ctxflow rule stays silent here.
+package ctxflowclean
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// GoodThreaded passes the context downstream.
+func GoodThreaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// GoodDerived derives from the caller's context instead of rooting a
+// new one.
+func GoodDerived(ctx context.Context) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(cctx)
+}
+
+// GoodExplicitUnused spells an intentionally ignored context the
+// documented way.
+func GoodExplicitUnused(_ context.Context, n int) int {
+	return n * 2
+}
+
+// GoodNoParam has no context in scope, so rooting one is legitimate —
+// the Run-shim shape in core.
+func GoodNoParam() error {
+	return work(context.Background())
+}
+
+// GoodSelectLoop threads the context into the round loop's stop check.
+func GoodSelectLoop(ctx context.Context, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package leasebalance seeds violations of the leasebalance rule:
+// registry leases that can leave the function unreleased on some path.
+package leasebalance
+
+import (
+	"errors"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/store"
+)
+
+var errFixture = errors.New("fixture")
+
+// EarlyReturn releases on the fall-through path but not before the
+// early return.
+func EarlyReturn(r *store.Registry, sc gen.Scale, cond bool) error {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errFixture // want leasebalance "not released on the path to this return"
+	}
+	h.Release()
+	return nil
+}
+
+// Discarded drops the lease on the floor outright.
+func Discarded(r *store.Registry, sc gen.Scale) {
+	r.Acquire("g", sc) // want leasebalance "result is discarded"
+}
+
+// Overwritten reacquires into the same variable while the first lease
+// is still live.
+func Overwritten(r *store.Registry, sc gen.Scale) {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return
+	}
+	h, err = r.Acquire("g2", sc) // want leasebalance "overwritten before being released"
+	if err != nil {
+		return
+	}
+	h.Release()
+}
+
+// FallsOff never releases at all.
+func FallsOff(r *store.Registry, sc gen.Scale) {
+	h, err := r.Acquire("g", sc) // want leasebalance "may reach the end of the function without being released"
+	if err != nil {
+		return
+	}
+	_ = h.Graph()
+}
+
+// readLease only inspects the handle; the obligation stays with the
+// caller, so routing a lease through it discharges nothing.
+func readLease(h *store.Handle) int {
+	if h.Graph() == nil {
+		return 0
+	}
+	return 1
+}
+
+// HelperIsNotARelease pins the interprocedural summary: a read-only
+// helper does not discharge the lease.
+func HelperIsNotARelease(r *store.Registry, sc gen.Scale) int {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return 0
+	}
+	return readLease(h) // want leasebalance "not released on the path to this return"
+}
+
+// open wraps Acquire; the summary layer marks its result as a fresh
+// obligation at every call site.
+func open(r *store.Registry, sc gen.Scale) (*store.Handle, error) {
+	return r.Acquire("g", sc)
+}
+
+// WrapperLeak leaks a lease that came through the wrapper, proving
+// sources are recognized interprocedurally.
+func WrapperLeak(r *store.Registry, sc gen.Scale) error {
+	h, err := open(r, sc)
+	if err != nil {
+		return err
+	}
+	_ = h.Graph()
+	return nil // want leasebalance "not released on the path to this return"
+}

@@ -1,0 +1,79 @@
+// Package leasebalanceclean holds only correct lease handling; the
+// golden test asserts the leasebalance rule stays silent here.
+package leasebalanceclean
+
+import (
+	"errors"
+
+	"graphstudy/internal/gen"
+	"graphstudy/internal/store"
+)
+
+var errFixture = errors.New("fixture")
+
+// GoodDefer is the canonical pattern, PR 9's loadSnapshot shape.
+func GoodDefer(r *store.Registry, sc gen.Scale) error {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	_ = h.Graph()
+	return nil
+}
+
+// GoodPaths releases explicitly on every path.
+func GoodPaths(r *store.Registry, sc gen.Scale, cond bool) error {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return err
+	}
+	if cond {
+		h.Release()
+		return errFixture
+	}
+	h.Release()
+	return nil
+}
+
+// closeLease discharges the lease on every path; its summary is
+// effReleases, so callers hand the obligation over.
+func closeLease(h *store.Handle) {
+	h.Release()
+}
+
+// GoodHelper releases through the helper on one path and directly on
+// the other.
+func GoodHelper(r *store.Registry, sc gen.Scale, cond bool) error {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return err
+	}
+	if cond {
+		closeLease(h)
+		return errFixture
+	}
+	h.Release()
+	return nil
+}
+
+// GoodReturned transfers the obligation to the caller; returning a
+// lease is a handoff, not a leak.
+func GoodReturned(r *store.Registry, sc gen.Scale) (*store.Handle, error) {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// GoodErrOnly never has a live lease when the acquire fails; the error
+// edge kills the obligation.
+func GoodErrOnly(r *store.Registry, sc gen.Scale) error {
+	h, err := r.Acquire("g", sc)
+	if err != nil {
+		return err
+	}
+	h.Release()
+	return nil
+}

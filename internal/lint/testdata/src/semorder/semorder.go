@@ -1,0 +1,43 @@
+// Package semorder seeds violations of the semorder rule: semiring
+// Mul operand orders that break algebraic discipline for
+// non-commutative semirings — the spmvPush bug class.
+package semorder
+
+import "graphstudy/internal/grb"
+
+// SameOrderBothArms is the spmvPush bug restated: the orientation
+// branch exists because operand roles swap, but both arms multiply
+// vector-element before matrix-element.
+func SameOrderBothArms(s grb.Semiring[float64], u *grb.Vector[float64], A *grb.Matrix[float64], alongRows bool) float64 {
+	_, uVals := u.Entries()
+	var acc float64
+	for k := range uVals {
+		x := uVals[k]
+		cols, vals := A.Row(k)
+		_ = cols
+		for e := range vals {
+			var p float64
+			if alongRows {
+				p = s.Mul(x, vals[e])
+			} else {
+				p = s.Mul(x, vals[e]) // want semorder "same order"
+			}
+			acc = s.Add.Op(acc, p)
+		}
+	}
+	return acc
+}
+
+// SwappedMxM multiplies B-elements before A-elements in a
+// matrix-matrix product; C = A·B kernels have no orientation excuse.
+func SwappedMxM(s grb.Semiring[float64], A, B *grb.Matrix[float64]) float64 {
+	var acc float64
+	_, va := A.Row(0)
+	_, vb := B.Row(0)
+	for i := range va {
+		if i < len(vb) {
+			acc = s.Add.Op(acc, s.Mul(vb[i], va[i])) // want semorder "parameter order"
+		}
+	}
+	return acc
+}

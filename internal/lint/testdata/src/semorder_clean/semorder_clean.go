@@ -1,0 +1,64 @@
+// Package semorderclean holds only correct operand orders; the golden
+// test asserts the semorder rule stays silent here — most importantly
+// on strategy branches (hash-vs-dense) over matrix-matrix products,
+// which legitimately keep one order in both arms.
+package semorderclean
+
+import "graphstudy/internal/grb"
+
+// GoodOrientationSwap is the fixed spmvPush shape: VxM multiplies
+// u(i)*A(i,j), MxV multiplies A(i,j)*u(j).
+func GoodOrientationSwap(s grb.Semiring[float64], u *grb.Vector[float64], A *grb.Matrix[float64], alongRows bool) float64 {
+	_, uVals := u.Entries()
+	var acc float64
+	for k := range uVals {
+		x := uVals[k]
+		cols, vals := A.Row(k)
+		_ = cols
+		for e := range vals {
+			var p float64
+			if alongRows {
+				p = s.Mul(x, vals[e])
+			} else {
+				p = s.Mul(vals[e], x)
+			}
+			acc = s.Add.Op(acc, p)
+		}
+	}
+	return acc
+}
+
+// GoodMxM multiplies in parameter order.
+func GoodMxM(s grb.Semiring[float64], A, B *grb.Matrix[float64]) float64 {
+	var acc float64
+	_, va := A.Row(0)
+	_, vb := B.Row(0)
+	for i := range va {
+		if i < len(vb) {
+			acc = s.Add.Op(acc, s.Mul(va[i], vb[i]))
+		}
+	}
+	return acc
+}
+
+// GoodStrategyBranch keeps the same (correct) order in both arms of a
+// strategy flag over a matrix-matrix product — the spgemm useHash
+// shape; only matrix-vector orientation branches must swap.
+func GoodStrategyBranch(s grb.Semiring[float64], A, B *grb.Matrix[float64], useHash bool) float64 {
+	var acc float64
+	_, va := A.Row(0)
+	_, vb := B.Row(0)
+	for i := range va {
+		if i >= len(vb) {
+			break
+		}
+		var p float64
+		if useHash {
+			p = s.Mul(va[i], vb[i])
+		} else {
+			p = s.Mul(va[i], vb[i])
+		}
+		acc = s.Add.Op(acc, p)
+	}
+	return acc
+}

@@ -1,0 +1,46 @@
+// Package spanflow seeds violations of the spanflow rule: spans whose
+// End is missing on some CFG path, including shapes the lexical
+// tracespan rule cannot see (helper discharge, read-only helpers).
+package spanflow
+
+import "graphstudy/internal/trace"
+
+// LeakEarlyReturn ends the span on the fall-through path only.
+func LeakEarlyReturn(cond bool) int {
+	sp := trace.Begin(trace.CatKernel, "fix.early")
+	if cond {
+		return 1 // want spanflow "not ended on the path to this return"
+	}
+	sp.End()
+	return 0
+}
+
+// peek only reads the span; routing a span through it ends nothing.
+func peek(sp *trace.Span) bool {
+	return sp.Enabled()
+}
+
+// ReadHelperIsNotAnEnd pins the interprocedural summary: the read-only
+// helper leaves the obligation with the caller.
+func ReadHelperIsNotAnEnd() {
+	sp := trace.Begin(trace.CatKernel, "fix.read") // want spanflow "may reach the end of the function without being ended"
+	peek(&sp)
+}
+
+// Discarded drops the span value outright.
+func Discarded() {
+	trace.Begin(trace.CatKernel, "fix.discard") // want spanflow "result is discarded"
+}
+
+// SwitchLeak ends the span in all but one switch clause; the fall-off
+// leak is reported at the Begin.
+func SwitchLeak(mode int) {
+	sp := trace.Begin(trace.CatRound, "fix.switch") // want spanflow "may reach the end of the function without being ended"
+	switch mode {
+	case 0:
+		sp.End()
+	case 1:
+		sp.End()
+	default:
+	}
+}

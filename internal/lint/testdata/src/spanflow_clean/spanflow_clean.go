@@ -1,0 +1,54 @@
+// Package spanflowclean holds only correct span handling; the golden
+// test asserts the spanflow rule stays silent here — in particular on
+// helper discharge, which the lexical tracespan rule cannot prove.
+package spanflowclean
+
+import "graphstudy/internal/trace"
+
+// finish ends the span on every path; its summary is effReleases.
+func finish(sp *trace.Span, nnz int) {
+	sp.NNZOut = int64(nnz)
+	sp.End()
+}
+
+// GoodHelperEnd ends through the helper on one path and directly on
+// the other — the shape the incremental algorithms use.
+func GoodHelperEnd(cond bool, n int) {
+	sp := trace.Begin(trace.CatKernel, "fix.helper")
+	if cond {
+		finish(&sp, n)
+		return
+	}
+	sp.End()
+}
+
+// GoodDefer is the canonical pattern.
+func GoodDefer() {
+	sp := trace.Begin(trace.CatKernel, "fix.defer")
+	defer sp.End()
+}
+
+// GoodMultiPath ends explicitly on every branch of a switch.
+func GoodMultiPath(mode int) {
+	sp := trace.Begin(trace.CatRound, "fix.multi")
+	switch mode {
+	case 0:
+		sp.End()
+	case 1:
+		sp.NNZIn = 1
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+// GoodErrShape ends before each return, the round-loop error shape.
+func GoodErrShape(fail func() error) error {
+	sp := trace.Begin(trace.CatRound, "fix.err")
+	if err := fail(); err != nil {
+		sp.End()
+		return err
+	}
+	sp.End()
+	return nil
+}

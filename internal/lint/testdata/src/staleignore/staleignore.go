@@ -1,0 +1,19 @@
+// Package staleignore exercises stale-directive detection: one
+// directive that still suppresses a live finding (kept) and one whose
+// finding is gone (reported). Loaded under a lagraph path so the
+// gostmt rule applies.
+package staleignore
+
+// Live launches a bare goroutine; its directive suppresses a real
+// finding and must not be called stale.
+func Live(ch chan int) {
+	//lint:ignore gostmt fixture: suppression still earns its keep
+	go func() { ch <- 1 }()
+}
+
+// Stale has nothing to suppress; the code below the directive was
+// fixed long ago and the directive now masks future regressions.
+func Stale(ch chan int) {
+	//lint:ignore gostmt fixture: the goroutine this silenced is gone
+	ch <- 2
+}
